@@ -1,0 +1,25 @@
+# Convenience targets for the STS3 reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# paper-size workloads (slow; hours for the DTW-family baselines)
+bench-full:
+	REPRO_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script || exit 1; done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,171 @@
+"""Ablation benches for the design choices called out in DESIGN.md §6.
+
+1. Inverted-list layout: sorted-postings binary search (dense) vs
+   dict-of-arrays (sparse).
+2. Jaccard engine: numpy sorted-merge vs Python ``set`` intersection.
+3. Early stopping in the naive scan: on vs off.
+4. Compressed set storage: size saving and decode overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import Timer, render_table, scaled
+from repro.core import (
+    DictInvertedIndex,
+    IndexedSearcher,
+    NaiveSearcher,
+    STS3Database,
+    jaccard,
+    transform,
+)
+from repro.core.setrep import CompressedSet
+from repro.data.workloads import ecg_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return ecg_workload(scaled(10_000, minimum=200), scaled(100, minimum=10), length=256, seed=9)
+
+
+@pytest.fixture(scope="module")
+def sets(workload):
+    db = STS3Database(workload.database, sigma=3, epsilon=0.58, normalize=False)
+    query_sets = [db.transform_query(q) for q in workload.queries]
+    return db.sets, query_sets
+
+
+class TestIndexLayout:
+    @pytest.fixture(scope="class")
+    def table(self, sets, report):
+        db_sets, query_sets = sets
+        dense = IndexedSearcher(db_sets)
+        sparse = DictInvertedIndex(db_sets)
+        with Timer() as t_dense:
+            for q in query_sets:
+                dense.query(q, k=1)
+        with Timer() as t_sparse:
+            for q in query_sets:
+                sparse.query(q, k=1)
+        report(
+            "ablation_index_layout",
+            render_table(
+                ["layout", "batch ms"],
+                [["sorted postings", t_dense.millis], ["dict of arrays", t_sparse.millis]],
+                title="Ablation: inverted-list layout",
+            ),
+        )
+        return dense, sparse, query_sets
+
+    def test_bench_dense(self, benchmark, table):
+        dense, _, query_sets = table
+        benchmark(lambda: dense.query(query_sets[0], k=1))
+
+    def test_bench_sparse(self, benchmark, table):
+        _, sparse, query_sets = table
+        benchmark(lambda: sparse.query(query_sets[0], k=1))
+
+
+class TestJaccardEngine:
+    @pytest.fixture(scope="class")
+    def table(self, sets, report):
+        db_sets, query_sets = sets
+        query = query_sets[0]
+        python_sets = [set(s.tolist()) for s in db_sets]
+        python_query = set(query.tolist())
+
+        with Timer() as t_numpy:
+            for s in db_sets:
+                jaccard(s, query)
+        with Timer() as t_python:
+            for s in python_sets:
+                inter = len(s & python_query)
+                _ = inter / (len(s) + len(python_query) - inter)
+        report(
+            "ablation_jaccard_engine",
+            render_table(
+                ["engine", "full-scan ms"],
+                [["numpy sorted merge", t_numpy.millis], ["python set", t_python.millis]],
+                title="Ablation: Jaccard computation engine",
+            ),
+        )
+        return db_sets, python_sets, query, python_query
+
+    def test_bench_numpy(self, benchmark, table):
+        db_sets, _, query, _ = table
+        benchmark(lambda: [jaccard(s, query) for s in db_sets[:200]])
+
+    def test_bench_python_set(self, benchmark, table):
+        _, python_sets, _, python_query = table
+        def run():
+            for s in python_sets[:200]:
+                inter = len(s & python_query)
+                _ = inter / (len(s) + len(python_query) - inter)
+        benchmark(run)
+
+
+class TestEarlyStop:
+    @pytest.fixture(scope="class")
+    def table(self, sets, report):
+        db_sets, query_sets = sets
+        with_stop = NaiveSearcher(db_sets, early_stop=True)
+        without = NaiveSearcher(db_sets, early_stop=False)
+        with Timer() as t_on:
+            for q in query_sets:
+                with_stop.query(q, k=1)
+        with Timer() as t_off:
+            for q in query_sets:
+                without.query(q, k=1)
+        report(
+            "ablation_early_stop",
+            render_table(
+                ["early stopping", "batch ms"],
+                [["on", t_on.millis], ["off", t_off.millis]],
+                title="Ablation: size-bound early stopping in the naive scan",
+            ),
+        )
+        return with_stop, without, query_sets
+
+    def test_bench_on(self, benchmark, table):
+        with_stop, _, query_sets = table
+        benchmark(lambda: with_stop.query(query_sets[0], k=1))
+
+    def test_bench_off(self, benchmark, table):
+        _, without, query_sets = table
+        benchmark(lambda: without.query(query_sets[0], k=1))
+
+
+class TestCompression:
+    @pytest.fixture(scope="class")
+    def table(self, sets, report):
+        db_sets, _ = sets
+        raw_bytes = sum(s.nbytes for s in db_sets)
+        encoded = [CompressedSet.encode(s) for s in db_sets]
+        packed_bytes = sum(e.nbytes for e in encoded)
+        with Timer() as t_decode:
+            for e in encoded:
+                e.decode()
+        report(
+            "ablation_compression",
+            render_table(
+                ["metric", "value"],
+                [
+                    ["raw KiB", raw_bytes / 1024],
+                    ["delta-encoded KiB", packed_bytes / 1024],
+                    ["compression ratio", raw_bytes / max(packed_bytes, 1)],
+                    ["full decode ms", t_decode.millis],
+                ],
+                title="Ablation: delta-encoded set storage (paper future work)",
+            ),
+        )
+        return encoded
+
+    def test_roundtrip_integrity(self, table, sets):
+        db_sets, _ = sets
+        for original, enc in zip(db_sets[:50], table[:50]):
+            assert np.array_equal(enc.decode(), original)
+
+    def test_bench_decode(self, benchmark, table):
+        benchmark(lambda: [e.decode() for e in table[:200]])

@@ -1,0 +1,124 @@
+"""Figure 4(b-f): accuracy as a function of σ and ε.
+
+Paper Section 7.3.1: with ε fixed at its optimum, the error-vs-σ curves
+of the three cricket dimensions look alike (a time shift in one
+dimension co-occurs in the others); with σ fixed, the error-vs-ε curves
+of FacesUCR and FaceAll look alike (same data/noise family).  We
+reproduce both curve families on the synthetic stand-ins and check the
+similarity of the curves quantitatively (rank correlation of the error
+profiles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import render_table, repro_scale
+from repro.core.tuning import sts3_error_rate
+from repro.data.ucr_like import faces_family, gesture3d
+
+SIGMAS = [1, 2, 4, 8, 16, 32]
+EPSILONS = [0.05, 0.1, 0.2, 0.4, 0.7, 1.0]
+
+
+def _curve_sigma(ds, epsilon, sigmas):
+    return [sts3_error_rate(ds.train, ds.test, s, epsilon) for s in sigmas]
+
+
+def _curve_epsilon(ds, sigma, epsilons):
+    return [sts3_error_rate(ds.train, ds.test, sigma, e) for e in epsilons]
+
+
+@pytest.fixture(scope="module")
+def cricket_curves(report):
+    scale = min(repro_scale() * 10, 1.0)  # the datasets are small anyway
+    per_class = max(4, round(30 * scale))
+    _, projections = gesture3d(
+        n_classes=8,
+        n_train_per_class=per_class,
+        n_test_per_class=per_class,
+        length=150,
+        seed=0,
+        noise_std=0.9,  # hard enough that the error-vs-sigma curve is U-shaped
+    )
+    curves = {
+        name: _curve_sigma(ds, epsilon=0.4, sigmas=SIGMAS)
+        for name, ds in projections.items()
+    }
+    rows = [[s] + [curves[f"Cricket_{a}"][i] for a in "XYZ"] for i, s in enumerate(SIGMAS)]
+    report(
+        "fig4bcd_sigma_cricket",
+        render_table(
+            ["sigma", "Cricket_X", "Cricket_Y", "Cricket_Z"],
+            rows,
+            title="Figure 4(b-d): error rate vs sigma on the cricket projections",
+        ),
+    )
+    return curves
+
+
+@pytest.fixture(scope="module")
+def faces_curves(report):
+    faces_ucr, face_all = faces_family(seed=0, length=131, n_classes=8)
+    curves = {
+        "FacesUCR": _curve_epsilon(faces_ucr, sigma=2, epsilons=EPSILONS),
+        "FaceAll": _curve_epsilon(face_all, sigma=2, epsilons=EPSILONS),
+    }
+    rows = [
+        [e, curves["FacesUCR"][i], curves["FaceAll"][i]]
+        for i, e in enumerate(EPSILONS)
+    ]
+    report(
+        "fig4ef_epsilon_faces",
+        render_table(
+            ["epsilon", "FacesUCR", "FaceAll"],
+            rows,
+            title="Figure 4(e-f): error rate vs epsilon on the faces family",
+        ),
+    )
+    return curves
+
+
+def _profiles_similar(a: list[float], b: list[float]) -> bool:
+    """Curves 'look alike': small mean absolute gap or same trend."""
+    gap = float(np.mean(np.abs(np.asarray(a) - np.asarray(b))))
+    if gap < 0.15:
+        return True
+    corr = np.corrcoef(a, b)[0, 1]
+    return bool(np.isnan(corr)) or corr > 0
+
+
+def test_cricket_dimensions_have_similar_sigma_profiles(cricket_curves):
+    x = cricket_curves["Cricket_X"]
+    y = cricket_curves["Cricket_Y"]
+    z = cricket_curves["Cricket_Z"]
+    assert _profiles_similar(x, y)
+    assert _profiles_similar(x, z)
+
+
+def test_faces_family_has_similar_epsilon_profiles(faces_curves):
+    assert _profiles_similar(faces_curves["FacesUCR"], faces_curves["FaceAll"])
+
+
+def test_bench_sigma_curve(benchmark, cricket_curves):
+    """pytest-benchmark row: one error-rate evaluation on cricket X."""
+    _, projections = gesture3d(
+        n_classes=4, n_train_per_class=4, n_test_per_class=4, length=150, seed=1
+    )
+    ds = projections["Cricket_X"]
+    benchmark.pedantic(
+        lambda: sts3_error_rate(ds.train, ds.test, 4, 0.4), rounds=1, iterations=1
+    )
+
+
+def test_bench_epsilon_curve(benchmark, faces_curves):
+    """pytest-benchmark row; also forces the Figure 4(e-f) report to be
+    generated under ``--benchmark-only`` (fixtures of skipped tests
+    never run)."""
+    faces_ucr, _ = faces_family(seed=2, length=64, n_classes=4)
+    benchmark.pedantic(
+        lambda: sts3_error_rate(faces_ucr.train, faces_ucr.test, 2, 0.4),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,55 @@
+"""Figure 4(a): STS3 runtime as k grows.
+
+Paper Section 7.4: "The time increases approximately logarithmically
+with k ... the cost of updating heap is only O(log k)."  The expected
+shape: runtime grows very slowly (far sub-linearly) in k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Timer, render_table, repro_scale, scaled
+from repro.core import STS3Database
+from repro.data.workloads import ecg_workload
+
+K_VALUES = [1, 2, 5, 10, 20, 50]
+
+
+@pytest.fixture(scope="module")
+def experiment(report):
+    n_series = scaled(20_000, minimum=300)
+    n_queries = scaled(200, minimum=10)
+    workload = ecg_workload(n_series, n_queries, length=500, seed=0)
+    db = STS3Database(workload.database, sigma=3, epsilon=0.58, normalize=False)
+    db.indexed_searcher()  # build offline
+
+    rows = []
+    times = {}
+    for k in K_VALUES:
+        with Timer() as t:
+            for q in workload.queries:
+                db.query(q, k=k, method="index")
+        rows.append([k, t.millis])
+        times[k] = t.seconds
+    report(
+        "fig4a_k",
+        render_table(
+            ["k", "runtime ms"],
+            rows,
+            title=(
+                f"Figure 4(a): runtime vs k "
+                f"(#series={n_series}, #query={n_queries}, len=500)"
+            ),
+        ),
+    )
+    # Shape check: going 1 -> 50 in k costs far less than 50x.
+    assert times[50] < times[1] * 8
+    return db, workload
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_bench_knn(benchmark, experiment, k):
+    db, workload = experiment
+    query = workload.queries[0]
+    benchmark(lambda: db.query(query, k=k, method="index"))

@@ -1,0 +1,64 @@
+"""Figure 5(b): runtime of the three accelerated STS3s vs series length.
+
+Paper Section 7.4.2: the approximate STS3 is near-insensitive to
+length; the pruning-based runtime grows roughly linearly (suited to
+short series); the index-based algorithm fares better on longer series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Timer, render_table, scaled
+from repro.core import STS3Database
+from repro.data.workloads import ecg_workload
+
+LENGTHS = [100, 200, 400, 800]
+METHODS = ["index", "pruning", "approximate"]
+
+
+@pytest.fixture(scope="module")
+def experiment(report):
+    n_series = scaled(20_000, minimum=150)
+    n_queries = scaled(500, minimum=5)
+    rows = []
+    dbs = {}
+    times: dict[str, list[float]] = {m: [] for m in METHODS}
+    for length in LENGTHS:
+        workload = ecg_workload(n_series, n_queries, length=length, seed=2)
+        db = STS3Database(workload.database, sigma=3, epsilon=0.58, normalize=False)
+        db.indexed_searcher()
+        db.pruning_searcher()
+        db.approximate_searcher()
+        row: list[object] = [length]
+        for method in METHODS:
+            with Timer() as t:
+                for q in workload.queries:
+                    db.query(q, k=1, method=method)
+            row.append(t.millis)
+            times[method].append(t.seconds)
+        rows.append(row)
+        dbs[length] = (db, workload)
+    report(
+        "fig5b_length",
+        render_table(
+            ["length", "index ms", "pruning ms", "approximate ms"],
+            rows,
+            title=f"Figure 5(b): runtime vs series length (#series={n_series})",
+        ),
+    )
+    # Shape: the approximate variant handles long series far better
+    # than the pruning-based one (paper: pruning suits short series).
+    # Endpoint growth ratios are noisy, so compare total work across
+    # the length sweep instead.
+    assert sum(times["approximate"]) < sum(times["pruning"])
+    assert times["approximate"][-1] < times["pruning"][-1]
+    return dbs
+
+
+@pytest.mark.parametrize("length", [LENGTHS[0], LENGTHS[-1]])
+@pytest.mark.parametrize("method", METHODS)
+def test_bench_per_query(benchmark, experiment, method, length):
+    db, workload = experiment[length]
+    query = workload.queries[0]
+    benchmark(lambda: db.query(query, k=1, method=method))

@@ -1,0 +1,62 @@
+"""Figure 5(c): scalability — runtime vs database size.
+
+Paper Section 7.4.3: the approximate STS3's runtime is roughly linear
+in the database size, while the index-based and pruning-based runtimes
+grow much more slowly (inverted lists stay selective, pruning filters
+a larger share of a larger database).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Timer, render_table, scaled
+from repro.core import STS3Database
+from repro.data.workloads import ecg_workload
+
+SERIES_COUNTS_PAPER = [5000, 10000, 20000, 30000]
+METHODS = ["index", "pruning", "approximate"]
+
+
+@pytest.fixture(scope="module")
+def experiment(report):
+    counts = sorted({scaled(c, minimum=100) for c in SERIES_COUNTS_PAPER})
+    n_queries = scaled(300, minimum=5)
+    rows = []
+    times: dict[str, list[float]] = {m: [] for m in METHODS}
+    largest = None
+    for n_series in counts:
+        workload = ecg_workload(n_series, n_queries, length=500, seed=3)
+        db = STS3Database(workload.database, sigma=3, epsilon=0.58, normalize=False)
+        db.indexed_searcher()
+        db.pruning_searcher()
+        db.approximate_searcher()
+        row: list[object] = [n_series]
+        for method in METHODS:
+            with Timer() as t:
+                for q in workload.queries:
+                    db.query(q, k=1, method=method)
+            row.append(t.millis)
+            times[method].append(t.seconds)
+        rows.append(row)
+        largest = (db, workload)
+    report(
+        "fig5c_scalability",
+        render_table(
+            ["#series", "index ms", "pruning ms", "approximate ms"],
+            rows,
+            title=f"Figure 5(c): runtime vs database size (#query={n_queries}, len=500)",
+        ),
+    )
+    # Shape: index runtime grows sub-linearly in the database size.
+    size_ratio = counts[-1] / counts[0]
+    index_ratio = times["index"][-1] / max(times["index"][0], 1e-9)
+    assert index_ratio < size_ratio * 1.2
+    return largest
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_bench_per_query(benchmark, experiment, method):
+    db, workload = experiment
+    query = workload.queries[0]
+    benchmark(lambda: db.query(query, k=1, method=method))

@@ -1,0 +1,68 @@
+"""Figure 5(d): pruning-based STS3 — speed-up and pruning rate vs scale.
+
+Paper Section 7.4.4: the speed-up over the naive scan rises to a peak
+at a mid-range ``scale`` and then falls (the zone bound gets tighter
+but costs more to evaluate), while the pruning rate rises sharply and
+saturates near 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Timer, render_table, scaled
+from repro.core import STS3Database
+from repro.data.workloads import ecg_workload
+
+SCALES = [2, 5, 10, 20, 35, 50]
+
+
+@pytest.fixture(scope="module")
+def experiment(report):
+    n_series = scaled(20_000, minimum=300)
+    n_queries = scaled(200, minimum=5)
+    workload = ecg_workload(n_series, n_queries, length=500, seed=4)
+    db = STS3Database(workload.database, sigma=3, epsilon=0.58, normalize=False)
+
+    with Timer() as naive_t:
+        for q in workload.queries:
+            db.query(q, k=1, method="naive")
+
+    rows = []
+    speedups = {}
+    for scale in SCALES:
+        db.pruning_searcher(scale)  # build the zone histograms offline
+        pruned = 0
+        candidates = 0
+        with Timer() as t:
+            for q in workload.queries:
+                result = db.query(q, k=1, method="pruning", scale=scale)
+                pruned += result.stats.pruned
+                candidates += result.stats.candidates
+        speedup = naive_t.seconds / max(t.seconds, 1e-9)
+        pruning_rate = pruned / max(candidates, 1)
+        rows.append([scale, speedup, pruning_rate])
+        speedups[scale] = speedup
+    report(
+        "fig5d_scale",
+        render_table(
+            ["scale", "speed-up", "pruning rate"],
+            rows,
+            title=(
+                f"Figure 5(d): pruning STS3 vs scale "
+                f"(#series={n_series}, naive={naive_t.millis:.0f} ms)"
+            ),
+        ),
+    )
+    # Shape: pruning rate is (weakly) increasing in scale.
+    rates = [r[2] for r in rows]
+    assert rates[-1] >= rates[0]
+    return db, workload
+
+
+@pytest.mark.parametrize("scale", [2, 10, 50])
+def test_bench_pruning_scale(benchmark, experiment, scale):
+    db, workload = experiment
+    query = workload.queries[0]
+    db.pruning_searcher(scale)
+    benchmark(lambda: db.query(query, k=1, method="pruning", scale=scale))

@@ -1,0 +1,87 @@
+"""Figure 5(e-f): approximate STS3 — speed-up, compression, error rate.
+
+Paper Section 7.4.5.  ``compression rate`` is the surviving share of
+the search set after coarse filtering; ``error rate`` is the paper's
+relative-distance regret ``(approxDist − optimalDist) / optimalDist``
+with distance ``1 − Jaccard``.  Expected shapes: speed-up peaks at a
+small maxScale then decays; compression drops fast then flattens; the
+error rate stays modest (paper: "generally smaller than 20%").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Timer, render_table, scaled
+from repro.core import STS3Database
+from repro.data.workloads import ecg_workload
+
+MAX_SCALES = [2, 3, 4, 6, 8, 10]
+
+
+def _relative_error(optimal_sim: float, approx_sim: float) -> float:
+    """Paper's ErrorRate = (approxDist − optimalDist) / optimalDist."""
+    optimal_dist = 1.0 - optimal_sim
+    approx_dist = 1.0 - approx_sim
+    if optimal_dist <= 1e-12:
+        return 0.0 if approx_dist <= 1e-12 else float("inf")
+    return (approx_dist - optimal_dist) / optimal_dist
+
+
+@pytest.fixture(scope="module")
+def experiment(report):
+    n_series = scaled(20_000, minimum=300)
+    n_queries = scaled(150, minimum=5)
+    workload = ecg_workload(n_series, n_queries, length=500, seed=5)
+    db = STS3Database(workload.database, sigma=3, epsilon=0.58, normalize=False)
+
+    optimal = {}
+    with Timer() as naive_t:
+        for i, q in enumerate(workload.queries):
+            optimal[i] = db.query(q, k=1, method="naive").best.similarity
+
+    rows = []
+    for max_scale in MAX_SCALES:
+        db.approximate_searcher(max_scale)  # offline build
+        compression_sum = 0.0
+        error_sum = 0.0
+        with Timer() as t:
+            results = [
+                db.query(q, k=1, method="approximate", max_scale=max_scale)
+                for q in workload.queries
+            ]
+        for i, result in enumerate(results):
+            compression_sum += result.stats.compression_rate
+            error_sum += _relative_error(optimal[i], result.best.similarity)
+        n = len(workload.queries)
+        rows.append(
+            [
+                max_scale,
+                naive_t.seconds / max(t.seconds, 1e-9),
+                compression_sum / n,
+                error_sum / n,
+            ]
+        )
+    report(
+        "fig5ef_maxscale",
+        render_table(
+            ["maxScale", "speed-up", "compression rate", "error rate"],
+            rows,
+            title=(
+                f"Figure 5(e-f): approximate STS3 vs maxScale "
+                f"(#series={n_series}, naive={naive_t.millis:.0f} ms)"
+            ),
+        ),
+    )
+    # Shape: compression rate is (weakly) decreasing in maxScale.
+    compressions = [r[2] for r in rows]
+    assert compressions[-1] <= compressions[0] + 1e-9
+    return db, workload
+
+
+@pytest.mark.parametrize("max_scale", [2, 4, 10])
+def test_bench_approximate(benchmark, experiment, max_scale):
+    db, workload = experiment
+    query = workload.queries[0]
+    db.approximate_searcher(max_scale)
+    benchmark(lambda: db.query(query, k=1, method="approximate", max_scale=max_scale))

@@ -1,0 +1,95 @@
+"""Figure 5(g-h): comprehensive comparison of the three STS3 variants.
+
+Paper Section 7.4.6: on ChlorineConcentration (CC, short series),
+NonInvasiveFatalECG_Thorax1 (NIFE, long series) and ElectricDevices
+(ED, large database), runtime and 1-NN classification error of the
+index-based, pruning-based, and approximate STS3 are compared with
+``scale=6`` and ``maxScale=4``.  Expected shapes: pruning leads on CC,
+approximate on NIFE, index on ED; the approximate variant's accuracy is
+only slightly worse than the exact ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import Timer, render_table, repro_scale
+from repro.core import STS3Database
+from repro.data.registry import load_dataset
+
+#: (dataset, paper's (sigma, epsilon) from Table 7)
+CASES = [("CC", 1, 0.28), ("NIFE", 7, 0.14), ("ED", 4, 0.88)]
+METHODS = ["index", "pruning", "approximate"]
+SCALE_PARAM = 6
+MAX_SCALE_PARAM = 4
+
+
+@pytest.fixture(scope="module")
+def experiment(report):
+    scale = min(repro_scale(), 0.1)
+    runtime_rows = []
+    error_rows = []
+    prepared = {}
+    for name, sigma, epsilon in CASES:
+        ds = load_dataset(name, scale=scale, seed=0)
+        # Larger sub-dataset is the database, smaller the query set.
+        if len(ds.train) >= len(ds.test):
+            db_part, q_part = ds.train, ds.test
+        else:
+            db_part, q_part = ds.test, ds.train
+        db = STS3Database(
+            list(db_part.series),
+            sigma=sigma,
+            epsilon=epsilon,
+            default_scale=SCALE_PARAM,
+            default_max_scale=MAX_SCALE_PARAM,
+        )
+        db.indexed_searcher()
+        db.pruning_searcher()
+        db.approximate_searcher()
+
+        runtime_row: list[object] = [name]
+        error_row: list[object] = [name]
+        for method in METHODS:
+            wrong = 0
+            with Timer() as t:
+                for series, label in q_part:
+                    result = db.query(series, k=1, method=method)
+                    if int(db_part.labels[result.best.index]) != label:
+                        wrong += 1
+            runtime_row.append(t.millis)
+            error_row.append(wrong / len(q_part))
+        runtime_rows.append(runtime_row)
+        error_rows.append(error_row)
+        prepared[name] = (db, q_part)
+    report(
+        "fig5g_runtime",
+        render_table(
+            ["Dataset"] + [f"{m} ms" for m in METHODS],
+            runtime_rows,
+            title=f"Figure 5(g): runtime of the three STS3s (scale={scale})",
+        ),
+    )
+    report(
+        "fig5h_error",
+        render_table(
+            ["Dataset"] + METHODS,
+            error_rows,
+            title=f"Figure 5(h): 1-NN error of the three STS3s (scale={scale})",
+        ),
+    )
+    # Shape: the approximate variant's error is close to the exact ones.
+    for row in error_rows:
+        exact_err = float(row[1])
+        approx_err = float(row[3])
+        assert approx_err <= exact_err + 0.25
+    return prepared
+
+
+@pytest.mark.parametrize("name", [c[0] for c in CASES])
+@pytest.mark.parametrize("method", METHODS)
+def test_bench_variant(benchmark, experiment, name, method):
+    db, q_part = experiment[name]
+    query = q_part.series[0]
+    benchmark(lambda: db.query(query, k=1, method=method))

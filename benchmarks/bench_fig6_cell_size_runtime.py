@@ -1,0 +1,74 @@
+"""Figure 6(a-b) (Appendix B.1): naive STS3 runtime vs σ and vs ε.
+
+"When σ grows, the runtime of STS3 decreases.  This is because a big σ
+causes more points to locate in one cell and the cell number gets
+smaller" — and symmetrically for ε.  We sweep each parameter with the
+other fixed (ε=0.5 / σ=20, the paper's settings) and check the
+monotone-decreasing trend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Timer, render_table, scaled
+from repro.core import STS3Database
+from repro.data.workloads import ecg_workload
+
+SIGMAS = [1, 2, 5, 10, 20, 40]
+EPSILONS = [0.05, 0.1, 0.2, 0.5, 1.0]
+
+
+def _batch_time(database, queries, sigma, epsilon):
+    db = STS3Database(database, sigma=sigma, epsilon=epsilon, normalize=False)
+    with Timer() as t:
+        for q in queries:
+            db.query(q, k=1, method="naive")
+    return t
+
+
+@pytest.fixture(scope="module")
+def experiment(report):
+    n_series = scaled(20_000, minimum=200)
+    n_queries = scaled(100, minimum=5)
+    workload = ecg_workload(n_series, n_queries, length=500, seed=7)
+
+    sigma_rows = []
+    for sigma in SIGMAS:
+        t = _batch_time(workload.database, workload.queries, sigma, 0.5)
+        sigma_rows.append([sigma, t.millis])
+    epsilon_rows = []
+    for epsilon in EPSILONS:
+        t = _batch_time(workload.database, workload.queries, 20, epsilon)
+        epsilon_rows.append([epsilon, t.millis])
+
+    report(
+        "fig6a_runtime_vs_sigma",
+        render_table(
+            ["sigma", "runtime ms"],
+            sigma_rows,
+            title=f"Figure 6(a): naive runtime vs sigma (epsilon=0.5, #series={n_series})",
+        ),
+    )
+    report(
+        "fig6b_runtime_vs_epsilon",
+        render_table(
+            ["epsilon", "runtime ms"],
+            epsilon_rows,
+            title=f"Figure 6(b): naive runtime vs epsilon (sigma=20, #series={n_series})",
+        ),
+    )
+    # Shape: larger cells are faster than the smallest.  Individual
+    # batch timings carry scheduler noise, so compare the best of the
+    # two largest-cell settings against the smallest with headroom.
+    assert min(r[1] for r in sigma_rows[-2:]) <= sigma_rows[0][1] * 1.15
+    assert min(r[1] for r in epsilon_rows[-2:]) <= epsilon_rows[0][1] * 1.15
+    return workload
+
+
+@pytest.mark.parametrize("sigma", [1, 40])
+def test_bench_sigma(benchmark, experiment, sigma):
+    workload = experiment
+    db = STS3Database(workload.database, sigma=sigma, epsilon=0.5, normalize=False)
+    query = workload.queries[0]
+    benchmark(lambda: db.query(query, k=1, method="naive"))

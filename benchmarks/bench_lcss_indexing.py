@@ -1,0 +1,83 @@
+"""Background bench: the LCSS acceleration stack of the paper's intro.
+
+"In LCSS, time series are indexed as MBRs stored in an R-tree ... the
+exact LCSS is performed only on the qualified sequences.  Thus, by
+excluding the series that cannot be in k-NN, LCSS is accelerated."
+(Section 1.)  The paper's argument is that this acceleration "depends
+on the rapid estimation of accurate distance, which is related to the
+specific data" — i.e. it helps, but not enough to close the gap to
+STS3.  This bench measures exactly that: plain LCSS scan vs FTSE vs the
+MBE/R-tree search vs STS3 on one workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import MBESearcher, knn_search, measures
+from repro.bench import Timer, render_table, scaled
+from repro.core import STS3Database
+from repro.data.workloads import ecg_workload
+
+
+@pytest.fixture(scope="module")
+def experiment(report):
+    n_series = scaled(2000, minimum=100)
+    n_queries = scaled(40, minimum=3)
+    workload = ecg_workload(n_series, n_queries, length=128, seed=16)
+
+    with Timer() as t_scan:
+        for q in workload.queries:
+            knn_search(
+                workload.database, q, measures.lcss(0.3, 0.05), k=1, early_stop=False
+            )
+    with Timer() as t_ftse:
+        for q in workload.queries:
+            knn_search(
+                workload.database, q, measures.ftse(0.3, 0.05), k=1, early_stop=False
+            )
+    mbe = MBESearcher(workload.database, delta_fraction=0.05, epsilon=0.3)
+    with Timer() as t_mbe:
+        for q in workload.queries:
+            mbe.nearest(q)
+    db = STS3Database(workload.database, sigma=3, epsilon=0.5, normalize=False)
+    db.indexed_searcher()
+    with Timer() as t_sts3:
+        for q in workload.queries:
+            db.query(q, k=1, method="index")
+
+    verified_share = mbe.stats["verified"] / (n_series * n_queries)
+    rows = [
+        ["LCSS full scan", t_scan.millis / n_queries, "-"],
+        ["FTSE evaluation", t_ftse.millis / n_queries, "-"],
+        ["MBE + R-tree", t_mbe.millis / n_queries, f"{verified_share:.2f} verified"],
+        ["STS3 (index)", t_sts3.millis / n_queries, "-"],
+    ]
+    report(
+        "lcss_indexing",
+        render_table(
+            ["method", "ms / query", "note"],
+            rows,
+            title=(
+                f"Section 1 LCSS acceleration stack "
+                f"(#series={n_series}, len=128, delta=5%, eps=0.3)"
+            ),
+        ),
+    )
+    # The paper's narrative: indexing accelerates LCSS, but STS3 stays
+    # orders of magnitude ahead.
+    assert t_mbe.seconds <= t_scan.seconds * 1.2
+    assert t_sts3.seconds < t_mbe.seconds
+    return workload, mbe, db
+
+
+def test_bench_mbe(benchmark, experiment):
+    workload, mbe, _ = experiment
+    benchmark.pedantic(
+        lambda: mbe.nearest(workload.queries[0]), rounds=3, iterations=1
+    )
+
+
+def test_bench_sts3(benchmark, experiment):
+    workload, _, db = experiment
+    benchmark(lambda: db.query(workload.queries[0], k=1, method="index"))

@@ -1,0 +1,107 @@
+"""Related-work bench: representation methods (paper Section 8.1).
+
+STS3 is itself a representation method; this bench positions it against
+the classical representation-based exact NN searches — PAA, DFT, and
+SAX-filtered Euclidean scans — on the same ECG workload.  For each
+method: per-query latency and, for the filters, the share of exact ED
+computations avoided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DFTFilter, PAAFilter, euclidean, knn_search, measures
+from repro.bench import Timer, render_table, scaled
+from repro.core import STS3Database
+from repro.data.workloads import ecg_workload
+
+
+@pytest.fixture(scope="module")
+def experiment(report):
+    n_series = scaled(10_000, minimum=300)
+    n_queries = scaled(100, minimum=10)
+    workload = ecg_workload(n_series, n_queries, length=256, seed=15)
+
+    # Plain ED scan (early abandoning).
+    with Timer() as t_ed:
+        for q in workload.queries:
+            knn_search(workload.database, q, measures.ed(), k=1)
+
+    # PAA-filtered exact ED.
+    paa = PAAFilter(workload.database, segments=16)
+    with Timer() as t_paa:
+        for q in workload.queries:
+            paa.nearest(q)
+
+    # DFT-filtered exact ED.
+    dft = DFTFilter(workload.database, n_coefficients=16)
+    with Timer() as t_dft:
+        for q in workload.queries:
+            dft.nearest(q)
+
+    # STS3 (different similarity, shown for the latency frame of
+    # reference the paper's Section 8.1 comparison implies).
+    db = STS3Database(workload.database, sigma=3, epsilon=0.5, normalize=False)
+    db.indexed_searcher()
+    with Timer() as t_sts3:
+        for q in workload.queries:
+            db.query(q, k=1, method="index")
+
+    total = n_series * n_queries
+    rows = [
+        ["ED scan (early abandon)", t_ed.millis / n_queries, "-"],
+        [
+            "PAA filter + exact ED",
+            t_paa.millis / n_queries,
+            1.0 - paa.stats["exact_computed"] / total,
+        ],
+        [
+            "DFT filter + exact ED",
+            t_dft.millis / n_queries,
+            1.0 - dft.stats["exact_computed"] / total,
+        ],
+        ["STS3 (index, Jaccard)", t_sts3.millis / n_queries, "-"],
+    ]
+    report(
+        "representations",
+        render_table(
+            ["method", "ms / query", "ED scans avoided"],
+            rows,
+            title=(
+                f"Section 8.1 representations on ECG windows "
+                f"(#series={n_series}, len=256)"
+            ),
+        ),
+    )
+    # Shape: the lower-bound filters avoid a large share of exact EDs.
+    assert paa.stats["exact_computed"] < total
+    assert dft.stats["exact_computed"] < total
+    return workload, paa, dft, db
+
+
+def test_filters_exact(experiment):
+    """PAA and DFT filtered answers equal the brute-force ED 1-NN."""
+    workload, paa, dft, _ = experiment
+    for q in workload.queries[:5]:
+        brute = min(
+            (euclidean(q, s), i) for i, s in enumerate(workload.database)
+        )
+        assert paa.nearest(q)[0] == brute[1]
+        assert dft.nearest(q)[0] == brute[1]
+
+
+def test_bench_paa(benchmark, experiment):
+    workload, paa, *_ = experiment
+    benchmark(lambda: paa.nearest(workload.queries[0]))
+
+
+def test_bench_dft(benchmark, experiment):
+    workload, _, dft, _ = experiment
+    benchmark(lambda: dft.nearest(workload.queries[0]))
+
+
+def test_bench_sts3(benchmark, experiment):
+    workload, _, _, db = experiment
+    benchmark(lambda: db.query(workload.queries[0], k=1, method="index"))

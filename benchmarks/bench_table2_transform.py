@@ -1,0 +1,75 @@
+"""Tables 1-2: set-transformation time vs query time.
+
+Paper Section 7.1: on CBF, CinC_ECG_torso (CET), and ElectricDevices
+(ED), the offline transformation of the database, the online
+transformation of the queries, and the query processing itself are
+timed separately, showing that "the transformation time of a query is
+very small compared to the query time".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Timer, render_table, repro_scale
+from repro.core import Bound, Grid, NaiveSearcher, transform, transform_query
+from repro.data.registry import paper_workload
+
+#: (dataset, paper's tuned (sigma, epsilon) from Table 1)
+CASES = [("CBF", 21, 0.18), ("CET", 76, 0.82), ("ED", 4, 0.88)]
+
+
+def _prepare(name: str, sigma: float, epsilon: float):
+    workload = paper_workload(name, scale=repro_scale(), seed=0)
+    bound = Bound.of_database(workload.database)
+    grid = Grid.from_cell_sizes(bound, sigma, epsilon)
+    return workload, grid
+
+
+@pytest.fixture(scope="module")
+def experiment(report):
+    """Run the three-phase measurement per dataset and emit Table 2."""
+    rows = []
+    prepared = {}
+    for name, sigma, epsilon in CASES:
+        workload, grid = _prepare(name, sigma, epsilon)
+        with Timer() as offline:
+            sets = [transform(s, grid) for s in workload.database]
+        with Timer() as online:
+            query_sets = [transform_query(q, grid) for q in workload.queries]
+        searcher = NaiveSearcher(sets)
+        with Timer() as querying:
+            for query_set in query_sets:
+                searcher.query(query_set, k=1)
+        rows.append([name, offline.millis, online.millis, querying.millis])
+        prepared[name] = (workload, grid, sets, query_sets, searcher)
+    report(
+        "table2_transform",
+        render_table(
+            ["Dataset", "Offline ms", "Online ms", "Query ms"],
+            rows,
+            title=f"Table 2: series transformation time (scale={repro_scale()})",
+        ),
+    )
+    return prepared
+
+
+@pytest.mark.parametrize("name", [c[0] for c in CASES])
+def test_bench_offline_transform(benchmark, experiment, name):
+    """pytest-benchmark row: database transformation throughput."""
+    workload, grid, *_ = experiment[name]
+    benchmark(lambda: [transform(s, grid) for s in workload.database])
+
+
+@pytest.mark.parametrize("name", [c[0] for c in CASES])
+def test_bench_online_transform(benchmark, experiment, name):
+    """pytest-benchmark row: query transformation (Algorithm 6 path)."""
+    workload, grid, *_ = experiment[name]
+    benchmark(lambda: [transform_query(q, grid) for q in workload.queries])
+
+
+@pytest.mark.parametrize("name", [c[0] for c in CASES])
+def test_bench_query_processing(benchmark, experiment, name):
+    """pytest-benchmark row: naive STS3 query batch."""
+    _, _, _, query_sets, searcher = experiment[name]
+    benchmark(lambda: [searcher.query(q, k=1) for q in query_sets])

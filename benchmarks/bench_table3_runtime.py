@@ -1,0 +1,113 @@
+"""Table 3: NN-query runtime — STS3 vs ED, FTSE, FastDTW, LB_improved.
+
+Paper Section 7.2.1.  Each method answers the same 1-NN query batch;
+an early-stopping strategy is used everywhere except FastDTW ("it
+cannot be stopped early").  The paper's claim to reproduce: STS3 is
+faster than FTSE, FastDTW and LB_improved by orders of magnitude and
+competitive with (sometimes faster than) ED.
+
+The DTW/LCSS-family baselines are O(n·ω) per pair, so at scale the
+batch would take hours — exactly the paper's point.  The number of
+queries given to the slow baselines is therefore capped (reported in
+the table as #q); per-query times remain directly comparable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DTWCascade, knn_search, measures, sakoe_chiba_window
+from repro.bench import Timer, render_table, repro_scale, scaled
+from repro.core import Bound, Grid, NaiveSearcher, transform, transform_query
+from repro.data.registry import paper_workload
+
+CASES = [("CBF", 21, 0.18), ("CET", 76, 0.82), ("ED", 4, 0.88)]
+
+#: max queries handed to each slow baseline (per dataset).
+SLOW_QUERY_CAP = 3
+
+
+def _per_query_ms(seconds: float, n_queries: int) -> float:
+    return seconds * 1000.0 / max(n_queries, 1)
+
+
+@pytest.fixture(scope="module")
+def experiment(report):
+    rows = []
+    prepared = {}
+    for name, sigma, epsilon in CASES:
+        workload = paper_workload(name, scale=min(repro_scale(), 0.05), seed=0)
+        grid = Grid.from_cell_sizes(Bound.of_database(workload.database), sigma, epsilon)
+        sets = [transform(s, grid) for s in workload.database]
+        searcher = NaiveSearcher(sets)
+        queries = workload.queries
+        slow_queries = queries[:SLOW_QUERY_CAP]
+        window = sakoe_chiba_window(workload.length, 0.1)
+
+        with Timer() as t_sts3:
+            for q in queries:
+                searcher.query(transform_query(q, grid), k=1)
+        with Timer() as t_ed:
+            for q in queries:
+                knn_search(workload.database, q, measures.ed(), k=1)
+        with Timer() as t_ftse:
+            for q in slow_queries:
+                knn_search(workload.database, q, measures.ftse(0.5, 0.1), k=1)
+        with Timer() as t_fast:
+            for q in slow_queries:
+                knn_search(
+                    workload.database, q, measures.fast_dtw(0), k=1, early_stop=False
+                )
+        cascade = DTWCascade(workload.database, window=window)
+        with Timer() as t_lb:
+            for q in slow_queries:
+                cascade.nearest(q)
+
+        rows.append(
+            [
+                name,
+                len(queries),
+                _per_query_ms(t_sts3.seconds, len(queries)),
+                _per_query_ms(t_ed.seconds, len(queries)),
+                _per_query_ms(t_ftse.seconds, len(slow_queries)),
+                _per_query_ms(t_fast.seconds, len(slow_queries)),
+                _per_query_ms(t_lb.seconds, len(slow_queries)),
+            ]
+        )
+        prepared[name] = (workload, grid, sets, searcher)
+    report(
+        "table3_runtime",
+        render_table(
+            ["Dataset", "#q", "STS3", "ED", "FTSE", "FastDTW", "LB_improved"],
+            rows,
+            title=(
+                "Table 3: per-query runtime in ms "
+                f"(scale<=0.05, slow baselines capped at {SLOW_QUERY_CAP} queries)"
+            ),
+        ),
+    )
+    return prepared
+
+
+@pytest.mark.parametrize("name", [c[0] for c in CASES])
+def test_bench_sts3(benchmark, experiment, name):
+    workload, grid, _, searcher = experiment[name]
+    query = workload.queries[0]
+    benchmark(lambda: searcher.query(transform_query(query, grid), k=1))
+
+
+@pytest.mark.parametrize("name", [c[0] for c in CASES])
+def test_bench_ed(benchmark, experiment, name):
+    workload, *_ = experiment[name]
+    query = workload.queries[0]
+    benchmark(lambda: knn_search(workload.database, query, measures.ed(), k=1))
+
+
+@pytest.mark.parametrize("name", ["CBF"])
+def test_bench_lb_improved(benchmark, experiment, name):
+    """One slow-family representative kept under pytest-benchmark."""
+    workload, *_ = experiment[name]
+    window = sakoe_chiba_window(workload.length, 0.1)
+    cascade = DTWCascade(workload.database, window=window)
+    query = workload.queries[0]
+    benchmark.pedantic(lambda: cascade.nearest(query), rounds=3, iterations=1)

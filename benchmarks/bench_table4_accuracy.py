@@ -1,0 +1,100 @@
+"""Tables 4 and 8: 1-NN classification error — ED vs DTW vs STS3.
+
+Paper Section 7.2.2.  For each dataset the σ/ε of STS3 are tuned on a
+class-balanced half-split of TRAIN (Table 5 grid, subsampled), then the
+error rate on TEST is reported.  The "fixed-workload" columns
+(DTWfixed / STS3fixed) tune on TRAIN+TEST directly, reproducing the
+paper's second protocol ("the error rate when the TRAIN and TEST
+datasets are both used to train parameters").
+
+Shape to reproduce (not absolute numbers — the datasets are synthetic
+stand-ins): STS3 ≈ ED overall; STS3 wins on the suitable scenarios
+(Device / Shapes); DTW wins on the noisy scenario; everyone struggles
+on TwoClose.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import error_rate, measures, sakoe_chiba_window
+from repro.bench import render_table, repro_scale
+from repro.core.tuning import sts3_error_rate, tune_sigma_epsilon
+from repro.data.registry import load_dataset
+from repro.types import LabeledDataset
+
+DATASETS = ["CBF", "Device", "Shapes", "Noisy", "TwoClose"]
+
+SIGMA_GRID = {  # coarse per-length grids (Table 5 subsample)
+    "CBF": [1, 4, 10, 21, 38],
+    "Device": [2, 8, 24, 72, 180],
+    "Shapes": [2, 6, 16, 50, 150],
+    "Noisy": [2, 8, 32, 128, 300],
+    "TwoClose": [2, 16, 64, 256, 700],
+}
+EPSILON_GRID = [0.05, 0.1, 0.2, 0.4, 0.7, 1.0]
+
+
+def _merged(train: LabeledDataset, test: LabeledDataset) -> LabeledDataset:
+    return LabeledDataset(
+        series=list(train.series) + list(test.series),
+        labels=list(train.labels) + list(test.labels),
+        name=train.name,
+    )
+
+
+@pytest.fixture(scope="module")
+def experiment(report):
+    scale = min(repro_scale(), 0.2)
+    # DTW is O(n·ω) per pair; cap the TEST subset every measure is
+    # scored on so the slow measures finish (all measures share the
+    # same subset, keeping the comparison fair).
+    test_cap = max(10, round(200 * scale))
+    rows = []
+    prepared = {}
+    for name in DATASETS:
+        ds = load_dataset(name, scale=scale, seed=0)
+        test = ds.test.subset(range(min(len(ds.test), test_cap)))
+        window = sakoe_chiba_window(ds.length, 0.1)
+        ed_err = error_rate(ds.train, test, measures.ed())
+        dtw_err = error_rate(ds.train, test, measures.dtw(window=window))
+        tuned = tune_sigma_epsilon(
+            ds.train, sigma_grid=SIGMA_GRID[name], epsilon_grid=EPSILON_GRID
+        )
+        sts3_err = sts3_error_rate(ds.train, test, tuned.sigma, tuned.epsilon)
+        # Fixed-workload protocol: tune on everything, test on TEST.
+        merged = _merged(ds.train, ds.test)
+        fixed = tune_sigma_epsilon(
+            merged, sigma_grid=SIGMA_GRID[name], epsilon_grid=EPSILON_GRID
+        )
+        sts3_fixed = sts3_error_rate(merged, test, fixed.sigma, fixed.epsilon)
+        rows.append([name, ed_err, dtw_err, sts3_err, tuned.error, sts3_fixed])
+        prepared[name] = (ds, test, tuned)
+    report(
+        "table4_accuracy",
+        render_table(
+            ["Dataset", "ED", "DTW", "STS3", "tSTS3", "STS3fixed"],
+            rows,
+            title=f"Table 4/8: 1-NN error rates (scale={scale})",
+        ),
+    )
+    return prepared
+
+
+def test_suitable_scenario_shape(experiment, report):
+    """STS3 should beat or match ED on the device scenario (Table 4)."""
+    ds, test, tuned = experiment["Device"]
+    sts3_err = sts3_error_rate(ds.train, test, tuned.sigma, tuned.epsilon)
+    ed_err = error_rate(ds.train, test, measures.ed())
+    assert sts3_err <= ed_err + 0.1
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_bench_sts3_classification(benchmark, experiment, name):
+    """pytest-benchmark row: tuned-STS3 TEST classification."""
+    ds, test, tuned = experiment[name]
+    benchmark.pedantic(
+        lambda: sts3_error_rate(ds.train, test, tuned.sigma, tuned.epsilon),
+        rounds=1,
+        iterations=1,
+    )

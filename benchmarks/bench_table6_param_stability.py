@@ -1,0 +1,68 @@
+"""Table 6: best scale / maxScale stability across query counts.
+
+Paper Section 7.4.1: "the parameter leading to maximal efficiency is
+relatively stable and robust for #query", which justifies tuning
+``scale`` and ``maxScale`` on a small sample of queries.  We sweep the
+query count, pick the best parameter per count, and report the spread.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import render_table, scaled
+from repro.core import STS3Database, tune_max_scale, tune_scale
+from repro.data.workloads import ecg_workload
+
+QUERY_COUNTS_PAPER = [1000, 2000, 4000, 8000]
+SCALE_CANDIDATES = [5, 10, 20, 30]
+MAX_SCALE_CANDIDATES = [2, 3, 4, 5, 6, 7]
+
+
+@pytest.fixture(scope="module")
+def experiment(report):
+    n_series = scaled(20_000, minimum=200)
+    counts = [scaled(c, minimum=5) for c in QUERY_COUNTS_PAPER]
+    workload = ecg_workload(n_series, max(counts), length=500, seed=6)
+    db = STS3Database(workload.database, sigma=3, epsilon=0.58, normalize=False)
+
+    rows = []
+    best_scales = []
+    best_max_scales = []
+    for count in counts:
+        queries = workload.queries[:count]
+        scale_result = tune_scale(db, queries, scales=SCALE_CANDIDATES)
+        max_scale_result = tune_max_scale(
+            db, queries, max_scales=MAX_SCALE_CANDIDATES
+        )
+        rows.append(
+            [
+                count,
+                scale_result.best,
+                scale_result.speedup,
+                max_scale_result.best,
+                max_scale_result.speedup,
+            ]
+        )
+        best_scales.append(scale_result.best)
+        best_max_scales.append(max_scale_result.best)
+    report(
+        "table6_param_stability",
+        render_table(
+            ["#query", "best scale", "speed-up", "best maxScale", "speed-up"],
+            rows,
+            title=f"Table 6: parameter stability vs #query (#series={n_series})",
+        ),
+    )
+    # Stability claim: the winning parameters span a narrow band.
+    assert max(best_max_scales) - min(best_max_scales) <= 5
+    return db, workload
+
+
+def test_bench_tune_scale(benchmark, experiment):
+    db, workload = experiment
+    benchmark.pedantic(
+        lambda: tune_scale(db, workload.queries[:5], scales=[5, 20]),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  Workload
+sizes scale with ``$REPRO_SCALE`` (default 0.05 — see
+:mod:`repro.bench.runner`); ``REPRO_SCALE=1`` reproduces paper-size
+workloads.  Each module writes its paper-style text table through the
+``report`` fixture, which prints it and archives it under
+``benchmarks/results/`` so ``bench_output.txt`` plus that directory
+together hold the full reproduction record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable ``report(name, text)``: print + archive a result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report

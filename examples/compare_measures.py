@@ -1,0 +1,81 @@
+"""Side-by-side comparison of every similarity measure in the library.
+
+One dataset, nine measures: 1-NN classification error and per-query
+latency for ED, DTW (dependent band), FastDTW, LCSS, FTSE-LCSS, EDR,
+ERP, PAA-filtered ED, and tuned STS3.  A compact way to see the
+efficiency/effectiveness landscape the paper positions STS3 inside.
+
+Run with::
+
+    python examples/compare_measures.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines import (
+    PAAFilter,
+    error_rate,
+    knn_search,
+    measures,
+    sakoe_chiba_window,
+)
+from repro.baselines.edr import edr_distance
+from repro.baselines.erp import erp_distance
+from repro.core.tuning import sts3_error_rate, tune_sigma_epsilon
+from repro.data.ucr_like import cbf
+
+
+def timed_error(train, test, measure) -> tuple[float, float]:
+    start = time.perf_counter()
+    err = error_rate(train, test, measure)
+    per_query = (time.perf_counter() - start) * 1000 / len(test)
+    return err, per_query
+
+
+def main() -> None:
+    ds = cbf(n_train_per_class=15, n_test_per_class=15, seed=5)
+    print(f"{ds.describe()}\n")
+    window = sakoe_chiba_window(ds.length, 0.1)
+
+    rows: list[tuple[str, float, float]] = []
+    rows.append(("ED", *timed_error(ds.train, ds.test, measures.ed())))
+    rows.append(("DTW (10% band)", *timed_error(ds.train, ds.test, measures.dtw(window=window))))
+    rows.append(("FastDTW (r=0)", *timed_error(ds.train, ds.test, measures.fast_dtw(0))))
+    rows.append(("LCSS", *timed_error(ds.train, ds.test, measures.lcss(0.5, 0.1))))
+    rows.append(("FTSE-LCSS", *timed_error(ds.train, ds.test, measures.ftse(0.5, 0.1))))
+    rows.append(
+        ("EDR", *timed_error(ds.train, ds.test, lambda a, b, c: edr_distance(a, b, 0.25)))
+    )
+    rows.append(
+        ("ERP", *timed_error(ds.train, ds.test, lambda a, b, c: erp_distance(a, b)))
+    )
+
+    # PAA-filtered exact ED (same answers as ED, different engine).
+    paa = PAAFilter(list(ds.train.series), segments=16)
+    start = time.perf_counter()
+    wrong = sum(
+        1
+        for series, label in ds.test
+        if int(ds.train.labels[paa.nearest(series)[0]]) != label
+    )
+    paa_ms = (time.perf_counter() - start) * 1000 / len(ds.test)
+    rows.append(("PAA-filtered ED", wrong / len(ds.test), paa_ms))
+
+    # Tuned STS3.
+    tuned = tune_sigma_epsilon(
+        ds.train, sigma_grid=[2, 6, 16, 30], epsilon_grid=[0.1, 0.3, 0.7]
+    )
+    start = time.perf_counter()
+    sts3_err = sts3_error_rate(ds.train, ds.test, tuned.sigma, tuned.epsilon)
+    sts3_ms = (time.perf_counter() - start) * 1000 / len(ds.test)
+    rows.append((f"STS3 (s={tuned.sigma}, e={tuned.epsilon})", sts3_err, sts3_ms))
+
+    print(f"{'measure':<24} {'error':>7}  {'ms/query':>9}")
+    for name, err, ms in rows:
+        print(f"{name:<24} {err:>7.3f}  {ms:>9.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Electricity-device classification — the paper's suitable scenario.
+
+Section 6.2: when "time series have a large global shift in the t-axis,
+only a few points have different values, and the values of other points
+are equal" — electricity-usage profiles of household devices [21] —
+long, narrow grid cells let STS3 absorb the shift while the few active
+points still separate the classes.  The paper's Table 4 shows STS3
+beating both ED and DTW on Computers / RefrigerationDevices /
+ScreenType.
+
+This example reproduces that comparison on the synthetic device-profile
+family, including the σ/ε grid search of Section 6.3.
+
+Run with::
+
+    python examples/device_classification.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import error_rate, measures, sakoe_chiba_window
+from repro.core.tuning import sts3_error_rate, tune_sigma_epsilon
+from repro.data.ucr_like import device_profiles
+
+
+def main() -> None:
+    ds = device_profiles(
+        n_classes=3,
+        n_train_per_class=25,
+        n_test_per_class=25,
+        length=360,
+        seed=3,
+        shift_fraction=0.3,
+        noise_std=0.05,
+    )
+    print(ds.describe(), "\n")
+
+    # Baselines.
+    window = sakoe_chiba_window(ds.length, 0.1)
+    ed_err = error_rate(ds.train, ds.test, measures.ed())
+    dtw_err = error_rate(ds.train, ds.test, measures.dtw(window=window))
+
+    # STS3 with tuned cells.  Long cells (large sigma) tolerate the
+    # global shift; a moderate epsilon keeps the burst levels apart.
+    tuned = tune_sigma_epsilon(
+        ds.train,
+        sigma_grid=[4, 12, 36, 72, 108],
+        epsilon_grid=[0.1, 0.3, 0.6, 1.0],
+    )
+    sts3_err = sts3_error_rate(ds.train, ds.test, tuned.sigma, tuned.epsilon)
+
+    print(f"tuned parameters: sigma={tuned.sigma} (samples), epsilon={tuned.epsilon}")
+    print(f"validation error during tuning: {tuned.error:.3f}\n")
+    print(f"{'measure':>8}  error rate")
+    print(f"{'ED':>8}  {ed_err:.3f}")
+    print(f"{'DTW':>8}  {dtw_err:.3f}")
+    print(f"{'STS3':>8}  {sts3_err:.3f}")
+
+    if sts3_err <= min(ed_err, dtw_err):
+        print("\nSTS3 wins on this workload — the paper's suitable scenario.")
+    else:
+        print("\nSTS3 did not win this draw; rerun with more training data.")
+
+
+if __name__ == "__main__":
+    main()

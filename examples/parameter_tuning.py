@@ -1,0 +1,71 @@
+"""Parameter determination walk-through (Section 6.3).
+
+Shows how the three STS3 knobs are chosen from data:
+
+1. σ and ε — grid search on a class-balanced half-split of TRAIN,
+   scored by 1-NN error (Table 5 ranges, subsampled).
+2. ``scale`` for the pruning-based variant — pick the value with the
+   best measured speed-up on a handful of sample queries.
+3. ``maxScale`` for the approximate variant — same, with the error/
+   speed trade-off printed alongside.
+
+Run with::
+
+    python examples/parameter_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import STS3Database, tune_max_scale, tune_scale, tune_sigma_epsilon
+from repro.core.tuning import sts3_error_rate
+from repro.data import ecg_stream, make_workload
+from repro.data.ucr_like import smooth_outlines
+
+
+def tune_cells() -> None:
+    print("=== 1. cell sizes (sigma, epsilon) ===")
+    ds = smooth_outlines(
+        n_classes=4, n_train_per_class=12, n_test_per_class=12, length=128, seed=1
+    )
+    result = tune_sigma_epsilon(
+        ds.train,
+        sigma_grid=[1, 2, 4, 8, 16, 32],
+        epsilon_grid=[0.05, 0.1, 0.2, 0.4, 0.8],
+    )
+    print(f"best: sigma={result.sigma}, epsilon={result.epsilon} "
+          f"(validation error {result.error:.3f})")
+    test_error = sts3_error_rate(ds.train, ds.test, result.sigma, result.epsilon)
+    print(f"TEST error with tuned parameters: {test_error:.3f}")
+
+    print("\nerror as sigma varies (epsilon fixed at the optimum):")
+    for sigma, error in result.error_curve("sigma"):
+        bar = "#" * int(error * 40)
+        print(f"  sigma={sigma:>3}: {error:.3f} {bar}")
+
+
+def tune_scales() -> None:
+    print("\n=== 2. pruning scale and approximate maxScale ===")
+    stream = ecg_stream(320 * 256, seed=2)
+    workload = make_workload(stream, n_series=300, n_queries=10, length=256)
+    db = STS3Database(workload.database, sigma=3, epsilon=0.5)
+
+    scale_result = tune_scale(db, workload.queries, scales=[2, 5, 10, 20, 40])
+    print("pruning scale  -> speed-up over naive")
+    for scale, speedup in sorted(scale_result.curve.items()):
+        print(f"  scale={scale:>3}: {speedup:.2f}x")
+    print(f"chosen scale: {scale_result.best}")
+
+    max_scale_result = tune_max_scale(db, workload.queries, max_scales=[2, 3, 4, 5])
+    print("\napproximate maxScale -> speed-up over naive")
+    for max_scale, speedup in sorted(max_scale_result.curve.items()):
+        print(f"  maxScale={max_scale}: {speedup:.2f}x")
+    print(f"chosen maxScale: {max_scale_result.best}")
+
+
+def main() -> None:
+    tune_cells()
+    tune_scales()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Baselines the paper compares against (Section 7.2).
+
+Euclidean distance, DTW (full / banded, plus the LB_Keogh /
+LB_Improved cascade), FastDTW, LCSS, and the FTSE-style accelerated
+LCSS evaluation — all exact reimplementations (FastDTW is approximate
+by design), pluggable into the shared k-NN scan of
+:mod:`repro.baselines.knn`.
+"""
+
+from .dtw import dtw, dtw_independent, dtw_with_path, sakoe_chiba_window
+from .ed import euclidean, euclidean_early_abandon, squared_euclidean
+from .edr import edr_distance, edr_similarity
+from .erp import erp_distance
+from .fastdtw import coarsen, expand_window, fastdtw
+from .ftse import (
+    ftse_lcss_distance,
+    ftse_lcss_length,
+    ftse_lcss_similarity,
+    match_lists,
+)
+from .knn import Measure, error_rate, knn_classify, knn_search, measures, nn_classify
+from .lb import DTWCascade, envelope, lb_improved, lb_keogh
+from .lcss import lcss_distance, lcss_length, lcss_similarity
+from .mbe import MBESearcher, query_mbe_rects, series_mbrs
+from .rtree import Rect, RTree
+from .paa import PAAFilter, paa_distance, paa_transform
+from .sax import gaussian_breakpoints, sax_mindist, sax_transform
+from .spectral import DFTFilter, dft_distance, dft_features
+
+__all__ = [
+    "DFTFilter",
+    "DTWCascade",
+    "MBESearcher",
+    "Measure",
+    "PAAFilter",
+    "RTree",
+    "Rect",
+    "coarsen",
+    "dft_distance",
+    "dft_features",
+    "dtw",
+    "dtw_independent",
+    "dtw_with_path",
+    "edr_distance",
+    "edr_similarity",
+    "envelope",
+    "erp_distance",
+    "error_rate",
+    "euclidean",
+    "euclidean_early_abandon",
+    "expand_window",
+    "fastdtw",
+    "gaussian_breakpoints",
+    "knn_classify",
+    "ftse_lcss_distance",
+    "ftse_lcss_length",
+    "ftse_lcss_similarity",
+    "knn_search",
+    "lb_improved",
+    "lb_keogh",
+    "lcss_distance",
+    "lcss_length",
+    "lcss_similarity",
+    "match_lists",
+    "measures",
+    "nn_classify",
+    "paa_distance",
+    "paa_transform",
+    "query_mbe_rects",
+    "sakoe_chiba_window",
+    "series_mbrs",
+    "sax_mindist",
+    "sax_transform",
+    "squared_euclidean",
+]

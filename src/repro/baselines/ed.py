@@ -1,0 +1,59 @@
+"""Euclidean distance (ED) — the fastest classical baseline.
+
+ED compares equal-length series position by position.  The k-NN scan
+uses *early abandoning* (the paper's "early-stopping strategy"): the
+running partial sum of squares is compared against the best-so-far
+distance and the computation stops as soon as it is exceeded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = ["euclidean", "squared_euclidean", "euclidean_early_abandon"]
+
+
+def _check_equal_length(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ParameterError(
+            f"ED requires equal shapes, got {a.shape} vs {b.shape}"
+        )
+
+
+def squared_euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Sum of squared point-wise differences."""
+    _check_equal_length(a, b)
+    diff = a - b
+    return float(np.dot(diff.ravel(), diff.ravel()))
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between equal-length series."""
+    return float(np.sqrt(squared_euclidean(a, b)))
+
+
+def euclidean_early_abandon(
+    a: np.ndarray, b: np.ndarray, cutoff: float, block: int = 64
+) -> float:
+    """ED with early abandoning against ``cutoff``.
+
+    Accumulates squared differences in blocks; once the partial sum
+    exceeds ``cutoff**2`` the true distance cannot beat ``cutoff`` and
+    ``inf`` is returned.  Block accumulation keeps the inner work
+    vectorized while still abandoning early on clear non-matches.
+    """
+    _check_equal_length(a, b)
+    if cutoff == float("inf"):
+        return euclidean(a, b)
+    limit = cutoff * cutoff
+    total = 0.0
+    flat_a = a.ravel()
+    flat_b = b.ravel()
+    for start in range(0, len(flat_a), block):
+        chunk = flat_a[start : start + block] - flat_b[start : start + block]
+        total += float(np.dot(chunk, chunk))
+        if total > limit:
+            return float("inf")
+    return float(np.sqrt(total))

@@ -1,0 +1,99 @@
+"""Edit Distance on Real sequence (EDR) — Chen, Özsu & Oria, SIGMOD 2005.
+
+EDR treats a time series as a string: two points "match" when every
+coordinate differs by at most ``epsilon``; a non-match, insertion, or
+deletion each costs 1.  Unlike LCSS it penalizes gaps, and unlike ERP
+it is not a metric (the triangle inequality can fail), but it is robust
+to noise because any within-ε pair costs the same zero.
+
+Cited by the paper's related work (Section 8.2, [9]) as one of the
+string-inspired measures STS3 competes with; included so the baseline
+suite covers that family completely.  Anti-diagonal vectorized like the
+other dynamic programs in this package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = ["edr_distance", "edr_similarity"]
+
+
+def edr_distance(
+    a: np.ndarray,
+    b: np.ndarray,
+    epsilon: float,
+) -> int:
+    """EDR edit cost between ``a`` and ``b`` (integer ≥ 0).
+
+    Recurrence (1-based prefixes, boundary ``D[i,0]=i``, ``D[0,j]=j``)::
+
+        D[i,j] = min(D[i-1,j-1] + subcost, D[i-1,j] + 1, D[i,j-1] + 1)
+
+    with ``subcost = 0`` if the points match within ``epsilon`` else 1.
+    """
+    if epsilon < 0:
+        raise ParameterError(f"epsilon must be >= 0, got {epsilon}")
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return max(n, m)
+
+    big = n + m + 1  # effectively +inf for this DP
+    # prev1[i] = D value of cell (i, d-1-i); prev2[i] = (i, d-2-i);
+    # cells are 1-based prefix pairs; boundaries handled explicitly.
+    prev1 = np.full(n + 1, big, dtype=np.int64)
+    prev2 = np.full(n + 1, big, dtype=np.int64)
+    prev1[0] = 0  # D[0,0] on diagonal 0... replaced below per diagonal
+    indices = np.arange(n + 1)
+
+    def boundary(i: int, j: int) -> int:
+        if i == 0:
+            return j
+        if j == 0:
+            return i
+        return big
+
+    for d in range(1, n + m + 1):
+        cur = np.full(n + 1, big, dtype=np.int64)
+        i_lo = max(0, d - m)
+        i_hi = min(n, d)
+        ivals = indices[i_lo : i_hi + 1]
+        jvals = d - ivals
+        inner = (ivals >= 1) & (jvals >= 1)
+        # boundary cells of this diagonal
+        if i_lo == 0:
+            cur[0] = d  # D[0, d] = d
+        if d <= n:
+            cur[d] = d  # D[d, 0] = d
+        if inner.any():
+            iv = ivals[inner]
+            jv = jvals[inner]
+            if a.ndim == 1:
+                match = np.abs(a[iv - 1] - b[jv - 1]) <= epsilon
+            else:
+                match = np.all(np.abs(a[iv - 1] - b[jv - 1]) <= epsilon, axis=1)
+            subcost = (~match).astype(np.int64)
+            diag = prev2[iv - 1]
+            up = prev1[iv - 1]
+            left = prev1[iv]
+            # prev arrays hold interior values; patch boundary reads
+            diag = np.where(jv - 1 == 0, iv - 1, diag)
+            diag = np.where(iv - 1 == 0, jv - 1, diag)
+            up = np.where(jv == 0, iv - 1, up)
+            up = np.where(iv - 1 == 0, jv, up)
+            left = np.where(jv - 1 == 0, iv, left)
+            cur[iv] = np.minimum(diag + subcost, np.minimum(up, left) + 1)
+        prev2, prev1 = prev1, cur
+    return int(prev1[n])
+
+
+def edr_similarity(a: np.ndarray, b: np.ndarray, epsilon: float) -> float:
+    """``1 − EDR / max(|a|, |b|)`` ∈ [0, 1]; higher is more similar."""
+    n, m = len(a), len(b)
+    if max(n, m) == 0:
+        return 1.0
+    return 1.0 - edr_distance(a, b, epsilon) / max(n, m)

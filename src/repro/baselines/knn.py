@@ -1,0 +1,166 @@
+"""Generic distance-based k-NN search and 1-NN classification.
+
+All baseline measures plug into the same scan: a *measure* is a
+callable ``measure(a, b, cutoff) -> float`` returning a distance, where
+implementations may use ``cutoff`` for early abandoning (returning any
+value > cutoff, conventionally ``inf``, when the true distance provably
+exceeds it) or ignore it.  Adapters for every baseline are provided so
+benchmarks and examples can write ``measures.dtw(window=10)``.
+
+The classifier implements the paper's accuracy protocol (Section
+7.2.2): each TEST series takes the label of its nearest TRAIN series,
+and the error rate is the fraction misclassified.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..exceptions import EmptyDatabaseError, ParameterError
+from ..types import LabeledDataset
+from .dtw import dtw
+from .ed import euclidean_early_abandon
+from .fastdtw import fastdtw
+from .ftse import ftse_lcss_distance
+from .lcss import lcss_distance
+
+__all__ = [
+    "Measure",
+    "measures",
+    "knn_search",
+    "nn_classify",
+    "knn_classify",
+    "error_rate",
+]
+
+
+class Measure(Protocol):
+    """Distance with optional early abandoning against ``cutoff``."""
+
+    def __call__(self, a: np.ndarray, b: np.ndarray, cutoff: float) -> float: ...
+
+
+class measures:
+    """Factory namespace for the baseline measures the paper compares."""
+
+    @staticmethod
+    def ed() -> Measure:
+        """Euclidean distance with early abandoning."""
+        return lambda a, b, cutoff: euclidean_early_abandon(a, b, cutoff)
+
+    @staticmethod
+    def dtw(window: int | None = None) -> Measure:
+        """(Banded) DTW with early abandoning."""
+        return lambda a, b, cutoff: dtw(a, b, window=window, cutoff=cutoff)
+
+    @staticmethod
+    def fast_dtw(radius: int = 0) -> Measure:
+        """FastDTW; cannot abandon early (multi-level filtering)."""
+        return lambda a, b, cutoff: fastdtw(a, b, radius=radius)[0]
+
+    @staticmethod
+    def lcss(epsilon: float = 0.5, delta_fraction: float = 0.1) -> Measure:
+        """LCSS distance; warping window as a fraction of the length."""
+
+        def measure(a: np.ndarray, b: np.ndarray, cutoff: float) -> float:
+            delta = max(1, int(round(delta_fraction * min(len(a), len(b)))))
+            return lcss_distance(a, b, epsilon, delta)
+
+        return measure
+
+    @staticmethod
+    def ftse(epsilon: float = 0.5, delta_fraction: float = 0.1) -> Measure:
+        """LCSS distance via the FTSE grid evaluation."""
+
+        def measure(a: np.ndarray, b: np.ndarray, cutoff: float) -> float:
+            delta = max(1, int(round(delta_fraction * min(len(a), len(b)))))
+            return ftse_lcss_distance(a, b, epsilon, delta)
+
+        return measure
+
+
+def knn_search(
+    database: list[np.ndarray],
+    query: np.ndarray,
+    measure: Measure,
+    k: int = 1,
+    early_stop: bool = True,
+) -> list[tuple[int, float]]:
+    """Exact k-NN scan; returns ``(index, distance)`` best-first.
+
+    With ``early_stop`` the current k-th best distance is passed as the
+    measure's cutoff (the paper's early-stopping strategy; disabled for
+    FastDTW in the benchmarks since it "cannot be stopped early").
+    """
+    if not database:
+        raise EmptyDatabaseError("cannot search an empty database")
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    k = min(k, len(database))
+    # Max-heap of (-distance, -index): top is the worst of the k best.
+    heap: list[tuple[float, int]] = []
+    for index, candidate in enumerate(database):
+        cutoff = -heap[0][0] if early_stop and len(heap) >= k else float("inf")
+        distance = measure(query, candidate, cutoff)
+        if len(heap) < k:
+            heapq.heappush(heap, (-distance, -index))
+        elif distance < -heap[0][0]:
+            heapq.heapreplace(heap, (-distance, -index))
+    ordered = sorted(((-d, -i) for d, i in heap), key=lambda t: (t[0], t[1]))
+    return [(i, d) for d, i in ordered]
+
+
+def nn_classify(
+    train: LabeledDataset,
+    query: np.ndarray,
+    measure: Measure,
+    early_stop: bool = True,
+) -> int:
+    """Predicted label of ``query``: the label of its 1-NN in ``train``."""
+    (index, _distance), = knn_search(
+        list(train.series), query, measure, k=1, early_stop=early_stop
+    )
+    return int(train.labels[index])
+
+
+def knn_classify(
+    train: LabeledDataset,
+    query: np.ndarray,
+    measure: Measure,
+    k: int = 3,
+    early_stop: bool = True,
+) -> int:
+    """Majority vote over the ``k`` nearest training series.
+
+    Ties are broken toward the label whose closest supporting
+    neighbour is nearest (the usual distance-weighted tie-break),
+    which also makes ``k=1`` coincide with :func:`nn_classify`.
+    """
+    neighbors = knn_search(
+        list(train.series), query, measure, k=k, early_stop=early_stop
+    )
+    votes: dict[int, int] = {}
+    closest: dict[int, float] = {}
+    for index, distance in neighbors:
+        label = int(train.labels[index])
+        votes[label] = votes.get(label, 0) + 1
+        closest.setdefault(label, distance)
+    return max(votes, key=lambda label: (votes[label], -closest[label]))
+
+
+def error_rate(
+    train: LabeledDataset,
+    test: LabeledDataset,
+    measure: Measure,
+    early_stop: bool = True,
+) -> float:
+    """1-NN classification error rate of ``measure`` (Section 7.2.2)."""
+    wrong = sum(
+        1
+        for series, label in test
+        if nn_classify(train, series, measure, early_stop) != label
+    )
+    return wrong / len(test)

@@ -1,0 +1,131 @@
+"""Lower bounds for banded DTW: LB_Keogh and LB_Improved (Lemire).
+
+LB_Keogh wraps one series in its warping envelope — ``U[i]`` / ``L[i]``
+are the max/min over ``b[i-w .. i+w]`` — and charges the other series
+only where it escapes the envelope.  LB_Improved [Lemire 2009, the
+paper's "LB_improved low boundary"] adds a second pass: project the
+query onto the envelope, wrap the *projection* in its own envelope, and
+charge the candidate's escapes from that.  Both are admissible
+(never exceed the banded DTW distance), so a cascade of
+
+    LB_Keogh → LB_Improved → exact DTW with early abandoning
+
+returns exact nearest neighbours while computing full DTW only for the
+candidates that survive both bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .dtw import dtw
+
+__all__ = ["envelope", "lb_keogh", "lb_improved", "DTWCascade"]
+
+
+def envelope(series: np.ndarray, window: int) -> tuple[np.ndarray, np.ndarray]:
+    """Warping envelope ``(lower, upper)`` for band half-width ``window``.
+
+    ``upper[i] = max(series[i-w .. i+w])`` and symmetrically for
+    ``lower``; computed with a sliding-window view, O(n·w) worst case
+    but fully vectorized.
+    """
+    if series.ndim != 1:
+        raise ParameterError("envelopes are defined for 1-D series")
+    if window < 0:
+        raise ParameterError(f"window must be >= 0, got {window}")
+    n = len(series)
+    if window == 0:
+        return series.copy(), series.copy()
+    size = 2 * window + 1
+    padded_max = np.concatenate(
+        (np.full(window, -np.inf), series, np.full(window, -np.inf))
+    )
+    padded_min = np.concatenate(
+        (np.full(window, np.inf), series, np.full(window, np.inf))
+    )
+    windows_max = np.lib.stride_tricks.sliding_window_view(padded_max, size)[:n]
+    windows_min = np.lib.stride_tricks.sliding_window_view(padded_min, size)[:n]
+    return windows_min.min(axis=1), windows_max.max(axis=1)
+
+
+def _escape_cost_sq(series: np.ndarray, lower: np.ndarray, upper: np.ndarray) -> float:
+    """Summed squared distance from ``series`` to the envelope band."""
+    above = np.maximum(series - upper, 0.0)
+    below = np.maximum(lower - series, 0.0)
+    return float(np.dot(above, above) + np.dot(below, below))
+
+
+def lb_keogh(
+    query: np.ndarray,
+    candidate_envelope: tuple[np.ndarray, np.ndarray],
+) -> float:
+    """LB_Keogh(query, candidate) from the candidate's envelope."""
+    lower, upper = candidate_envelope
+    if len(query) != len(lower):
+        raise ParameterError("LB_Keogh requires equal-length series")
+    return float(np.sqrt(_escape_cost_sq(query, lower, upper)))
+
+
+def lb_improved(
+    query: np.ndarray,
+    candidate: np.ndarray,
+    candidate_envelope: tuple[np.ndarray, np.ndarray],
+    window: int,
+) -> float:
+    """LB_Improved(query, candidate): LB_Keogh plus the projection term.
+
+    The projection clamps the query into the candidate's envelope; the
+    candidate's escapes from the *projection's* envelope are warping
+    cost no path can avoid either, and the two terms add (Lemire 2009,
+    Theorem 2).
+    """
+    lower, upper = candidate_envelope
+    if len(query) != len(candidate):
+        raise ParameterError("LB_Improved requires equal-length series")
+    first = _escape_cost_sq(query, lower, upper)
+    projection = np.clip(query, lower, upper)
+    proj_lower, proj_upper = envelope(projection, window)
+    second = _escape_cost_sq(candidate, proj_lower, proj_upper)
+    return float(np.sqrt(first + second))
+
+
+class DTWCascade:
+    """Exact banded-DTW NN search with the LB cascade of Section 7.2.1.
+
+    Candidate envelopes are precomputed once (they depend only on the
+    database); each query then runs LB_Keogh → LB_Improved → exact DTW
+    with the best-so-far distance as the abandoning cutoff.
+    """
+
+    def __init__(self, database: list[np.ndarray], window: int):
+        if not database:
+            raise ParameterError("cannot search an empty database")
+        if window < 0:
+            raise ParameterError(f"window must be >= 0, got {window}")
+        self.database = database
+        self.window = window
+        self.envelopes = [envelope(s, window) for s in database]
+        #: counters for the pruning-power experiments
+        self.stats = {"lb_keogh_pruned": 0, "lb_improved_pruned": 0, "dtw_computed": 0}
+
+    def nearest(self, query: np.ndarray) -> tuple[int, float]:
+        """Index and DTW distance of the nearest database series."""
+        best_index = -1
+        best_distance = np.inf
+        for index, candidate in enumerate(self.database):
+            bound = lb_keogh(query, self.envelopes[index])
+            if bound >= best_distance:
+                self.stats["lb_keogh_pruned"] += 1
+                continue
+            bound = lb_improved(query, candidate, self.envelopes[index], self.window)
+            if bound >= best_distance:
+                self.stats["lb_improved_pruned"] += 1
+                continue
+            self.stats["dtw_computed"] += 1
+            distance = dtw(query, candidate, window=self.window, cutoff=best_distance)
+            if distance < best_distance:
+                best_distance = distance
+                best_index = index
+        return best_index, float(best_distance)

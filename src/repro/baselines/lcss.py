@@ -1,0 +1,96 @@
+"""Longest Common Subsequence similarity for time series (Vlachos et al.).
+
+Two points match when their values differ by at most ``epsilon`` and
+their positions by at most ``delta`` (the warping window); LCSS is the
+longest chain of matches that is strictly increasing in both position
+sequences.  Similarity is normalized by ``min(n, m)`` and the distance
+is ``1 − similarity``, per the trajectory-indexing convention the paper
+follows ("the warping length used for LCSS is 10% of the time series
+length and the ε is 0.5").
+
+Like the DTW module, the dynamic program runs on anti-diagonals so each
+step is one vectorized numpy expression.  An exact accelerated
+evaluation in the spirit of FTSE lives in :mod:`repro.baselines.ftse`;
+the test suite checks the two agree everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = ["lcss_length", "lcss_similarity", "lcss_distance"]
+
+
+def lcss_length(
+    a: np.ndarray,
+    b: np.ndarray,
+    epsilon: float,
+    delta: int | None = None,
+) -> int:
+    """Length of the longest common subsequence under (ε, δ) matching.
+
+    ``delta=None`` places no positional constraint.  Runs the classic
+    O(n·m) recurrence diagonal-by-diagonal:
+
+        L[i, j] = max(L[i-1, j], L[i, j-1], L[i-1, j-1] + match(i, j))
+
+    which equals the textbook conditional form because a match's
+    diagonal extension always dominates the other two options.
+    """
+    if epsilon < 0:
+        raise ParameterError(f"epsilon must be >= 0, got {epsilon}")
+    if delta is not None and delta < 0:
+        raise ParameterError(f"delta must be >= 0, got {delta}")
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return 0
+
+    # prev1[i] = L value of cell (i, d-1-i); prev2[i] = (i, d-2-i);
+    # cells are 1-based prefix lengths, boundary value 0.
+    prev1 = np.zeros(n + 1, dtype=np.int64)
+    prev2 = np.zeros(n + 1, dtype=np.int64)
+    indices = np.arange(n + 1)
+    for d in range(2, n + m + 1):
+        i_lo = max(1, d - m)
+        i_hi = min(n, d - 1)
+        if i_lo > i_hi:
+            prev2, prev1 = prev1, np.zeros(n + 1, dtype=np.int64)
+            continue
+        ivals = indices[i_lo : i_hi + 1]
+        jvals = d - ivals
+        if a.ndim == 1:
+            close = np.abs(a[ivals - 1] - b[jvals - 1]) <= epsilon
+        else:
+            close = np.all(np.abs(a[ivals - 1] - b[jvals - 1]) <= epsilon, axis=1)
+        if delta is not None:
+            close &= np.abs(ivals - jvals) <= delta
+        match = close.astype(np.int64)
+
+        cur = np.zeros(n + 1, dtype=np.int64)
+        left = prev1[ivals]         # cell (i, j-1)
+        up = prev1[ivals - 1]       # cell (i-1, j)
+        diag = prev2[ivals - 1]     # cell (i-1, j-1)
+        cur[ivals] = np.maximum(np.maximum(left, up), diag + match)
+        prev2, prev1 = prev1, cur
+    return int(prev1[n])
+
+
+def lcss_similarity(
+    a: np.ndarray, b: np.ndarray, epsilon: float, delta: int | None = None
+) -> float:
+    """``LCSS(a, b) / min(|a|, |b|)`` ∈ [0, 1]."""
+    n, m = len(a), len(b)
+    if min(n, m) == 0:
+        return 0.0
+    return lcss_length(a, b, epsilon, delta) / min(n, m)
+
+
+def lcss_distance(
+    a: np.ndarray, b: np.ndarray, epsilon: float, delta: int | None = None
+) -> float:
+    """``1 − lcss_similarity``; smaller means more similar."""
+    return 1.0 - lcss_similarity(a, b, epsilon, delta)

@@ -1,0 +1,152 @@
+"""A 2-D STR-bulk-loaded R-tree.
+
+The paper's introduction describes the classic LCSS acceleration:
+"time series are indexed as MBRs (Minimum Boundary Rectangles) stored
+in an R-tree.  When a query arrives, its Minimum Bounding Envelope
+(MBE) is constructed and split into MBRs" [Vlachos et al.].  This
+module provides that substrate — a static R-tree built with the
+Sort-Tile-Recursive packing (Leutenegger et al.), sufficient for the
+read-only indexing workload of :mod:`repro.baselines.mbe`.
+
+Rectangles live in (time, value) space and are closed on all sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = ["Rect", "RTree"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed axis-aligned rectangle in (t, v) space."""
+
+    t_lo: float
+    t_hi: float
+    v_lo: float
+    v_hi: float
+
+    def __post_init__(self) -> None:
+        if self.t_hi < self.t_lo or self.v_hi < self.v_lo:
+            raise ParameterError(f"degenerate rectangle: {self}")
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two closed rectangles share any point."""
+        return not (
+            other.t_lo > self.t_hi
+            or other.t_hi < self.t_lo
+            or other.v_lo > self.v_hi
+            or other.v_hi < self.v_lo
+        )
+
+    @staticmethod
+    def union(rects: list["Rect"]) -> "Rect":
+        """The smallest rectangle covering every input rectangle."""
+        return Rect(
+            min(r.t_lo for r in rects),
+            max(r.t_hi for r in rects),
+            min(r.v_lo for r in rects),
+            max(r.v_hi for r in rects),
+        )
+
+
+class _Node:
+    __slots__ = ("box", "children", "entries")
+
+    def __init__(self, box: Rect, children: list["_Node"] | None, entries: list[tuple[Rect, object]] | None):
+        self.box = box
+        self.children = children
+        self.entries = entries
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+
+class RTree:
+    """Static R-tree over ``(Rect, payload)`` entries (STR packing).
+
+    STR sorts entries by time center, tiles them into vertical slices,
+    sorts each slice by value center, and packs runs of ``fanout``
+    entries per leaf; inner levels are packed the same way over the
+    child boxes.  Queries walk only subtrees whose box intersects the
+    probe rectangle.
+    """
+
+    def __init__(self, entries: list[tuple[Rect, object]], fanout: int = 16):
+        if fanout < 2:
+            raise ParameterError(f"fanout must be >= 2, got {fanout}")
+        self.fanout = fanout
+        self.size = len(entries)
+        self._root = self._build(entries) if entries else None
+
+    def _pack_level(self, items: list, box_of, make_node) -> list["_Node"]:
+        """One STR packing pass: items → nodes of ≤ fanout items."""
+        n = len(items)
+        per_node = self.fanout
+        n_nodes = int(np.ceil(n / per_node))
+        n_slices = max(1, int(np.ceil(np.sqrt(n_nodes))))
+        slice_size = per_node * int(np.ceil(n_nodes / n_slices))
+        items = sorted(items, key=lambda it: (box_of(it).t_lo + box_of(it).t_hi))
+        nodes: list[_Node] = []
+        for start in range(0, n, slice_size):
+            chunk = sorted(
+                items[start : start + slice_size],
+                key=lambda it: (box_of(it).v_lo + box_of(it).v_hi),
+            )
+            for leaf_start in range(0, len(chunk), per_node):
+                group = chunk[leaf_start : leaf_start + per_node]
+                nodes.append(make_node(group))
+        return nodes
+
+    def _build(self, entries: list[tuple[Rect, object]]) -> _Node:
+        leaves = self._pack_level(
+            entries,
+            box_of=lambda e: e[0],
+            make_node=lambda group: _Node(
+                Rect.union([r for r, _ in group]), None, list(group)
+            ),
+        )
+        level = leaves
+        while len(level) > 1:
+            level = self._pack_level(
+                level,
+                box_of=lambda node: node.box,
+                make_node=lambda group: _Node(
+                    Rect.union([n.box for n in group]), list(group), None
+                ),
+            )
+        return level[0]
+
+    def query_intersecting(self, probe: Rect) -> list[object]:
+        """Payloads of all entries whose rectangle intersects ``probe``."""
+        if self._root is None:
+            return []
+        out: list[object] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects(probe):
+                continue
+            if node.is_leaf:
+                out.extend(
+                    payload for rect, payload in node.entries if rect.intersects(probe)
+                )
+            else:
+                stack.extend(node.children)
+        return out
+
+    def height(self) -> int:
+        """Tree height (1 for a single leaf); 0 for an empty tree."""
+        if self._root is None:
+            return 0
+        h, node = 1, self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h

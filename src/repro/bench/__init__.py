@@ -1,0 +1,12 @@
+"""Experiment-harness support: timers, text tables, workload scaling.
+
+Used by the ``benchmarks/`` suite to regenerate every table and figure
+of the paper's evaluation section with consistent formatting and a
+single ``REPRO_SCALE`` knob controlling workload sizes.
+"""
+
+from .runner import repro_scale, scaled
+from .tables import render_table
+from .timer import Timer, time_callable
+
+__all__ = ["Timer", "render_table", "repro_scale", "scaled", "time_callable"]

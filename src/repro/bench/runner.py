@@ -1,0 +1,41 @@
+"""Workload scaling for the benchmark suite.
+
+The paper's workloads (20,000 ECG windows, 8,926 ElectricDevices
+series, ...) are too large for a quick CI run, so every benchmark
+multiplies its instance counts by ``REPRO_SCALE`` (default 0.05).
+``REPRO_SCALE=1`` reproduces the paper-size workloads; intermediate
+values trade fidelity for time.  Lengths, class counts, and parameter
+ranges are never scaled — only how many series/queries are used.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["repro_scale", "scaled"]
+
+#: environment variable controlling workload sizes across benchmarks.
+SCALE_ENV = "REPRO_SCALE"
+
+#: default: 5% of paper-size workloads, a few minutes for the suite.
+DEFAULT_SCALE = 0.05
+
+
+def repro_scale() -> float:
+    """Current workload scale factor from ``$REPRO_SCALE``."""
+    raw = os.environ.get(SCALE_ENV)
+    if raw is None:
+        return DEFAULT_SCALE
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"${SCALE_ENV} must be a number, got {raw!r}") from exc
+    if value <= 0:
+        raise ValueError(f"${SCALE_ENV} must be positive, got {value}")
+    return value
+
+
+def scaled(count: int, minimum: int = 1, scale: float | None = None) -> int:
+    """``count`` series at the current scale, at least ``minimum``."""
+    factor = repro_scale() if scale is None else scale
+    return max(minimum, round(count * factor))

@@ -1,0 +1,51 @@
+"""Wall-clock timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Timer", "time_callable"]
+
+
+class Timer:
+    """Context manager recording elapsed wall-clock seconds.
+
+    ::
+
+        with Timer() as t:
+            run_queries()
+        print(t.seconds)
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+    @property
+    def millis(self) -> float:
+        """Elapsed time in milliseconds (the paper reports ms)."""
+        return self.seconds * 1000.0
+
+
+def time_callable(fn: Callable[[], object], repeat: int = 1) -> float:
+    """Best-of-``repeat`` wall-clock seconds for calling ``fn``.
+
+    Best-of (rather than mean) suppresses scheduler noise, the usual
+    convention for micro-benchmarks.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,171 @@
+"""Command-line interface: ``sts3`` (or ``python -m repro``).
+
+Subcommands:
+
+- ``sts3 info`` — version and component overview.
+- ``sts3 datasets`` — the synthetic stand-in registry with paper shapes.
+- ``sts3 demo`` — a 30-second end-to-end demonstration on synthetic ECG.
+- ``sts3 query`` — build a database from a UCR-format file (or the
+  synthetic ECG stream) and answer a k-NN query, printing neighbours.
+
+The CLI exists so a downstream user can try the system without writing
+code; anything deeper should use the library API (see README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``sts3`` argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="sts3",
+        description="Set-based time-series similarity search (SIGMOD'16 STS3).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and component overview")
+    sub.add_parser("datasets", help="list the synthetic dataset registry")
+
+    demo = sub.add_parser("demo", help="end-to-end demo on synthetic ECG")
+    demo.add_argument("--series", type=int, default=200, help="database size")
+    demo.add_argument("--length", type=int, default=256, help="series length")
+    demo.add_argument("--k", type=int, default=3, help="neighbours to return")
+    demo.add_argument("--seed", type=int, default=0)
+
+    query = sub.add_parser("query", help="k-NN query over a UCR-format file")
+    query.add_argument("file", help="UCR-format text file (label + values per line)")
+    query.add_argument("--query-index", type=int, default=0,
+                       help="which series of the file to use as the query")
+    query.add_argument("--k", type=int, default=5)
+    query.add_argument("--sigma", type=float, default=3,
+                       help="time-axis cell width in samples")
+    query.add_argument("--epsilon", type=float, default=0.5,
+                       help="value-axis cell height")
+    query.add_argument(
+        "--method",
+        choices=["auto", "naive", "index", "pruning", "approximate"],
+        default="auto",
+    )
+
+    join = sub.add_parser(
+        "join", help="all-pairs similarity join over a UCR-format file"
+    )
+    join.add_argument("file", help="UCR-format text file")
+    join.add_argument("--threshold", type=float, default=0.7,
+                      help="minimum Jaccard similarity for a pair")
+    join.add_argument("--sigma", type=float, default=3)
+    join.add_argument("--epsilon", type=float, default=0.5)
+    join.add_argument("--limit", type=int, default=20,
+                      help="print at most this many pairs")
+    return parser
+
+
+def _cmd_info() -> int:
+    print(f"sts3 {__version__} — Set-based Similarity Search for Time Series")
+    print("reproduction of Peng, Wang, Li, Gao (SIGMOD 2016)")
+    print()
+    print("components: naive / index / pruning / approximate STS3 searchers,")
+    print("ED, DTW (+LB_Keogh/LB_Improved cascade), FastDTW, LCSS, FTSE,")
+    print("EDR, ERP, PAA baselines; synthetic ECG + UCR-style data substrates.")
+    return 0
+
+
+def _cmd_datasets() -> int:
+    from .data.registry import _SPECS  # internal read is fine for listing
+
+    print(f"{'name':<10} {'train':>6} {'test':>6} {'length':>7} {'classes':>8}")
+    for spec in _SPECS.values():
+        print(
+            f"{spec.name:<10} {spec.n_train:>6} {spec.n_test:>6} "
+            f"{spec.length:>7} {spec.n_classes:>8}"
+        )
+    print("\nload with repro.data.load_dataset(name, scale=...); scale=1 is paper size")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .core import STS3Database
+    from .data import ecg_stream, make_workload
+
+    stream = ecg_stream((args.series + 1) * args.length, seed=args.seed)
+    workload = make_workload(stream, args.series, 1, args.length)
+    db = STS3Database(workload.database, sigma=3, epsilon=0.5)
+    query = workload.queries[0]
+    print(f"database: {args.series} ECG windows of length {args.length}")
+    for method in ("naive", "index", "pruning", "approximate"):
+        result = db.query(query, k=args.k, method=method)
+        answers = ", ".join(
+            f"#{n.index}(J={n.similarity:.3f})" for n in result.neighbors
+        )
+        print(f"{method:>12}: {answers}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .core import STS3Database
+    from .data.loader import load_ucr_file
+
+    dataset = load_ucr_file(args.file)
+    if not 0 <= args.query_index < len(dataset):
+        print(
+            f"error: --query-index {args.query_index} out of range "
+            f"(file has {len(dataset)} series)",
+            file=sys.stderr,
+        )
+        return 2
+    query = dataset.series[args.query_index]
+    database = [s for i, s in enumerate(dataset.series) if i != args.query_index]
+    db = STS3Database(database, sigma=args.sigma, epsilon=args.epsilon)
+    result = db.query(query, k=args.k, method=args.method)
+    print(f"query: series #{args.query_index} of {args.file}")
+    print(f"{'rank':>4}  {'series':>7}  {'label':>6}  Jaccard")
+    labels = [l for i, l in enumerate(dataset.labels) if i != args.query_index]
+    for rank, n in enumerate(result.neighbors, start=1):
+        print(
+            f"{rank:>4}  #{n.index:>6}  {labels[n.index]:>6}  {n.similarity:.4f}"
+        )
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    from .core import STS3Database, similarity_join
+    from .data.loader import load_ucr_file
+
+    dataset = load_ucr_file(args.file)
+    db = STS3Database(list(dataset.series), sigma=args.sigma, epsilon=args.epsilon)
+    pairs = similarity_join(db.sets, args.threshold)
+    print(
+        f"{len(pairs)} pairs at J >= {args.threshold} among "
+        f"{len(dataset)} series of {args.file}"
+    )
+    for pair in pairs[: args.limit]:
+        print(f"  ({pair.first}, {pair.second})  J={pair.similarity:.4f}")
+    if len(pairs) > args.limit:
+        print(f"  ... and {len(pairs) - args.limit} more")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "join":
+        return _cmd_join(args)
+    return _cmd_query(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""STS3 core: the paper's primary contribution.
+
+Grid transformation (Algorithms 1, 6), Jaccard similarity, and the
+four search variants (Algorithms 2-5), plus the database facade with
+buffered updates and the parameter-tuning utilities.
+"""
+
+from .approximate import ApproximateSearcher
+from .clustering import cluster_series, k_medoids
+from .database import STS3Database, UpdateBuffer
+from .grid import Bound, Grid
+from .heap import KnnHeap
+from .indexed import DictInvertedIndex, IndexedSearcher
+from .join import JoinPair, similarity_join
+from .minhash import LSHIndex, MinHasher, MinHashSearcher, estimate_jaccard
+from .subsequence import SubsequenceMatch, SubsequenceSearcher
+from .jaccard import (
+    intersection_size,
+    jaccard,
+    jaccard_distance,
+    jaccard_from_intersection,
+    size_upper_bound,
+)
+from .naive import NaiveSearcher
+from .persistence import load_database, save_database
+from .pruning import PruningSearcher, zone_histogram
+from .result import Neighbor, QueryResult, SearchStats
+from .setrep import CompressedSet, transform, transform_query
+from .tuning import (
+    ScaleTuningResult,
+    TuningResult,
+    default_epsilon_grid,
+    default_sigma_grid,
+    sts3_error_rate,
+    tune_max_scale,
+    tune_scale,
+    tune_sigma_epsilon,
+    tune_sigma_epsilon_unlabeled,
+)
+
+__all__ = [
+    "ApproximateSearcher",
+    "Bound",
+    "CompressedSet",
+    "DictInvertedIndex",
+    "Grid",
+    "IndexedSearcher",
+    "JoinPair",
+    "KnnHeap",
+    "LSHIndex",
+    "MinHashSearcher",
+    "MinHasher",
+    "NaiveSearcher",
+    "Neighbor",
+    "PruningSearcher",
+    "QueryResult",
+    "STS3Database",
+    "ScaleTuningResult",
+    "SearchStats",
+    "SubsequenceMatch",
+    "SubsequenceSearcher",
+    "TuningResult",
+    "UpdateBuffer",
+    "cluster_series",
+    "default_epsilon_grid",
+    "default_sigma_grid",
+    "estimate_jaccard",
+    "k_medoids",
+    "intersection_size",
+    "jaccard",
+    "similarity_join",
+    "jaccard_distance",
+    "jaccard_from_intersection",
+    "load_database",
+    "save_database",
+    "size_upper_bound",
+    "sts3_error_rate",
+    "transform",
+    "transform_query",
+    "tune_max_scale",
+    "tune_scale",
+    "tune_sigma_epsilon",
+    "tune_sigma_epsilon_unlabeled",
+    "zone_histogram",
+]

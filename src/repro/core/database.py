@@ -1,0 +1,466 @@
+"""User-facing STS3 database (the paper's system glued together).
+
+:class:`STS3Database` owns the bound, the grid, the set representations
+of all series, and lazily-built accelerated searchers.  It implements:
+
+- k-NN queries with any STS3 variant (``method=`` "naive", "index",
+  "pruning", "approximate", or "auto" per Section 4's suitability
+  guidance);
+- out-of-bound query points via Algorithm 6 (Section 5.3.1);
+- inserts with the lazy buffered-update strategy of Section 5.3.2:
+  in-bound series join the database directly; out-of-bound series
+  ("out-TSs") go to a buffer whose own bound may grow, and a full
+  rebuild with an expanded bound happens only when the buffer fills.
+  Queries consult the main database first and then refresh the answer
+  from the buffer, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from ..data.normalize import z_normalize
+from ..exceptions import EmptyDatabaseError, ParameterError
+from ..types import as_series
+from .approximate import ApproximateSearcher
+from .grid import Bound, Grid
+from .heap import KnnHeap
+from .indexed import IndexedSearcher
+from .jaccard import jaccard
+from .naive import NaiveSearcher
+from .pruning import PruningSearcher
+from .result import QueryResult, SearchStats
+from .setrep import transform, transform_query
+
+__all__ = ["STS3Database", "UpdateBuffer"]
+
+logger = logging.getLogger(__name__)
+
+_METHODS = ("naive", "index", "pruning", "approximate", "auto")
+
+#: fork-inherited state for parallel batches; see query_batch.  The
+#: worker function must live at module level (Pool pickles it by name),
+#: and the database itself travels to the children via fork's
+#: copy-on-write memory rather than pickling.
+_FORK_STATE: dict = {}
+
+
+def _batch_worker(indices: list[int]) -> list["QueryResult"]:
+    db = _FORK_STATE["db"]
+    queries = _FORK_STATE["queries"]
+    params = _FORK_STATE["params"]
+    return [db.query(queries[i], **params) for i in indices]
+
+
+class UpdateBuffer:
+    """Holding area for out-of-bound inserted series (Section 5.3.2).
+
+    The buffer keeps its own bound, which grows to cover each added
+    series and is always at least the database bound; set
+    representations of buffered series are recomputed whenever the
+    bound grows (the buffer is small, so this is cheap).
+    """
+
+    def __init__(self, capacity: int, db_bound: Bound, col_width: float, row_heights: tuple[float, ...]):
+        if capacity < 1:
+            raise ParameterError(f"buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.col_width = col_width
+        self.row_heights = row_heights
+        self.bound = db_bound
+        self.grid = Grid(db_bound, col_width, row_heights)
+        self.series: list[np.ndarray] = []
+        self.sets: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    @property
+    def full(self) -> bool:
+        return len(self.series) >= self.capacity
+
+    def add(self, series: np.ndarray) -> None:
+        """Add an out-TS, growing the buffer bound if needed."""
+        own = Bound.of_series(series)
+        if not self.bound.covers(own):
+            self.bound = Bound(
+                min(self.bound.t_min, own.t_min),
+                max(self.bound.t_max, own.t_max),
+                tuple(min(a, b) for a, b in zip(self.bound.x_min, own.x_min)),
+                tuple(max(a, b) for a, b in zip(self.bound.x_max, own.x_max)),
+            )
+            self.grid = Grid(self.bound, self.col_width, self.row_heights)
+            self.sets = [transform(s, self.grid) for s in self.series]
+        self.series.append(series)
+        self.sets.append(transform(series, self.grid))
+
+    def drain(self) -> list[np.ndarray]:
+        """Remove and return all buffered series."""
+        out = self.series
+        self.series = []
+        self.sets = []
+        return out
+
+
+class STS3Database:
+    """Set-based time-series similarity search database.
+
+    Parameters follow DESIGN.md §2: ``sigma`` is the time-axis cell
+    width in samples, ``epsilon`` the value-axis cell height.  For
+    multi-dimensional series ``epsilon`` may be a sequence with one
+    height per value axis (Section 5.1's per-axis ``α_x, α_y``
+    variant).  With ``normalize=True`` (default) every series —
+    database, inserts, and queries — is z-normalized on the way in,
+    matching the paper's standing assumption.
+    """
+
+    def __init__(
+        self,
+        series: list[np.ndarray],
+        sigma: float,
+        epsilon: float | tuple[float, ...],
+        normalize: bool = True,
+        value_padding: float = 0.0,
+        buffer_capacity: int = 32,
+        default_scale: int = 6,
+        default_max_scale: int = 4,
+    ):
+        if not series:
+            raise EmptyDatabaseError("cannot build a database from no series")
+        self.normalize = normalize
+        self.sigma = float(sigma)
+        self.epsilon = (
+            tuple(float(e) for e in epsilon)
+            if isinstance(epsilon, (tuple, list))
+            else float(epsilon)
+        )
+        self.value_padding = float(value_padding)
+        self.default_scale = int(default_scale)
+        self.default_max_scale = int(default_max_scale)
+        self.series = [self._prepare(s) for s in series]
+        self._rebuild_grid()
+        self.buffer = UpdateBuffer(
+            buffer_capacity, self.grid.bound, self.grid.col_width, self.grid.row_heights
+        )
+        #: number of full rebuilds triggered by buffer overflows
+        #: (observable cost for the Appendix A propositions).
+        self.rebuild_count = 0
+
+    # -- construction helpers -------------------------------------------
+
+    def _prepare(self, series: np.ndarray) -> np.ndarray:
+        # as_series validates shape and rejects NaN/inf at the boundary,
+        # where the error message can still name the offending input.
+        arr = as_series(series)
+        return z_normalize(arr) if self.normalize else arr
+
+    def _rebuild_grid(self, extra: list[np.ndarray] | None = None) -> None:
+        """(Re)compute bound, grid, and every set representation."""
+        if extra:
+            self.series.extend(extra)
+        bound = Bound.of_database(self.series, value_padding=self.value_padding)
+        if isinstance(self.epsilon, tuple):
+            self.grid = Grid.from_axis_cell_sizes(bound, self.sigma, self.epsilon)
+        else:
+            self.grid = Grid.from_cell_sizes(bound, self.sigma, self.epsilon)
+        self.sets = [transform(s, self.grid) for s in self.series]
+        self._invalidate()
+        logger.debug(
+            "rebuilt grid: %d series, %d columns x %s rows (%d cells)",
+            len(self.series),
+            self.grid.n_columns,
+            self.grid.n_rows,
+            self.grid.n_cells,
+        )
+
+    def _invalidate(self) -> None:
+        self._naive: NaiveSearcher | None = None
+        self._indexed: IndexedSearcher | None = None
+        self._pruning: dict[int, PruningSearcher] = {}
+        self._approximate: dict[int, ApproximateSearcher] = {}
+        self._calibrated_method: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.series) + len(self.buffer)
+
+    # -- searcher access -------------------------------------------------
+
+    def naive_searcher(self) -> NaiveSearcher:
+        if self._naive is None:
+            self._naive = NaiveSearcher(self.sets)
+        return self._naive
+
+    def indexed_searcher(self) -> IndexedSearcher:
+        if self._indexed is None:
+            self._indexed = IndexedSearcher(self.sets)
+        return self._indexed
+
+    def pruning_searcher(self, scale: int | None = None) -> PruningSearcher:
+        scale = self.default_scale if scale is None else int(scale)
+        if scale not in self._pruning:
+            self._pruning[scale] = PruningSearcher(self.sets, self.grid, scale)
+        return self._pruning[scale]
+
+    def approximate_searcher(self, max_scale: int | None = None) -> ApproximateSearcher:
+        max_scale = self.default_max_scale if max_scale is None else int(max_scale)
+        if max_scale not in self._approximate:
+            self._approximate[max_scale] = ApproximateSearcher(
+                self.series, self.sets, self.grid.bound, max_scale
+            )
+        return self._approximate[max_scale]
+
+    def _auto_method(self) -> str:
+        """Pick the variant for ``method="auto"`` queries.
+
+        After :meth:`calibrate` has run, the measured fastest *exact*
+        variant wins.  Otherwise Section 4's suitability guidance is
+        applied as a rule of thumb: "the index-based algorithm is
+        suitable for long time series, the pruning-based algorithm for
+        short time series and the approximate algorithm for very long
+        time series."
+        """
+        if self._calibrated_method is not None:
+            return self._calibrated_method
+        median_len = int(np.median([len(s) for s in self.series]))
+        if median_len < 200:
+            return "pruning"
+        if median_len < 1000:
+            return "index"
+        return "approximate"
+
+    def calibrate(self, sample_queries: list[np.ndarray], k: int = 1) -> dict[str, float]:
+        """Measure the exact variants on sample queries; fix ``auto``.
+
+        Runs the naive, index, and pruning searchers over the sample
+        and pins ``method="auto"`` to the measured fastest (the
+        approximate variant is excluded — auto-dispatch must never
+        silently trade exactness).  Returns the per-variant seconds for
+        inspection; call again with new samples to re-calibrate.
+        """
+        import time
+
+        if not sample_queries:
+            raise ParameterError("calibration needs at least one sample query")
+        timings: dict[str, float] = {}
+        for method in ("naive", "index", "pruning"):
+            start = time.perf_counter()
+            for query in sample_queries:
+                self.query(query, k=k, method=method)
+            timings[method] = time.perf_counter() - start
+        self._calibrated_method = min(timings, key=timings.get)
+        return timings
+
+    # -- queries -----------------------------------------------------------
+
+    def transform_query(self, series: np.ndarray) -> np.ndarray:
+        """Set representation of a (possibly out-of-bound) query."""
+        return transform_query(self._prepare(series), self.grid)
+
+    def query(
+        self,
+        series: np.ndarray,
+        k: int = 1,
+        method: str = "auto",
+        scale: int | None = None,
+        max_scale: int | None = None,
+    ) -> QueryResult:
+        """k-NN query under the Jaccard similarity of set representations.
+
+        Returns neighbours ordered best-first; ``Neighbor.index``
+        refers to :attr:`series` positions, with buffered series
+        indexed after the main database (their positions are stable
+        across the eventual flush).
+        """
+        if method not in _METHODS:
+            raise ParameterError(f"unknown method {method!r}; one of {_METHODS}")
+        if method == "auto":
+            method = self._auto_method()
+        prepared = self._prepare(series)
+        query_set = transform_query(prepared, self.grid)
+
+        if method == "naive":
+            result = self.naive_searcher().query(query_set, k=k)
+        elif method == "index":
+            result = self.indexed_searcher().query(query_set, k=k)
+        elif method == "pruning":
+            result = self.pruning_searcher(scale).query(query_set, k=k)
+        else:
+            result = self.approximate_searcher(max_scale).query(
+                prepared, query_set, k=k
+            )
+
+        if len(self.buffer):
+            result = self._merge_buffer(prepared, result, k)
+        return result
+
+    def query_batch(
+        self,
+        queries: list[np.ndarray],
+        k: int = 1,
+        method: str = "auto",
+        scale: int | None = None,
+        max_scale: int | None = None,
+        workers: int | None = None,
+    ) -> list[QueryResult]:
+        """Answer many queries, optionally across worker processes.
+
+        The paper's conclusion names "adopting a parallelized
+        mechanism" as future work.  Queries are embarrassingly
+        parallel, but CPython threads do not help here (the hot loops
+        hold the GIL), so parallel batches fork worker processes that
+        inherit the built searchers copy-on-write and each take one
+        contiguous chunk of the queries.  On platforms without
+        ``fork`` the batch silently runs sequentially.
+        ``workers=None`` or 1 runs sequentially.
+        """
+        if method == "auto":
+            method = self._auto_method()
+        # Build the needed searcher before fanning out, so workers
+        # inherit ready structures instead of each rebuilding them.
+        if method == "index":
+            self.indexed_searcher()
+        elif method == "pruning":
+            self.pruning_searcher(scale)
+        elif method == "approximate":
+            self.approximate_searcher(max_scale)
+
+        def run_chunk(chunk: list[np.ndarray]) -> list[QueryResult]:
+            return [
+                self.query(q, k=k, method=method, scale=scale, max_scale=max_scale)
+                for q in chunk
+            ]
+
+        if not workers or workers <= 1 or len(queries) < 2:
+            return run_chunk(list(queries))
+        import multiprocessing as mp
+
+        try:
+            context = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            return run_chunk(list(queries))
+        workers = min(workers, len(queries))
+        chunks = [list(range(i, len(queries), workers)) for i in range(workers)]
+        _FORK_STATE["db"] = self
+        _FORK_STATE["queries"] = list(queries)
+        _FORK_STATE["params"] = dict(
+            k=k, method=method, scale=scale, max_scale=max_scale
+        )
+        try:
+            with context.Pool(processes=workers) as pool:
+                chunk_results = pool.map(_batch_worker, chunks)
+        finally:
+            _FORK_STATE.clear()
+        # Re-interleave: chunk i holds queries i, i+workers, i+2w, ...
+        out: list[QueryResult] = [None] * len(queries)  # type: ignore[list-item]
+        for i, results in enumerate(chunk_results):
+            out[i::workers] = results
+        return out
+
+    def _merge_buffer(
+        self, prepared: np.ndarray, result: QueryResult, k: int
+    ) -> QueryResult:
+        """Refresh the k-NN answer from the update buffer (Section 5.3.2).
+
+        The query is re-transformed under the buffer's bound and
+        compared with every buffered series; buffered series adopt
+        indices following the main database.
+        """
+        k = min(k, len(self.series) + len(self.buffer))
+        heap = KnnHeap(k)
+        for neighbor in result.neighbors:
+            heap.consider(neighbor.similarity, neighbor.index)
+        buffer_query = transform_query(prepared, self.buffer.grid)
+        base = len(self.series)
+        for offset, cell_set in enumerate(self.buffer.sets):
+            heap.consider(jaccard(cell_set, buffer_query), base + offset)
+        stats = SearchStats(
+            candidates=result.stats.candidates + len(self.buffer),
+            exact_computations=result.stats.exact_computations + len(self.buffer),
+            pruned=result.stats.pruned,
+            filter_rounds=result.stats.filter_rounds,
+            final_candidates=len(heap),
+        )
+        return QueryResult(neighbors=heap.neighbors(), stats=stats)
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(self, series: np.ndarray) -> None:
+        """Add a series; out-of-bound series go through the lazy buffer.
+
+        An in-bound series is appended directly (accelerated searchers
+        are invalidated and rebuilt lazily).  An out-TS lands in the
+        buffer; when the buffer fills, the whole database is rebuilt
+        with a bound covering everything (the "refresh" of Section
+        5.3.2), which is the expensive O(M·n·log n) step that
+        Proposition 1 amortizes.
+        """
+        prepared = self._prepare(series)
+        if self.grid.bound.covers(Bound.of_series(prepared)):
+            self.series.append(prepared)
+            self.sets.append(transform(prepared, self.grid))
+            self._invalidate()
+            return
+        self.buffer.add(prepared)
+        logger.debug(
+            "out-of-bound insert buffered (%d/%d)",
+            len(self.buffer),
+            self.buffer.capacity,
+        )
+        if self.buffer.full:
+            self.flush()
+
+    def verify_integrity(self) -> list[str]:
+        """Self-check the database's internal consistency.
+
+        Returns a list of human-readable problem descriptions (empty
+        when everything is consistent).  Checks: series/set parallel
+        lists, every set matches a fresh transform under the current
+        grid, the bound covers every stored series, buffer bound covers
+        the database bound, and cached searchers reference the live set
+        list.  Intended for test harnesses and post-crash diagnostics;
+        cost is one full re-transform, so don't call it per query.
+        """
+        problems: list[str] = []
+        if len(self.series) != len(self.sets):
+            problems.append(
+                f"{len(self.series)} series but {len(self.sets)} set reps"
+            )
+        for i, (series, cell_set) in enumerate(zip(self.series, self.sets)):
+            if not self.grid.bound.covers(Bound.of_series(series)):
+                problems.append(f"series {i} escapes the database bound")
+            fresh = transform(series, self.grid)
+            if not np.array_equal(fresh, cell_set):
+                problems.append(f"series {i} has a stale set representation")
+        if not self.buffer.bound.covers(self.grid.bound):
+            problems.append("buffer bound does not cover the database bound")
+        if len(self.buffer.series) != len(self.buffer.sets):
+            problems.append("buffer series/sets lists are out of sync")
+        if self._naive is not None and self._naive.sets is not self.sets:
+            problems.append("cached naive searcher references stale sets")
+        if self._indexed is not None and self._indexed.sets is not self.sets:
+            problems.append("cached index searcher references stale sets")
+        for scale, searcher in self._pruning.items():
+            if searcher.sets is not self.sets:
+                problems.append(f"cached pruning searcher (scale={scale}) is stale")
+        return problems
+
+    def flush(self) -> None:
+        """Force the buffered series into the database (full rebuild)."""
+        if not len(self.buffer):
+            return
+        extra = self.buffer.drain()
+        logger.info(
+            "flushing %d buffered series; rebuilding %d set representations",
+            len(extra),
+            len(self.series) + len(extra),
+        )
+        self._rebuild_grid(extra=extra)
+        self.buffer = UpdateBuffer(
+            self.buffer.capacity,
+            self.grid.bound,
+            self.grid.col_width,
+            self.grid.row_heights,
+        )
+        self.rebuild_count += 1

@@ -1,0 +1,73 @@
+"""Bounded min-heap of the k best neighbours (paper Section 5.2).
+
+"During the processing of k-NN similarity search, we use a min heap to
+maintain the greatest number of k similar time series instead of one."
+The heap's top is the *worst* of the current k best; a candidate only
+enters once it beats that top, and :meth:`KnnHeap.threshold` exposes the
+top similarity as the pruning threshold used by Algorithms 2-4.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..exceptions import ParameterError
+from .result import Neighbor
+
+__all__ = ["KnnHeap"]
+
+
+class KnnHeap:
+    """Fixed-capacity min-heap over ``(similarity, index)`` pairs.
+
+    Ties on similarity are broken toward the smaller database index so
+    that all STS3 variants return identical answers on tied inputs —
+    a property the equivalence tests rely on.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        self.k = k
+        # Entries are (similarity, -index): the heap's smallest entry is
+        # the lowest similarity, with the *largest* index preferred for
+        # eviction among ties.
+        self._heap: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    def threshold(self) -> float:
+        """Similarity a new candidate must exceed to enter the heap.
+
+        ``-inf`` while the heap is not yet full (everything qualifies).
+        """
+        if not self.full:
+            return float("-inf")
+        return self._heap[0][0]
+
+    def consider(self, similarity: float, index: int) -> bool:
+        """Offer a candidate; returns True when it was kept."""
+        entry = (similarity, -index)
+        if not self.full:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def qualifies(self, similarity: float, index: int) -> bool:
+        """Whether a candidate *would* be kept, without inserting it."""
+        if not self.full:
+            return True
+        return (similarity, -index) > self._heap[0]
+
+    def neighbors(self) -> list[Neighbor]:
+        """Current contents, best-first (descending similarity)."""
+        ordered = sorted(self._heap, reverse=True)
+        return [Neighbor(similarity=sim, index=-neg) for sim, neg in ordered]

@@ -1,0 +1,61 @@
+"""Jaccard similarity over sorted unique cell-ID arrays (Section 3.3).
+
+``Jaccard(S, Q) = |S ∩ Q| / |S ∪ Q|``.  With both sides stored as
+sorted unique arrays the intersection is a linear merge;
+``numpy.intersect1d(assume_unique=True)`` performs it in C.  The
+module also exposes the size-based upper bound used for early stopping
+(a candidate whose length ratio already falls below the current k-th
+best similarity can never qualify).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "intersection_size",
+    "jaccard",
+    "jaccard_distance",
+    "jaccard_from_intersection",
+    "size_upper_bound",
+]
+
+
+def intersection_size(a: np.ndarray, b: np.ndarray) -> int:
+    """``|a ∩ b|`` for sorted unique int arrays, via a linear merge."""
+    return int(np.intersect1d(a, b, assume_unique=True).size)
+
+
+def jaccard_from_intersection(len_a: int, len_b: int, inter: int) -> float:
+    """Jaccard similarity from set sizes and intersection size.
+
+    ``|A ∪ B| = |A| + |B| − |A ∩ B|``; two empty sets are defined to
+    have similarity 1.0 (they are identical).
+    """
+    union = len_a + len_b - inter
+    if union == 0:
+        return 1.0
+    return inter / union
+
+
+def jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    """Jaccard similarity of two sorted unique cell-ID arrays."""
+    return jaccard_from_intersection(len(a), len(b), intersection_size(a, b))
+
+
+def jaccard_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """``1 − Jaccard(a, b)`` — a true metric on finite sets."""
+    return 1.0 - jaccard(a, b)
+
+
+def size_upper_bound(len_a: int, len_b: int) -> float:
+    """Upper bound on Jaccard from sizes alone: ``min/max``.
+
+    The intersection is at most ``min(|A|, |B|)`` and the union at
+    least ``max(|A|, |B|)``, so ``J ≤ min/max``.  This is the cheap
+    filter behind the "early-stopping strategy" applied to the naive
+    scan in Section 7.1.
+    """
+    if len_a == 0 and len_b == 0:
+        return 1.0
+    return min(len_a, len_b) / max(len_a, len_b)

@@ -1,0 +1,55 @@
+"""Naive STS3 (Algorithm 2): a full scan over set representations.
+
+The query's set representation is compared with every database set and
+the k best Jaccard similarities are kept in a min-heap.  Following
+Section 7.1 ("the naive STS3 combined with an early-stopping strategy")
+the scan can skip candidates whose size-based upper bound
+``min(|S|,|Q|)/max(|S|,|Q|)`` already falls below the current k-th best
+similarity — the bound is exact to compute and admissible, so the
+result is unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import EmptyDatabaseError, ParameterError
+from .heap import KnnHeap
+from .jaccard import jaccard, size_upper_bound
+from .result import QueryResult, SearchStats
+
+__all__ = ["NaiveSearcher"]
+
+
+class NaiveSearcher:
+    """Linear-scan k-NN search over a list of cell-ID sets."""
+
+    def __init__(self, sets: list[np.ndarray], early_stop: bool = True):
+        if not sets:
+            raise EmptyDatabaseError("cannot search an empty database")
+        self.sets = sets
+        self.lengths = np.asarray([len(s) for s in sets], dtype=np.int64)
+        self.early_stop = early_stop
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+    def query(self, query_set: np.ndarray, k: int = 1) -> QueryResult:
+        """Return the ``k`` most Jaccard-similar sets to ``query_set``."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        k = min(k, len(self.sets))
+        heap = KnnHeap(k)
+        stats = SearchStats(candidates=len(self.sets))
+        q_len = len(query_set)
+        for index, candidate in enumerate(self.sets):
+            if self.early_stop and heap.full:
+                bound = size_upper_bound(len(candidate), q_len)
+                if not heap.qualifies(bound, index):
+                    stats.pruned += 1
+                    continue
+            similarity = jaccard(candidate, query_set)
+            stats.exact_computations += 1
+            heap.consider(similarity, index)
+        stats.final_candidates = len(heap)
+        return QueryResult(neighbors=heap.neighbors(), stats=stats)

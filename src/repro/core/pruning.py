@@ -1,0 +1,110 @@
+"""Pruning-based STS3 (Algorithm 4): zone-histogram upper bounds.
+
+The plane is divided into ``scale × scale`` zones.  For each zone ``i``,
+``min(|S_i|, |Q_i|)`` bounds ``|S_i ∩ Q_i|`` from above (a shared cell
+must lie in the same zone on both sides), so the sum over zones bounds
+``|S ∩ Q|`` and hence the Jaccard similarity:
+
+    J(S, Q) ≤ ub / (|S| + |Q| − ub),   ub = Σ_i min(|S_i|, |Q_i|).
+
+Candidates whose bound cannot beat the current k-th best similarity are
+skipped without touching their cell sets.  Zone histograms of database
+series are precomputed offline (``Dzone`` in the paper).
+
+Beyond the paper's literal loop, candidates are visited in descending
+bound order: once the bound of the next candidate falls below the heap
+threshold, *all* remaining candidates are pruned at once.  This
+preserves exactness (the bound is admissible) and is the natural
+best-first engineering of line 9; ``sort_candidates=False`` restores
+the paper's literal scan order for comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import EmptyDatabaseError, ParameterError
+from .grid import Grid
+from .heap import KnnHeap
+from .jaccard import jaccard
+from .result import QueryResult, SearchStats
+
+__all__ = ["PruningSearcher", "zone_histogram"]
+
+
+def zone_histogram(cell_set: np.ndarray, grid: Grid, scale: int) -> np.ndarray:
+    """Number of cells of ``cell_set`` in each of the ``scale²`` zones."""
+    zones = grid.zones_of_cells(cell_set, scale)
+    return np.bincount(zones, minlength=scale * scale).astype(np.int64)
+
+
+class PruningSearcher:
+    """Zone-bound-pruned k-NN search over a list of cell-ID sets."""
+
+    def __init__(
+        self,
+        sets: list[np.ndarray],
+        grid: Grid,
+        scale: int = 6,
+        sort_candidates: bool = True,
+    ):
+        if not sets:
+            raise EmptyDatabaseError("cannot search an empty database")
+        if scale < 1:
+            raise ParameterError(f"scale must be >= 1, got {scale}")
+        self.sets = sets
+        self.grid = grid
+        self.scale = int(scale)
+        self.sort_candidates = sort_candidates
+        self.lengths = np.asarray([len(s) for s in sets], dtype=np.int64)
+        #: ``Dzone``: one zone histogram per database series, offline.
+        #: int32 keeps the (N, scale²) matrix half-sized at paper scale
+        #: (20k series x scale 50 → 2500 zones) with no overflow risk —
+        #: a zone count is bounded by the series length.
+        self.zone_counts = np.stack(
+            [zone_histogram(s, grid, scale) for s in sets]
+        ).astype(np.int32)
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+    def upper_bounds(self, query_set: np.ndarray) -> np.ndarray:
+        """Jaccard upper bound of every database series vs the query.
+
+        Vectorized lines 5-9 of Algorithm 4: zone-wise minimum sums and
+        the bound ``ub / (|S| + |Q| − ub)``.
+        """
+        q_hist = zone_histogram(query_set, self.grid, self.scale)
+        inter_bound = np.minimum(self.zone_counts, q_hist).sum(axis=1)
+        union_lower = self.lengths + len(query_set) - inter_bound
+        return np.where(
+            union_lower > 0, inter_bound / np.maximum(union_lower, 1), 1.0
+        )
+
+    def query(self, query_set: np.ndarray, k: int = 1) -> QueryResult:
+        """Return the ``k`` most Jaccard-similar sets to ``query_set``."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        k = min(k, len(self.sets))
+        bounds = self.upper_bounds(query_set)
+        heap = KnnHeap(k)
+        stats = SearchStats(candidates=len(self.sets))
+
+        if self.sort_candidates:
+            order = np.lexsort((np.arange(len(bounds)), -bounds))
+        else:
+            order = np.arange(len(bounds))
+
+        for position, index in enumerate(order):
+            if heap.full and not heap.qualifies(float(bounds[index]), int(index)):
+                if self.sort_candidates:
+                    # Bounds are non-increasing from here on: prune all.
+                    stats.pruned += len(order) - position
+                    break
+                stats.pruned += 1
+                continue
+            similarity = jaccard(self.sets[index], query_set)
+            stats.exact_computations += 1
+            heap.consider(similarity, int(index))
+        stats.final_candidates = len(heap)
+        return QueryResult(neighbors=heap.neighbors(), stats=stats)

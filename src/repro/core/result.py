@@ -1,0 +1,73 @@
+"""Query results and search statistics shared by all STS3 variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Neighbor", "SearchStats", "QueryResult"]
+
+
+@dataclass(frozen=True, order=True)
+class Neighbor:
+    """One answer of a k-NN query.
+
+    ``similarity`` is the Jaccard similarity of the query's set
+    representation and the neighbour's (higher is more similar);
+    ``index`` identifies the series within its database.  Ordering is
+    by ``(similarity, -index)`` descending similarity first when
+    sorted in reverse.
+    """
+
+    similarity: float
+    index: int
+
+
+@dataclass
+class SearchStats:
+    """Counters describing how much work a query did.
+
+    The benchmarks derive the paper's *pruning rate* and *compression
+    rate* from these counters, and the tests use them to verify that
+    the accelerated variants actually skip work.
+    """
+
+    candidates: int = 0
+    exact_computations: int = 0
+    pruned: int = 0
+    filter_rounds: int = 0
+    final_candidates: int = 0
+
+    @property
+    def pruning_rate(self) -> float:
+        """Fraction of candidates skipped without an exact computation."""
+        if self.candidates == 0:
+            return 0.0
+        return self.pruned / self.candidates
+
+    @property
+    def compression_rate(self) -> float:
+        """Paper Section 7.4.5: |searchSet after filtering| / |D|."""
+        if self.candidates == 0:
+            return 0.0
+        return self.final_candidates / self.candidates
+
+
+@dataclass
+class QueryResult:
+    """Answer of a k-NN query: neighbours sorted by descending similarity."""
+
+    neighbors: list[Neighbor]
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def best(self) -> Neighbor:
+        """The nearest neighbour (highest similarity)."""
+        return self.neighbors[0]
+
+    def indices(self) -> list[int]:
+        """Database indices of the answers, best first."""
+        return [n.index for n in self.neighbors]
+
+    def similarities(self) -> list[float]:
+        """Similarities of the answers, best first."""
+        return [n.similarity for n in self.neighbors]

@@ -1,0 +1,188 @@
+"""Set-based subsequence search over a long stream.
+
+The paper cites SPRING [25] for *subsequence* similarity search under
+DTW; this module provides the STS3 counterpart: given a long stream and
+a query of length ``n``, find the stream windows whose cell-ID sets are
+most Jaccard-similar to the query's.
+
+The trick that makes this fast is that STS3's time axis is already
+quantized into σ-sample columns.  Gridding the *stream* once with
+absolute columns, a window starting at column ``c0`` has the cell set
+``{(ac − c0, row)}`` of the stream cells it covers — so the
+intersection size of the query against **every** column-aligned window
+falls out of one sparse join on the row coordinate: each occupied
+stream cell ``(ac, row)`` matches each query cell ``(rc, row)`` in the
+window at offset ``c0 = ac − rc``.  Candidate generation over all
+``N/σ`` alignments therefore costs roughly the number of (stream cell,
+query cell) row-collisions, not ``O(N·n)``.
+
+Column alignment quantizes the match position to multiples of σ; the
+optional refinement step re-grids candidate windows at every sample
+offset within ±σ of each candidate and re-scores them exactly.  Window
+values are gridded against the stream's global value range (one
+z-normalization for the whole stream) — the stationarity assumption is
+documented on :class:`SubsequenceSearcher`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .jaccard import jaccard
+
+__all__ = ["SubsequenceMatch", "SubsequenceSearcher"]
+
+
+@dataclass(frozen=True)
+class SubsequenceMatch:
+    """One subsequence answer: window start (sample index) + similarity."""
+
+    offset: int
+    similarity: float
+
+
+class SubsequenceSearcher:
+    """Sliding-window Jaccard search over a 1-D stream.
+
+    The stream is gridded once: column ``ac = t // sigma`` on the time
+    axis and ``row = floor((x − x_min)/epsilon)`` on the value axis,
+    with the value range taken from the whole stream.  Queries must be
+    on the same value scale as the stream (z-normalize the stream once
+    and draw queries from the same normalization — the stationarity
+    assumption; per-window re-normalization would break the
+    incremental structure).
+    """
+
+    def __init__(self, stream: np.ndarray, sigma: int, epsilon: float):
+        stream = np.asarray(stream, dtype=np.float64)
+        if stream.ndim != 1:
+            raise ParameterError("subsequence search is implemented for 1-D streams")
+        if len(stream) < 2:
+            raise ParameterError("stream must contain at least 2 points")
+        if sigma < 1:
+            raise ParameterError(f"sigma must be >= 1, got {sigma}")
+        if epsilon <= 0:
+            raise ParameterError(f"epsilon must be positive, got {epsilon}")
+        self.stream = stream
+        self.sigma = int(sigma)
+        self.epsilon = float(epsilon)
+        self._x_min = float(stream.min())
+        x_span = float(stream.max()) - self._x_min
+        self._n_rows = int(np.floor(x_span / epsilon)) + 1
+
+        columns = np.arange(len(stream)) // self.sigma
+        rows = self._rows_of(stream)
+        # Occupied (column, row) stream cells, deduplicated.
+        packed = columns * self._n_rows + rows
+        occupied = np.unique(packed)
+        self._cell_columns = occupied // self._n_rows
+        self._cell_rows = occupied % self._n_rows
+        self.n_columns = int(columns[-1]) + 1
+        #: occupied-cell count per column, for window set sizes.
+        self._cells_per_column = np.bincount(
+            self._cell_columns, minlength=self.n_columns
+        )
+
+    def _rows_of(self, values: np.ndarray) -> np.ndarray:
+        rows = np.floor((values - self._x_min) / self.epsilon).astype(np.int64)
+        return np.clip(rows, 0, self._n_rows - 1)
+
+    def _query_cells(self, query: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct (relative column, row) cells of the query."""
+        columns = np.arange(len(query)) // self.sigma
+        rows = self._rows_of(np.asarray(query, dtype=np.float64))
+        packed = np.unique(columns * self._n_rows + rows)
+        return packed // self._n_rows, packed % self._n_rows
+
+    def window_set(self, offset: int, length: int) -> np.ndarray:
+        """Exact cell set of the window ``stream[offset : offset+length]``.
+
+        The window is re-gridded with its own column origin (columns
+        relative to ``offset``), which is what the refinement step and
+        the brute-force reference in the tests use.
+        """
+        window = self.stream[offset : offset + length]
+        columns = np.arange(len(window)) // self.sigma
+        rows = self._rows_of(window)
+        return np.unique(columns * self._n_rows + rows)
+
+    def search(self, query: np.ndarray, k: int = 1, refine: bool = True) -> list[SubsequenceMatch]:
+        """The ``k`` best non-duplicate window alignments for ``query``.
+
+        Candidates are scored at every column-aligned offset via the
+        sparse row join; with ``refine=True`` each of the top
+        candidates is re-scored exactly at all sample offsets within
+        ±σ and the best wins.  Returned matches are sorted by
+        descending similarity; offsets are sample indices.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1:
+            raise ParameterError("query must be 1-D")
+        n = len(query)
+        if n < self.sigma:
+            raise ParameterError("query must span at least one column")
+        if n > len(self.stream):
+            raise ParameterError("query is longer than the stream")
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+
+        q_cols, q_rows = self._query_cells(query)
+        q_size = len(q_cols)
+        window_columns = int(np.ceil(n / self.sigma))
+        max_c0 = self.n_columns - window_columns
+        if max_c0 < 0:
+            raise ParameterError("query is longer than the gridded stream")
+
+        # Sparse join on the row coordinate: every (stream cell, query
+        # cell) pair sharing a row votes for offset c0 = ac − rc.
+        intersections = np.zeros(max_c0 + 1, dtype=np.int64)
+        order = np.argsort(q_rows, kind="stable")
+        q_rows_sorted = q_rows[order]
+        q_cols_sorted = q_cols[order]
+        row_starts = np.searchsorted(q_rows_sorted, self._cell_rows, side="left")
+        row_ends = np.searchsorted(q_rows_sorted, self._cell_rows, side="right")
+        for ac, lo, hi in zip(self._cell_columns, row_starts, row_ends):
+            if lo == hi:
+                continue
+            offsets = ac - q_cols_sorted[lo:hi]
+            valid = offsets[(offsets >= 0) & (offsets <= max_c0)]
+            np.add.at(intersections, valid, 1)
+
+        # Window set sizes from the per-column occupied-cell counts.
+        cumulative = np.concatenate(([0], np.cumsum(self._cells_per_column)))
+        window_sizes = (
+            cumulative[window_columns : window_columns + max_c0 + 1]
+            - cumulative[: max_c0 + 1]
+        )
+        unions = q_size + window_sizes - intersections
+        similarities = np.where(unions > 0, intersections / np.maximum(unions, 1), 1.0)
+
+        top = np.argsort(-similarities, kind="stable")[: max(k, 1)]
+        matches: list[SubsequenceMatch] = []
+        taken: list[int] = []
+        for c0 in top.tolist():
+            base = c0 * self.sigma
+            if refine:
+                best_offset, best_sim = base, -1.0
+                lo = max(0, base - self.sigma + 1)
+                hi = min(len(self.stream) - n, base + self.sigma - 1)
+                q_set = np.unique(q_cols * self._n_rows + q_rows)
+                for offset in range(lo, hi + 1):
+                    sim = jaccard(self.window_set(offset, n), q_set)
+                    if sim > best_sim:
+                        best_offset, best_sim = offset, sim
+                candidate = SubsequenceMatch(best_offset, best_sim)
+            else:
+                candidate = SubsequenceMatch(base, float(similarities[c0]))
+            # Drop near-duplicate answers (overlapping refined windows).
+            if any(abs(candidate.offset - t) < self.sigma for t in taken):
+                continue
+            taken.append(candidate.offset)
+            matches.append(candidate)
+            if len(matches) >= k:
+                break
+        matches.sort(key=lambda m: (-m.similarity, m.offset))
+        return matches

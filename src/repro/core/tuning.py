@@ -1,0 +1,251 @@
+"""Parameter determination for STS3 (paper Section 6.3, Table 5).
+
+Three knobs need data-driven values:
+
+- ``sigma`` / ``epsilon`` (cell sizes): chosen by grid search on a
+  labeled training set, scored by 1-NN classification error.  The
+  paper splits TRAIN in two class-balanced halves, classifies one half
+  against the other for each parameter combination, and keeps the most
+  accurate combination (Section 7.2.2).
+- ``scale`` (pruning zones): "some queries are processed and the one
+  returning maximal acceleration ratio is chosen", with candidate
+  scales from 2 to √(series length).
+- ``maxScale`` (approximate filtering): chosen to balance speed-up and
+  approximation error; "a maxScale of 2 to 5 was usually enough".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..types import LabeledDataset
+from .database import STS3Database
+
+__all__ = [
+    "TuningResult",
+    "default_sigma_grid",
+    "default_epsilon_grid",
+    "sts3_error_rate",
+    "tune_sigma_epsilon",
+    "tune_sigma_epsilon_unlabeled",
+    "ScaleTuningResult",
+    "tune_scale",
+    "tune_max_scale",
+]
+
+
+def default_sigma_grid(series_length: int, max_points: int = 10) -> list[int]:
+    """Candidate time-axis cell widths: 1 … 0.3·n (Table 5).
+
+    The paper's step size of 1 over that range is exhaustive; by
+    default we geometrically subsample to ``max_points`` values, which
+    covers the same range at a fraction of the cost.  Callers wanting
+    the paper's full grid pass ``max_points=None``.
+    """
+    upper = max(1, int(0.3 * series_length))
+    if max_points is None or upper <= max_points:
+        return list(range(1, upper + 1))
+    geo = np.unique(
+        np.round(np.geomspace(1, upper, max_points)).astype(int)
+    )
+    return geo.tolist()
+
+
+def default_epsilon_grid(max_points: int = 10) -> list[float]:
+    """Candidate value-axis cell heights: 0.02 … 1 (Table 5).
+
+    Subsampled to ``max_points`` evenly spaced values by default; pass
+    ``max_points=None`` for the paper's full 0.02-stepped grid.
+    """
+    if max_points is None:
+        return [round(0.02 * i, 2) for i in range(1, 51)]
+    return [round(v, 3) for v in np.linspace(0.02, 1.0, max_points)]
+
+
+def sts3_error_rate(
+    train: LabeledDataset,
+    test: LabeledDataset,
+    sigma: float,
+    epsilon: float,
+    method: str = "index",
+) -> float:
+    """1-NN classification error of STS3 with the given cell sizes.
+
+    Each test series is classified by the label of its most
+    Jaccard-similar training series (the paper's accuracy protocol,
+    Section 7.2.2).
+    """
+    db = STS3Database(list(train.series), sigma=sigma, epsilon=epsilon)
+    labels = train.labels
+    wrong = 0
+    for series, label in test:
+        result = db.query(series, k=1, method=method)
+        if int(labels[result.best.index]) != label:
+            wrong += 1
+    return wrong / len(test)
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a σ/ε grid search."""
+
+    sigma: int
+    epsilon: float
+    error: float
+    #: (sigma, epsilon) → validation error for every combination tried.
+    table: dict[tuple[float, float], float] = field(default_factory=dict)
+
+    def error_curve(self, vary: str) -> list[tuple[float, float]]:
+        """Error as a function of one parameter, the other held at best.
+
+        ``vary`` is ``"sigma"`` or ``"epsilon"``; used by the Figure 4
+        benchmarks ("we fix the σ as the parameter bringing optimal
+        accuracy and then vary ε", Section 7.3.1).
+        """
+        if vary == "sigma":
+            pairs = [(s, e) for (s, e) in self.table if e == self.epsilon]
+        elif vary == "epsilon":
+            pairs = [(s, e) for (s, e) in self.table if s == self.sigma]
+        else:
+            raise ParameterError(f"vary must be 'sigma' or 'epsilon', got {vary!r}")
+        axis = 0 if vary == "sigma" else 1
+        return sorted((p[axis], self.table[p]) for p in pairs)
+
+
+def tune_sigma_epsilon(
+    train: LabeledDataset,
+    sigma_grid: list[int] | None = None,
+    epsilon_grid: list[float] | None = None,
+    seed: int = 0,
+) -> TuningResult:
+    """Grid-search σ and ε on a class-balanced half-split of ``train``.
+
+    Returns the combination minimizing validation error (ties broken
+    toward smaller cells, i.e. the first minimum in grid order).
+    """
+    if len(train) < 2:
+        raise ParameterError("need at least 2 training series to tune")
+    reference, validation = train.split_half(seed=seed)
+    if len(reference) == 0 or len(validation) == 0:
+        raise ParameterError("training set too small for a half split")
+    n = len(train.series[0])
+    sigma_grid = sigma_grid or default_sigma_grid(n)
+    epsilon_grid = epsilon_grid or default_epsilon_grid()
+
+    best: tuple[float, int, float] | None = None
+    table: dict[tuple[float, float], float] = {}
+    for sigma in sigma_grid:
+        for epsilon in epsilon_grid:
+            error = sts3_error_rate(reference, validation, sigma, epsilon)
+            table[(sigma, epsilon)] = error
+            if best is None or error < best[0]:
+                best = (error, sigma, epsilon)
+    error, sigma, epsilon = best
+    return TuningResult(sigma=sigma, epsilon=epsilon, error=error, table=table)
+
+
+def tune_sigma_epsilon_unlabeled(
+    series: list[np.ndarray],
+    n_clusters: int,
+    sigma_grid: list[int] | None = None,
+    epsilon_grid: list[float] | None = None,
+    seed: int = 0,
+) -> TuningResult:
+    """Tune σ/ε without labels, via clustering pseudo-labels.
+
+    Section 6.3: when no manual labels exist, "time series clustering
+    algorithms ... can be used to label the data".  The series are
+    k-medoids-clustered under the Jaccard distance of a fine grid, the
+    cluster assignments become labels, and the ordinary grid search
+    runs on them.
+    """
+    from ..types import LabeledDataset
+    from .clustering import cluster_series
+
+    if len(series) < 4:
+        raise ParameterError("need at least 4 series to cluster and tune")
+    labels = cluster_series(series, n_clusters, seed=seed)
+    train = LabeledDataset(series=list(series), labels=labels, name="clustered")
+    return tune_sigma_epsilon(
+        train, sigma_grid=sigma_grid, epsilon_grid=epsilon_grid, seed=seed
+    )
+
+
+@dataclass
+class ScaleTuningResult:
+    """Outcome of a scale/maxScale sweep on sample queries."""
+
+    best: int
+    speedup: float
+    #: parameter value → speed-up over the naive scan.
+    curve: dict[int, float] = field(default_factory=dict)
+
+
+def _timed_queries(run, queries: list[np.ndarray], k: int) -> float:
+    start = time.perf_counter()
+    for q in queries:
+        run(q, k)
+    return time.perf_counter() - start
+
+
+def tune_scale(
+    db: STS3Database,
+    queries: list[np.ndarray],
+    scales: list[int] | None = None,
+    k: int = 1,
+) -> ScaleTuningResult:
+    """Pick the pruning ``scale`` with maximal speed-up over naive.
+
+    Candidate scales default to a spread of 2 … √(series length)
+    (Section 6.3).  Speed-up is wall-clock naive time over pruned time
+    on the provided sample queries.
+    """
+    if scales is None:
+        upper = max(2, int(np.sqrt(len(db.series[0]))))
+        scales = sorted(set(np.linspace(2, upper, num=min(6, upper - 1)).astype(int).tolist()))
+    naive_time = _timed_queries(
+        lambda q, kk: db.query(q, k=kk, method="naive"), queries, k
+    )
+    curve: dict[int, float] = {}
+    for scale in scales:
+        db.pruning_searcher(scale)  # build outside the timed region
+        t = _timed_queries(
+            lambda q, kk: db.query(q, k=kk, method="pruning", scale=scale),
+            queries,
+            k,
+        )
+        curve[scale] = naive_time / t if t > 0 else float("inf")
+    best = max(curve, key=curve.get)
+    return ScaleTuningResult(best=best, speedup=curve[best], curve=curve)
+
+
+def tune_max_scale(
+    db: STS3Database,
+    queries: list[np.ndarray],
+    max_scales: list[int] | None = None,
+    k: int = 1,
+) -> ScaleTuningResult:
+    """Pick the approximate ``maxScale`` with maximal speed-up.
+
+    The paper notes 2-5 usually suffices; the error-rate trade-off is
+    reported separately by the Figure 5(e-f) benchmark.
+    """
+    max_scales = max_scales or [2, 3, 4, 5]
+    naive_time = _timed_queries(
+        lambda q, kk: db.query(q, k=kk, method="naive"), queries, k
+    )
+    curve: dict[int, float] = {}
+    for max_scale in max_scales:
+        db.approximate_searcher(max_scale)  # build offline, untimed
+        t = _timed_queries(
+            lambda q, kk: db.query(q, k=kk, method="approximate", max_scale=max_scale),
+            queries,
+            k,
+        )
+        curve[max_scale] = naive_time / t if t > 0 else float("inf")
+    best = max(curve, key=curve.get)
+    return ScaleTuningResult(best=best, speedup=curve[best], curve=curve)

@@ -1,0 +1,28 @@
+"""Data substrates: normalization, synthetic generators, and loaders.
+
+The paper evaluates on the UCR Time Series Classification Archive and a
+private 20.14M-point ECG stream; neither is available offline, so this
+subpackage provides synthetic equivalents that exercise the same code
+paths (see DESIGN.md §4 for the substitution rationale), plus a loader
+for the real UCR file format for users who have the archive.
+"""
+
+from .normalize import z_normalize, z_normalize_all, is_z_normalized
+from .ecg import ECGConfig, ecg_stream
+from .workloads import make_workload, slice_stream
+from .registry import dataset_names, load_dataset
+from .loader import load_ucr_dataset, load_ucr_file
+
+__all__ = [
+    "z_normalize",
+    "z_normalize_all",
+    "is_z_normalized",
+    "ECGConfig",
+    "ecg_stream",
+    "make_workload",
+    "slice_stream",
+    "dataset_names",
+    "load_dataset",
+    "load_ucr_dataset",
+    "load_ucr_file",
+]

@@ -1,0 +1,117 @@
+"""Synthetic ECG stream — substitute for the paper's private ECG dataset.
+
+The paper's efficiency experiments (Section 7.3 onward) slice a
+20,140,000-point ECG recording from Rakthanmanon et al. into
+equal-length, z-normalized windows.  That recording is not available
+offline, so this module synthesizes a quasi-periodic ECG-like stream:
+each heartbeat is a PQRST complex built from Gaussian bumps, with
+beat-to-beat jitter in period and amplitude, slow baseline wander, and
+additive measurement noise.
+
+Why the substitution preserves the relevant behaviour: the efficiency
+experiments only need a long, locally self-similar 1-D stream whose
+windows contain *many near but few exact* neighbours — that is what
+makes inverted-list selection, zone pruning, and coarse-scale filtering
+interesting.  A jittered periodic signal has exactly that neighbour
+structure (windows one beat apart are similar but never identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .generators import ensure_rng, gaussian_bump
+
+__all__ = ["ECGConfig", "ecg_stream"]
+
+
+#: The PQRST complex as (center offset, width, height), all as fractions
+#: of the beat period (offsets/widths) or in millivolt-like units
+#: (heights).  Values chosen to give a visually plausible ECG shape;
+#: only the *structure* (sharp R spike, smaller P/T waves) matters.
+_PQRST = (
+    (0.20, 0.025, 0.12),   # P wave
+    (0.34, 0.010, -0.14),  # Q dip
+    (0.36, 0.012, 1.00),   # R spike
+    (0.39, 0.012, -0.25),  # S dip
+    (0.58, 0.045, 0.28),   # T wave
+)
+
+
+@dataclass(frozen=True)
+class ECGConfig:
+    """Parameters of the synthetic ECG stream.
+
+    ``beat_period`` is the mean beat length in samples;
+    ``period_jitter`` and ``amplitude_jitter`` are relative standard
+    deviations of the per-beat period and per-wave amplitude;
+    ``wander_std``/``wander_period`` shape the slow baseline drift;
+    ``noise_std`` is the white measurement noise level.
+    """
+
+    beat_period: int = 96
+    period_jitter: float = 0.06
+    amplitude_jitter: float = 0.08
+    wander_std: float = 0.08
+    wander_period: int = 1500
+    noise_std: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.beat_period < 8:
+            raise ParameterError(f"beat_period must be >= 8, got {self.beat_period}")
+        for name in ("period_jitter", "amplitude_jitter", "wander_std", "noise_std"):
+            if getattr(self, name) < 0:
+                raise ParameterError(f"{name} must be non-negative")
+        if self.wander_period <= 0:
+            raise ParameterError("wander_period must be positive")
+
+
+def ecg_stream(
+    n_points: int,
+    seed: int | np.random.Generator | None = 0,
+    config: ECGConfig = ECGConfig(),
+) -> np.ndarray:
+    """Generate ``n_points`` samples of a synthetic ECG recording.
+
+    The stream is *not* z-normalized; the workload builder normalizes
+    each sliced window, matching the paper's protocol.
+    """
+    if n_points <= 0:
+        raise ParameterError(f"n_points must be positive, got {n_points}")
+    rng = ensure_rng(seed)
+    out = np.zeros(n_points, dtype=np.float64)
+
+    # Lay PQRST complexes beat by beat until the stream is covered.
+    cursor = 0
+    while cursor < n_points:
+        period = max(
+            8,
+            int(round(config.beat_period * (1.0 + rng.normal(0.0, config.period_jitter)))),
+        )
+        beat_len = min(period, n_points - cursor)
+        beat = np.zeros(period, dtype=np.float64)
+        for offset, width, height in _PQRST:
+            jittered = height * (1.0 + rng.normal(0.0, config.amplitude_jitter))
+            beat += gaussian_bump(
+                period,
+                center=offset * period,
+                width=max(1.0, width * period),
+                height=jittered,
+            )
+        out[cursor : cursor + beat_len] += beat[:beat_len]
+        cursor += period
+
+    # Slow baseline wander: a low-frequency random phase sinusoid pair.
+    t = np.arange(n_points, dtype=np.float64)
+    for harmonic in (1.0, 2.3):
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        out += (config.wander_std / harmonic) * np.sin(
+            2.0 * np.pi * harmonic * t / config.wander_period + phase
+        )
+
+    if config.noise_std > 0:
+        out += rng.normal(0.0, config.noise_std, size=n_points)
+    return out

@@ -1,0 +1,135 @@
+"""Low-level building blocks for synthetic time-series generation.
+
+These primitives are composed by :mod:`repro.data.ecg` and
+:mod:`repro.data.ucr_like` into the dataset families used throughout the
+reproduction.  Each function takes an explicit ``numpy`` random
+generator so that every dataset in the repository is reproducible from a
+single integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "ensure_rng",
+    "gaussian_bump",
+    "harmonic_series",
+    "random_walk",
+    "time_shift",
+    "random_warp",
+    "add_noise",
+]
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts an existing generator (returned unchanged), an integer seed,
+    or ``None`` (fresh OS entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def gaussian_bump(length: int, center: float, width: float, height: float = 1.0) -> np.ndarray:
+    """A Gaussian-shaped bump sampled on ``0 .. length-1``.
+
+    ``center`` and ``width`` are in samples.  Used for ECG wave
+    components and burst events in device profiles.
+    """
+    if length <= 0:
+        raise ParameterError(f"length must be positive, got {length}")
+    if width <= 0:
+        raise ParameterError(f"width must be positive, got {width}")
+    t = np.arange(length, dtype=np.float64)
+    return height * np.exp(-0.5 * ((t - center) / width) ** 2)
+
+
+def harmonic_series(
+    length: int,
+    amplitudes: Sequence[float],
+    phases: Sequence[float],
+    base_period: float,
+) -> np.ndarray:
+    """Sum of sinusoidal harmonics — a smooth, band-limited curve.
+
+    Harmonic ``i`` (1-based) has period ``base_period / i``.  Used for
+    the smooth "outline" classification families (shapesAll / Herring
+    style stand-ins).
+    """
+    if length <= 0:
+        raise ParameterError(f"length must be positive, got {length}")
+    if len(amplitudes) != len(phases):
+        raise ParameterError("amplitudes and phases must have equal length")
+    if base_period <= 0:
+        raise ParameterError(f"base_period must be positive, got {base_period}")
+    t = np.arange(length, dtype=np.float64)
+    out = np.zeros(length, dtype=np.float64)
+    for i, (amp, phase) in enumerate(zip(amplitudes, phases), start=1):
+        out += amp * np.sin(2.0 * np.pi * i * t / base_period + phase)
+    return out
+
+
+def random_walk(length: int, rng: np.random.Generator, step_std: float = 1.0) -> np.ndarray:
+    """Cumulative-sum Gaussian random walk of ``length`` samples."""
+    if length <= 0:
+        raise ParameterError(f"length must be positive, got {length}")
+    return np.cumsum(rng.normal(0.0, step_std, size=length))
+
+
+def time_shift(series: np.ndarray, shift: int) -> np.ndarray:
+    """Shift a series along the time axis, padding with edge values.
+
+    Positive ``shift`` moves content to the right (later in time).  The
+    output has the same length as the input.
+    """
+    if shift == 0:
+        return series.copy()
+    out = np.empty_like(series)
+    if shift > 0:
+        out[shift:] = series[:-shift]
+        out[:shift] = series[0]
+    else:
+        out[:shift] = series[-shift:]
+        out[shift:] = series[-1]
+    return out
+
+
+def random_warp(series: np.ndarray, rng: np.random.Generator, strength: float = 0.05) -> np.ndarray:
+    """Apply a smooth random time warp to a 1-D series.
+
+    The time axis is re-sampled through a monotone map built from a few
+    random control points; ``strength`` controls how far the map may
+    deviate from the identity (as a fraction of the series length).
+    This mimics the local tempo variation that DTW is designed to
+    absorb.
+    """
+    if series.ndim != 1:
+        raise ParameterError("random_warp expects a 1-D series")
+    if strength < 0:
+        raise ParameterError(f"strength must be non-negative, got {strength}")
+    n = len(series)
+    if n < 3 or strength == 0:
+        return series.copy()
+    n_knots = 5
+    knots = np.linspace(0.0, n - 1.0, n_knots)
+    offsets = rng.normal(0.0, strength * n, size=n_knots)
+    offsets[0] = offsets[-1] = 0.0
+    warped_knots = np.sort(np.clip(knots + offsets, 0.0, n - 1.0))
+    source_positions = np.interp(np.arange(n), knots, warped_knots)
+    return np.interp(source_positions, np.arange(n), series)
+
+
+def add_noise(series: np.ndarray, rng: np.random.Generator, noise_std: float) -> np.ndarray:
+    """Return ``series`` plus i.i.d. Gaussian noise of the given std."""
+    if noise_std < 0:
+        raise ParameterError(f"noise_std must be non-negative, got {noise_std}")
+    if noise_std == 0:
+        return series.copy()
+    return series + rng.normal(0.0, noise_std, size=series.shape)

@@ -1,0 +1,83 @@
+"""Loader for the UCR Time Series Classification Archive file format.
+
+The 2015 archive (the version the paper cites) stores each dataset as
+``NAME/NAME_TRAIN`` and ``NAME/NAME_TEST`` text files: one series per
+line, the class label first, values separated by commas or whitespace.
+
+This environment has no network access, so the benchmarks run on the
+synthetic stand-ins from :mod:`repro.data.ucr_like`; users who have the
+real archive can set ``REPRO_UCR_DIR`` to its root and rerun the
+accuracy experiments on real data via :func:`load_ucr_dataset`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..types import ClassificationDataset, LabeledDataset
+from .normalize import z_normalize
+
+__all__ = ["load_ucr_file", "load_ucr_dataset", "ucr_archive_dir"]
+
+#: Environment variable pointing at a local copy of the UCR archive.
+UCR_DIR_ENV = "REPRO_UCR_DIR"
+
+
+def ucr_archive_dir() -> Path | None:
+    """Directory of a local UCR archive, or ``None`` if not configured."""
+    value = os.environ.get(UCR_DIR_ENV)
+    return Path(value) if value else None
+
+
+def load_ucr_file(path: str | Path, normalize: bool = True) -> LabeledDataset:
+    """Parse one UCR-format file into a :class:`LabeledDataset`.
+
+    Labels may be arbitrary integers (the archive uses e.g. -1/1 or
+    1..K); they are kept as-is.  Blank lines are skipped.  Each series
+    is z-normalized unless ``normalize`` is False.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"UCR file not found: {path}")
+    series: list[np.ndarray] = []
+    labels: list[int] = []
+    with open(path) as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            fields = line.replace(",", " ").split()
+            if len(fields) < 2:
+                raise DatasetError(f"{path}:{line_no}: expected label + values")
+            try:
+                label = int(float(fields[0]))
+                values = np.asarray([float(v) for v in fields[1:]], dtype=np.float64)
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{line_no}: unparsable number") from exc
+            series.append(z_normalize(values) if normalize else values)
+            labels.append(label)
+    if not series:
+        raise DatasetError(f"UCR file is empty: {path}")
+    return LabeledDataset(series=series, labels=np.asarray(labels), name=path.stem)
+
+
+def load_ucr_dataset(
+    name: str, root: str | Path | None = None, normalize: bool = True
+) -> ClassificationDataset:
+    """Load a named dataset (TRAIN + TEST pair) from a UCR archive copy.
+
+    ``root`` defaults to the ``REPRO_UCR_DIR`` environment variable.
+    """
+    root = Path(root) if root is not None else ucr_archive_dir()
+    if root is None:
+        raise DatasetError(
+            f"no UCR archive available: pass root= or set ${UCR_DIR_ENV}"
+        )
+    base = root / name
+    train = load_ucr_file(base / f"{name}_TRAIN", normalize=normalize)
+    test = load_ucr_file(base / f"{name}_TEST", normalize=normalize)
+    return ClassificationDataset(name=name, train=train, test=test)

@@ -1,0 +1,62 @@
+"""Z-normalization of time series (paper Section 2, "Preprocessing").
+
+Every algorithm in the paper assumes its inputs are z-normalized:
+``Norm(S) = (S - mean(S)) / std(S)``.  For multi-dimensional series we
+normalize each value dimension independently, which is the standard UCR
+convention and what Section 5.1 implies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["z_normalize", "z_normalize_all", "is_z_normalized"]
+
+#: Standard deviations below this are treated as zero (constant series).
+_STD_FLOOR = 1e-12
+
+
+def z_normalize(series: np.ndarray) -> np.ndarray:
+    """Return a z-normalized copy of ``series``.
+
+    A constant series has zero standard deviation; dividing by it would
+    produce NaNs, so constant series (and constant dimensions of a
+    multi-dimensional series) are mapped to all zeros instead.  This is
+    the conventional treatment in the UCR tooling and keeps downstream
+    grid assignment well-defined.
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    # Two-pass centering: a second subtraction removes the residual mean
+    # that catastrophic cancellation leaves for near-constant series
+    # with large offsets, making normalization numerically idempotent.
+    centered = arr - arr.mean(axis=0)
+    centered -= centered.mean(axis=0)
+    std = centered.std(axis=0)
+    if arr.ndim == 1:
+        if std < _STD_FLOOR:
+            return np.zeros_like(arr)
+        return centered / std
+    safe_std = np.where(std < _STD_FLOOR, 1.0, std)
+    out = centered / safe_std
+    out[:, std < _STD_FLOOR] = 0.0
+    return out
+
+
+def z_normalize_all(series_list: Iterable[np.ndarray]) -> list[np.ndarray]:
+    """Z-normalize every series in an iterable, returning a list."""
+    return [z_normalize(s) for s in series_list]
+
+
+def is_z_normalized(series: np.ndarray, tolerance: float = 1e-6) -> bool:
+    """Check whether ``series`` already has ~zero mean and ~unit std.
+
+    An all-zero series also counts: it is the canonical normalization
+    of a constant series (see :func:`z_normalize`).
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    mean_ok = bool(np.all(np.abs(arr.mean(axis=0)) <= tolerance))
+    std = arr.std(axis=0)
+    std_ok = bool(np.all((np.abs(std - 1.0) <= tolerance) | (std <= tolerance)))
+    return mean_ok and std_ok

@@ -1,0 +1,467 @@
+"""Synthetic stand-ins for the UCR classification datasets.
+
+The paper's accuracy experiments (Tables 4, 8; Figures 4-5) run on the
+UCR Time Series Classification Archive, which cannot be downloaded in
+this offline environment.  This module generates labeled train/test
+datasets that reproduce the *structural regimes* the paper's analysis
+relies on, so every accuracy experiment exercises the identical code
+path on data with the same qualitative behaviour:
+
+- :func:`cbf` — the Cylinder-Bell-Funnel family *is* synthetic in the
+  archive; we generate it from its standard published definition.
+- :func:`device_profiles` — the "suitable scenario" of Section 6.2:
+  near-zero baselines with a few class-characteristic bursts under a
+  large global time shift (Computers / RefrigerationDevices /
+  ScreenType stand-in).
+- :func:`smooth_outlines` — image-outline-like smooth curves with only
+  slight shift (shapesAll / Herring stand-in), the paper's other
+  suitable scenario.
+- :func:`noisy_templates` — heavily noised templates, the *unsuitable*
+  scenario (phoneme stand-in) where DTW should win.
+- :func:`two_close_classes` — two nearly identical classes
+  (HandOutlines stand-in) where the grid cannot separate classes.
+- :func:`gesture3d` — three correlated value dimensions per series
+  (cricket_X/Y/Z stand-in) for the multi-dimensional study of
+  Section 5.1 / Figure 4(b-d).
+- :func:`faces_family` — two datasets drawn from one generator family
+  (FacesUCR / FaceAll stand-in) for Figure 4(e-f).
+
+Every generator takes a single integer seed and returns a
+:class:`~repro.types.ClassificationDataset` with z-normalized series.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..types import ClassificationDataset, LabeledDataset
+from .generators import add_noise, ensure_rng, gaussian_bump, random_warp, time_shift
+from .normalize import z_normalize
+
+__all__ = [
+    "template_classes",
+    "cbf",
+    "device_profiles",
+    "smooth_outlines",
+    "noisy_templates",
+    "two_close_classes",
+    "gesture3d",
+    "faces_family",
+    "synthetic_control",
+    "two_patterns",
+]
+
+
+def _make_labeled(
+    name: str,
+    make_instance: Callable[[int, np.random.Generator], np.ndarray],
+    n_classes: int,
+    n_per_class: int,
+    rng: np.random.Generator,
+) -> LabeledDataset:
+    """Draw ``n_per_class`` instances of each class and shuffle them."""
+    series: list[np.ndarray] = []
+    labels: list[int] = []
+    for label in range(n_classes):
+        for _ in range(n_per_class):
+            series.append(z_normalize(make_instance(label, rng)))
+            labels.append(label)
+    order = rng.permutation(len(series))
+    return LabeledDataset(
+        series=[series[i] for i in order],
+        labels=np.asarray(labels)[order],
+        name=name,
+    )
+
+
+def template_classes(
+    name: str,
+    templates: list[np.ndarray],
+    n_train_per_class: int,
+    n_test_per_class: int,
+    seed: int = 0,
+    shift_std: float = 2.0,
+    warp_strength: float = 0.02,
+    noise_std: float = 0.1,
+) -> ClassificationDataset:
+    """Generic labeled dataset: one template per class plus distortions.
+
+    Each instance is its class template after (1) an integer time shift
+    drawn from ``N(0, shift_std)``, (2) a smooth random time warp, and
+    (3) additive Gaussian noise.  All accuracy-oriented families below
+    are specializations of this recipe; exposing it publicly lets users
+    build custom regimes (e.g. for parameter-sensitivity studies).
+    """
+    if not templates:
+        raise ParameterError("need at least one class template")
+    rng = ensure_rng(seed)
+
+    def make_instance(label: int, rng: np.random.Generator) -> np.ndarray:
+        out = templates[label]
+        shift = int(round(rng.normal(0.0, shift_std))) if shift_std > 0 else 0
+        out = time_shift(out, shift)
+        if warp_strength > 0:
+            out = random_warp(out, rng, strength=warp_strength)
+        return add_noise(out, rng, noise_std)
+
+    train = _make_labeled(name, make_instance, len(templates), n_train_per_class, rng)
+    test = _make_labeled(name, make_instance, len(templates), n_test_per_class, rng)
+    return ClassificationDataset(name=name, train=train, test=test)
+
+
+def cbf(
+    n_train_per_class: int = 10,
+    n_test_per_class: int = 100,
+    length: int = 128,
+    seed: int = 0,
+) -> ClassificationDataset:
+    """Cylinder-Bell-Funnel, per the standard synthetic definition.
+
+    c(t) = (6+η)·χ[a,b](t) + ε(t);  the bell ramps up over [a, b] and
+    the funnel ramps down; a ~ U(16, 32), b−a ~ U(32, 96), η, ε ~ N(0,1).
+    """
+    rng = ensure_rng(seed)
+
+    def make_instance(label: int, rng: np.random.Generator) -> np.ndarray:
+        a = rng.uniform(length / 8.0, length / 4.0)
+        b = a + rng.uniform(length / 4.0, length * 3.0 / 4.0)
+        b = min(b, length - 1.0)
+        t = np.arange(length, dtype=np.float64)
+        mask = ((t >= a) & (t <= b)).astype(np.float64)
+        level = 6.0 + rng.normal()
+        if label == 0:  # cylinder
+            shape = mask
+        elif label == 1:  # bell: linear ramp up
+            shape = mask * (t - a) / (b - a)
+        else:  # funnel: linear ramp down
+            shape = mask * (b - t) / (b - a)
+        return level * shape + rng.normal(0.0, 1.0, size=length)
+
+    train = _make_labeled("CBF", make_instance, 3, n_train_per_class, rng)
+    test = _make_labeled("CBF", make_instance, 3, n_test_per_class, rng)
+    return ClassificationDataset(name="CBF", train=train, test=test)
+
+
+def device_profiles(
+    n_classes: int = 3,
+    n_train_per_class: int = 60,
+    n_test_per_class: int = 60,
+    length: int = 720,
+    seed: int = 0,
+    shift_fraction: float = 0.25,
+    noise_std: float = 0.02,
+) -> ClassificationDataset:
+    """Electricity-usage-like profiles: the paper's suitable scenario.
+
+    Each class is a distinct pattern of on/off power bursts over a
+    near-zero baseline.  Instances of a class share the burst pattern
+    but start at a large random time offset (up to ``shift_fraction`` of
+    the series), so "the time series have a global shift, but only a
+    few points have different values" (Section 7.2.2).
+    """
+    rng = ensure_rng(seed)
+    if n_classes < 2:
+        raise ParameterError("device_profiles needs at least 2 classes")
+
+    # Per class: a fixed set of bursts (position fraction, width, level).
+    class_bursts: list[list[tuple[float, float, float]]] = []
+    for _ in range(n_classes):
+        n_bursts = int(rng.integers(1, 4))
+        bursts = [
+            (
+                float(rng.uniform(0.1, 0.6)),
+                float(rng.uniform(0.02, 0.08) * length),
+                float(rng.uniform(1.0, 4.0)),
+            )
+            for _ in range(n_bursts)
+        ]
+        class_bursts.append(bursts)
+
+    max_shift = int(shift_fraction * length)
+
+    def make_instance(label: int, rng: np.random.Generator) -> np.ndarray:
+        out = np.zeros(length, dtype=np.float64)
+        offset = int(rng.integers(0, max_shift + 1))
+        for pos_frac, width, level in class_bursts[label]:
+            center = pos_frac * length + offset
+            # Square-ish burst: a clipped wide Gaussian reads as on/off.
+            out += level * np.clip(
+                3.0 * gaussian_bump(length, center, width), 0.0, 1.0
+            )
+        return add_noise(out, rng, noise_std)
+
+    train = _make_labeled("Device", make_instance, n_classes, n_train_per_class, rng)
+    test = _make_labeled("Device", make_instance, n_classes, n_test_per_class, rng)
+    return ClassificationDataset(name="Device", train=train, test=test)
+
+
+def _harmonic_template(length: int, rng: np.random.Generator, n_harmonics: int = 6) -> np.ndarray:
+    """A random smooth closed-curve-like template (Fourier descriptors)."""
+    t = np.arange(length, dtype=np.float64)
+    out = np.zeros(length, dtype=np.float64)
+    for i in range(1, n_harmonics + 1):
+        amp = rng.normal(0.0, 1.0 / i)
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        out += amp * np.sin(2.0 * np.pi * i * t / length + phase)
+    return out
+
+
+def smooth_outlines(
+    n_classes: int = 6,
+    n_train_per_class: int = 20,
+    n_test_per_class: int = 20,
+    length: int = 256,
+    seed: int = 0,
+    noise_std: float = 0.08,
+) -> ClassificationDataset:
+    """Image-outline-like smooth curves with only slight shift.
+
+    Stand-in for shapesAll / Herring: distinct smooth templates, small
+    time shift, modest noise — STS3's first suitable scenario.
+    """
+    rng = ensure_rng(seed)
+    templates = [_harmonic_template(length, rng) for _ in range(n_classes)]
+    return template_classes(
+        "Shapes",
+        templates,
+        n_train_per_class,
+        n_test_per_class,
+        seed=int(rng.integers(0, 2**31)),
+        shift_std=length * 0.01,
+        warp_strength=0.01,
+        noise_std=noise_std,
+    )
+
+
+def noisy_templates(
+    n_classes: int = 8,
+    n_train_per_class: int = 15,
+    n_test_per_class: int = 15,
+    length: int = 256,
+    seed: int = 0,
+    noise_std: float = 1.2,
+) -> ClassificationDataset:
+    """Heavily noised templates — the unsuitable scenario (phoneme-like).
+
+    The signal-to-noise ratio is low and the point shift large, so
+    "the small cells cannot handle noise and the large cells cannot
+    distinguish different time series" (Section 7.2.2): DTW should beat
+    STS3 here, and our benchmarks check that it does.
+    """
+    rng = ensure_rng(seed)
+    templates = [_harmonic_template(length, rng) for _ in range(n_classes)]
+    return template_classes(
+        "Noisy",
+        templates,
+        n_train_per_class,
+        n_test_per_class,
+        seed=int(rng.integers(0, 2**31)),
+        shift_std=length * 0.05,
+        warp_strength=0.06,
+        noise_std=noise_std,
+    )
+
+
+def two_close_classes(
+    n_train_per_class: int = 40,
+    n_test_per_class: int = 40,
+    length: int = 512,
+    seed: int = 0,
+    difference_scale: float = 0.25,
+    noise_std: float = 0.15,
+    shift_std: float | None = None,
+    warp_strength: float = 0.03,
+) -> ClassificationDataset:
+    """Two nearly identical classes (HandOutlines stand-in).
+
+    Class 1 equals class 0 except for a small localized perturbation of
+    relative size ``difference_scale``; with shift and noise on top, the
+    grid cannot hold the shift while still separating the classes.
+    """
+    rng = ensure_rng(seed)
+    base = _harmonic_template(length, rng)
+    bump = gaussian_bump(length, center=0.62 * length, width=0.02 * length)
+    templates = [base, base + difference_scale * bump]
+    return template_classes(
+        "TwoClose",
+        templates,
+        n_train_per_class,
+        n_test_per_class,
+        seed=int(rng.integers(0, 2**31)),
+        shift_std=length * 0.02 if shift_std is None else shift_std,
+        warp_strength=warp_strength,
+        noise_std=noise_std,
+    )
+
+
+def gesture3d(
+    n_classes: int = 12,
+    n_train_per_class: int = 30,
+    n_test_per_class: int = 30,
+    length: int = 300,
+    seed: int = 0,
+    noise_std: float = 0.15,
+) -> tuple[ClassificationDataset, dict[str, ClassificationDataset]]:
+    """Cricket-like 3-dimensional gestures.
+
+    Returns the full 3-D dataset (series of shape ``(length, 3)``) plus
+    per-axis 1-D projections named ``"Cricket_X"``, ``"Cricket_Y"``,
+    ``"Cricket_Z"`` — the form used by Figure 4(b-d).  A time shift is
+    applied *jointly* across the three axes, matching the paper's
+    observation that "if a point has time shift in one dimension, the
+    time shift will also happen in other dimensions".
+    """
+    rng = ensure_rng(seed)
+    # Per class: three correlated templates (shared base + axis detail).
+    class_templates: list[np.ndarray] = []
+    for _ in range(n_classes):
+        base = _harmonic_template(length, rng)
+        axes = [base + 0.5 * _harmonic_template(length, rng) for _ in range(3)]
+        class_templates.append(np.stack(axes, axis=1))
+
+    def make_instance(label: int, rng: np.random.Generator) -> np.ndarray:
+        template = class_templates[label]
+        shift = int(round(rng.normal(0.0, length * 0.02)))
+        out = np.stack(
+            [time_shift(template[:, d], shift) for d in range(3)], axis=1
+        )
+        return add_noise(out, rng, noise_std)
+
+    train = _make_labeled("Cricket3D", make_instance, n_classes, n_train_per_class, rng)
+    test = _make_labeled("Cricket3D", make_instance, n_classes, n_test_per_class, rng)
+    full = ClassificationDataset(name="Cricket3D", train=train, test=test)
+
+    projections: dict[str, ClassificationDataset] = {}
+    for d, axis in enumerate("XYZ"):
+        name = f"Cricket_{axis}"
+        projections[name] = ClassificationDataset(
+            name=name,
+            train=LabeledDataset(
+                [z_normalize(s[:, d]) for s in train.series], train.labels, name
+            ),
+            test=LabeledDataset(
+                [z_normalize(s[:, d]) for s in test.series], test.labels, name
+            ),
+        )
+    return full, projections
+
+
+def synthetic_control(
+    n_train_per_class: int = 50,
+    n_test_per_class: int = 50,
+    length: int = 60,
+    seed: int = 0,
+) -> ClassificationDataset:
+    """The UCR ``synthetic_control`` dataset, from its published recipe.
+
+    Alcock & Manolopoulos's control-chart generator: six classes over a
+    baseline ``m=30`` with noise ``r ~ N(0, 2²)`` —
+
+    1. normal:          m + r
+    2. cyclic:          m + r + a·sin(2πt/T)
+    3. increasing:      m + r + g·t
+    4. decreasing:      m + r − g·t
+    5. upward shift:    m + r + k·x·(t ≥ t₀)
+    6. downward shift:  m + r − k·x·(t ≥ t₀)
+
+    with a ∈ [10,15], T ∈ [10,15], g ∈ [0.2,0.5], x ∈ [7.5,20] and
+    shift point t₀ ∈ [length/3, 2·length/3].  This dataset is *itself*
+    synthetic in the UCR archive, so this stand-in is faithful rather
+    than approximate.
+    """
+    rng = ensure_rng(seed)
+    baseline = 30.0
+
+    def make_instance(label: int, rng: np.random.Generator) -> np.ndarray:
+        t = np.arange(length, dtype=np.float64)
+        out = baseline + rng.normal(0.0, 2.0, size=length)
+        if label == 1:  # cyclic
+            amplitude = rng.uniform(10.0, 15.0)
+            period = rng.uniform(10.0, 15.0)
+            out += amplitude * np.sin(2.0 * np.pi * t / period)
+        elif label == 2:  # increasing trend
+            out += rng.uniform(0.2, 0.5) * t
+        elif label == 3:  # decreasing trend
+            out -= rng.uniform(0.2, 0.5) * t
+        elif label in (4, 5):  # shifts
+            magnitude = rng.uniform(7.5, 20.0)
+            start = int(rng.uniform(length / 3.0, 2.0 * length / 3.0))
+            step = np.where(t >= start, magnitude, 0.0)
+            out += step if label == 4 else -step
+        return out
+
+    train = _make_labeled("synthetic_control", make_instance, 6, n_train_per_class, rng)
+    test = _make_labeled("synthetic_control", make_instance, 6, n_test_per_class, rng)
+    return ClassificationDataset(name="synthetic_control", train=train, test=test)
+
+
+def two_patterns(
+    n_train_per_class: int = 250,
+    n_test_per_class: int = 1000,
+    length: int = 128,
+    seed: int = 0,
+) -> ClassificationDataset:
+    """The UCR ``Two_Patterns`` dataset, from its published recipe.
+
+    Geurts's generator: background noise ``N(0,1)`` carrying two
+    temporal patterns — an *upward step* (−5 then +5) or a *downward
+    step* (+5 then −5) — at random non-overlapping positions; the four
+    classes are the pattern-pair orderings UU, UD, DU, DD.  Another
+    natively synthetic UCR dataset, so the stand-in is faithful.
+    """
+    rng = ensure_rng(seed)
+    pattern_len = max(4, length // 8)
+
+    def _write(out: np.ndarray, start: int, upward: bool) -> None:
+        half = pattern_len // 2
+        lo, hi = (-5.0, 5.0) if upward else (5.0, -5.0)
+        out[start : start + half] = lo
+        out[start + half : start + pattern_len] = hi
+
+    def make_instance(label: int, rng: np.random.Generator) -> np.ndarray:
+        out = rng.normal(0.0, 1.0, size=length)
+        first_up = label in (0, 1)
+        second_up = label in (0, 2)
+        start1 = int(rng.integers(0, length // 2 - pattern_len))
+        start2 = int(rng.integers(length // 2, length - pattern_len))
+        _write(out, start1, first_up)
+        _write(out, start2, second_up)
+        return out
+
+    train = _make_labeled("Two_Patterns", make_instance, 4, n_train_per_class, rng)
+    test = _make_labeled("Two_Patterns", make_instance, 4, n_test_per_class, rng)
+    return ClassificationDataset(name="Two_Patterns", train=train, test=test)
+
+
+def faces_family(
+    seed: int = 0,
+    length: int = 131,
+    n_classes: int = 14,
+) -> tuple[ClassificationDataset, ClassificationDataset]:
+    """Two datasets from one family (FacesUCR / FaceAll stand-ins).
+
+    Both use the *same* class templates and noise regime but different
+    instance draws and sizes, so parameter-sensitivity curves computed
+    on them should look alike — the phenomenon Figure 4(e-f) reports.
+    """
+    rng = ensure_rng(seed)
+    templates = [_harmonic_template(length, rng, n_harmonics=8) for _ in range(n_classes)]
+
+    def build(name: str, n_train: int, n_test: int, sub_seed: int) -> ClassificationDataset:
+        return template_classes(
+            name,
+            templates,
+            n_train,
+            n_test,
+            seed=sub_seed,
+            shift_std=length * 0.015,
+            warp_strength=0.02,
+            noise_std=0.25,
+        )
+
+    faces_ucr = build("FacesUCR", 14, 40, int(rng.integers(0, 2**31)))
+    face_all = build("FaceAll", 40, 40, int(rng.integers(0, 2**31)))
+    return faces_ucr, face_all

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single type at an API boundary.  Where a standard
+built-in category also applies (bad argument values, missing lookups) the
+exception additionally subclasses the built-in, so ``except ValueError``
+written against a generic numeric library keeps working.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A parameter value is outside its documented domain.
+
+    Raised for non-positive cell sizes, ``scale < 1``, ``k < 1`` and
+    similar misconfiguration that can be detected before any work starts.
+    """
+
+
+class GridError(ReproError, ValueError):
+    """A grid cannot be constructed or used as requested.
+
+    Typical causes: an empty bound (``t_max < t_min``), a degenerate
+    value range, or a point handed to a grid method that requires it to
+    lie inside the bound.
+    """
+
+
+class EmptyDatabaseError(ReproError, LookupError):
+    """A query was issued against a database with no series in it."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset file or generator specification is invalid."""

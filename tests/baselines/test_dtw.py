@@ -1,0 +1,204 @@
+"""Tests for DTW: recurrence correctness, banding, early abandoning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.dtw import dtw, dtw_independent, dtw_with_path, sakoe_chiba_window
+from repro.baselines.ed import euclidean
+from repro.exceptions import ParameterError
+
+short_series = arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=24),
+    elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+)
+
+
+def _reference_dtw(a, b, window=None):
+    """Straightforward O(n·m) scalar DP, the ground truth."""
+    n, m = len(a), len(b)
+    dp = np.full((n + 1, m + 1), np.inf)
+    dp[0, 0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if window is not None and abs(i - j) > window:
+                continue
+            cost = (a[i - 1] - b[j - 1]) ** 2
+            dp[i, j] = cost + min(dp[i - 1, j], dp[i, j - 1], dp[i - 1, j - 1])
+    return float(np.sqrt(dp[n, m]))
+
+
+class TestDTW:
+    def test_identical_series_zero(self):
+        a = np.sin(np.linspace(0, 5, 30))
+        assert dtw(a, a) == 0.0
+
+    def test_known_small_case(self):
+        a = np.array([0.0, 1.0, 2.0])
+        b = np.array([0.0, 2.0])
+        # optimal path: (0,0) (1,1)?? verify against reference
+        assert dtw(a, b) == pytest.approx(_reference_dtw(a, b))
+
+    def test_warping_absorbs_shift(self):
+        """DTW of a shifted bump is far below its ED."""
+        t = np.arange(64, dtype=float)
+        a = np.exp(-0.5 * ((t - 30) / 3) ** 2)
+        b = np.exp(-0.5 * ((t - 34) / 3) ** 2)
+        assert dtw(a, b) < 0.25 * euclidean(a, b)
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            dtw(np.array([]), np.array([1.0]))
+
+    def test_negative_window_raises(self):
+        with pytest.raises(ParameterError):
+            dtw(np.zeros(3), np.zeros(3), window=-1)
+
+    def test_band_narrower_than_length_gap(self):
+        assert dtw(np.zeros(10), np.zeros(3), window=2) == float("inf")
+
+    def test_multidim(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(12, 2))
+        assert dtw(a, a) == 0.0
+        b = rng.normal(size=(12, 2))
+        assert dtw(a, b) > 0
+
+    @given(short_series, short_series)
+    @settings(max_examples=30)
+    def test_matches_reference(self, a, b):
+        assert dtw(a, b) == pytest.approx(_reference_dtw(a, b), abs=1e-9)
+
+    @given(short_series, short_series, st.integers(0, 10))
+    @settings(max_examples=30)
+    def test_matches_reference_banded(self, a, b, window):
+        got = dtw(a, b, window=window)
+        expected = _reference_dtw(a, b, window=window)
+        if expected == float("inf"):
+            assert got == float("inf")
+        else:
+            assert got == pytest.approx(expected, abs=1e-9)
+
+    @given(short_series, short_series)
+    @settings(max_examples=30)
+    def test_symmetry(self, a, b):
+        assert dtw(a, b) == pytest.approx(dtw(b, a), abs=1e-9)
+
+    def test_dtw_at_most_ed_for_equal_length(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a, b = rng.normal(size=32), rng.normal(size=32)
+            assert dtw(a, b) <= euclidean(a, b) + 1e-9
+
+    def test_band_zero_equals_ed(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=20), rng.normal(size=20)
+        assert dtw(a, b, window=0) == pytest.approx(euclidean(a, b))
+
+    def test_wider_band_never_increases_distance(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.normal(size=30), rng.normal(size=30)
+        distances = [dtw(a, b, window=w) for w in (0, 2, 5, 10, None)]
+        assert all(x >= y - 1e-9 for x, y in zip(distances, distances[1:]))
+
+
+class TestEarlyAbandon:
+    def test_abandons(self):
+        a = np.zeros(50)
+        b = np.full(50, 5.0)
+        assert dtw(a, b, cutoff=1.0) == float("inf")
+
+    def test_exact_when_below_cutoff(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.normal(size=40), rng.normal(size=40)
+        exact = dtw(a, b)
+        assert dtw(a, b, cutoff=exact * 2) == pytest.approx(exact)
+
+    @given(short_series, short_series, st.floats(0.5, 20))
+    @settings(max_examples=30)
+    def test_never_underestimates(self, a, b, cutoff):
+        exact = _reference_dtw(a, b)
+        got = dtw(a, b, cutoff=cutoff)
+        if got == float("inf"):
+            assert exact > cutoff - 1e-9
+        else:
+            assert got == pytest.approx(exact, abs=1e-9)
+
+
+class TestDTWIndependent:
+    def test_1d_equals_dtw(self):
+        rng = np.random.default_rng(10)
+        a, b = rng.normal(size=16), rng.normal(size=16)
+        assert dtw_independent(a, b, window=4) == pytest.approx(dtw(a, b, window=4))
+
+    def test_identical_zero(self):
+        rng = np.random.default_rng(11)
+        a = rng.normal(size=(12, 3))
+        assert dtw_independent(a, a) == 0.0
+
+    def test_independent_at_most_dependent(self):
+        """Per-dimension warping has more freedom, so the independent
+        distance never exceeds the dependent one."""
+        rng = np.random.default_rng(12)
+        for _ in range(8):
+            a = rng.normal(size=(14, 2))
+            b = rng.normal(size=(14, 2))
+            assert dtw_independent(a, b) <= dtw(a, b) + 1e-9
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            dtw_independent(np.zeros((5, 2)), np.zeros((5, 3)))
+
+    def test_band_propagates(self):
+        a = np.zeros((10, 2))
+        b = np.zeros((3, 2))
+        assert dtw_independent(a, b, window=2) == float("inf")
+
+
+class TestSakoeChibaWindow:
+    def test_fraction(self):
+        assert sakoe_chiba_window(100, 0.1) == 10
+
+    def test_zero(self):
+        assert sakoe_chiba_window(100, 0.0) == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ParameterError):
+            sakoe_chiba_window(100, 1.5)
+
+
+class TestDTWWithPath:
+    def test_distance_matches_dtw(self):
+        rng = np.random.default_rng(5)
+        a, b = rng.normal(size=15), rng.normal(size=12)
+        distance, path = dtw_with_path(a, b)
+        assert distance == pytest.approx(dtw(a, b), abs=1e-9)
+
+    def test_path_is_monotone_and_connected(self):
+        rng = np.random.default_rng(6)
+        a, b = rng.normal(size=10), rng.normal(size=14)
+        _, path = dtw_with_path(a, b)
+        assert path[0] == (0, 0)
+        assert path[-1] == (9, 13)
+        for (i1, j1), (i2, j2) in zip(path, path[1:]):
+            assert (i2 - i1, j2 - j1) in {(1, 0), (0, 1), (1, 1)}
+
+    def test_window_must_contain_endpoints(self):
+        with pytest.raises(ParameterError):
+            dtw_with_path(np.zeros(3), np.zeros(3), window_cells={(1, 1)})
+
+    def test_disconnected_window_raises(self):
+        cells = {(0, 0), (2, 2)}
+        with pytest.raises(ParameterError):
+            dtw_with_path(np.zeros(3), np.zeros(3), window_cells=cells)
+
+    def test_restricted_window_at_least_full_distance(self):
+        rng = np.random.default_rng(7)
+        a, b = rng.normal(size=8), rng.normal(size=8)
+        full, _ = dtw_with_path(a, b)
+        band = {(i, j) for i in range(8) for j in range(8) if abs(i - j) <= 1}
+        banded, _ = dtw_with_path(a, b, window_cells=band)
+        assert banded >= full - 1e-9

@@ -1,0 +1,76 @@
+"""Tests for Euclidean distance and its early-abandoning variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.ed import euclidean, euclidean_early_abandon, squared_euclidean
+from repro.exceptions import ParameterError
+
+pair = st.integers(min_value=1, max_value=64).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, n, elements=st.floats(-100, 100, allow_nan=False)),
+        arrays(np.float64, n, elements=st.floats(-100, 100, allow_nan=False)),
+    )
+)
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        assert euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_self_distance_zero(self):
+        a = np.array([1.0, -2.0, 3.0])
+        assert euclidean(a, a) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            euclidean(np.zeros(3), np.zeros(4))
+
+    def test_multidim(self):
+        a = np.zeros((2, 2))
+        b = np.ones((2, 2))
+        assert euclidean(a, b) == 2.0
+
+    @given(pair)
+    def test_symmetry(self, ab):
+        a, b = ab
+        assert euclidean(a, b) == pytest.approx(euclidean(b, a))
+
+    @given(pair)
+    def test_squared_consistent(self, ab):
+        a, b = ab
+        assert euclidean(a, b) == pytest.approx(np.sqrt(squared_euclidean(a, b)))
+
+
+class TestEarlyAbandon:
+    def test_no_cutoff_equals_exact(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=100), rng.normal(size=100)
+        assert euclidean_early_abandon(a, b, float("inf")) == pytest.approx(
+            euclidean(a, b)
+        )
+
+    def test_abandons_above_cutoff(self):
+        a = np.zeros(1000)
+        b = np.full(1000, 10.0)
+        assert euclidean_early_abandon(a, b, cutoff=1.0) == float("inf")
+
+    def test_exact_below_cutoff(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=64), rng.normal(size=64)
+        exact = euclidean(a, b)
+        assert euclidean_early_abandon(a, b, cutoff=exact + 1) == pytest.approx(exact)
+
+    @given(pair, st.floats(min_value=0.1, max_value=50))
+    def test_never_underestimates(self, ab, cutoff):
+        """Either the exact distance, or inf with exact > cutoff."""
+        a, b = ab
+        exact = euclidean(a, b)
+        got = euclidean_early_abandon(a, b, cutoff)
+        if got == float("inf"):
+            assert exact > cutoff - 1e-9
+        else:
+            assert got == pytest.approx(exact)

@@ -1,0 +1,129 @@
+"""Tests for EDR and ERP against textbook reference dynamic programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.edr import edr_distance, edr_similarity
+from repro.baselines.erp import erp_distance
+from repro.exceptions import ParameterError
+
+series = arrays(
+    np.float64,
+    st.integers(min_value=0, max_value=24),
+    elements=st.floats(min_value=-4, max_value=4, allow_nan=False),
+)
+
+
+def _reference_edr(a, b, epsilon):
+    n, m = len(a), len(b)
+    dp = np.zeros((n + 1, m + 1), dtype=int)
+    dp[:, 0] = np.arange(n + 1)
+    dp[0, :] = np.arange(m + 1)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            sub = 0 if abs(a[i - 1] - b[j - 1]) <= epsilon else 1
+            dp[i, j] = min(dp[i - 1, j - 1] + sub, dp[i - 1, j] + 1, dp[i, j - 1] + 1)
+    return int(dp[n, m])
+
+
+def _reference_erp(a, b, gap=0.0):
+    n, m = len(a), len(b)
+    dp = np.zeros((n + 1, m + 1))
+    dp[:, 0] = np.concatenate(([0.0], np.cumsum(np.abs(a - gap)))) if n else 0.0
+    dp[0, :] = np.concatenate(([0.0], np.cumsum(np.abs(b - gap)))) if m else 0.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            dp[i, j] = min(
+                dp[i - 1, j - 1] + abs(a[i - 1] - b[j - 1]),
+                dp[i - 1, j] + abs(a[i - 1] - gap),
+                dp[i, j - 1] + abs(b[j - 1] - gap),
+            )
+    return float(dp[n, m])
+
+
+class TestEDR:
+    def test_identical_is_zero(self):
+        a = np.arange(10.0)
+        assert edr_distance(a, a, epsilon=0.1) == 0
+
+    def test_completely_different(self):
+        a = np.zeros(4)
+        b = np.full(4, 9.0)
+        assert edr_distance(a, b, epsilon=0.5) == 4
+
+    def test_length_difference_costs_gaps(self):
+        a = np.zeros(6)
+        b = np.zeros(2)
+        assert edr_distance(a, b, epsilon=0.1) == 4
+
+    def test_empty(self):
+        assert edr_distance(np.array([]), np.arange(3.0), 0.5) == 3
+        assert edr_distance(np.array([]), np.array([]), 0.5) == 0
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ParameterError):
+            edr_distance(np.zeros(2), np.zeros(2), epsilon=-1)
+
+    def test_similarity_range(self):
+        a, b = np.zeros(5), np.full(5, 9.0)
+        assert edr_similarity(a, b, 0.5) == 0.0
+        assert edr_similarity(a, a, 0.5) == 1.0
+
+    @given(series, series, st.floats(0, 2))
+    @settings(max_examples=40)
+    def test_matches_reference(self, a, b, epsilon):
+        assert edr_distance(a, b, epsilon) == _reference_edr(a, b, epsilon)
+
+    @given(series, series, st.floats(0, 2))
+    @settings(max_examples=25)
+    def test_symmetry(self, a, b, epsilon):
+        assert edr_distance(a, b, epsilon) == edr_distance(b, a, epsilon)
+
+    @given(series, series)
+    @settings(max_examples=25)
+    def test_bounded_by_max_length(self, a, b):
+        assert edr_distance(a, b, 0.5) <= max(len(a), len(b))
+
+
+class TestERP:
+    def test_identical_is_zero(self):
+        a = np.arange(8.0)
+        assert erp_distance(a, a) == pytest.approx(0.0)
+
+    def test_empty_costs_gap_mass(self):
+        b = np.array([1.0, -2.0, 3.0])
+        assert erp_distance(np.array([]), b) == pytest.approx(6.0)
+
+    def test_known_small_case(self):
+        a = np.array([1.0])
+        b = np.array([1.0, 2.0])
+        # align 1-1 (cost 0) then gap the 2 (cost |2-0| = 2)
+        assert erp_distance(a, b) == pytest.approx(2.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ParameterError):
+            erp_distance(np.zeros((3, 2)), np.zeros(3))
+
+    @given(series, series, st.floats(-1, 1))
+    @settings(max_examples=40)
+    def test_matches_reference(self, a, b, gap):
+        assert erp_distance(a, b, gap) == pytest.approx(
+            _reference_erp(a, b, gap), abs=1e-9
+        )
+
+    @given(series, series)
+    @settings(max_examples=25)
+    def test_symmetry(self, a, b):
+        assert erp_distance(a, b) == pytest.approx(erp_distance(b, a), abs=1e-9)
+
+    @given(series, series, series)
+    @settings(max_examples=25)
+    def test_triangle_inequality(self, a, b, c):
+        """ERP is a metric (Chen & Ng 2004, Theorem 2)."""
+        dab = erp_distance(a, b)
+        dbc = erp_distance(b, c)
+        dac = erp_distance(a, c)
+        assert dac <= dab + dbc + 1e-9

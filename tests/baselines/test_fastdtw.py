@@ -1,0 +1,100 @@
+"""Tests for FastDTW: approximation quality and structural properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.dtw import dtw
+from repro.baselines.fastdtw import coarsen, expand_window, fastdtw
+from repro.exceptions import ParameterError
+
+series = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=48),
+    elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+)
+
+
+class TestCoarsen:
+    def test_even_length(self):
+        out = coarsen(np.array([0.0, 2.0, 4.0, 6.0]))
+        assert np.array_equal(out, [1.0, 5.0])
+
+    def test_odd_length_keeps_tail(self):
+        out = coarsen(np.array([0.0, 2.0, 9.0]))
+        assert np.array_equal(out, [1.0, 9.0])
+
+    def test_multidim(self):
+        out = coarsen(np.array([[0.0, 0.0], [2.0, 4.0]]))
+        assert np.array_equal(out, [[1.0, 2.0]])
+
+
+class TestExpandWindow:
+    def test_covers_projected_blocks(self):
+        window = expand_window([(0, 0), (1, 1)], 4, 4, radius=0)
+        for cell in [(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (3, 3)]:
+            assert cell in window
+
+    def test_radius_grows_window(self):
+        small = expand_window([(0, 0)], 6, 6, radius=0)
+        big = expand_window([(0, 0)], 6, 6, radius=2)
+        assert small < big
+
+    def test_endpoints_always_present(self):
+        window = expand_window([(0, 0)], 10, 10, radius=0)
+        assert (0, 0) in window
+        assert (9, 9) in window
+
+
+class TestFastDTW:
+    def test_identical_series_zero(self):
+        a = np.sin(np.linspace(0, 5, 64))
+        distance, _ = fastdtw(a, a, radius=0)
+        assert distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_small_series_exact(self):
+        """Below the base-case size FastDTW equals exact DTW."""
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=3), rng.normal(size=3)
+        assert fastdtw(a, b)[0] == pytest.approx(dtw(a, b), abs=1e-9)
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ParameterError):
+            fastdtw(np.zeros(4), np.zeros(4), radius=-1)
+
+    @given(series, series)
+    @settings(max_examples=25)
+    def test_never_underestimates_exact_dtw(self, a, b):
+        approx, _ = fastdtw(a, b, radius=0)
+        exact = dtw(a, b)
+        assert approx >= exact - 1e-9
+
+    @given(series, series)
+    @settings(max_examples=25)
+    def test_path_valid(self, a, b):
+        _, path = fastdtw(a, b, radius=1)
+        assert path[0] == (0, 0)
+        assert path[-1] == (len(a) - 1, len(b) - 1)
+        for (i1, j1), (i2, j2) in zip(path, path[1:]):
+            assert (i2 - i1, j2 - j1) in {(1, 0), (0, 1), (1, 1)}
+
+    def test_radius_improves_accuracy(self):
+        """On a hard instance, a larger radius cannot do worse."""
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=128)
+        b = rng.normal(size=128)
+        exact = dtw(a, b)
+        gaps = []
+        for radius in (0, 2, 8):
+            approx, _ = fastdtw(a, b, radius=radius)
+            gaps.append(approx - exact)
+        assert gaps[-1] <= gaps[0] + 1e-9
+
+    def test_reasonable_approximation_on_smooth_data(self):
+        t = np.linspace(0, 6, 200)
+        a, b = np.sin(t), np.sin(t + 0.2)
+        exact = dtw(a, b)
+        approx, _ = fastdtw(a, b, radius=1)
+        assert approx <= max(2.0 * exact, exact + 1.0)

@@ -1,0 +1,153 @@
+"""Tests for the generic k-NN scan and 1-NN classification."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ed import euclidean
+from repro.baselines.knn import (
+    error_rate,
+    knn_classify,
+    knn_search,
+    measures,
+    nn_classify,
+)
+from repro.data.ucr_like import smooth_outlines
+from repro.exceptions import EmptyDatabaseError, ParameterError
+from repro.types import LabeledDataset
+
+
+@pytest.fixture(scope="module")
+def database():
+    rng = np.random.default_rng(0)
+    return [rng.normal(size=32) for _ in range(30)]
+
+
+class TestKnnSearch:
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDatabaseError):
+            knn_search([], np.zeros(3), measures.ed())
+
+    def test_bad_k_raises(self, database):
+        with pytest.raises(ParameterError):
+            knn_search(database, database[0], measures.ed(), k=0)
+
+    def test_self_is_nearest(self, database):
+        result = knn_search(database, database[11], measures.ed(), k=1)
+        assert result[0][0] == 11
+        assert result[0][1] == 0.0
+
+    def test_results_sorted(self, database):
+        rng = np.random.default_rng(1)
+        result = knn_search(database, rng.normal(size=32), measures.ed(), k=5)
+        distances = [d for _, d in result]
+        assert distances == sorted(distances)
+
+    def test_early_stop_matches_exhaustive(self, database):
+        rng = np.random.default_rng(2)
+        query = rng.normal(size=32)
+        fast = knn_search(database, query, measures.ed(), k=4, early_stop=True)
+        slow = knn_search(database, query, measures.ed(), k=4, early_stop=False)
+        assert [i for i, _ in fast] == [i for i, _ in slow]
+        assert [d for _, d in fast] == pytest.approx([d for _, d in slow])
+
+    def test_matches_brute_force(self, database):
+        rng = np.random.default_rng(3)
+        query = rng.normal(size=32)
+        got = knn_search(database, query, measures.ed(), k=3)
+        brute = sorted(
+            ((euclidean(query, s), i) for i, s in enumerate(database))
+        )[:3]
+        assert [i for i, _ in got] == [i for _, i in brute]
+
+    def test_k_capped(self, database):
+        result = knn_search(database[:4], database[0], measures.ed(), k=100)
+        assert len(result) == 4
+
+    def test_dtw_measure(self, database):
+        result = knn_search(database, database[5], measures.dtw(window=3), k=1)
+        assert result[0][0] == 5
+
+    def test_lcss_measure(self, database):
+        result = knn_search(database, database[5], measures.lcss(0.5), k=1)
+        assert result[0][1] == 0.0
+
+    def test_ftse_measure_matches_lcss(self, database):
+        rng = np.random.default_rng(4)
+        query = rng.normal(size=32)
+        a = knn_search(database, query, measures.lcss(0.5), k=3, early_stop=False)
+        b = knn_search(database, query, measures.ftse(0.5), k=3, early_stop=False)
+        assert [i for i, _ in a] == [i for i, _ in b]
+
+    def test_fastdtw_measure_runs(self, database):
+        result = knn_search(
+            database, database[9], measures.fast_dtw(radius=0), k=1, early_stop=False
+        )
+        assert result[0][0] == 9
+
+
+class TestClassification:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return smooth_outlines(
+            n_classes=3, n_train_per_class=6, n_test_per_class=4, length=48, seed=7
+        )
+
+    def test_nn_classify_returns_label(self, dataset):
+        label = nn_classify(dataset.train, dataset.test.series[0], measures.ed())
+        assert label in set(dataset.train.labels.tolist())
+
+    def test_error_rate_range(self, dataset):
+        err = error_rate(dataset.train, dataset.test, measures.ed())
+        assert 0.0 <= err <= 1.0
+
+    def test_error_rate_zero_on_train(self, dataset):
+        err = error_rate(dataset.train, dataset.train, measures.ed())
+        assert err == 0.0
+
+    def test_dtw_handles_warped_classes(self, dataset):
+        window = max(1, dataset.length // 10)
+        err = error_rate(dataset.train, dataset.test, measures.dtw(window=window))
+        assert err < 0.5
+
+    def test_constant_labels_classified_perfectly(self):
+        rng = np.random.default_rng(8)
+        train = LabeledDataset([rng.normal(size=16) for _ in range(6)], np.zeros(6))
+        test = LabeledDataset([rng.normal(size=16) for _ in range(3)], np.zeros(3))
+        assert error_rate(train, test, measures.ed()) == 0.0
+
+
+class TestKnnClassify:
+    @pytest.fixture(scope="class")
+    def train(self):
+        rng = np.random.default_rng(9)
+        series = [rng.normal(size=24) for _ in range(12)]
+        labels = np.repeat([0, 1], 6)
+        return LabeledDataset(series, labels)
+
+    def test_k1_matches_nn_classify(self, train):
+        rng = np.random.default_rng(10)
+        for _ in range(5):
+            query = rng.normal(size=24)
+            assert knn_classify(train, query, measures.ed(), k=1) == nn_classify(
+                train, query, measures.ed()
+            )
+
+    def test_majority_wins(self, train):
+        """A query equal to a class-0 series with many class-0 twins."""
+        query = train.series[0]
+        assert knn_classify(train, query, measures.ed(), k=5) in (0, 1)
+        # exact copy: its own label must win at k=1
+        assert knn_classify(train, query, measures.ed(), k=1) == int(train.labels[0])
+
+    def test_tie_broken_by_distance(self):
+        # two labels, one neighbour each at different distances, k=2
+        train = LabeledDataset(
+            [np.zeros(4), np.ones(4) * 10], np.array([7, 8])
+        )
+        query = np.ones(4)  # closer to the zeros series
+        assert knn_classify(train, query, measures.ed(), k=2) == 7
+
+    def test_returns_valid_label(self, train):
+        rng = np.random.default_rng(11)
+        label = knn_classify(train, rng.normal(size=24), measures.ed(), k=3)
+        assert label in set(train.labels.tolist())

@@ -1,0 +1,127 @@
+"""Tests for LB_Keogh / LB_Improved and the exact DTW cascade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.dtw import dtw
+from repro.baselines.lb import DTWCascade, envelope, lb_improved, lb_keogh
+from repro.exceptions import ParameterError
+
+pair_and_window = st.integers(min_value=2, max_value=32).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, n, elements=st.floats(-5, 5, allow_nan=False)),
+        arrays(np.float64, n, elements=st.floats(-5, 5, allow_nan=False)),
+        st.integers(min_value=0, max_value=8),
+    )
+)
+
+
+class TestEnvelope:
+    def test_contains_series(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=50)
+        lower, upper = envelope(series, window=5)
+        assert (lower <= series).all()
+        assert (series <= upper).all()
+
+    def test_window_zero_is_identity(self):
+        series = np.arange(10.0)
+        lower, upper = envelope(series, 0)
+        assert np.array_equal(lower, series)
+        assert np.array_equal(upper, series)
+
+    def test_monotone_in_window(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=40)
+        l1, u1 = envelope(series, 2)
+        l2, u2 = envelope(series, 6)
+        assert (l2 <= l1).all()
+        assert (u2 >= u1).all()
+
+    def test_known_values(self):
+        series = np.array([0.0, 3.0, 1.0])
+        lower, upper = envelope(series, 1)
+        assert upper.tolist() == [3.0, 3.0, 3.0]
+        assert lower.tolist() == [0.0, 0.0, 1.0]
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ParameterError):
+            envelope(np.zeros(5), -1)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ParameterError):
+            envelope(np.zeros((5, 2)), 1)
+
+
+class TestLowerBounds:
+    @given(pair_and_window)
+    @settings(max_examples=40)
+    def test_lb_keogh_admissible(self, abw):
+        a, b, w = abw
+        bound = lb_keogh(a, envelope(b, w))
+        exact = dtw(a, b, window=w)
+        assert bound <= exact + 1e-9
+
+    @given(pair_and_window)
+    @settings(max_examples=40)
+    def test_lb_improved_admissible(self, abw):
+        a, b, w = abw
+        bound = lb_improved(a, b, envelope(b, w), w)
+        exact = dtw(a, b, window=w)
+        assert bound <= exact + 1e-9
+
+    @given(pair_and_window)
+    @settings(max_examples=40)
+    def test_lb_improved_tightens_lb_keogh(self, abw):
+        a, b, w = abw
+        env = envelope(b, w)
+        assert lb_improved(a, b, env, w) >= lb_keogh(a, env) - 1e-12
+
+    def test_zero_for_identical(self):
+        series = np.sin(np.linspace(0, 4, 40))
+        env = envelope(series, 3)
+        assert lb_keogh(series, env) == 0.0
+        assert lb_improved(series, series, env, 3) == 0.0
+
+    def test_length_mismatch_raises(self):
+        env = envelope(np.zeros(5), 1)
+        with pytest.raises(ParameterError):
+            lb_keogh(np.zeros(6), env)
+        with pytest.raises(ParameterError):
+            lb_improved(np.zeros(6), np.zeros(5), env, 1)
+
+
+class TestDTWCascade:
+    def test_exactness(self):
+        """The cascade must return the true banded-DTW 1-NN."""
+        rng = np.random.default_rng(2)
+        database = [rng.normal(size=32) for _ in range(40)]
+        cascade = DTWCascade(database, window=3)
+        for _ in range(5):
+            query = rng.normal(size=32)
+            idx, dist = cascade.nearest(query)
+            brute = [(dtw(query, s, window=3), i) for i, s in enumerate(database)]
+            best_dist, best_idx = min(brute)
+            assert idx == best_idx
+            assert dist == pytest.approx(best_dist, abs=1e-9)
+
+    def test_prunes_on_structured_data(self):
+        """On smooth structured data the bounds should fire."""
+        t = np.linspace(0, 6, 64)
+        database = [np.sin(t + phase) for phase in np.linspace(0, 3, 50)]
+        cascade = DTWCascade(database, window=4)
+        cascade.nearest(np.sin(t + 0.05))
+        pruned = cascade.stats["lb_keogh_pruned"] + cascade.stats["lb_improved_pruned"]
+        assert pruned > 0
+        assert cascade.stats["dtw_computed"] < 50
+
+    def test_empty_database_raises(self):
+        with pytest.raises(ParameterError):
+            DTWCascade([], window=2)
+
+    def test_negative_window_raises(self):
+        with pytest.raises(ParameterError):
+            DTWCascade([np.zeros(4)], window=-2)

@@ -1,0 +1,134 @@
+"""Tests for LCSS and the FTSE-style accelerated evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.ftse import (
+    ftse_lcss_distance,
+    ftse_lcss_length,
+    ftse_lcss_similarity,
+    match_lists,
+)
+from repro.baselines.lcss import lcss_distance, lcss_length, lcss_similarity
+from repro.exceptions import ParameterError
+
+series = arrays(
+    np.float64,
+    st.integers(min_value=0, max_value=32),
+    elements=st.floats(min_value=-4, max_value=4, allow_nan=False),
+)
+eps = st.floats(min_value=0.0, max_value=2.0)
+delta = st.one_of(st.none(), st.integers(min_value=0, max_value=10))
+
+
+def _reference_lcss(a, b, epsilon, delta=None):
+    """Textbook O(n·m) conditional DP — the ground truth."""
+    n, m = len(a), len(b)
+    dp = np.zeros((n + 1, m + 1), dtype=int)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            match = abs(a[i - 1] - b[j - 1]) <= epsilon and (
+                delta is None or abs(i - j) <= delta
+            )
+            if match:
+                dp[i, j] = dp[i - 1, j - 1] + 1
+            else:
+                dp[i, j] = max(dp[i - 1, j], dp[i, j - 1])
+    return int(dp[n, m])
+
+
+class TestLCSS:
+    def test_identical_series(self):
+        a = np.arange(10.0)
+        assert lcss_length(a, a, epsilon=0.1) == 10
+        assert lcss_similarity(a, a, 0.1) == 1.0
+        assert lcss_distance(a, a, 0.1) == 0.0
+
+    def test_disjoint_values(self):
+        a = np.zeros(5)
+        b = np.full(5, 100.0)
+        assert lcss_length(a, b, epsilon=1.0) == 0
+        assert lcss_distance(a, b, 1.0) == 1.0
+
+    def test_empty_series(self):
+        assert lcss_length(np.array([]), np.arange(3.0), 0.5) == 0
+        assert lcss_similarity(np.array([]), np.arange(3.0), 0.5) == 0.0
+
+    def test_band_restricts_matches(self):
+        """With a tight band, a time-shifted copy matches poorly."""
+        a = np.arange(20.0)
+        b = a + 0.0
+        b = np.roll(b, 8)
+        wide = lcss_length(a, b, epsilon=0.1, delta=None)
+        tight = lcss_length(a, b, epsilon=0.1, delta=2)
+        assert tight <= wide
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            lcss_length(np.zeros(2), np.zeros(2), epsilon=-1)
+        with pytest.raises(ParameterError):
+            lcss_length(np.zeros(2), np.zeros(2), epsilon=1, delta=-1)
+
+    @given(series, series, eps, delta)
+    @settings(max_examples=40)
+    def test_matches_reference(self, a, b, epsilon, d):
+        assert lcss_length(a, b, epsilon, d) == _reference_lcss(a, b, epsilon, d)
+
+    @given(series, series, eps, delta)
+    @settings(max_examples=30)
+    def test_symmetry(self, a, b, epsilon, d):
+        assert lcss_length(a, b, epsilon, d) == lcss_length(b, a, epsilon, d)
+
+    @given(series, series, eps)
+    @settings(max_examples=30)
+    def test_bounded_by_min_length(self, a, b, epsilon):
+        assert lcss_length(a, b, epsilon) <= min(len(a), len(b))
+
+    def test_multidim(self):
+        a = np.column_stack([np.arange(5.0), np.arange(5.0)])
+        assert lcss_length(a, a, epsilon=0.1) == 5
+
+
+class TestMatchLists:
+    def test_basic(self):
+        a = np.array([0.0, 1.0])
+        b = np.array([0.05, 5.0, 1.02])
+        lists = match_lists(a, b, epsilon=0.1)
+        assert lists[0].tolist() == [0]
+        assert lists[1].tolist() == [2]
+
+    def test_band_applied(self):
+        a = np.zeros(5)
+        b = np.zeros(5)
+        lists = match_lists(a, b, epsilon=0.1, delta=1)
+        for i, js in enumerate(lists):
+            assert all(abs(int(j) - i) <= 1 for j in js)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ParameterError):
+            match_lists(np.zeros((3, 2)), np.zeros(3), 0.5)
+
+    def test_no_matches(self):
+        lists = match_lists(np.zeros(3), np.full(3, 9.0), epsilon=0.5)
+        assert all(len(js) == 0 for js in lists)
+
+
+class TestFTSEAgreesWithDP:
+    @given(series, series, eps, delta)
+    @settings(max_examples=50)
+    def test_exact_agreement(self, a, b, epsilon, d):
+        """FTSE is an exact evaluation: equal to the full DP everywhere."""
+        assert ftse_lcss_length(a, b, epsilon, d) == lcss_length(a, b, epsilon, d)
+
+    def test_distance_and_similarity_consistent(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=30), rng.normal(size=30)
+        sim = ftse_lcss_similarity(a, b, 0.5, 3)
+        assert ftse_lcss_distance(a, b, 0.5, 3) == pytest.approx(1.0 - sim)
+        assert sim == pytest.approx(lcss_similarity(a, b, 0.5, 3))
+
+    def test_empty(self):
+        assert ftse_lcss_similarity(np.array([]), np.array([]), 0.5) == 0.0

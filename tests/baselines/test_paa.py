@@ -1,0 +1,109 @@
+"""Tests for the PAA representation and its lower-bounding filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.ed import euclidean
+from repro.baselines.paa import PAAFilter, paa_distance, paa_transform
+from repro.exceptions import ParameterError
+
+pair_and_segments = st.integers(min_value=4, max_value=48).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, n, elements=st.floats(-5, 5, allow_nan=False)),
+        arrays(np.float64, n, elements=st.floats(-5, 5, allow_nan=False)),
+        st.integers(min_value=1, max_value=n),
+    )
+)
+
+
+class TestPAATransform:
+    def test_divisible_length(self):
+        series = np.array([1.0, 3.0, 5.0, 7.0])
+        assert np.allclose(paa_transform(series, 2), [2.0, 6.0])
+
+    def test_segments_equal_length_is_identity(self):
+        series = np.arange(6.0)
+        assert np.array_equal(paa_transform(series, 6), series)
+
+    def test_more_segments_than_points_is_identity(self):
+        series = np.arange(4.0)
+        assert np.array_equal(paa_transform(series, 9), series)
+
+    def test_single_segment_is_mean(self):
+        series = np.array([2.0, 4.0, 9.0])
+        assert paa_transform(series, 1) == pytest.approx(np.array([5.0]))
+
+    def test_fractional_frames_preserve_mean(self):
+        """The weighted PAA of any series preserves the global mean."""
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=10)
+        means = paa_transform(series, 3)
+        # frames have equal width, so their means average to the mean
+        assert means.mean() == pytest.approx(series.mean())
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            paa_transform(np.arange(4.0), 0)
+        with pytest.raises(ParameterError):
+            paa_transform(np.zeros((3, 2)), 2)
+        with pytest.raises(ParameterError):
+            paa_transform(np.array([]), 2)
+
+
+class TestPAADistance:
+    @given(pair_and_segments)
+    @settings(max_examples=40)
+    def test_lower_bounds_ed(self, abs_):
+        a, b, segments = abs_
+        bound = paa_distance(
+            paa_transform(a, segments), paa_transform(b, segments), len(a)
+        )
+        assert bound <= euclidean(a, b) + 1e-9
+
+    def test_resolution_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            paa_distance(np.zeros(3), np.zeros(4), 10)
+
+    def test_exact_at_full_resolution(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=16), rng.normal(size=16)
+        bound = paa_distance(paa_transform(a, 16), paa_transform(b, 16), 16)
+        assert bound == pytest.approx(euclidean(a, b))
+
+
+class TestPAAFilter:
+    def test_exactness(self):
+        rng = np.random.default_rng(2)
+        database = [rng.normal(size=64) for _ in range(40)]
+        filt = PAAFilter(database, segments=8)
+        for _ in range(5):
+            query = rng.normal(size=64)
+            idx, dist = filt.nearest(query)
+            brute = min(
+                ((euclidean(query, s), i) for i, s in enumerate(database))
+            )
+            assert idx == brute[1]
+            assert dist == pytest.approx(brute[0])
+
+    def test_prunes_on_structured_data(self):
+        t = np.linspace(0, 6, 64)
+        database = [np.sin(t + phase) for phase in np.linspace(0, 3, 60)]
+        filt = PAAFilter(database, segments=8)
+        filt.nearest(np.sin(t + 0.02))
+        assert filt.stats["pruned"] > 0
+
+    def test_rejects_mixed_lengths(self):
+        with pytest.raises(ParameterError):
+            PAAFilter([np.zeros(8), np.zeros(9)])
+
+    def test_rejects_empty_database(self):
+        with pytest.raises(ParameterError):
+            PAAFilter([])
+
+    def test_rejects_wrong_query_length(self):
+        filt = PAAFilter([np.zeros(8)])
+        with pytest.raises(ParameterError):
+            filt.nearest(np.zeros(9))

@@ -1,0 +1,150 @@
+"""Tests for the SAX and DFT representation baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.ed import euclidean
+from repro.baselines.sax import gaussian_breakpoints, sax_mindist, sax_transform
+from repro.baselines.spectral import DFTFilter, dft_distance, dft_features
+from repro.data.normalize import z_normalize
+from repro.exceptions import ParameterError
+
+pair = st.integers(min_value=8, max_value=64).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, n, elements=st.floats(-50, 50, allow_nan=False)),
+        arrays(np.float64, n, elements=st.floats(-50, 50, allow_nan=False)),
+    )
+)
+
+
+class TestBreakpoints:
+    def test_classic_alphabet_4(self):
+        """The published table: a=4 → (-0.67, 0, 0.67)."""
+        bp = gaussian_breakpoints(4)
+        assert bp[1] == pytest.approx(0.0, abs=1e-12)
+        assert bp[0] == pytest.approx(-0.6745, abs=1e-3)
+        assert bp[2] == pytest.approx(0.6745, abs=1e-3)
+
+    def test_sorted(self):
+        bp = gaussian_breakpoints(10)
+        assert np.all(np.diff(bp) > 0)
+
+    def test_rejects_tiny_alphabet(self):
+        with pytest.raises(ParameterError):
+            gaussian_breakpoints(1)
+
+
+class TestSaxTransform:
+    def test_symbol_range(self):
+        rng = np.random.default_rng(0)
+        word = sax_transform(z_normalize(rng.normal(size=64)), 8, alphabet_size=5)
+        assert word.min() >= 0
+        assert word.max() <= 4
+        assert len(word) == 8
+
+    def test_monotone_series_monotone_word(self):
+        word = sax_transform(z_normalize(np.arange(32.0)), 8, alphabet_size=8)
+        assert np.all(np.diff(word) >= 0)
+
+    def test_symbols_roughly_equiprobable(self):
+        """At full resolution (segments == length, no PAA averaging)
+        the Gaussian breakpoints make the symbols equiprobable."""
+        rng = np.random.default_rng(1)
+        words = [
+            sax_transform(z_normalize(rng.normal(size=128)), 128, alphabet_size=4)
+            for _ in range(50)
+        ]
+        counts = np.bincount(np.concatenate(words), minlength=4)
+        # each of the 4 symbols should hold a healthy share (expected 25%)
+        assert counts.min() > 0.15 * counts.sum()
+
+
+class TestSaxMindist:
+    @given(pair)
+    @settings(max_examples=40)
+    def test_lower_bounds_ed(self, ab):
+        """MINDIST(SAX(a), SAX(b)) <= ED(a, b) for z-normalized input."""
+        a = z_normalize(ab[0])
+        b = z_normalize(ab[1])
+        word_a = sax_transform(a, 8, alphabet_size=6)
+        word_b = sax_transform(b, 8, alphabet_size=6)
+        bound = sax_mindist(word_a, word_b, len(a), alphabet_size=6)
+        assert bound <= euclidean(a, b) + 1e-9
+
+    def test_equal_words_zero(self):
+        word = np.array([0, 1, 2, 3])
+        assert sax_mindist(word, word, 16, alphabet_size=4) == 0.0
+
+    def test_adjacent_symbols_zero(self):
+        a = np.array([1, 1, 1])
+        b = np.array([2, 2, 2])
+        assert sax_mindist(a, b, 12, alphabet_size=4) == 0.0
+
+    def test_distant_symbols_positive(self):
+        a = np.array([0, 0])
+        b = np.array([3, 3])
+        assert sax_mindist(a, b, 8, alphabet_size=4) > 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            sax_mindist(np.zeros(3, np.int64), np.zeros(4, np.int64), 10)
+
+
+class TestDFT:
+    @given(pair)
+    @settings(max_examples=40)
+    def test_truncated_features_lower_bound_ed(self, ab):
+        a, b = ab
+        m = max(1, len(a) // 4)
+        bound = dft_distance(dft_features(a, m), dft_features(b, m))
+        assert bound <= euclidean(a, b) + 1e-9
+
+    @given(pair)
+    @settings(max_examples=30)
+    def test_full_spectrum_is_exact(self, ab):
+        """Parseval: all n coefficients reproduce ED exactly."""
+        a, b = ab
+        dist = dft_distance(dft_features(a, len(a)), dft_features(b, len(b)))
+        assert dist == pytest.approx(euclidean(a, b), abs=1e-7)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            dft_features(np.zeros(8), 0)
+        with pytest.raises(ParameterError):
+            dft_features(np.zeros(8), 9)
+        with pytest.raises(ParameterError):
+            dft_features(np.zeros((4, 2)), 2)
+        with pytest.raises(ParameterError):
+            dft_distance(np.zeros(3, complex), np.zeros(4, complex))
+
+
+class TestDFTFilter:
+    def test_exactness(self):
+        rng = np.random.default_rng(2)
+        database = [rng.normal(size=64) for _ in range(40)]
+        filt = DFTFilter(database, n_coefficients=8)
+        for _ in range(5):
+            query = rng.normal(size=64)
+            idx, dist = filt.nearest(query)
+            brute = min((euclidean(query, s), i) for i, s in enumerate(database))
+            assert idx == brute[1]
+            assert dist == pytest.approx(brute[0])
+
+    def test_prunes_on_smooth_data(self):
+        t = np.linspace(0, 6, 64)
+        database = [np.sin(t + phase) for phase in np.linspace(0, 3, 60)]
+        filt = DFTFilter(database, n_coefficients=8)
+        filt.nearest(np.sin(t + 0.03))
+        assert filt.stats["pruned"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DFTFilter([])
+        with pytest.raises(ParameterError):
+            DFTFilter([np.zeros(8), np.zeros(9)])
+        filt = DFTFilter([np.zeros(8)])
+        with pytest.raises(ParameterError):
+            filt.nearest(np.zeros(9))

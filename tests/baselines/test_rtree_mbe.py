@@ -1,0 +1,149 @@
+"""Tests for the R-tree and the MBE-indexed LCSS search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lcss import lcss_similarity
+from repro.baselines.mbe import MBESearcher, query_mbe_rects, series_mbrs
+from repro.baselines.rtree import Rect, RTree
+from repro.exceptions import ParameterError
+
+rect_strategy = st.tuples(
+    st.floats(-100, 100), st.floats(0, 50), st.floats(-100, 100), st.floats(0, 50)
+).map(lambda t: Rect(t[0], t[0] + t[1], t[2], t[2] + t[3]))
+
+
+class TestRect:
+    def test_intersects_self(self):
+        r = Rect(0, 1, 0, 1)
+        assert r.intersects(r)
+
+    def test_disjoint(self):
+        assert not Rect(0, 1, 0, 1).intersects(Rect(2, 3, 0, 1))
+        assert not Rect(0, 1, 0, 1).intersects(Rect(0, 1, 2, 3))
+
+    def test_touching_edges_intersect(self):
+        assert Rect(0, 1, 0, 1).intersects(Rect(1, 2, 1, 2))
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ParameterError):
+            Rect(1, 0, 0, 1)
+
+    def test_union(self):
+        u = Rect.union([Rect(0, 1, 0, 1), Rect(2, 3, -1, 0.5)])
+        assert (u.t_lo, u.t_hi, u.v_lo, u.v_hi) == (0, 3, -1, 1)
+
+    @given(rect_strategy, rect_strategy)
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+
+class TestRTree:
+    def test_empty(self):
+        tree = RTree([])
+        assert tree.query_intersecting(Rect(0, 1, 0, 1)) == []
+        assert tree.height() == 0
+
+    def test_bad_fanout(self):
+        with pytest.raises(ParameterError):
+            RTree([], fanout=1)
+
+    @given(st.lists(rect_strategy, min_size=1, max_size=80), rect_strategy)
+    @settings(max_examples=40)
+    def test_matches_brute_force(self, rects, probe):
+        entries = [(r, i) for i, r in enumerate(rects)]
+        tree = RTree(entries, fanout=4)
+        got = sorted(tree.query_intersecting(probe))
+        expected = sorted(i for i, r in enumerate(rects) if r.intersects(probe))
+        assert got == expected
+
+    def test_height_grows_with_size(self):
+        rng = np.random.default_rng(0)
+        entries = [
+            (Rect(t, t + 1, v, v + 1), i)
+            for i, (t, v) in enumerate(rng.uniform(0, 100, size=(300, 2)))
+        ]
+        tree = RTree(entries, fanout=4)
+        assert tree.height() >= 3
+        assert tree.size == 300
+
+
+class TestSeriesMbrs:
+    def test_covers_series(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=50)
+        rects = series_mbrs(series, 16)
+        assert len(rects) == 4  # 16+16+16+2
+        for rect in rects:
+            lo, hi = int(rect.t_lo), int(rect.t_hi)
+            assert rect.v_lo == series[lo : hi + 1].min()
+            assert rect.v_hi == series[lo : hi + 1].max()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            series_mbrs(np.zeros(4), 0)
+        with pytest.raises(ParameterError):
+            series_mbrs(np.zeros((4, 2)), 2)
+
+
+class TestQueryMbe:
+    def test_band_contains_query(self):
+        rng = np.random.default_rng(2)
+        query = rng.normal(size=40)
+        rects = query_mbe_rects(query, delta=3, epsilon=0.5, segment_len=8)
+        for rect in rects:
+            lo, hi = int(rect.t_lo), int(rect.t_hi)
+            assert (query[lo : hi + 1] >= rect.v_lo - 1e-12).all()
+            assert (query[lo : hi + 1] <= rect.v_hi + 1e-12).all()
+
+    def test_negative_epsilon_raises(self):
+        with pytest.raises(ParameterError):
+            query_mbe_rects(np.zeros(8), 1, -0.5, 4)
+
+
+class TestMBESearcher:
+    @pytest.fixture(scope="class")
+    def database(self):
+        rng = np.random.default_rng(3)
+        t = np.linspace(0, 6, 64)
+        return [
+            np.sin(t * f) + rng.normal(0, 0.2, size=64)
+            for f in np.linspace(0.5, 3.0, 30)
+        ]
+
+    def test_bound_admissible(self, database):
+        searcher = MBESearcher(database, delta_fraction=0.1, epsilon=0.5)
+        rng = np.random.default_rng(4)
+        query = rng.normal(size=64)
+        bounds = searcher.upper_bounds(query)
+        delta = searcher._delta(len(query))
+        for i, series in enumerate(database):
+            from repro.baselines.lcss import lcss_length
+
+            true = lcss_length(series, query, 0.5, delta)
+            assert true <= bounds[i]
+
+    def test_exactness(self, database):
+        searcher = MBESearcher(database, delta_fraction=0.1, epsilon=0.5)
+        rng = np.random.default_rng(5)
+        delta = searcher._delta(64)
+        for _ in range(4):
+            query = rng.normal(size=64)
+            idx, sim = searcher.nearest(query)
+            brute = max(
+                (lcss_similarity(s, query, 0.5, delta), -i)
+                for i, s in enumerate(database)
+            )
+            assert sim == pytest.approx(brute[0])
+
+    def test_prunes_on_structured_data(self, database):
+        searcher = MBESearcher(database, delta_fraction=0.1, epsilon=0.25)
+        searcher.nearest(database[0])
+        assert searcher.stats["verified"] < len(database)
+        assert searcher.stats["pruned"] > 0
+
+    def test_empty_database_raises(self):
+        with pytest.raises(ParameterError):
+            MBESearcher([])

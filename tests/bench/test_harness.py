@@ -1,0 +1,71 @@
+"""Tests for the benchmark-harness support package."""
+
+import pytest
+
+from repro.bench import Timer, render_table, repro_scale, scaled, time_callable
+from repro.bench.tables import format_value
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(10_000))
+        assert t.seconds > 0
+        assert t.millis == pytest.approx(t.seconds * 1000)
+
+    def test_time_callable(self):
+        assert time_callable(lambda: None, repeat=3) >= 0
+
+    def test_time_callable_rejects_bad_repeat(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeat=0)
+
+
+class TestScaling:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert repro_scale() == 0.05
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert repro_scale() == 0.5
+
+    def test_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        with pytest.raises(ValueError):
+            repro_scale()
+
+    def test_nonpositive_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.raises(ValueError):
+            repro_scale()
+
+    def test_scaled_respects_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.001")
+        assert scaled(100, minimum=5) == 5
+
+    def test_scaled_explicit_factor(self):
+        assert scaled(100, scale=0.5) == 50
+
+
+class TestTables:
+    def test_render_basic(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["x", 0.333333]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "0.333" in text
+
+    def test_title(self):
+        text = render_table(["c"], [[1]], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_format_value(self):
+        assert format_value(float("nan")) == "-"
+        assert format_value(1234567.0) == "1.23e+06"
+        assert format_value(0.5) == "0.5"
+        assert format_value(True) == "True"
+        assert format_value("abc") == "abc"

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro import STS3Database
+from repro.data import ecg_stream, make_workload
+from repro.types import Workload
+
+settings.register_profile(
+    "repro",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_workload() -> Workload:
+    """120 ECG windows of length 96 plus 8 queries."""
+    stream = ecg_stream(130 * 96, seed=7)
+    return make_workload(stream, n_series=120, n_queries=8, length=96)
+
+
+@pytest.fixture(scope="session")
+def small_db(small_workload: Workload) -> STS3Database:
+    return STS3Database(small_workload.database, sigma=3, epsilon=0.4)

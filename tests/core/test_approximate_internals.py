@@ -1,0 +1,66 @@
+"""Internals of the approximate searcher: dense vs sparse coarse levels."""
+
+import numpy as np
+import pytest
+
+from repro.core import approximate as approx_mod
+from repro.core.approximate import ApproximateSearcher, _CoarseLevel
+from repro.core.grid import Bound, Grid
+from repro.core.setrep import transform
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    series = [rng.normal(size=48) for _ in range(25)]
+    bound = Bound.of_database(series)
+    grid = Grid.from_cell_sizes(bound, 2, 0.4)
+    sets = [transform(s, grid) for s in series]
+    return series, sets, bound
+
+
+class TestCoarseLevel:
+    def test_dense_by_default(self, data):
+        series, _, bound = data
+        level = _CoarseLevel(Grid.from_resolution(bound, 4), series)
+        assert level.dense
+        assert level.matrix.shape == (25, 16)
+
+    def test_matrix_rows_match_sets(self, data):
+        series, _, bound = data
+        grid = Grid.from_resolution(bound, 5)
+        level = _CoarseLevel(grid, series)
+        for i, s in enumerate(series):
+            expected = transform(s, grid)
+            assert np.array_equal(np.flatnonzero(level.matrix[i]), expected)
+
+    def test_similarities_match_direct(self, data):
+        from repro.core.jaccard import jaccard
+
+        series, _, bound = data
+        grid = Grid.from_resolution(bound, 4)
+        level = _CoarseLevel(grid, series)
+        query_rep = transform(series[7], grid)
+        candidates = np.arange(len(series))
+        sims = level.similarities(candidates, query_rep)
+        for i in range(len(series)):
+            assert sims[i] == pytest.approx(jaccard(transform(series[i], grid), query_rep))
+
+
+class TestSparseFallback:
+    def test_sparse_path_equals_dense(self, data, monkeypatch):
+        """Force the sparse fallback and check identical answers."""
+        series, sets, bound = data
+        dense_searcher = ApproximateSearcher(series, sets, bound, max_scale=4)
+        monkeypatch.setattr(approx_mod, "_DENSE_CELL_LIMIT", 0)
+        sparse_searcher = ApproximateSearcher(series, sets, bound, max_scale=4)
+        assert not sparse_searcher.levels[2].dense
+        rng = np.random.default_rng(1)
+        for _ in range(4):
+            query = rng.normal(size=48)
+            grid = Grid.from_cell_sizes(bound, 2, 0.4)
+            query_set = transform(query, grid)
+            a = dense_searcher.query(query, query_set, k=3)
+            b = sparse_searcher.query(query, query_set, k=3)
+            assert a.indices() == b.indices()
+            assert a.similarities() == pytest.approx(b.similarities())

@@ -1,0 +1,73 @@
+"""Tests for calibrated auto-dispatch and randomized index equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import STS3Database
+from repro.core import DictInvertedIndex, IndexedSearcher
+from repro.exceptions import ParameterError
+
+
+class TestCalibration:
+    @pytest.fixture
+    def db(self):
+        rng = np.random.default_rng(0)
+        return STS3Database(
+            [rng.normal(size=64) for _ in range(50)], sigma=2, epsilon=0.4
+        )
+
+    def test_calibrate_pins_auto(self, db):
+        rng = np.random.default_rng(1)
+        timings = db.calibrate([rng.normal(size=64) for _ in range(3)])
+        assert set(timings) == {"naive", "index", "pruning"}
+        assert db._auto_method() == min(timings, key=timings.get)
+
+    def test_calibrated_auto_queries_work(self, db):
+        rng = np.random.default_rng(2)
+        db.calibrate([rng.normal(size=64)])
+        result = db.query(rng.normal(size=64), k=3, method="auto")
+        assert len(result.neighbors) == 3
+
+    def test_calibration_excludes_approximate(self, db):
+        rng = np.random.default_rng(3)
+        db.calibrate([rng.normal(size=64)])
+        assert db._calibrated_method in ("naive", "index", "pruning")
+
+    def test_insert_invalidates_calibration(self, db):
+        rng = np.random.default_rng(4)
+        db.calibrate([rng.normal(size=64)])
+        db.insert(0.5 * rng.normal(size=64))
+        assert db._calibrated_method is None  # falls back to heuristic
+
+    def test_empty_sample_raises(self, db):
+        with pytest.raises(ParameterError):
+            db.calibrate([])
+
+
+sets_strategy = st.lists(
+    st.lists(st.integers(0, 80), min_size=1, max_size=30),
+    min_size=1,
+    max_size=15,
+).map(lambda lists: [np.unique(np.asarray(xs, dtype=np.int64)) for xs in lists])
+
+
+class TestIndexLayoutEquivalence:
+    @given(sets_strategy, st.lists(st.integers(0, 80), min_size=1, max_size=20),
+           st.integers(1, 6))
+    @settings(max_examples=40)
+    def test_dense_and_dict_agree(self, sets, query_list, k):
+        query = np.unique(np.asarray(query_list, dtype=np.int64))
+        dense = IndexedSearcher(sets).query(query, k=k)
+        sparse = DictInvertedIndex(sets).query(query, k=k)
+        assert dense.indices() == sparse.indices()
+        assert dense.similarities() == pytest.approx(sparse.similarities())
+
+    @given(sets_strategy, st.lists(st.integers(0, 80), min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_counts_agree(self, sets, query_list):
+        query = np.unique(np.asarray(query_list, dtype=np.int64))
+        a = IndexedSearcher(sets).intersection_counts(query)
+        b = DictInvertedIndex(sets).intersection_counts(query)
+        assert np.array_equal(a, b)

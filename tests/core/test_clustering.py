@@ -1,0 +1,113 @@
+"""Tests for k-medoids clustering and unlabeled tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import cluster_series, k_medoids
+from repro.core.tuning import tune_sigma_epsilon_unlabeled
+from repro.data.ucr_like import smooth_outlines
+from repro.exceptions import ParameterError
+
+
+def _block_distances(sizes, gap=10.0, within=1.0, seed=0):
+    """A distance matrix with clear block structure."""
+    rng = np.random.default_rng(seed)
+    n = sum(sizes)
+    labels = np.repeat(np.arange(len(sizes)), sizes)
+    distances = np.empty((n, n))
+    for i in range(n):
+        for j in range(n):
+            base = within if labels[i] == labels[j] else gap
+            distances[i, j] = 0.0 if i == j else base + rng.uniform(0, 0.1)
+    distances = (distances + distances.T) / 2
+    return distances, labels
+
+
+class TestKMedoids:
+    def test_recovers_blocks(self):
+        distances, truth = _block_distances([6, 6, 6])
+        labels, medoids = k_medoids(distances, 3, seed=1)
+        # same-block points share a label; cross-block points don't
+        for a in range(len(truth)):
+            for b in range(len(truth)):
+                if truth[a] == truth[b]:
+                    assert labels[a] == labels[b]
+        assert len(medoids) == 3
+
+    def test_single_cluster(self):
+        distances, _ = _block_distances([5])
+        labels, medoids = k_medoids(distances, 1)
+        assert (labels == 0).all()
+        assert len(medoids) == 1
+
+    def test_k_equals_n(self):
+        distances, _ = _block_distances([4])
+        labels, medoids = k_medoids(distances, 4)
+        assert sorted(labels.tolist()) == [0, 1, 2, 3]
+
+    def test_deterministic_for_seed(self):
+        distances, _ = _block_distances([5, 5])
+        a, _ = k_medoids(distances, 2, seed=3)
+        b, _ = k_medoids(distances, 2, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            k_medoids(np.zeros((3, 4)), 2)
+        with pytest.raises(ParameterError):
+            k_medoids(np.zeros((3, 3)), 0)
+        with pytest.raises(ParameterError):
+            k_medoids(np.zeros((3, 3)), 4)
+
+    def test_identical_points(self):
+        """All-zero distances must not crash the seeding."""
+        labels, medoids = k_medoids(np.zeros((6, 6)), 2, seed=0)
+        assert len(medoids) == 2
+
+
+class TestClusterSeries:
+    def test_separates_distinct_templates(self):
+        ds = smooth_outlines(
+            n_classes=3, n_train_per_class=6, n_test_per_class=2,
+            length=64, seed=2, noise_std=0.05,
+        )
+        labels = cluster_series(list(ds.train.series), 3, seed=1)
+        # clustering should be strongly informative about true classes:
+        # most pairs sharing a true class share a cluster
+        truth = ds.train.labels
+        agree = disagree = 0
+        for i in range(len(truth)):
+            for j in range(i + 1, len(truth)):
+                if truth[i] == truth[j]:
+                    if labels[i] == labels[j]:
+                        agree += 1
+                    else:
+                        disagree += 1
+        assert agree > disagree
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            cluster_series([], 2)
+
+
+class TestUnlabeledTuning:
+    def test_produces_usable_parameters(self):
+        ds = smooth_outlines(
+            n_classes=3, n_train_per_class=6, n_test_per_class=4,
+            length=64, seed=4, noise_std=0.05,
+        )
+        result = tune_sigma_epsilon_unlabeled(
+            list(ds.train.series), n_clusters=3,
+            sigma_grid=[1, 4, 8], epsilon_grid=[0.1, 0.4],
+        )
+        assert result.sigma in (1, 4, 8)
+        assert result.epsilon in (0.1, 0.4)
+        # the tuned parameters classify the *real* labels decently
+        from repro.core.tuning import sts3_error_rate
+
+        err = sts3_error_rate(ds.train, ds.test, result.sigma, result.epsilon)
+        assert err < 0.5
+
+    def test_too_few_series(self):
+        with pytest.raises(ParameterError):
+            tune_sigma_epsilon_unlabeled([np.zeros(8)] * 3, 2)

@@ -1,0 +1,108 @@
+"""Hypothesis stateful test of STS3Database against a naive model.
+
+The rule machine interleaves in-bound inserts, out-of-bound inserts,
+explicit flushes, and queries through every method, checking after each
+query that the database's best answer matches a model that just stores
+all series and compares transformed sets directly.  This hunts for
+state bugs the example-based tests can't reach: stale caches after
+inserts, index drift across buffer flushes, bound-expansion mistakes.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro import STS3Database
+from repro.core.jaccard import jaccard
+
+LENGTH = 24
+
+
+def _series(rng_seed: int, spike: float = 0.0) -> np.ndarray:
+    rng = np.random.default_rng(rng_seed)
+    out = rng.normal(size=LENGTH)
+    if spike:
+        out[int(rng.integers(0, LENGTH))] = spike
+    return out
+
+
+class DatabaseMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 2**20))
+    def build(self, seed):
+        self.seed = seed
+        self.next_spike = 50.0
+        base = [_series(seed + i) for i in range(4)]
+        # normalize=False so out-of-bound inserts are actually possible
+        self.db = STS3Database(
+            base, sigma=2, epsilon=0.5, normalize=False, buffer_capacity=3
+        )
+        self.model = list(self.db.series)
+
+    @rule(offset=st.integers(0, 1000))
+    def insert_in_bound(self, offset):
+        """A series within the current value bound joins directly."""
+        series = 0.5 * _series(self.seed + 10_000 + offset)
+        series = np.clip(series, self.db.grid.bound.x_min[0], self.db.grid.bound.x_max[0])
+        self.db.insert(series)
+        self.model.append(series)
+
+    @rule(offset=st.integers(0, 1000))
+    def insert_out_of_bound(self, offset):
+        """A spiked series exceeds the bound and goes through the buffer."""
+        self.next_spike += 10.0  # always breaks even an expanded bound
+        series = _series(self.seed + 20_000 + offset, spike=self.next_spike)
+        self.db.insert(series)
+        self.model.append(series)
+
+    @rule()
+    def flush(self):
+        self.db.flush()
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.db) == len(self.model)
+
+    @invariant()
+    def internals_consistent(self):
+        assert self.db.verify_integrity() == []
+
+    @rule(
+        offset=st.integers(0, 1000),
+        method=st.sampled_from(["naive", "index", "pruning"]),
+        k=st.integers(1, 4),
+    )
+    def query_matches_model(self, offset, method, k):
+        """Exact methods must return the model's best similarities."""
+        query = _series(self.seed + 30_000 + offset)
+        result = self.db.query(query, k=k, method=method)
+
+        # Model: transform against main grid / buffer grid exactly as
+        # the database documents, then rank.
+        from repro.core.setrep import transform, transform_query
+
+        main_q = transform_query(query, self.db.grid)
+        sims = [jaccard(s, main_q) for s in self.db.sets]
+        buffer_q = transform_query(query, self.db.buffer.grid)
+        sims += [jaccard(s, buffer_q) for s in self.db.buffer.sets]
+        expected = sorted(
+            ((sim, i) for i, sim in enumerate(sims)), key=lambda t: (-t[0], t[1])
+        )[: min(k, len(sims))]
+        got = [(n.similarity, n.index) for n in result.neighbors]
+        assert [round(s, 12) for s, _ in got] == [round(s, 12) for s, _ in expected]
+        assert [i for _, i in got] == [i for _, i in expected]
+
+    @rule(offset=st.integers(0, 1000))
+    def query_self_found(self, offset):
+        """Any stored series is its own nearest neighbour (sim 1.0)."""
+        if not self.model:
+            return
+        index = offset % len(self.model)
+        result = self.db.query(self.model[index], k=1, method="naive")
+        assert result.best.similarity == 1.0
+
+
+TestDatabaseStateful = DatabaseMachine.TestCase
+TestDatabaseStateful.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)

@@ -1,0 +1,122 @@
+"""Cross-variant integration tests: the exact STS3 variants must agree.
+
+The paper's index-based and pruning-based algorithms are exact — they
+return the same k-NN answers as the naive scan — while the approximate
+algorithm may miss but always returns valid, exactly-scored answers.
+These tests hammer that contract on randomized workloads, including
+k-NN (k > 1), ties, and degenerate inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import STS3Database
+from repro.core import NaiveSearcher
+from repro.core.jaccard import jaccard
+
+
+def _random_db(seed, n=30, length=48, **kwargs):
+    rng = np.random.default_rng(seed)
+    series = [rng.normal(size=length) for _ in range(n)]
+    defaults = dict(sigma=2, epsilon=0.5)
+    defaults.update(kwargs)
+    return STS3Database(series, **defaults), rng
+
+
+class TestExactEquivalence:
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 8))
+    @settings(max_examples=15)
+    def test_index_and_pruning_match_naive(self, seed, k):
+        db, rng = _random_db(seed)
+        query = rng.normal(size=48)
+        naive = db.query(query, k=k, method="naive")
+        index = db.query(query, k=k, method="index")
+        pruning = db.query(query, k=k, method="pruning")
+        assert index.indices() == naive.indices()
+        assert pruning.indices() == naive.indices()
+        assert np.allclose(index.similarities(), naive.similarities())
+        assert np.allclose(pruning.similarities(), naive.similarities())
+
+    @given(scale=st.integers(1, 12))
+    @settings(max_examples=10)
+    def test_pruning_exact_for_every_scale(self, scale):
+        db, rng = _random_db(99)
+        query = rng.normal(size=48)
+        naive = db.query(query, k=3, method="naive")
+        pruned = db.query(query, k=3, method="pruning", scale=scale)
+        assert pruned.indices() == naive.indices()
+
+    def test_equivalence_with_duplicated_series(self):
+        """Exact duplicates create similarity ties; tie-breaking by
+        index must make all exact variants agree."""
+        rng = np.random.default_rng(5)
+        base = [rng.normal(size=32) for _ in range(10)]
+        series = base + [base[2].copy(), base[7].copy()]
+        db = STS3Database(series, sigma=2, epsilon=0.5)
+        query = base[2]
+        results = [db.query(query, k=4, method=m) for m in ("naive", "index", "pruning")]
+        for r in results[1:]:
+            assert r.indices() == results[0].indices()
+        assert results[0].best.index == 2  # smallest index among the tie
+
+    def test_single_series_database(self):
+        db = STS3Database([np.sin(np.linspace(0, 5, 32))], sigma=2, epsilon=0.5)
+        query = np.cos(np.linspace(0, 5, 32))
+        for method in ("naive", "index", "pruning", "approximate"):
+            result = db.query(query, k=1, method=method)
+            assert result.best.index == 0
+
+
+class TestApproximateContract:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10)
+    def test_approximate_never_beats_exact(self, seed):
+        """The approximate answer's similarity is at most the true NN's."""
+        db, rng = _random_db(seed)
+        query = rng.normal(size=48)
+        exact = db.query(query, k=1, method="naive")
+        approx = db.query(query, k=1, method="approximate")
+        assert approx.best.similarity <= exact.best.similarity + 1e-12
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10)
+    def test_approximate_scores_are_exact_jaccard(self, seed):
+        db, rng = _random_db(seed)
+        query = rng.normal(size=48)
+        query_set = db.transform_query(query)
+        approx = db.query(query, k=3, method="approximate")
+        for n in approx.neighbors:
+            assert n.similarity == pytest.approx(jaccard(db.sets[n.index], query_set))
+
+
+class TestKnnSemantics:
+    def test_knn_is_prefix_consistent(self):
+        """The top-j of a k-NN answer equals the j-NN answer (j <= k)."""
+        db, rng = _random_db(7, n=50)
+        query = rng.normal(size=48)
+        big = db.query(query, k=10, method="naive")
+        for j in (1, 3, 7):
+            small = db.query(query, k=j, method="naive")
+            assert small.indices() == big.indices()[:j]
+
+    def test_similarities_non_increasing(self):
+        db, rng = _random_db(8, n=50)
+        query = rng.normal(size=48)
+        for method in ("naive", "index", "pruning", "approximate"):
+            sims = db.query(query, k=10, method=method).similarities()
+            assert all(a >= b for a, b in zip(sims, sims[1:]))
+
+    def test_naive_searcher_order_independent(self):
+        """Shuffling the database permutes indices but not the returned
+        similarity multiset."""
+        rng = np.random.default_rng(3)
+        sets = [np.unique(rng.integers(0, 100, size=20)) for _ in range(25)]
+        query = np.unique(rng.integers(0, 100, size=20))
+        forward = NaiveSearcher(sets).query(query, k=5)
+        perm = rng.permutation(25)
+        shuffled = NaiveSearcher([sets[i] for i in perm]).query(query, k=5)
+        assert sorted(forward.similarities()) == pytest.approx(
+            sorted(shuffled.similarities())
+        )

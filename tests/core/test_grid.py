@@ -1,0 +1,222 @@
+"""Tests for Bound and Grid (Definitions 2-3, Equation 1, Section 5.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.grid import Bound, Grid
+from repro.exceptions import GridError, ParameterError
+
+
+def _bound_1d(t_max=99.0, lo=-3.0, hi=3.0):
+    return Bound(0.0, t_max, (lo,), (hi,))
+
+
+class TestBound:
+    def test_of_database(self):
+        db = [np.array([0.0, 1.0, 5.0]), np.array([-2.0, 0.5, 1.0, 3.0])]
+        bound = Bound.of_database(db)
+        assert bound.t_min == 0.0
+        assert bound.t_max == 3.0  # longest series has 4 points
+        assert bound.x_min == (-2.0,)
+        assert bound.x_max == (5.0,)
+
+    def test_of_database_with_padding(self):
+        bound = Bound.of_database([np.array([0.0, 1.0])], value_padding=0.5)
+        assert bound.x_min == (-0.5,)
+        assert bound.x_max == (1.5,)
+
+    def test_empty_database_raises(self):
+        with pytest.raises(GridError):
+            Bound.of_database([])
+
+    def test_negative_padding_raises(self):
+        with pytest.raises(ParameterError):
+            Bound.of_database([np.array([0.0])], value_padding=-1)
+
+    def test_mixed_dims_raise(self):
+        with pytest.raises(GridError):
+            Bound.of_database([np.zeros(3), np.zeros((3, 2))])
+
+    def test_invalid_ranges_raise(self):
+        with pytest.raises(GridError):
+            Bound(1.0, 0.0, (0.0,), (1.0,))
+        with pytest.raises(GridError):
+            Bound(0.0, 1.0, (1.0,), (0.0,))
+        with pytest.raises(GridError):
+            Bound(0.0, 1.0, (0.0, 0.0), (1.0,))
+
+    def test_contains(self):
+        bound = _bound_1d(t_max=3.0, lo=0.0, hi=1.0)
+        series = np.array([0.5, 2.0, -1.0, 0.9, 0.1])
+        mask = bound.contains(series)
+        # point 1 exceeds hi, point 2 below lo, point 4 has t=4 > t_max
+        assert mask.tolist() == [True, False, False, True, False]
+
+    def test_contains_rejects_wrong_dims(self):
+        with pytest.raises(GridError):
+            _bound_1d().contains(np.zeros((3, 2)))
+
+    def test_covers(self):
+        big = _bound_1d(t_max=10, lo=-5, hi=5)
+        small = _bound_1d(t_max=5, lo=-1, hi=1)
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_covers_dim_mismatch(self):
+        b2 = Bound(0.0, 1.0, (0.0, 0.0), (1.0, 1.0))
+        assert not _bound_1d().covers(b2)
+
+    def test_of_series_multidim(self):
+        series = np.array([[0.0, 10.0], [1.0, -5.0]])
+        bound = Bound.of_series(series)
+        assert bound.x_min == (0.0, -5.0)
+        assert bound.x_max == (1.0, 10.0)
+
+
+class TestGridConstruction:
+    def test_from_cell_sizes_counts(self):
+        grid = Grid.from_cell_sizes(_bound_1d(t_max=99, lo=-3, hi=3), sigma=10, epsilon=1.0)
+        assert grid.n_columns == 10  # floor(99/10)+1
+        assert grid.n_rows == (7,)   # floor(6/1)+1
+
+    def test_from_resolution(self):
+        grid = Grid.from_resolution(_bound_1d(), scale=4)
+        assert grid.n_columns == 4
+        assert grid.n_rows == (4,)
+        assert grid.n_cells == 16
+
+    def test_degenerate_value_span(self):
+        bound = Bound(0.0, 9.0, (0.0,), (0.0,))
+        grid = Grid.from_cell_sizes(bound, sigma=2, epsilon=0.5)
+        assert grid.n_rows == (1,)
+
+    def test_bad_params_raise(self):
+        bound = _bound_1d()
+        with pytest.raises(ParameterError):
+            Grid.from_cell_sizes(bound, sigma=0, epsilon=1)
+        with pytest.raises(ParameterError):
+            Grid.from_cell_sizes(bound, sigma=1, epsilon=0)
+        with pytest.raises(ParameterError):
+            Grid.from_resolution(bound, 0)
+
+
+class TestCellAssignment:
+    def test_columns_respect_sigma(self):
+        grid = Grid.from_cell_sizes(_bound_1d(t_max=9), sigma=3, epsilon=1.0)
+        series = np.zeros(10)
+        cols = grid.columns_of(series)
+        assert cols.tolist() == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]
+
+    def test_rows_respect_epsilon(self):
+        grid = Grid.from_cell_sizes(_bound_1d(t_max=4, lo=0.0, hi=2.0), sigma=1, epsilon=0.5)
+        series = np.array([0.0, 0.49, 0.5, 1.99, 2.0])
+        rows = grid.rows_of(series)[:, 0]
+        assert rows.tolist() == [0, 0, 1, 3, 4]
+
+    def test_points_outside_bound_clamped(self):
+        grid = Grid.from_cell_sizes(_bound_1d(t_max=4, lo=0.0, hi=1.0), sigma=1, epsilon=0.5)
+        series = np.array([-5.0, 9.0, 0.5, 0.5, 0.5])
+        rows = grid.rows_of(series)[:, 0]
+        assert rows[0] == 0
+        assert rows[1] == grid.n_rows[0] - 1
+
+    def test_cell_id_formula_1d(self):
+        """Equation 1 (0-based): id = row * n_columns + column."""
+        grid = Grid.from_cell_sizes(_bound_1d(t_max=5, lo=0.0, hi=1.0), sigma=2, epsilon=0.5)
+        series = np.array([0.0, 0.6, 1.0, 0.0, 0.6, 1.0])
+        ids = grid.cell_ids_per_point(series)
+        cols = grid.columns_of(series)
+        rows = grid.rows_of(series)[:, 0]
+        assert np.array_equal(ids, rows * grid.n_columns + cols)
+
+    def test_decode_inverts_encode(self):
+        grid = Grid.from_cell_sizes(_bound_1d(t_max=20), sigma=3, epsilon=0.7)
+        rng = np.random.default_rng(0)
+        series = rng.uniform(-3, 3, size=21)
+        ids = grid.cell_ids_per_point(series)
+        cols, rows = grid.decode_cell(ids)
+        assert np.array_equal(cols, grid.columns_of(series))
+        assert np.array_equal(rows, grid.rows_of(series))
+
+    def test_ids_within_range(self):
+        grid = Grid.from_cell_sizes(_bound_1d(t_max=50), sigma=4, epsilon=0.3)
+        rng = np.random.default_rng(1)
+        ids = grid.cell_ids_per_point(rng.uniform(-3, 3, size=51))
+        assert ids.min() >= 0
+        assert ids.max() < grid.n_cells
+
+    def test_dim_mismatch_raises(self):
+        grid = Grid.from_cell_sizes(_bound_1d(), sigma=1, epsilon=1)
+        with pytest.raises(GridError):
+            grid.rows_of(np.zeros((5, 2)))
+
+
+class TestMultiDim:
+    def _grid(self):
+        bound = Bound(0.0, 9.0, (-1.0, -2.0), (1.0, 2.0))
+        return Grid.from_cell_sizes(bound, sigma=2, epsilon=0.5)
+
+    def test_cell_count(self):
+        grid = self._grid()
+        assert grid.n_columns == 5
+        assert grid.n_rows == (5, 9)
+        assert grid.n_cells == 5 * 5 * 9
+
+    def test_ids_unique_per_cell(self):
+        """Distinct (column, row_x, row_y) triples get distinct IDs."""
+        grid = self._grid()
+        rng = np.random.default_rng(2)
+        series = np.column_stack(
+            [rng.uniform(-1, 1, size=10), rng.uniform(-2, 2, size=10)]
+        )
+        ids = grid.cell_ids_per_point(series)
+        cols, rows = grid.decode_cell(ids)
+        triples = set(zip(cols.tolist(), rows[:, 0].tolist(), rows[:, 1].tolist()))
+        assert len(set(ids.tolist())) == len(triples)
+
+    def test_decode_inverts_encode_2d(self):
+        grid = self._grid()
+        rng = np.random.default_rng(3)
+        series = np.column_stack(
+            [rng.uniform(-1, 1, size=10), rng.uniform(-2, 2, size=10)]
+        )
+        ids = grid.cell_ids_per_point(series)
+        cols, rows = grid.decode_cell(ids)
+        assert np.array_equal(cols, grid.columns_of(series))
+        assert np.array_equal(rows, grid.rows_of(series))
+
+
+class TestZones:
+    def test_partition_covers_all_cells(self):
+        grid = Grid.from_cell_sizes(_bound_1d(t_max=30), sigma=2, epsilon=0.4)
+        all_cells = np.arange(grid.n_cells)
+        zones = grid.zones_of_cells(all_cells, scale=3)
+        assert zones.min() >= 0
+        assert zones.max() < 9
+
+    def test_each_cell_in_exactly_one_zone(self):
+        grid = Grid.from_cell_sizes(_bound_1d(t_max=30), sigma=2, epsilon=0.4)
+        cells = np.arange(grid.n_cells)
+        z1 = grid.zones_of_cells(cells, scale=4)
+        z2 = grid.zones_of_cells(cells, scale=4)
+        assert np.array_equal(z1, z2)  # deterministic partition
+
+    def test_scale_one_is_single_zone(self):
+        grid = Grid.from_cell_sizes(_bound_1d(t_max=10), sigma=1, epsilon=1.0)
+        zones = grid.zones_of_cells(np.arange(grid.n_cells), scale=1)
+        assert np.all(zones == 0)
+
+    def test_bad_scale_raises(self):
+        grid = Grid.from_cell_sizes(_bound_1d(), sigma=1, epsilon=1)
+        with pytest.raises(ParameterError):
+            grid.zones_of_cells(np.array([0]), scale=0)
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_zone_sizes_roughly_balanced(self, scale):
+        grid = Grid.from_cell_sizes(_bound_1d(t_max=63), sigma=1, epsilon=0.1)
+        zones = grid.zones_of_cells(np.arange(grid.n_cells), scale)
+        counts = np.bincount(zones, minlength=scale * scale)
+        assert counts.sum() == grid.n_cells
+        assert counts.min() > 0

@@ -1,0 +1,76 @@
+"""Additional hypothesis properties for Bound and Grid geometry."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.grid import Bound, Grid
+
+series_strategy = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=60),
+    elements=st.floats(min_value=-20, max_value=20, allow_nan=False),
+)
+
+
+@given(series_strategy)
+def test_own_bound_contains_every_point(series):
+    bound = Bound.of_series(series)
+    assert bound.contains(series).all()
+
+
+@given(series_strategy, series_strategy)
+def test_database_bound_covers_member_bounds(a, b):
+    joint = Bound.of_database([a, b])
+    assert joint.covers(Bound.of_series(a))
+    assert joint.covers(Bound.of_series(b))
+
+
+@given(series_strategy, st.floats(min_value=0, max_value=5))
+def test_padding_only_widens(series, padding):
+    tight = Bound.of_series(series)
+    padded = Bound.of_database([series], value_padding=padding)
+    assert padded.covers(tight)
+
+
+@given(series_strategy, st.integers(min_value=1, max_value=12))
+def test_from_resolution_exact_counts(series, scale):
+    """A scale-s grid has exactly s columns, and s rows per dim for any
+    non-degenerate value span.  Spans below float resolution (e.g. a
+    5e-324 subnormal range) may collapse toward 1 row — they cannot be
+    split into distinguishable cells — but never exceed s."""
+    bound = Bound.of_series(series)
+    grid = Grid.from_resolution(bound, scale)
+    assert grid.n_columns == (scale if bound.t_max > bound.t_min else 1)
+    span = bound.x_max[0] - bound.x_min[0]
+    if span > 1e-9:
+        assert grid.n_rows == (scale,)
+    else:
+        assert 1 <= grid.n_rows[0] <= scale
+
+
+@given(series_strategy, st.integers(1, 8), st.floats(0.05, 3.0))
+def test_every_point_lands_in_declared_shape(series, sigma, epsilon):
+    grid = Grid.from_cell_sizes(Bound.of_series(series), sigma, epsilon)
+    cols = grid.columns_of(series)
+    rows = grid.rows_of(series)
+    assert cols.min() >= 0 and cols.max() < grid.n_columns
+    assert rows.min() >= 0 and rows.max() < grid.n_rows[0]
+
+
+@given(series_strategy, st.integers(1, 8), st.floats(0.05, 3.0))
+def test_monotone_time_columns(series, sigma, epsilon):
+    """Later samples never map to earlier columns."""
+    grid = Grid.from_cell_sizes(Bound.of_series(series), sigma, epsilon)
+    cols = grid.columns_of(series)
+    assert (np.diff(cols) >= 0).all()
+
+
+@given(series_strategy, st.integers(1, 8), st.floats(0.05, 3.0))
+def test_monotone_value_rows(series, sigma, epsilon):
+    """Higher values never map to lower rows."""
+    grid = Grid.from_cell_sizes(Bound.of_series(series), sigma, epsilon)
+    rows = grid.rows_of(series)[:, 0]
+    order = np.argsort(series, kind="stable")
+    assert (np.diff(rows[order]) >= 0).all()

@@ -1,0 +1,81 @@
+"""Tests for the k-NN min-heap (Section 5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.heap import KnnHeap
+from repro.exceptions import ParameterError
+
+
+class TestKnnHeap:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            KnnHeap(0)
+
+    def test_threshold_before_full(self):
+        heap = KnnHeap(3)
+        heap.consider(0.5, 0)
+        assert heap.threshold() == float("-inf")
+        assert not heap.full
+
+    def test_threshold_when_full(self):
+        heap = KnnHeap(2)
+        heap.consider(0.5, 0)
+        heap.consider(0.9, 1)
+        assert heap.full
+        assert heap.threshold() == 0.5
+
+    def test_keeps_k_best(self):
+        heap = KnnHeap(2)
+        for i, sim in enumerate([0.1, 0.9, 0.5, 0.7]):
+            heap.consider(sim, i)
+        result = heap.neighbors()
+        assert [n.index for n in result] == [1, 3]
+        assert [n.similarity for n in result] == [0.9, 0.7]
+
+    def test_rejects_worse_candidate(self):
+        heap = KnnHeap(1)
+        assert heap.consider(0.8, 0)
+        assert not heap.consider(0.3, 1)
+        assert heap.neighbors()[0].index == 0
+
+    def test_tie_prefers_smaller_index(self):
+        heap = KnnHeap(1)
+        heap.consider(0.5, 7)
+        kept = heap.consider(0.5, 3)
+        assert kept
+        assert heap.neighbors()[0].index == 3
+
+    def test_tie_keeps_existing_smaller_index(self):
+        heap = KnnHeap(1)
+        heap.consider(0.5, 3)
+        assert not heap.consider(0.5, 7)
+        assert heap.neighbors()[0].index == 3
+
+    def test_qualifies_matches_consider(self):
+        heap = KnnHeap(2)
+        heap.consider(0.4, 0)
+        heap.consider(0.6, 1)
+        assert heap.qualifies(0.5, 2)
+        assert not heap.qualifies(0.3, 2)
+
+    def test_neighbors_sorted_descending(self):
+        heap = KnnHeap(4)
+        for i, sim in enumerate([0.2, 0.8, 0.5, 0.9]):
+            heap.consider(sim, i)
+        sims = [n.similarity for n in heap.neighbors()]
+        assert sims == sorted(sims, reverse=True)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=10))
+    def test_matches_sorted_topk(self, sims, k):
+        heap = KnnHeap(k)
+        for i, sim in enumerate(sims):
+            heap.consider(sim, i)
+        expected = sorted(
+            ((s, i) for i, s in enumerate(sims)), key=lambda t: (-t[0], t[1])
+        )[:k]
+        got = [(n.similarity, n.index) for n in heap.neighbors()]
+        assert got == expected

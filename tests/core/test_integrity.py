@@ -1,0 +1,65 @@
+"""Tests for STS3Database.verify_integrity diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro import STS3Database
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(0)
+    return STS3Database(
+        [rng.normal(size=32) for _ in range(10)], sigma=2, epsilon=0.5
+    )
+
+
+class TestVerifyIntegrity:
+    def test_clean_database(self, db):
+        assert db.verify_integrity() == []
+
+    def test_clean_after_inserts_and_flush(self, db):
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            db.insert(rng.normal(size=32))
+        db.flush()
+        assert db.verify_integrity() == []
+
+    def test_detects_stale_set(self, db):
+        db.sets[3] = db.sets[3][:-1]  # corrupt one representation
+        problems = db.verify_integrity()
+        assert any("stale set representation" in p for p in problems)
+
+    def test_detects_length_mismatch(self, db):
+        db.sets.append(db.sets[0])
+        problems = db.verify_integrity()
+        assert any("series but" in p for p in problems)
+
+    def test_detects_escaped_series(self, db):
+        rogue = db.series[0].copy()
+        rogue[0] = 1e6
+        db.series[0] = rogue
+        problems = db.verify_integrity()
+        assert any("escapes the database bound" in p for p in problems)
+
+    def test_detects_stale_cached_searcher(self, db):
+        db.indexed_searcher()
+        db.sets = [s.copy() for s in db.sets]  # swap the list object
+        problems = db.verify_integrity()
+        assert any("stale" in p for p in problems)
+
+    def test_clean_with_buffered_series(self, db):
+        """Buffered out-TSs must not trip the checks."""
+        rng = np.random.default_rng(2)
+        fresh = STS3Database(
+            [rng.normal(size=32) for _ in range(5)],
+            sigma=2,
+            epsilon=0.5,
+            normalize=False,
+            buffer_capacity=10,
+        )
+        spike = np.zeros(32)
+        spike[3] = 100.0
+        fresh.insert(spike)
+        assert len(fresh.buffer) == 1
+        assert fresh.verify_integrity() == []

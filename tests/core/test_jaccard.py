@@ -1,0 +1,97 @@
+"""Unit and property tests for the Jaccard similarity (Section 3.3)."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.jaccard import (
+    intersection_size,
+    jaccard,
+    jaccard_distance,
+    jaccard_from_intersection,
+    size_upper_bound,
+)
+
+id_sets = st.lists(
+    st.integers(min_value=0, max_value=200), max_size=60
+).map(lambda xs: np.unique(np.asarray(xs, dtype=np.int64)))
+
+
+def _set(*values):
+    return np.asarray(sorted(values), dtype=np.int64)
+
+
+class TestIntersectionSize:
+    def test_disjoint(self):
+        assert intersection_size(_set(1, 2), _set(3, 4)) == 0
+
+    def test_partial(self):
+        assert intersection_size(_set(1, 2, 3), _set(2, 3, 4)) == 2
+
+    def test_identical(self):
+        assert intersection_size(_set(5, 6, 7), _set(5, 6, 7)) == 3
+
+    def test_empty(self):
+        assert intersection_size(_set(), _set(1)) == 0
+
+
+class TestJaccard:
+    def test_paper_example(self):
+        """Figure 2(a): sets (3,4,5,6,9,13) vs (6,7,9,10,13) → 3/8."""
+        a = _set(3, 4, 5, 6, 9, 13)
+        b = _set(6, 7, 9, 10, 13)
+        assert jaccard(a, b) == 3 / 8
+
+    def test_identical_sets(self):
+        assert jaccard(_set(1, 2, 3), _set(1, 2, 3)) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard(_set(1), _set(2)) == 0.0
+
+    def test_both_empty_defined_as_one(self):
+        assert jaccard(_set(), _set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard(_set(), _set(1, 2)) == 0.0
+
+    def test_from_intersection_consistent(self):
+        a, b = _set(1, 2, 3, 4), _set(3, 4, 5)
+        inter = intersection_size(a, b)
+        assert jaccard(a, b) == jaccard_from_intersection(len(a), len(b), inter)
+
+    @given(id_sets, id_sets)
+    def test_range(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(id_sets, id_sets)
+    def test_symmetry(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+
+    @given(id_sets)
+    def test_self_similarity_is_one(self, a):
+        assert jaccard(a, a) == 1.0
+
+    @given(id_sets, id_sets, id_sets)
+    def test_distance_triangle_inequality(self, a, b, c):
+        """1 − Jaccard is a metric (Levandowsky & Winter 1971)."""
+        dab = jaccard_distance(a, b)
+        dbc = jaccard_distance(b, c)
+        dac = jaccard_distance(a, c)
+        assert dac <= dab + dbc + 1e-12
+
+
+class TestSizeUpperBound:
+    def test_bound_holds(self):
+        a, b = _set(1, 2, 3, 4), _set(3, 4)
+        assert jaccard(a, b) <= size_upper_bound(len(a), len(b))
+
+    def test_equal_sizes_bound_is_one(self):
+        assert size_upper_bound(5, 5) == 1.0
+
+    def test_empty_sets(self):
+        assert size_upper_bound(0, 0) == 1.0
+        assert size_upper_bound(0, 3) == 0.0
+
+    @given(id_sets, id_sets)
+    def test_always_admissible(self, a, b):
+        assert jaccard(a, b) <= size_upper_bound(len(a), len(b)) + 1e-12

@@ -1,0 +1,109 @@
+"""Tests for the prefix-filtered set-similarity join."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.jaccard import jaccard
+from repro.core.join import JoinPair, similarity_join
+from repro.exceptions import ParameterError
+
+
+def _brute_force(sets, threshold):
+    out = []
+    for i in range(len(sets)):
+        for j in range(i + 1, len(sets)):
+            if len(sets[i]) == 0 or len(sets[j]) == 0:
+                continue
+            sim = jaccard(sets[i], sets[j])
+            if sim >= threshold - 1e-12:
+                out.append((round(sim, 12), i, j))
+    return sorted(out, key=lambda p: (-p[0], p[1], p[2]))
+
+
+def _as_sets(lists):
+    return [np.unique(np.asarray(xs, dtype=np.int64)) for xs in lists]
+
+
+sets_strategy = st.lists(
+    st.lists(st.integers(0, 60), min_size=0, max_size=25),
+    min_size=2,
+    max_size=18,
+).map(_as_sets)
+
+
+class TestValidation:
+    def test_threshold_range(self):
+        with pytest.raises(ParameterError):
+            similarity_join([], 0.0)
+        with pytest.raises(ParameterError):
+            similarity_join([], 1.5)
+
+    def test_fewer_than_two_sets(self):
+        assert similarity_join([np.array([1, 2])], 0.5) == []
+
+
+class TestExactness:
+    def test_duplicate_sets_joined(self):
+        sets = _as_sets([[1, 2, 3], [1, 2, 3], [9, 10]])
+        pairs = similarity_join(sets, 0.99)
+        assert pairs == [JoinPair(1.0, 0, 1)]
+
+    def test_known_overlap(self):
+        sets = _as_sets([[1, 2, 3, 4], [3, 4, 5, 6], [100]])
+        pairs = similarity_join(sets, 0.3)
+        assert [(p.first, p.second) for p in pairs] == [(0, 1)]
+        assert pairs[0].similarity == pytest.approx(2 / 6)
+
+    def test_threshold_excludes(self):
+        sets = _as_sets([[1, 2, 3, 4], [3, 4, 5, 6]])
+        assert similarity_join(sets, 0.5) == []
+
+    def test_empty_sets_never_join(self):
+        sets = _as_sets([[], [], [1, 2]])
+        assert similarity_join(sets, 0.5) == []
+
+    @given(sets_strategy, st.sampled_from([0.1, 0.3, 0.5, 0.7, 0.9, 1.0]))
+    @settings(max_examples=60)
+    def test_matches_brute_force(self, sets, threshold):
+        got = [
+            (round(p.similarity, 12), p.first, p.second)
+            for p in similarity_join(sets, threshold)
+        ]
+        assert got == _brute_force(sets, threshold)
+
+    def test_results_sorted(self):
+        rng = np.random.default_rng(0)
+        sets = [
+            np.unique(rng.integers(0, 40, size=rng.integers(5, 20)))
+            for _ in range(20)
+        ]
+        pairs = similarity_join(sets, 0.2)
+        sims = [p.similarity for p in pairs]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_no_duplicates(self):
+        rng = np.random.default_rng(1)
+        sets = [
+            np.unique(rng.integers(0, 30, size=15)) for _ in range(25)
+        ]
+        pairs = similarity_join(sets, 0.3)
+        keys = [(p.first, p.second) for p in pairs]
+        assert len(keys) == len(set(keys))
+
+
+class TestOnTimeSeries:
+    def test_near_duplicate_windows_join(self):
+        """Consecutive ECG windows with high overlap surface as pairs."""
+        from repro.core import STS3Database
+        from repro.data.workloads import ecg_workload
+
+        wl = ecg_workload(60, 1, length=96, seed=3)
+        db = STS3Database(wl.database, sigma=3, epsilon=0.4)
+        pairs = similarity_join(db.sets, 0.55)
+        for p in pairs:
+            assert p.similarity >= 0.55
+            assert p.first != p.second
+        # at this threshold some near-duplicate beats should pair up
+        assert len(pairs) > 0

@@ -1,0 +1,159 @@
+"""Tests for MinHash signatures, LSH banding, and the MinHash searcher."""
+
+import numpy as np
+import pytest
+
+from repro.core.jaccard import jaccard
+from repro.core.minhash import LSHIndex, MinHasher, MinHashSearcher, estimate_jaccard
+from repro.core.naive import NaiveSearcher
+from repro.exceptions import EmptyDatabaseError, ParameterError
+
+
+def _random_sets(rng, n, universe=2000, size=120):
+    return [
+        np.unique(rng.integers(0, universe, size=size)).astype(np.int64)
+        for _ in range(n)
+    ]
+
+
+def _overlapping_pair(rng, overlap, size=200, universe=100_000):
+    """Two sets with Jaccard ≈ overlap built from a shared core."""
+    shared = int(round(2 * size * overlap / (1 + overlap)))
+    core = rng.choice(universe, size=shared, replace=False)
+    rest_a = rng.choice(
+        np.arange(universe, universe * 2), size=size - shared, replace=False
+    )
+    rest_b = rng.choice(
+        np.arange(universe * 2, universe * 3), size=size - shared, replace=False
+    )
+    a = np.unique(np.concatenate([core, rest_a])).astype(np.int64)
+    b = np.unique(np.concatenate([core, rest_b])).astype(np.int64)
+    return a, b
+
+
+class TestMinHasher:
+    def test_deterministic(self):
+        ids = np.arange(50, dtype=np.int64)
+        assert np.array_equal(
+            MinHasher(32, seed=1).signature(ids), MinHasher(32, seed=1).signature(ids)
+        )
+
+    def test_seed_changes_signature(self):
+        ids = np.arange(50, dtype=np.int64)
+        assert not np.array_equal(
+            MinHasher(32, seed=1).signature(ids), MinHasher(32, seed=2).signature(ids)
+        )
+
+    def test_identical_sets_identical_signatures(self):
+        rng = np.random.default_rng(0)
+        ids = np.unique(rng.integers(0, 10**9, size=100)).astype(np.int64)
+        hasher = MinHasher(64)
+        assert np.array_equal(hasher.signature(ids), hasher.signature(ids.copy()))
+
+    def test_empty_set_sentinel(self):
+        sig = MinHasher(16).signature(np.empty(0, dtype=np.int64))
+        assert (sig == np.uint64(0xFFFFFFFFFFFFFFFF)).all()
+
+    def test_rejects_bad_num_perm(self):
+        with pytest.raises(ParameterError):
+            MinHasher(0)
+
+    def test_estimator_tracks_true_jaccard(self):
+        """mean(row agreement) ≈ J within sampling error (3σ)."""
+        rng = np.random.default_rng(3)
+        hasher = MinHasher(512, seed=7)
+        for target in (0.2, 0.5, 0.8):
+            a, b = _overlapping_pair(rng, target)
+            true = jaccard(a, b)
+            est = estimate_jaccard(hasher.signature(a), hasher.signature(b))
+            sigma = np.sqrt(true * (1 - true) / 512)
+            assert abs(est - true) <= 4 * sigma + 0.02
+
+    def test_estimator_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            estimate_jaccard(np.zeros(4, np.uint64), np.zeros(8, np.uint64))
+
+
+class TestLSHIndex:
+    def test_bands_must_divide(self):
+        with pytest.raises(ParameterError):
+            LSHIndex(10, 3)
+        with pytest.raises(ParameterError):
+            LSHIndex(10, 0)
+
+    def test_identical_signature_always_candidate(self):
+        hasher = MinHasher(32)
+        index = LSHIndex(32, 8)
+        sig = hasher.signature(np.arange(40, dtype=np.int64))
+        index.insert(5, sig)
+        assert 5 in index.candidates(sig).tolist()
+
+    def test_similar_sets_usually_collide(self):
+        rng = np.random.default_rng(4)
+        hasher = MinHasher(128, seed=1)
+        index = LSHIndex(128, 32)  # r=4: knee near s ≈ 0.42
+        a, b = _overlapping_pair(rng, 0.85)
+        index.insert(0, hasher.signature(a))
+        assert 0 in index.candidates(hasher.signature(b)).tolist()
+
+    def test_dissimilar_sets_rarely_collide(self):
+        rng = np.random.default_rng(5)
+        hasher = MinHasher(128, seed=1)
+        index = LSHIndex(128, 16)  # r=8: very low collision for s ≈ 0.05
+        hits = 0
+        for i in range(20):
+            a = np.unique(rng.integers(0, 10**6, size=100)).astype(np.int64)
+            b = np.unique(rng.integers(10**6, 2 * 10**6, size=100)).astype(np.int64)
+            index.insert(i, hasher.signature(a))
+            if i in index.candidates(hasher.signature(b)).tolist():
+                hits += 1
+        assert hits <= 2
+
+
+class TestMinHashSearcher:
+    def test_empty_db_raises(self):
+        with pytest.raises(EmptyDatabaseError):
+            MinHashSearcher([])
+
+    def test_exact_duplicate_found(self):
+        rng = np.random.default_rng(6)
+        sets = _random_sets(rng, 30)
+        searcher = MinHashSearcher(sets, num_perm=64, bands=16)
+        result = searcher.query(sets[13], k=1)
+        assert result.best.index == 13
+        assert result.best.similarity == 1.0
+
+    def test_similarities_are_exact(self):
+        rng = np.random.default_rng(7)
+        sets = _random_sets(rng, 25)
+        searcher = MinHashSearcher(sets, num_perm=64, bands=16)
+        query = sets[4]
+        result = searcher.query(query, k=5)
+        for n in result.neighbors:
+            assert n.similarity == pytest.approx(jaccard(sets[n.index], query))
+
+    def test_pads_to_k_when_lsh_underdelivers(self):
+        rng = np.random.default_rng(8)
+        sets = _random_sets(rng, 10, universe=10**7, size=30)  # near-disjoint
+        searcher = MinHashSearcher(sets, num_perm=64, bands=4)  # r=16: no hits
+        query = np.unique(rng.integers(10**8, 10**8 + 10**6, size=30)).astype(np.int64)
+        result = searcher.query(query, k=4)
+        assert len(result.neighbors) == 4
+
+    def test_recall_on_near_duplicates(self):
+        """For high-similarity neighbours LSH recall should be high."""
+        rng = np.random.default_rng(9)
+        base = _random_sets(rng, 40, universe=50_000, size=150)
+        searcher = MinHashSearcher(base, num_perm=128, bands=32)
+        exact = NaiveSearcher(base)
+        hits = 0
+        for i in range(10):
+            # perturb a database set slightly → Jaccard ≈ 0.9 query
+            query = base[i].copy()
+            query = np.unique(
+                np.concatenate([query[5:], rng.integers(0, 50_000, size=5)])
+            ).astype(np.int64)
+            want = exact.query(query, k=1).best.index
+            got = searcher.query(query, k=1).best.index
+            hits += want == got
+        assert hits >= 8

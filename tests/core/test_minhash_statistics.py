@@ -1,0 +1,85 @@
+"""Statistical verification of the MinHash/LSH theory.
+
+- Per-row collision probability of MinHash signatures equals the
+  Jaccard similarity (within binomial sampling error).
+- The banded-LSH candidate probability follows the S-curve
+  ``P(candidate) = 1 − (1 − s^r)^b`` (within Monte-Carlo error).
+
+These are the guarantees the approximate searcher's recall rests on,
+so they get their own focused statistical tests (seeded, tolerance
+chosen at ~4σ so they are deterministic in practice).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.jaccard import jaccard
+from repro.core.minhash import LSHIndex, MinHasher
+
+
+def _pair_with_similarity(rng, target, size=300):
+    shared = int(round(2 * size * target / (1 + target)))
+    core = rng.choice(10**6, size=shared, replace=False)
+    a_rest = rng.choice(np.arange(10**6, 2 * 10**6), size=size - shared, replace=False)
+    b_rest = rng.choice(np.arange(2 * 10**6, 3 * 10**6), size=size - shared, replace=False)
+    a = np.unique(np.concatenate([core, a_rest])).astype(np.int64)
+    b = np.unique(np.concatenate([core, b_rest])).astype(np.int64)
+    return a, b
+
+
+class TestRowCollisionProbability:
+    @pytest.mark.parametrize("target", [0.1, 0.3, 0.5, 0.7, 0.9])
+    def test_matches_jaccard(self, target):
+        rng = np.random.default_rng(17)
+        hasher = MinHasher(num_perm=1024, seed=3)
+        a, b = _pair_with_similarity(rng, target)
+        true = jaccard(a, b)
+        agreement = float(
+            np.mean(hasher.signature(a) == hasher.signature(b))
+        )
+        sigma = np.sqrt(true * (1 - true) / 1024)
+        assert abs(agreement - true) <= 4 * sigma + 0.01
+
+
+class TestBandSCurve:
+    def test_candidate_probability_follows_curve(self):
+        """Empirical collision rate vs 1 − (1 − s^r)^b at three
+        similarity levels, with fresh hashers as Monte-Carlo trials."""
+        bands, rows = 16, 4
+        num_perm = bands * rows
+        trials = 60
+        for target in (0.3, 0.6, 0.9):
+            rng = np.random.default_rng(int(target * 100))
+            hits = 0
+            sims = []
+            for trial in range(trials):
+                a, b = _pair_with_similarity(rng, target, size=200)
+                sims.append(jaccard(a, b))
+                hasher = MinHasher(num_perm, seed=1000 + trial)
+                index = LSHIndex(num_perm, bands)
+                index.insert(0, hasher.signature(a))
+                if 0 in index.candidates(hasher.signature(b)).tolist():
+                    hits += 1
+            s = float(np.mean(sims))
+            expected = 1 - (1 - s**rows) ** bands
+            observed = hits / trials
+            sigma = np.sqrt(max(expected * (1 - expected), 0.01) / trials)
+            assert abs(observed - expected) <= 4 * sigma + 0.05
+
+    def test_knee_orders_correctly(self):
+        """Below the knee collisions are rare, above frequent."""
+        bands, rows = 8, 16  # knee near s = (1/b)^(1/r) ≈ 0.88
+        num_perm = bands * rows
+        rng = np.random.default_rng(5)
+
+        def rate(target):
+            hits = 0
+            for trial in range(30):
+                a, b = _pair_with_similarity(rng, target, size=200)
+                hasher = MinHasher(num_perm, seed=2000 + trial)
+                index = LSHIndex(num_perm, bands)
+                index.insert(0, hasher.signature(a))
+                hits += 0 in index.candidates(hasher.signature(b)).tolist()
+            return hits / 30
+
+        assert rate(0.95) > rate(0.5) + 0.3

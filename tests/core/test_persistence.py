@@ -1,0 +1,122 @@
+"""Tests for database save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro import STS3Database
+from repro.core.persistence import load_database, save_database
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(0)
+    return STS3Database(
+        [rng.normal(size=48) for _ in range(20)], sigma=3, epsilon=0.4
+    )
+
+
+class TestRoundTrip:
+    def test_basic(self, db, tmp_path):
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert len(loaded) == len(db)
+        assert loaded.sigma == db.sigma
+        assert loaded.epsilon == db.epsilon
+        assert loaded.verify_integrity() == []
+
+    def test_queries_identical(self, db, tmp_path):
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+        loaded = load_database(path)
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            query = rng.normal(size=48)
+            a = db.query(query, k=4, method="index")
+            b = loaded.query(query, k=4, method="index")
+            assert a.indices() == b.indices()
+            assert a.similarities() == b.similarities()
+
+    def test_buffer_survives(self, tmp_path):
+        rng = np.random.default_rng(2)
+        db = STS3Database(
+            [rng.normal(size=32) for _ in range(8)],
+            sigma=2,
+            epsilon=0.5,
+            normalize=False,
+            buffer_capacity=5,
+        )
+        spike = np.zeros(32)
+        spike[4] = 99.0
+        db.insert(spike)
+        provisional = db.query(spike, k=1, method="naive").best.index
+
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert len(loaded.buffer) == 1
+        assert loaded.query(spike, k=1, method="naive").best.index == provisional
+
+    def test_multidim(self, tmp_path):
+        rng = np.random.default_rng(3)
+        db = STS3Database(
+            [rng.normal(size=(24, 2)) for _ in range(6)], sigma=2, epsilon=(0.4, 0.8)
+        )
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.epsilon == (0.4, 0.8)
+        assert loaded.series[0].shape == (24, 2)
+        query = db.series[2]
+        assert loaded.query(query, k=1, method="naive").best.similarity == 1.0
+
+    def test_unequal_lengths(self, tmp_path):
+        rng = np.random.default_rng(4)
+        db = STS3Database(
+            [rng.normal(size=n) for n in (16, 24, 32)], sigma=2, epsilon=0.5
+        )
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert [len(s) for s in loaded.series] == [16, 24, 32]
+
+    def test_rebuild_count_preserved(self, tmp_path):
+        rng = np.random.default_rng(5)
+        db = STS3Database(
+            [rng.normal(size=16) for _ in range(4)],
+            sigma=2, epsilon=0.5, normalize=False, buffer_capacity=1,
+        )
+        spike = np.zeros(16)
+        spike[0] = 50.0
+        db.insert(spike)  # buffer fills → rebuild
+        assert db.rebuild_count == 1
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+        assert load_database(path).rebuild_count == 1
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_database(tmp_path / "nope.npz")
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises((DatasetError, KeyError)):
+            load_database(path)
+
+    def test_wrong_version(self, db, tmp_path):
+        import json
+
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+        with np.load(path) as archive:
+            data = dict(archive)
+        header = json.loads(bytes(data["header"]).decode())
+        header["format_version"] = 999
+        data["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+        np.savez(path, **data)
+        with pytest.raises(DatasetError):
+            load_database(path)

@@ -1,0 +1,50 @@
+"""Hypothesis property tests for database persistence round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import STS3Database
+from repro.core.persistence import load_database, save_database
+
+
+@st.composite
+def database_config(draw):
+    n_series = draw(st.integers(min_value=2, max_value=8))
+    length = draw(st.integers(min_value=8, max_value=40))
+    sigma = draw(st.integers(min_value=1, max_value=5))
+    epsilon = draw(st.floats(min_value=0.1, max_value=1.0))
+    seed = draw(st.integers(0, 10_000))
+    normalize = draw(st.booleans())
+    return n_series, length, sigma, epsilon, seed, normalize
+
+
+@given(database_config())
+@settings(max_examples=20, deadline=None)
+def test_round_trip_equivalence(tmp_path_factory, config):
+    n_series, length, sigma, epsilon, seed, normalize = config
+    rng = np.random.default_rng(seed)
+    series = [rng.normal(size=length) for _ in range(n_series)]
+    db = STS3Database(series, sigma=sigma, epsilon=epsilon, normalize=normalize)
+
+    path = tmp_path_factory.mktemp("persist") / "db.npz"
+    save_database(db, path)
+    loaded = load_database(path)
+
+    # configuration round-trips
+    assert loaded.sigma == db.sigma
+    assert loaded.epsilon == pytest.approx(db.epsilon)
+    assert loaded.normalize == db.normalize
+    # derived state equivalence: identical sets and grids
+    assert loaded.grid.n_columns == db.grid.n_columns
+    assert loaded.grid.n_rows == db.grid.n_rows
+    for a, b in zip(loaded.sets, db.sets):
+        assert np.array_equal(a, b)
+    # behavioural equivalence on a probe query
+    query = rng.normal(size=length)
+    a = db.query(query, k=min(3, n_series), method="naive")
+    b = loaded.query(query, k=min(3, n_series), method="naive")
+    assert a.indices() == b.indices()
+    assert a.similarities() == pytest.approx(b.similarities())
+    assert loaded.verify_integrity() == []

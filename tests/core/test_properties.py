@@ -1,0 +1,146 @@
+"""Hypothesis property tests for core STS3 invariants.
+
+These complement the example-based tests with randomized checks of the
+mathematical claims the algorithms rest on: bound admissibility, grid
+determinism, coarse/fine consistency, and robustness guarantees.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import Bound, Grid, PruningSearcher, transform, transform_query
+from repro.core.jaccard import jaccard
+from repro.core.pruning import zone_histogram
+from repro.core.setrep import CompressedSet
+
+series_strategy = arrays(
+    np.float64,
+    st.integers(min_value=4, max_value=80),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+
+cell_params = st.tuples(
+    st.integers(min_value=1, max_value=9),         # sigma
+    st.floats(min_value=0.05, max_value=3.0),      # epsilon
+)
+
+
+def _array_of(n: int):
+    return arrays(
+        np.float64,
+        n,
+        elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+    )
+
+
+#: two series of one shared random length.
+series_pair = st.integers(min_value=4, max_value=60).flatmap(
+    lambda n: st.tuples(_array_of(n), _array_of(n))
+)
+
+
+@given(series_strategy, cell_params)
+def test_transform_deterministic(series, params):
+    sigma, epsilon = params
+    grid = Grid.from_cell_sizes(Bound.of_series(series), sigma, epsilon)
+    a = transform(series, grid)
+    b = transform(series, grid)
+    assert np.array_equal(a, b)
+
+
+@given(series_strategy, cell_params)
+def test_transform_ids_in_range(series, params):
+    sigma, epsilon = params
+    grid = Grid.from_cell_sizes(Bound.of_series(series), sigma, epsilon)
+    cell_set = transform(series, grid)
+    assert len(cell_set) >= 1
+    assert cell_set.min() >= 0
+    assert cell_set.max() < grid.n_cells
+
+
+@given(series_pair, cell_params, st.integers(1, 6))
+def test_zone_bound_admissible(pair, params, scale):
+    """Σ_i min(|S_i|, |Q_i|) >= |S ∩ Q| for any zone scale."""
+    a, b = pair
+    sigma, epsilon = params
+    grid = Grid.from_cell_sizes(Bound.of_database([a, b]), sigma, epsilon)
+    set_a, set_b = transform(a, grid), transform(b, grid)
+    hist_a = zone_histogram(set_a, grid, scale)
+    hist_b = zone_histogram(set_b, grid, scale)
+    bound = np.minimum(hist_a, hist_b).sum()
+    true_inter = np.intersect1d(set_a, set_b, assume_unique=True).size
+    assert bound >= true_inter
+
+
+@given(series_strategy, cell_params, st.integers(1, 6))
+def test_zone_histogram_partitions_set(series, params, scale):
+    sigma, epsilon = params
+    grid = Grid.from_cell_sizes(Bound.of_series(series), sigma, epsilon)
+    cell_set = transform(series, grid)
+    hist = zone_histogram(cell_set, grid, scale)
+    assert hist.sum() == len(cell_set)
+    assert (hist >= 0).all()
+
+
+@given(series_pair, cell_params)
+def test_pruning_bound_dominates_similarity(pair, params):
+    a, b = pair
+    sigma, epsilon = params
+    grid = Grid.from_cell_sizes(Bound.of_database([a, b]), sigma, epsilon)
+    sets = [transform(a, grid)]
+    searcher = PruningSearcher(sets, grid, scale=3)
+    query_set = transform(b, grid)
+    (bound,) = searcher.upper_bounds(query_set)
+    assert jaccard(sets[0], query_set) <= bound + 1e-12
+
+
+@given(series_strategy)
+def test_transform_query_set_size_bounded(series):
+    """|Q'| never exceeds the point count, even with out-points."""
+    half = series[: len(series) // 2]
+    assume(len(half) >= 2)
+    grid = Grid.from_cell_sizes(Bound.of_series(half), 2, 0.5)
+    query_set = transform_query(series, grid)
+    assert 1 <= len(query_set) <= len(series)
+
+
+@given(series_strategy)
+def test_out_point_ids_disjoint_from_grid(series):
+    half = series[: len(series) // 2]
+    assume(len(half) >= 2)
+    grid = Grid.from_cell_sizes(Bound.of_series(half), 2, 0.5)
+    query_set = transform_query(series, grid)
+    in_bound_ids = query_set[query_set < grid.n_cells]
+    out_ids = query_set[query_set >= grid.n_cells]
+    assert len(np.intersect1d(in_bound_ids, out_ids)) == 0
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=10**7), min_size=0, max_size=200)
+)
+def test_compressed_set_roundtrip(values):
+    ids = np.unique(np.asarray(values, dtype=np.int64))
+    assert np.array_equal(CompressedSet.encode(ids).decode(), ids)
+
+
+@given(series_strategy, st.integers(2, 6))
+def test_coarse_sets_smaller_than_fine(series, scale):
+    """A coarser grid can only merge cells, never split them."""
+    bound = Bound.of_series(series)
+    fine = Grid.from_cell_sizes(bound, 1, 0.05)
+    coarse = Grid.from_resolution(bound, scale)
+    fine_set = transform(series, fine)
+    coarse_set = transform(series, coarse)
+    assert len(coarse_set) <= max(len(fine_set), scale * scale)
+    assert len(coarse_set) <= scale * scale
+
+
+@given(series_strategy, cell_params)
+def test_jaccard_of_shifted_window_reasonable(series, params):
+    """Sanity: similarity of a series with itself is 1 under any grid."""
+    sigma, epsilon = params
+    grid = Grid.from_cell_sizes(Bound.of_series(series), sigma, epsilon)
+    cell_set = transform(series, grid)
+    assert jaccard(cell_set, cell_set) == 1.0

@@ -1,0 +1,54 @@
+"""Tests for query results and search statistics."""
+
+import pytest
+
+from repro.core.result import Neighbor, QueryResult, SearchStats
+
+
+class TestNeighbor:
+    def test_ordering_by_similarity(self):
+        low = Neighbor(similarity=0.2, index=0)
+        high = Neighbor(similarity=0.9, index=1)
+        assert high > low
+
+    def test_frozen(self):
+        n = Neighbor(similarity=0.5, index=3)
+        with pytest.raises(AttributeError):
+            n.similarity = 0.9
+
+
+class TestSearchStats:
+    def test_pruning_rate(self):
+        stats = SearchStats(candidates=100, pruned=25)
+        assert stats.pruning_rate == 0.25
+
+    def test_pruning_rate_empty(self):
+        assert SearchStats().pruning_rate == 0.0
+
+    def test_compression_rate(self):
+        stats = SearchStats(candidates=200, final_candidates=10)
+        assert stats.compression_rate == 0.05
+
+    def test_compression_rate_empty(self):
+        assert SearchStats().compression_rate == 0.0
+
+
+class TestQueryResult:
+    def _result(self):
+        return QueryResult(
+            neighbors=[
+                Neighbor(similarity=0.9, index=4),
+                Neighbor(similarity=0.7, index=1),
+            ]
+        )
+
+    def test_best(self):
+        assert self._result().best.index == 4
+
+    def test_indices_and_similarities(self):
+        result = self._result()
+        assert result.indices() == [4, 1]
+        assert result.similarities() == [0.9, 0.7]
+
+    def test_default_stats(self):
+        assert self._result().stats.candidates == 0

@@ -1,0 +1,203 @@
+"""Per-variant behaviour tests for the four STS3 searchers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApproximateSearcher,
+    Bound,
+    DictInvertedIndex,
+    Grid,
+    IndexedSearcher,
+    NaiveSearcher,
+    PruningSearcher,
+    transform,
+    zone_histogram,
+)
+from repro.core.jaccard import jaccard
+from repro.exceptions import EmptyDatabaseError, ParameterError
+
+
+@pytest.fixture(scope="module")
+def fixture_data():
+    rng = np.random.default_rng(11)
+    bound = Bound(0.0, 63.0, (-3.0,), (3.0,))
+    grid = Grid.from_cell_sizes(bound, sigma=2, epsilon=0.4)
+    series = [np.clip(rng.normal(size=64), -3, 3) for _ in range(80)]
+    sets = [transform(s, grid) for s in series]
+    query_series = np.clip(series[17] + rng.normal(0, 0.1, size=64), -3, 3)
+    query_set = transform(query_series, grid)
+    return grid, series, sets, query_series, query_set
+
+
+class TestNaive:
+    def test_empty_db_raises(self):
+        with pytest.raises(EmptyDatabaseError):
+            NaiveSearcher([])
+
+    def test_bad_k_raises(self, fixture_data):
+        _, _, sets, _, query_set = fixture_data
+        with pytest.raises(ParameterError):
+            NaiveSearcher(sets).query(query_set, k=0)
+
+    def test_finds_near_duplicate(self, fixture_data):
+        _, _, sets, _, query_set = fixture_data
+        result = NaiveSearcher(sets).query(query_set, k=1)
+        assert result.best.index == 17
+
+    def test_k_larger_than_db(self, fixture_data):
+        _, _, sets, _, query_set = fixture_data
+        result = NaiveSearcher(sets).query(query_set, k=500)
+        assert len(result.neighbors) == len(sets)
+
+    def test_early_stop_matches_exhaustive(self, fixture_data):
+        _, _, sets, _, query_set = fixture_data
+        fast = NaiveSearcher(sets, early_stop=True).query(query_set, k=5)
+        slow = NaiveSearcher(sets, early_stop=False).query(query_set, k=5)
+        assert fast.indices() == slow.indices()
+        assert fast.similarities() == slow.similarities()
+
+    def test_exact_match_has_similarity_one(self, fixture_data):
+        _, _, sets, _, _ = fixture_data
+        result = NaiveSearcher(sets).query(sets[3], k=1)
+        assert result.best.index == 3
+        assert result.best.similarity == 1.0
+
+    def test_stats_counted(self, fixture_data):
+        _, _, sets, _, query_set = fixture_data
+        result = NaiveSearcher(sets, early_stop=False).query(query_set, k=1)
+        assert result.stats.candidates == len(sets)
+        assert result.stats.exact_computations == len(sets)
+
+
+class TestIndexed:
+    def test_empty_db_raises(self):
+        with pytest.raises(EmptyDatabaseError):
+            IndexedSearcher([])
+
+    def test_intersection_counts_exact(self, fixture_data):
+        _, _, sets, _, query_set = fixture_data
+        searcher = IndexedSearcher(sets)
+        counts = searcher.intersection_counts(query_set)
+        for i, s in enumerate(sets):
+            assert counts[i] == np.intersect1d(s, query_set, assume_unique=True).size
+
+    def test_disjoint_query(self, fixture_data):
+        _, _, sets, _, _ = fixture_data
+        searcher = IndexedSearcher(sets)
+        far = np.asarray([10**9, 10**9 + 1], dtype=np.int64)
+        counts = searcher.intersection_counts(far)
+        assert counts.sum() == 0
+        result = searcher.query(far, k=2)
+        assert all(n.similarity == 0.0 for n in result.neighbors)
+
+    def test_matches_naive(self, fixture_data):
+        _, _, sets, _, query_set = fixture_data
+        indexed = IndexedSearcher(sets).query(query_set, k=7)
+        naive = NaiveSearcher(sets).query(query_set, k=7)
+        assert indexed.indices() == naive.indices()
+        assert np.allclose(indexed.similarities(), naive.similarities())
+
+    def test_dict_variant_matches(self, fixture_data):
+        _, _, sets, _, query_set = fixture_data
+        dense = IndexedSearcher(sets).query(query_set, k=5)
+        sparse = DictInvertedIndex(sets).query(query_set, k=5)
+        assert dense.indices() == sparse.indices()
+
+    def test_untouched_series_counted_as_pruned(self, fixture_data):
+        _, _, sets, _, query_set = fixture_data
+        result = IndexedSearcher(sets).query(query_set, k=1)
+        nonzero = int(
+            np.count_nonzero(IndexedSearcher(sets).intersection_counts(query_set))
+        )
+        assert result.stats.exact_computations == nonzero
+        assert result.stats.pruned == len(sets) - nonzero
+
+
+class TestPruning:
+    def test_zone_histogram_sums_to_set_size(self, fixture_data):
+        grid, _, sets, _, _ = fixture_data
+        hist = zone_histogram(sets[0], grid, scale=4)
+        assert hist.sum() == len(sets[0])
+        assert hist.shape == (16,)
+
+    def test_upper_bound_admissible(self, fixture_data):
+        grid, _, sets, _, query_set = fixture_data
+        for scale in (1, 2, 5, 9):
+            searcher = PruningSearcher(sets, grid, scale=scale)
+            bounds = searcher.upper_bounds(query_set)
+            for i, s in enumerate(sets):
+                assert jaccard(s, query_set) <= bounds[i] + 1e-12
+
+    def test_matches_naive(self, fixture_data):
+        grid, _, sets, _, query_set = fixture_data
+        for scale in (2, 6):
+            pruned = PruningSearcher(sets, grid, scale=scale).query(query_set, k=4)
+            naive = NaiveSearcher(sets).query(query_set, k=4)
+            assert pruned.indices() == naive.indices()
+
+    def test_unsorted_scan_matches_sorted(self, fixture_data):
+        grid, _, sets, _, query_set = fixture_data
+        sorted_result = PruningSearcher(sets, grid, 5, sort_candidates=True).query(query_set, k=3)
+        paper_result = PruningSearcher(sets, grid, 5, sort_candidates=False).query(query_set, k=3)
+        assert sorted_result.indices() == paper_result.indices()
+
+    def test_larger_scale_tightens_bounds(self, fixture_data):
+        grid, _, sets, _, query_set = fixture_data
+        loose = PruningSearcher(sets, grid, scale=1).upper_bounds(query_set)
+        tight = PruningSearcher(sets, grid, scale=10).upper_bounds(query_set)
+        # tighter on average — zonewise minima can only drop as zones split
+        assert tight.mean() <= loose.mean() + 1e-12
+
+    def test_prunes_something(self, fixture_data):
+        grid, _, sets, _, query_set = fixture_data
+        result = PruningSearcher(sets, grid, scale=8).query(query_set, k=1)
+        assert result.stats.pruned > 0
+
+    def test_bad_scale_raises(self, fixture_data):
+        grid, _, sets, _, _ = fixture_data
+        with pytest.raises(ParameterError):
+            PruningSearcher(sets, grid, scale=0)
+
+
+class TestApproximate:
+    def test_answer_is_valid_series(self, fixture_data):
+        grid, series, sets, query_series, query_set = fixture_data
+        searcher = ApproximateSearcher(series, sets, grid.bound, max_scale=4)
+        result = searcher.query(query_series, query_set, k=3)
+        assert all(0 <= n.index < len(sets) for n in result.neighbors)
+        # similarities are the *exact* full-resolution Jaccard values
+        for n in result.neighbors:
+            assert n.similarity == pytest.approx(jaccard(sets[n.index], query_set))
+
+    def test_filters_most_candidates(self, fixture_data):
+        grid, series, sets, query_series, query_set = fixture_data
+        searcher = ApproximateSearcher(series, sets, grid.bound, max_scale=5)
+        result = searcher.query(query_series, query_set, k=1)
+        assert result.stats.final_candidates < len(sets)
+        assert result.stats.filter_rounds >= 1
+
+    def test_keeps_at_least_k(self, fixture_data):
+        grid, series, sets, query_series, query_set = fixture_data
+        searcher = ApproximateSearcher(series, sets, grid.bound, max_scale=5)
+        result = searcher.query(query_series, query_set, k=5)
+        assert len(result.neighbors) == 5
+
+    def test_exact_duplicate_always_survives(self, fixture_data):
+        """A database series identical to the query ties the maximal
+        coarse similarity at every scale, so it is never filtered."""
+        grid, series, sets, _, _ = fixture_data
+        searcher = ApproximateSearcher(series, sets, grid.bound, max_scale=5)
+        result = searcher.query(series[29], sets[29], k=1)
+        assert result.best.index == 29
+        assert result.best.similarity == 1.0
+
+    def test_bad_max_scale_raises(self, fixture_data):
+        grid, series, sets, _, _ = fixture_data
+        with pytest.raises(ParameterError):
+            ApproximateSearcher(series, sets, grid.bound, max_scale=1)
+
+    def test_mismatched_lists_raise(self, fixture_data):
+        grid, series, sets, _, _ = fixture_data
+        with pytest.raises(ParameterError):
+            ApproximateSearcher(series[:-1], sets, grid.bound)

@@ -1,0 +1,128 @@
+"""Tests for set transformation (Algorithms 1 and 6) and CompressedSet."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Bound, Grid
+from repro.core.setrep import CompressedSet, transform, transform_query
+
+
+def _grid(t_max=63, lo=-3.0, hi=3.0, sigma=2, epsilon=0.5):
+    return Grid.from_cell_sizes(Bound(0.0, t_max, (lo,), (hi,)), sigma, epsilon)
+
+
+class TestTransform:
+    def test_sorted_unique(self):
+        grid = _grid()
+        rng = np.random.default_rng(0)
+        cell_set = transform(rng.uniform(-3, 3, size=64), grid)
+        assert np.array_equal(cell_set, np.unique(cell_set))
+
+    def test_set_size_at_most_points(self):
+        grid = _grid()
+        series = np.zeros(64)  # all points in the same rows
+        cell_set = transform(series, grid)
+        assert len(cell_set) <= 64
+        # constant series occupies one cell per column
+        assert len(cell_set) == grid.n_columns
+
+    def test_identical_series_identical_sets(self):
+        grid = _grid()
+        rng = np.random.default_rng(1)
+        series = rng.uniform(-3, 3, size=64)
+        assert np.array_equal(transform(series, grid), transform(series.copy(), grid))
+
+    def test_small_value_shift_preserved(self):
+        """A shift well below epsilon should rarely change the set."""
+        grid = _grid(epsilon=1.0)
+        rng = np.random.default_rng(2)
+        series = rng.uniform(-2, 2, size=64)
+        shifted = series + 1e-9
+        a, b = transform(series, grid), transform(shifted, grid)
+        assert np.array_equal(a, b)
+
+    def test_multidim(self):
+        bound = Bound(0.0, 9.0, (-1.0, -1.0), (1.0, 1.0))
+        grid = Grid.from_cell_sizes(bound, sigma=2, epsilon=0.5)
+        rng = np.random.default_rng(3)
+        series = rng.uniform(-1, 1, size=(10, 2))
+        cell_set = transform(series, grid)
+        assert cell_set.max() < grid.n_cells
+
+
+class TestTransformQuery:
+    def test_in_bound_equals_transform(self):
+        grid = _grid()
+        rng = np.random.default_rng(4)
+        series = rng.uniform(-2.9, 2.9, size=64)
+        assert np.array_equal(transform_query(series, grid), transform(series, grid))
+
+    def test_out_points_get_disjoint_ids(self):
+        grid = _grid(lo=-1.0, hi=1.0)
+        series = np.concatenate([np.zeros(32), np.full(32, 5.0)])  # half outside
+        query_set = transform_query(series, grid)
+        out_ids = query_set[query_set >= grid.n_cells]
+        in_ids = query_set[query_set < grid.n_cells]
+        assert len(out_ids) > 0
+        assert len(in_ids) > 0
+
+    def test_out_ids_never_collide_with_database(self):
+        grid = _grid(lo=-1.0, hi=1.0)
+        series = np.full(64, 7.0)  # everything outside
+        query_set = transform_query(series, grid)
+        assert query_set.min() >= grid.n_cells
+
+    def test_query_longer_than_bound(self):
+        """Extra time points beyond t_max are out-points too."""
+        grid = _grid(t_max=31)
+        series = np.zeros(64)  # indices 32..63 exceed the time bound
+        query_set = transform_query(series, grid)
+        assert (query_set >= grid.n_cells).any()
+
+    def test_matching_in_bound_portion_still_matches(self):
+        """Out-points must not disturb the in-bound cell IDs."""
+        grid = _grid(lo=-1.0, hi=1.0)
+        inside = np.linspace(-0.9, 0.9, 64)
+        mixed = inside.copy()
+        mixed[60:] = 9.0  # push the tail out of bound
+        set_inside = transform(inside, grid)
+        set_mixed = transform_query(mixed, grid)
+        in_part = set_mixed[set_mixed < grid.n_cells]
+        # every in-bound cell of the mixed query is a cell of `inside`
+        # restricted to the first 60 points
+        expected = transform(inside[:60], grid)
+        assert np.array_equal(in_part, expected)
+
+
+class TestCompressedSet:
+    def test_roundtrip(self):
+        ids = np.unique(np.random.default_rng(5).integers(0, 10_000, size=200))
+        encoded = CompressedSet.encode(ids)
+        assert np.array_equal(encoded.decode(), ids)
+
+    def test_empty(self):
+        encoded = CompressedSet.encode(np.empty(0, dtype=np.int64))
+        assert encoded.length == 0
+        assert encoded.decode().size == 0
+
+    def test_single_element(self):
+        encoded = CompressedSet.encode(np.array([42]))
+        assert np.array_equal(encoded.decode(), [42])
+
+    def test_compression_shrinks_dense_sets(self):
+        ids = np.arange(0, 5000, 3, dtype=np.int64)  # deltas of 3 → uint8
+        encoded = CompressedSet.encode(ids)
+        assert encoded.nbytes < ids.nbytes / 4
+
+    def test_wide_deltas_use_wider_dtype(self):
+        ids = np.array([0, 100_000, 10_000_000], dtype=np.int64)
+        encoded = CompressedSet.encode(ids)
+        assert np.array_equal(encoded.decode(), ids)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            CompressedSet.encode(np.array([5, 3, 9]))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            CompressedSet.encode(np.array([1, 1, 2]))

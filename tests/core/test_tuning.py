@@ -1,0 +1,117 @@
+"""Tests for parameter tuning (Section 6.3, Table 5)."""
+
+import numpy as np
+import pytest
+
+from repro import STS3Database
+from repro.core.tuning import (
+    default_epsilon_grid,
+    default_sigma_grid,
+    sts3_error_rate,
+    tune_max_scale,
+    tune_scale,
+    tune_sigma_epsilon,
+)
+from repro.data.ucr_like import smooth_outlines
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return smooth_outlines(
+        n_classes=3, n_train_per_class=8, n_test_per_class=6, length=64, seed=5
+    )
+
+
+class TestDefaultGrids:
+    def test_sigma_range(self):
+        grid = default_sigma_grid(100)
+        assert grid[0] == 1
+        assert grid[-1] == 30  # 0.3 * n
+        assert len(grid) <= 10
+
+    def test_sigma_full_grid(self):
+        grid = default_sigma_grid(40, max_points=None)
+        assert grid == list(range(1, 13))
+
+    def test_sigma_short_series(self):
+        assert default_sigma_grid(5) == [1]
+
+    def test_epsilon_range(self):
+        grid = default_epsilon_grid()
+        assert grid[0] == pytest.approx(0.02)
+        assert grid[-1] == pytest.approx(1.0)
+
+    def test_epsilon_full_grid(self):
+        grid = default_epsilon_grid(max_points=None)
+        assert len(grid) == 50
+        assert grid[0] == 0.02 and grid[-1] == 1.0
+
+
+class TestErrorRate:
+    def test_perfect_on_identical_sets(self, dataset):
+        err = sts3_error_rate(dataset.train, dataset.train, sigma=2, epsilon=0.2)
+        assert err == 0.0  # each series is its own nearest neighbour
+
+    def test_reasonable_on_easy_data(self, dataset):
+        err = sts3_error_rate(dataset.train, dataset.test, sigma=2, epsilon=0.2)
+        assert err < 0.5
+
+    def test_in_unit_interval(self, dataset):
+        err = sts3_error_rate(dataset.train, dataset.test, sigma=4, epsilon=0.9)
+        assert 0.0 <= err <= 1.0
+
+
+class TestTuneSigmaEpsilon:
+    def test_returns_best_of_table(self, dataset):
+        result = tune_sigma_epsilon(
+            dataset.train, sigma_grid=[1, 4], epsilon_grid=[0.1, 0.5], seed=0
+        )
+        assert len(result.table) == 4
+        assert result.error == min(result.table.values())
+        assert (result.sigma, result.epsilon) in result.table
+
+    def test_error_curves(self, dataset):
+        result = tune_sigma_epsilon(
+            dataset.train, sigma_grid=[1, 2, 4], epsilon_grid=[0.1, 0.5], seed=0
+        )
+        sigma_curve = result.error_curve("sigma")
+        assert [s for s, _ in sigma_curve] == [1, 2, 4]
+        epsilon_curve = result.error_curve("epsilon")
+        assert [e for e, _ in epsilon_curve] == [0.1, 0.5]
+        with pytest.raises(ParameterError):
+            result.error_curve("nope")
+
+    def test_too_small_train_raises(self, dataset):
+        from repro.types import LabeledDataset
+
+        tiny = LabeledDataset([dataset.train.series[0]], np.array([0]))
+        with pytest.raises(ParameterError):
+            tune_sigma_epsilon(tiny)
+
+
+class TestTuneScales:
+    @pytest.fixture(scope="class")
+    def db_and_queries(self):
+        rng = np.random.default_rng(2)
+        series = [rng.normal(size=64) for _ in range(60)]
+        queries = [rng.normal(size=64) for _ in range(4)]
+        return STS3Database(series, sigma=2, epsilon=0.4), queries
+
+    def test_tune_scale(self, db_and_queries):
+        db, queries = db_and_queries
+        result = tune_scale(db, queries, scales=[2, 4], k=1)
+        assert result.best in (2, 4)
+        assert set(result.curve) == {2, 4}
+        assert result.speedup == result.curve[result.best]
+
+    def test_tune_max_scale(self, db_and_queries):
+        db, queries = db_and_queries
+        result = tune_max_scale(db, queries, max_scales=[2, 3], k=1)
+        assert result.best in (2, 3)
+        assert all(v > 0 for v in result.curve.values())
+
+    def test_default_scale_candidates(self, db_and_queries):
+        db, queries = db_and_queries
+        result = tune_scale(db, queries[:1], k=1)
+        assert all(2 <= s <= 8 for s in result.curve)  # sqrt(64) = 8

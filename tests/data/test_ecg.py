@@ -1,0 +1,57 @@
+"""Tests for the synthetic ECG stream substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.ecg import ECGConfig, ecg_stream
+from repro.exceptions import ParameterError
+
+
+class TestECGConfig:
+    def test_defaults_valid(self):
+        ECGConfig()
+
+    def test_rejects_tiny_beat(self):
+        with pytest.raises(ParameterError):
+            ECGConfig(beat_period=4)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ParameterError):
+            ECGConfig(period_jitter=-0.1)
+
+    def test_rejects_nonpositive_wander_period(self):
+        with pytest.raises(ParameterError):
+            ECGConfig(wander_period=0)
+
+
+class TestECGStream:
+    def test_length(self):
+        assert len(ecg_stream(5000, seed=0)) == 5000
+
+    def test_reproducible(self):
+        assert np.array_equal(ecg_stream(2000, seed=9), ecg_stream(2000, seed=9))
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(ecg_stream(2000, seed=1), ecg_stream(2000, seed=2))
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ParameterError):
+            ecg_stream(0)
+
+    def test_quasi_periodic(self):
+        """The autocorrelation should peak near the beat period."""
+        config = ECGConfig(beat_period=96, noise_std=0.0, wander_std=0.0)
+        stream = ecg_stream(96 * 60, seed=3, config=config)
+        centered = stream - stream.mean()
+        ac = np.correlate(centered, centered, mode="full")[len(centered) - 1 :]
+        ac /= ac[0]
+        lag = 60 + np.argmax(ac[60:140])
+        assert 80 <= lag <= 112  # within jitter of the nominal period
+
+    def test_r_spikes_dominate(self):
+        """The R-wave spikes should stand well above the baseline."""
+        stream = ecg_stream(96 * 30, seed=4)
+        assert stream.max() > 4 * stream.std()
+
+    def test_finite(self):
+        assert np.all(np.isfinite(ecg_stream(3000, seed=5)))

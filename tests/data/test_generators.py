@@ -1,0 +1,134 @@
+"""Unit tests for the low-level synthetic-signal building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    add_noise,
+    ensure_rng,
+    gaussian_bump,
+    harmonic_series,
+    random_walk,
+    random_warp,
+    time_shift,
+)
+from repro.exceptions import ParameterError
+
+
+class TestEnsureRng:
+    def test_int_seed_reproducible(self):
+        assert ensure_rng(3).normal() == ensure_rng(3).normal()
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestGaussianBump:
+    def test_peak_at_center(self):
+        bump = gaussian_bump(101, center=50, width=5, height=2.0)
+        assert bump.argmax() == 50
+        assert bump.max() == pytest.approx(2.0)
+
+    def test_positive_everywhere(self):
+        assert (gaussian_bump(50, 10, 3) > 0).all()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            gaussian_bump(0, 1, 1)
+        with pytest.raises(ParameterError):
+            gaussian_bump(10, 1, 0)
+
+
+class TestHarmonicSeries:
+    def test_length_and_smoothness(self):
+        out = harmonic_series(200, [1.0, 0.5], [0.0, 1.0], base_period=200)
+        assert len(out) == 200
+        # band-limited: adjacent samples are close
+        assert np.abs(np.diff(out)).max() < 0.2
+
+    def test_zero_amplitudes_give_zeros(self):
+        assert np.allclose(harmonic_series(50, [0.0], [0.0], 50), 0.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ParameterError):
+            harmonic_series(50, [1.0, 2.0], [0.0], 50)
+
+    def test_bad_period_raises(self):
+        with pytest.raises(ParameterError):
+            harmonic_series(50, [1.0], [0.0], 0)
+
+
+class TestRandomWalk:
+    def test_length(self, rng):
+        assert len(random_walk(77, rng)) == 77
+
+    def test_reproducible(self):
+        a = random_walk(50, np.random.default_rng(5))
+        b = random_walk(50, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestTimeShift:
+    def test_positive_shift_moves_right(self):
+        series = np.arange(10.0)
+        out = time_shift(series, 3)
+        assert np.array_equal(out[3:], series[:-3])
+        assert np.array_equal(out[:3], np.full(3, series[0]))
+
+    def test_negative_shift_moves_left(self):
+        series = np.arange(10.0)
+        out = time_shift(series, -2)
+        assert np.array_equal(out[:-2], series[2:])
+        assert np.array_equal(out[-2:], np.full(2, series[-1]))
+
+    def test_zero_shift_copies(self):
+        series = np.arange(5.0)
+        out = time_shift(series, 0)
+        assert np.array_equal(out, series)
+        assert out is not series
+
+    def test_preserves_length(self):
+        assert len(time_shift(np.arange(9.0), 4)) == 9
+
+
+class TestRandomWarp:
+    def test_preserves_length_and_range(self, rng):
+        series = np.sin(np.linspace(0, 6, 120))
+        out = random_warp(series, rng, strength=0.05)
+        assert len(out) == 120
+        assert out.min() >= series.min() - 1e-9
+        assert out.max() <= series.max() + 1e-9
+
+    def test_zero_strength_is_identity(self, rng):
+        series = np.sin(np.linspace(0, 6, 60))
+        assert np.allclose(random_warp(series, rng, strength=0.0), series)
+
+    def test_rejects_negative_strength(self, rng):
+        with pytest.raises(ParameterError):
+            random_warp(np.arange(10.0), rng, strength=-1)
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ParameterError):
+            random_warp(np.zeros((5, 2)), rng)
+
+
+class TestAddNoise:
+    def test_zero_noise_copies(self, rng):
+        series = np.arange(5.0)
+        out = add_noise(series, rng, 0.0)
+        assert np.array_equal(out, series)
+        assert out is not series
+
+    def test_noise_changes_values(self, rng):
+        series = np.zeros(100)
+        out = add_noise(series, rng, 1.0)
+        assert not np.array_equal(out, series)
+        assert abs(out.std() - 1.0) < 0.3
+
+    def test_rejects_negative_std(self, rng):
+        with pytest.raises(ParameterError):
+            add_noise(np.zeros(3), rng, -0.1)

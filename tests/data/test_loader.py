@@ -1,0 +1,84 @@
+"""Tests for the UCR file-format loader, using generated fixture files."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import load_ucr_dataset, load_ucr_file, ucr_archive_dir
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def ucr_root(tmp_path):
+    """A miniature UCR archive with one dataset of 2 classes."""
+    root = tmp_path / "archive"
+    base = root / "Mini"
+    base.mkdir(parents=True)
+    train = "\n".join(
+        [
+            "1,0.0,1.0,2.0,3.0",
+            "2,3.0,2.0,1.0,0.0",
+            "1,0.1,1.1,2.1,3.1",
+            "",  # blank lines are skipped
+        ]
+    )
+    test = "1 0.0 1.0 2.0 3.0\n2 3.0 2.0 1.0 0.0\n"  # whitespace variant
+    (base / "Mini_TRAIN").write_text(train)
+    (base / "Mini_TEST").write_text(test)
+    return root
+
+
+class TestLoadUcrFile:
+    def test_parses_labels_and_series(self, ucr_root):
+        ds = load_ucr_file(ucr_root / "Mini" / "Mini_TRAIN")
+        assert len(ds) == 3
+        assert sorted(np.unique(ds.labels).tolist()) == [1, 2]
+        assert all(len(s) == 4 for s in ds.series)
+
+    def test_normalizes_by_default(self, ucr_root):
+        ds = load_ucr_file(ucr_root / "Mini" / "Mini_TRAIN")
+        assert abs(ds.series[0].mean()) < 1e-9
+
+    def test_raw_mode(self, ucr_root):
+        ds = load_ucr_file(ucr_root / "Mini" / "Mini_TRAIN", normalize=False)
+        assert np.allclose(ds.series[0], [0.0, 1.0, 2.0, 3.0])
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_ucr_file(tmp_path / "nope")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_text("\n\n")
+        with pytest.raises(DatasetError):
+            load_ucr_file(path)
+
+    def test_garbage_raises(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text("1,hello,world\n")
+        with pytest.raises(DatasetError):
+            load_ucr_file(path)
+
+    def test_label_only_line_raises(self, tmp_path):
+        path = tmp_path / "short"
+        path.write_text("1\n")
+        with pytest.raises(DatasetError):
+            load_ucr_file(path)
+
+
+class TestLoadUcrDataset:
+    def test_loads_pair(self, ucr_root):
+        ds = load_ucr_dataset("Mini", root=ucr_root)
+        assert ds.name == "Mini"
+        assert len(ds.train) == 3
+        assert len(ds.test) == 2
+
+    def test_env_var_fallback(self, ucr_root, monkeypatch):
+        monkeypatch.setenv("REPRO_UCR_DIR", str(ucr_root))
+        assert ucr_archive_dir() == ucr_root
+        ds = load_ucr_dataset("Mini")
+        assert len(ds.train) == 3
+
+    def test_no_archive_configured(self, monkeypatch):
+        monkeypatch.delenv("REPRO_UCR_DIR", raising=False)
+        with pytest.raises(DatasetError):
+            load_ucr_dataset("Mini")

@@ -1,0 +1,81 @@
+"""Unit and property tests for z-normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.normalize import is_z_normalized, z_normalize, z_normalize_all
+
+finite_series = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=64),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestZNormalize:
+    def test_mean_zero_std_one(self):
+        out = z_normalize(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert abs(out.mean()) < 1e-12
+        assert abs(out.std() - 1.0) < 1e-12
+
+    def test_constant_series_maps_to_zeros(self):
+        out = z_normalize(np.full(10, 42.0))
+        assert np.array_equal(out, np.zeros(10))
+
+    def test_single_point_is_constant(self):
+        assert np.array_equal(z_normalize(np.array([5.0])), np.array([0.0]))
+
+    def test_does_not_mutate_input(self):
+        original = np.array([1.0, 5.0, 9.0])
+        backup = original.copy()
+        z_normalize(original)
+        assert np.array_equal(original, backup)
+
+    def test_multidim_normalizes_each_column(self):
+        series = np.column_stack([np.arange(10.0), np.full(10, 3.0)])
+        out = z_normalize(series)
+        assert abs(out[:, 0].mean()) < 1e-12
+        assert abs(out[:, 0].std() - 1.0) < 1e-12
+        # constant second column becomes zeros, not NaNs
+        assert np.array_equal(out[:, 1], np.zeros(10))
+
+    def test_shift_and_scale_invariance(self):
+        base = np.array([0.3, -1.2, 2.5, 0.0, 1.1])
+        shifted = 7.0 + 3.5 * base
+        assert np.allclose(z_normalize(base), z_normalize(shifted))
+
+    @given(finite_series)
+    def test_output_is_normalized_or_zero(self, series):
+        out = z_normalize(series)
+        assert is_z_normalized(out, tolerance=1e-6)
+
+    @given(finite_series)
+    def test_idempotent(self, series):
+        once = z_normalize(series)
+        twice = z_normalize(once)
+        assert np.allclose(once, twice, atol=1e-9)
+
+
+class TestIsZNormalized:
+    def test_accepts_normalized(self):
+        assert is_z_normalized(z_normalize(np.array([1.0, 2.0, 5.0])))
+
+    def test_rejects_raw(self):
+        assert not is_z_normalized(np.array([10.0, 20.0, 35.0]))
+
+    def test_accepts_all_zero(self):
+        assert is_z_normalized(np.zeros(5))
+
+
+class TestZNormalizeAll:
+    def test_normalizes_every_series(self):
+        batch = [np.array([1.0, 2.0, 3.0]), np.array([10.0, 10.0, 10.0])]
+        out = z_normalize_all(batch)
+        assert len(out) == 2
+        assert all(is_z_normalized(s) for s in out)
+
+    def test_empty_iterable(self):
+        assert z_normalize_all([]) == []

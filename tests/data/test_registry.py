@@ -1,0 +1,53 @@
+"""Tests for the named-dataset registry."""
+
+import pytest
+
+from repro.data.registry import dataset_names, load_dataset, paper_workload
+from repro.exceptions import DatasetError, ParameterError
+
+
+class TestRegistry:
+    def test_known_names(self):
+        names = dataset_names()
+        for expected in ("CBF", "CET", "ED", "CC", "NIFE", "Device"):
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("NoSuchDataset")
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            load_dataset("CBF", scale=0)
+
+    def test_cbf_shape_at_small_scale(self):
+        ds = load_dataset("CBF", scale=0.05, seed=0)
+        assert ds.length == 128
+        assert ds.n_classes == 3
+
+    def test_scaling_changes_counts_not_length(self):
+        small = load_dataset("CBF", scale=0.02, seed=0)
+        large = load_dataset("CBF", scale=0.1, seed=0)
+        assert small.length == large.length
+        assert len(large.train) > len(small.train)
+
+    def test_ed_has_seven_classes(self):
+        ds = load_dataset("ED", scale=0.01, seed=0)
+        assert ds.n_classes == 7
+        assert ds.length == 96
+
+    def test_cet_is_long(self):
+        ds = load_dataset("CET", scale=0.005, seed=0)
+        assert ds.length == 1639
+
+
+class TestPaperWorkload:
+    def test_smaller_part_is_query(self):
+        wl = paper_workload("CBF", scale=0.05, seed=0)
+        assert len(wl.queries) <= len(wl.database)
+        assert wl.name == "CBF"
+
+    def test_lengths_match(self):
+        wl = paper_workload("CC", scale=0.02, seed=0)
+        assert all(len(s) == wl.length for s in wl.database)
+        assert all(len(q) == wl.length for q in wl.queries)

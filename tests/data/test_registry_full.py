@@ -1,0 +1,32 @@
+"""Smoke tests: every registry entry builds and has the declared shape."""
+
+import pytest
+
+from repro.data.registry import _SPECS, dataset_names, load_dataset, paper_workload
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_every_dataset_builds(name):
+    spec = _SPECS[name]
+    ds = load_dataset(name, scale=0.02, seed=0)
+    assert ds.length == spec.length
+    assert ds.n_classes <= spec.n_classes  # tiny scales may drop classes
+    assert len(ds.train) >= 2
+    assert len(ds.test) >= 2
+
+
+@pytest.mark.parametrize("name", ["50words", "Computers", "Phoneme", "yoga"])
+def test_new_rows_reach_searchers(name):
+    """Each scenario family must survive a full search round-trip."""
+    from repro import STS3Database
+
+    wl = paper_workload(name, scale=0.01, seed=1)
+    db = STS3Database(wl.database, sigma=3, epsilon=0.5)
+    result = db.query(wl.queries[0], k=1, method="index")
+    assert 0 <= result.best.index < len(wl.database)
+
+
+def test_class_count_preserved_at_scale():
+    """At reasonable scales the class structure must be intact."""
+    ds = load_dataset("SwedishLeaf", scale=0.2, seed=0)
+    assert ds.n_classes == 15

@@ -1,0 +1,146 @@
+"""Tests for the UCR-archive synthetic stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.data.normalize import is_z_normalized
+from repro.data.ucr_like import (
+    cbf,
+    device_profiles,
+    faces_family,
+    gesture3d,
+    noisy_templates,
+    smooth_outlines,
+    template_classes,
+    two_close_classes,
+)
+from repro.exceptions import ParameterError
+
+
+def _check_dataset(ds, n_classes, length):
+    assert ds.n_classes == n_classes
+    assert ds.length == length
+    assert all(len(s) == length for s in ds.train.series)
+    assert all(len(s) == length for s in ds.test.series)
+    assert all(is_z_normalized(s, tolerance=1e-6) for s in ds.train.series)
+
+
+class TestTemplateClasses:
+    def test_basic_shape(self, rng):
+        templates = [rng.normal(size=64) for _ in range(4)]
+        ds = template_classes("t", templates, 5, 3, seed=1)
+        _check_dataset(ds, 4, 64)
+        assert len(ds.train) == 20
+        assert len(ds.test) == 12
+
+    def test_reproducible(self, rng):
+        templates = [np.sin(np.linspace(0, 6, 50))]
+        a = template_classes("t", templates, 3, 3, seed=9)
+        b = template_classes("t", templates, 3, 3, seed=9)
+        for s1, s2 in zip(a.train.series, b.train.series):
+            assert np.array_equal(s1, s2)
+
+    def test_rejects_empty_templates(self):
+        with pytest.raises(ParameterError):
+            template_classes("t", [], 1, 1)
+
+
+class TestCBF:
+    def test_three_classes(self):
+        ds = cbf(n_train_per_class=5, n_test_per_class=5, seed=0)
+        _check_dataset(ds, 3, 128)
+
+    def test_classes_distinguishable_by_ed(self):
+        """1-NN under plain ED should beat random guessing easily."""
+        from repro.baselines import error_rate, measures
+
+        ds = cbf(n_train_per_class=10, n_test_per_class=10, seed=1)
+        err = error_rate(ds.train, ds.test, measures.ed())
+        assert err < 0.5  # random guessing would be ~0.67
+
+
+class TestDeviceProfiles:
+    def test_shape(self):
+        ds = device_profiles(
+            n_classes=3, n_train_per_class=4, n_test_per_class=4, length=200, seed=0
+        )
+        _check_dataset(ds, 3, 200)
+
+    def test_mostly_flat_before_normalization(self):
+        """Device profiles are near-zero with a few bursts, so after
+        z-normalization the median should sit below the mean region."""
+        ds = device_profiles(
+            n_classes=2, n_train_per_class=3, n_test_per_class=2, length=300, seed=2
+        )
+        series = ds.train.series[0]
+        # most samples cluster tightly at the baseline value
+        baseline = np.median(series)
+        assert np.mean(np.abs(series - baseline) < 0.1) > 0.5
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ParameterError):
+            device_profiles(n_classes=1)
+
+
+class TestSmoothOutlines:
+    def test_shape(self):
+        ds = smooth_outlines(
+            n_classes=4, n_train_per_class=3, n_test_per_class=3, length=128, seed=0
+        )
+        _check_dataset(ds, 4, 128)
+
+
+class TestNoisyTemplates:
+    def test_noise_dominates(self):
+        """The noisy family should be much harder for ED than shapes."""
+        from repro.baselines import error_rate, measures
+
+        easy = smooth_outlines(
+            n_classes=4, n_train_per_class=6, n_test_per_class=6, length=128, seed=3
+        )
+        hard = noisy_templates(
+            n_classes=4, n_train_per_class=6, n_test_per_class=6, length=128, seed=3
+        )
+        err_easy = error_rate(easy.train, easy.test, measures.ed())
+        err_hard = error_rate(hard.train, hard.test, measures.ed())
+        assert err_hard >= err_easy
+
+
+class TestTwoCloseClasses:
+    def test_two_classes(self):
+        ds = two_close_classes(
+            n_train_per_class=3, n_test_per_class=3, length=256, seed=0
+        )
+        _check_dataset(ds, 2, 256)
+
+    def test_templates_nearly_identical(self):
+        ds = two_close_classes(
+            n_train_per_class=8, n_test_per_class=2, length=256, seed=1,
+            noise_std=0.0, shift_std=0.0, warp_strength=0.0,
+        )
+        by_label = {}
+        for series, label in ds.train:
+            by_label.setdefault(label, series)
+        a, b = by_label[0], by_label[1]
+        # correlation between the two class prototypes is very high
+        assert np.corrcoef(a, b)[0, 1] > 0.9
+
+
+class TestGesture3D:
+    def test_full_and_projections(self):
+        full, projections = gesture3d(
+            n_classes=3, n_train_per_class=3, n_test_per_class=3, length=100, seed=0
+        )
+        assert full.train.series[0].shape == (100, 3)
+        assert set(projections) == {"Cricket_X", "Cricket_Y", "Cricket_Z"}
+        for name, ds in projections.items():
+            assert ds.train.series[0].shape == (100,)
+            assert np.array_equal(ds.train.labels, full.train.labels)
+
+
+class TestFacesFamily:
+    def test_same_family_different_sizes(self):
+        faces_ucr, face_all = faces_family(seed=0, length=64, n_classes=4)
+        assert faces_ucr.length == face_all.length == 64
+        assert faces_ucr.n_classes == face_all.n_classes == 4
+        assert len(faces_ucr.train) != len(face_all.train)

@@ -1,0 +1,68 @@
+"""Tests for the paper's workload-construction protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data.normalize import is_z_normalized
+from repro.data.workloads import ecg_workload, make_workload, slice_stream
+from repro.exceptions import DatasetError, ParameterError
+
+
+class TestSliceStream:
+    def test_consecutive_nonoverlapping(self):
+        stream = np.arange(100.0)
+        slices = slice_stream(stream, count=4, length=25)
+        assert len(slices) == 4
+        # z-normalized slices of a linear ramp are all identical
+        assert all(np.allclose(s, slices[0]) for s in slices)
+
+    def test_each_slice_normalized(self):
+        stream = np.sin(np.linspace(0, 40, 400))
+        for s in slice_stream(stream, 4, 100):
+            assert is_z_normalized(s, tolerance=1e-6)
+
+    def test_start_offset(self):
+        stream = np.concatenate([np.zeros(50), np.sin(np.linspace(0, 9, 50))])
+        (only,) = slice_stream(stream, 1, 50, start=50)
+        assert only.std() == pytest.approx(1.0)
+
+    def test_too_short_raises(self):
+        with pytest.raises(DatasetError):
+            slice_stream(np.zeros(99), count=4, length=25)
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ParameterError):
+            slice_stream(np.zeros(10), count=0, length=5)
+        with pytest.raises(ParameterError):
+            slice_stream(np.zeros(10), count=1, length=0)
+
+
+class TestMakeWorkload:
+    def test_database_then_queries(self):
+        stream = np.arange(0, 140.0) ** 1.5
+        wl = make_workload(stream, n_series=5, n_queries=2, length=20)
+        assert len(wl.database) == 5
+        assert len(wl.queries) == 2
+        assert wl.length == 20
+        assert wl.metadata["n_series"] == 5
+
+    def test_queries_follow_database(self):
+        stream = np.random.default_rng(0).normal(size=200)
+        wl = make_workload(stream, 3, 1, 40)
+        from repro.data.normalize import z_normalize
+
+        expected = z_normalize(stream[120:160])
+        assert np.allclose(wl.queries[0], expected)
+
+
+class TestECGWorkload:
+    def test_builds(self):
+        wl = ecg_workload(n_series=10, n_queries=2, length=64, seed=0)
+        assert len(wl.database) == 10
+        assert len(wl.queries) == 2
+        assert wl.name == "ecg"
+
+    def test_reproducible(self):
+        a = ecg_workload(5, 1, 32, seed=2)
+        b = ecg_workload(5, 1, 32, seed=2)
+        assert np.array_equal(a.database[0], b.database[0])

@@ -1,0 +1,123 @@
+"""End-to-end integration tests exercising the full public API.
+
+These walk the same paths the benchmarks do — build a workload, tune
+parameters, run every search variant, classify — at miniature sizes,
+so a regression anywhere in the stack fails here before it corrupts
+benchmark output.
+"""
+
+import numpy as np
+import pytest
+
+from repro import STS3Database, tune_scale, tune_sigma_epsilon
+from repro.baselines import DTWCascade, error_rate, measures, sakoe_chiba_window
+from repro.core.tuning import sts3_error_rate
+from repro.data import ecg_stream, make_workload
+from repro.data.registry import load_dataset, paper_workload
+from repro.data.ucr_like import device_profiles, gesture3d, noisy_templates
+
+
+class TestSearchPipeline:
+    def test_ecg_workload_end_to_end(self):
+        stream = ecg_stream(80 * 128, seed=3)
+        wl = make_workload(stream, n_series=70, n_queries=10, length=128)
+        db = STS3Database(wl.database, sigma=3, epsilon=0.5)
+        for query in wl.queries:
+            naive = db.query(query, k=3, method="naive")
+            index = db.query(query, k=3, method="index")
+            pruning = db.query(query, k=3, method="pruning")
+            assert naive.indices() == index.indices() == pruning.indices()
+
+    def test_registry_workload_end_to_end(self):
+        wl = paper_workload("CBF", scale=0.05, seed=1)
+        db = STS3Database(wl.database, sigma=21, epsilon=0.18)
+        result = db.query(wl.queries[0], k=1, method="index")
+        assert 0 <= result.best.index < len(wl.database)
+
+    def test_insert_then_query_pipeline(self):
+        stream = ecg_stream(40 * 96, seed=4)
+        wl = make_workload(stream, n_series=30, n_queries=5, length=96)
+        db = STS3Database(wl.database, sigma=3, epsilon=0.5, buffer_capacity=3)
+        for q in wl.queries[:3]:
+            db.insert(q)
+        result = db.query(wl.queries[0], k=1, method="naive")
+        assert result.best.similarity == pytest.approx(1.0)
+
+
+class TestClassificationPipeline:
+    def test_sts3_competitive_on_device_data(self):
+        """The paper's suitable scenario: STS3 should do well on device
+        profiles (Section 6.2 / Table 4 CP/RD/ST rows)."""
+        ds = device_profiles(
+            n_classes=3, n_train_per_class=10, n_test_per_class=10,
+            length=128, seed=6,
+        )
+        sts3_err = sts3_error_rate(ds.train, ds.test, sigma=24, epsilon=0.6)
+        assert sts3_err <= 0.35
+
+    def test_dtw_beats_sts3_on_noisy_data(self):
+        """The unsuitable scenario (phoneme-like): DTW should be at
+        least as accurate as STS3 (Section 7.2.2)."""
+        ds = noisy_templates(
+            n_classes=4, n_train_per_class=8, n_test_per_class=8,
+            length=96, seed=6, noise_std=1.5,
+        )
+        window = sakoe_chiba_window(ds.length, 0.1)
+        dtw_err = error_rate(ds.train, ds.test, measures.dtw(window=window))
+        sts3_err = sts3_error_rate(ds.train, ds.test, sigma=3, epsilon=0.3)
+        assert dtw_err <= sts3_err + 0.15  # DTW at least comparable
+
+    def test_tuning_pipeline(self):
+        ds = device_profiles(
+            n_classes=2, n_train_per_class=8, n_test_per_class=4,
+            length=96, seed=7,
+        )
+        result = tune_sigma_epsilon(
+            ds.train, sigma_grid=[2, 8, 16], epsilon_grid=[0.2, 0.6]
+        )
+        test_err = sts3_error_rate(
+            ds.train, ds.test, result.sigma, result.epsilon
+        )
+        assert 0.0 <= test_err <= 1.0
+
+
+class TestMultiDimensional:
+    def test_3d_gesture_search(self):
+        """Section 5.1: the same algorithms run on (n, 3) series."""
+        full, _ = gesture3d(
+            n_classes=3, n_train_per_class=4, n_test_per_class=2,
+            length=64, seed=8,
+        )
+        db = STS3Database(list(full.train.series), sigma=4, epsilon=0.5)
+        query = full.test.series[0]
+        for method in ("naive", "index", "pruning", "approximate"):
+            result = db.query(query, k=2, method=method)
+            assert len(result.neighbors) == 2
+
+    def test_3d_classification(self):
+        full, _ = gesture3d(
+            n_classes=3, n_train_per_class=6, n_test_per_class=4,
+            length=64, seed=9,
+        )
+        err = sts3_error_rate(full.train, full.test, sigma=4, epsilon=0.5)
+        assert err < 0.7  # clearly better than the 2/3 random baseline
+
+
+class TestBaselineIntegration:
+    def test_dtw_cascade_on_workload(self):
+        stream = ecg_stream(30 * 64, seed=10)
+        wl = make_workload(stream, n_series=25, n_queries=2, length=64)
+        cascade = DTWCascade(wl.database, window=6)
+        idx, dist = cascade.nearest(wl.queries[0])
+        assert 0 <= idx < 25
+        assert np.isfinite(dist)
+
+    def test_all_measures_agree_on_exact_duplicate(self):
+        rng = np.random.default_rng(11)
+        database = [rng.normal(size=48) for _ in range(15)]
+        query = database[6].copy()
+        from repro.baselines import knn_search
+
+        for factory in (measures.ed(), measures.dtw(window=4), measures.lcss(0.5)):
+            (best,) = knn_search(database, query, factory, k=1)
+            assert best[0] == 6

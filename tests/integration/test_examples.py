@@ -1,0 +1,48 @@
+"""Integrity tests for the example scripts.
+
+Every example must at least compile (so documentation code never
+rots); the fast ones are executed end-to-end in a subprocess and their
+key output lines asserted.  The slower tuning-heavy examples are
+compile-checked only (their logic is covered by the unit suites).
+"""
+
+from __future__ import annotations
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: examples fast enough to execute in the test suite, with a string
+#: their stdout must contain.
+RUNNABLE = {
+    "quickstart.py": "auto-dispatched nearest neighbour",
+    "ecg_monitoring.py": "after streaming",
+    "beat_deduplication.py": "duplicate-group pairs recovered",
+}
+
+
+def test_examples_exist():
+    assert len(ALL_EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", sorted(RUNNABLE), ids=str)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert RUNNABLE[name] in result.stdout

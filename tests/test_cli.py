@@ -1,0 +1,78 @@
+"""Tests for the ``sts3`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def ucr_file(tmp_path):
+    rng = np.random.default_rng(0)
+    lines = []
+    for i in range(12):
+        label = i % 2
+        values = ",".join(f"{v:.4f}" for v in rng.normal(size=32))
+        lines.append(f"{label},{values}")
+    path = tmp_path / "toy"
+    path.write_text("\n".join(lines))
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.series == 200
+        assert args.k == 3
+
+    def test_query_method_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "f", "--method", "magic"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "STS3" in out or "sts3" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "CBF" in out
+        assert "NIFE" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--series", "30", "--length", "64", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        for method in ("naive", "index", "pruning", "approximate"):
+            assert method in out
+
+    def test_query(self, ucr_file, capsys):
+        assert main(["query", str(ucr_file), "--k", "3", "--sigma", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Jaccard" in out
+        assert out.count("#") >= 3
+
+    def test_query_bad_index(self, ucr_file, capsys):
+        assert main(["query", str(ucr_file), "--query-index", "99"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_query_missing_file(self, tmp_path):
+        from repro.exceptions import DatasetError
+
+        with pytest.raises(DatasetError):
+            main(["query", str(tmp_path / "nope")])
+
+    def test_join(self, ucr_file, capsys):
+        assert main(["join", str(ucr_file), "--threshold", "0.2", "--sigma", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "pairs at J >=" in out
+
+    def test_join_strict_threshold_finds_nothing(self, ucr_file, capsys):
+        assert main(["join", str(ucr_file), "--threshold", "0.999"]) == 0
+        assert "0 pairs" in capsys.readouterr().out

@@ -1,0 +1,74 @@
+"""The documented public API must stay importable and complete."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        major, *_ = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_readme_quickstart_symbols(self):
+        """Everything the README quickstart imports must exist."""
+        from repro import STS3Database  # noqa: F401
+        from repro.data import ecg_stream, make_workload  # noqa: F401
+
+
+SUBMODULES = [
+    "repro.core",
+    "repro.core.grid",
+    "repro.core.setrep",
+    "repro.core.jaccard",
+    "repro.core.naive",
+    "repro.core.indexed",
+    "repro.core.pruning",
+    "repro.core.approximate",
+    "repro.core.database",
+    "repro.core.tuning",
+    "repro.baselines",
+    "repro.baselines.ed",
+    "repro.baselines.dtw",
+    "repro.baselines.lb",
+    "repro.baselines.fastdtw",
+    "repro.baselines.lcss",
+    "repro.baselines.ftse",
+    "repro.baselines.knn",
+    "repro.data",
+    "repro.data.ecg",
+    "repro.data.ucr_like",
+    "repro.data.registry",
+    "repro.data.loader",
+    "repro.data.workloads",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBMODULES)
+def test_submodule_imports(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} is missing a module docstring"
+
+
+@pytest.mark.parametrize("module_name", SUBMODULES)
+def test_submodule_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name}"
+
+
+def test_public_functions_documented():
+    """Every name a subpackage exports carries a docstring."""
+    for module_name in ("repro.core", "repro.baselines", "repro.data"):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if callable(obj):
+                assert obj.__doc__, f"{module_name}.{name} has no docstring"
