@@ -1,0 +1,165 @@
+"""Benchmark: scalar per-query loop vs the vectorized batch engine.
+
+Measures ``method="index"`` k-NN throughput two ways over the same
+workload — a Python loop of scalar :meth:`STS3Database.query` calls,
+and one :meth:`STS3Database.query_batch` call through
+:class:`repro.core.batch.BatchQueryEngine` — verifies the two return
+byte-identical neighbour lists, and records both throughputs in
+``BENCH_batch_engine.json`` at the repository root.
+
+Run standalone (defaults reproduce the acceptance workload: 10,000
+database series, 200 queries, k=10)::
+
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py
+
+or as a CI perf-smoke on a small workload, failing when the batch
+engine is slower than the scalar loop::
+
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py \
+        --series 1500 --queries 60 --repeats 5 --min-speedup 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import STS3Database, __version__, aggregate_stats
+from repro.data.workloads import ecg_workload
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batch_engine.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--series", type=int, default=10_000)
+    parser.add_argument("--queries", type=int, default=200)
+    parser.add_argument("--length", type=int, default=256)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--sigma", type=float, default=3)
+    parser.add_argument("--epsilon", type=float, default=0.58)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed repetitions; best (min) time is recorded")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero when batch/scalar speedup falls below")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="JSON result path ('-' to skip writing)")
+    return parser
+
+
+def _neighbor_lists(results):
+    return [[(n.index, n.similarity) for n in r.neighbors] for r in results]
+
+
+def run(args: argparse.Namespace) -> dict:
+    print(
+        f"workload: {args.series} ECG series x {args.queries} queries, "
+        f"length {args.length}, sigma={args.sigma}, epsilon={args.epsilon}, "
+        f"k={args.k}",
+        flush=True,
+    )
+    workload = ecg_workload(args.series, args.queries, args.length, seed=args.seed)
+    db = STS3Database(workload.database, sigma=args.sigma, epsilon=args.epsilon)
+    db.indexed_searcher()  # build outside the timed region
+
+    # Warm both paths: first calls fault in index pages, build the
+    # dense one-hot matrix, and grow the reusable workspace.
+    db.query(workload.queries[0], k=args.k, method="index")
+    db.query_batch(workload.queries[: min(8, args.queries)], k=args.k, method="index")
+
+    scalar_best = batch_best = float("inf")
+    scalar_results = batch_results = None
+    for _ in range(args.repeats):
+        start = time.perf_counter()
+        scalar_results = [
+            db.query(q, k=args.k, method="index") for q in workload.queries
+        ]
+        scalar_best = min(scalar_best, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        batch_results = db.query_batch(workload.queries, k=args.k, method="index")
+        batch_best = min(batch_best, time.perf_counter() - start)
+
+    identical = _neighbor_lists(scalar_results) == _neighbor_lists(batch_results)
+    speedup = scalar_best / batch_best
+    stats = aggregate_stats(batch_results)
+    engine = db.batch_engine()
+
+    record = {
+        "benchmark": "batch_engine",
+        "repro_version": __version__,
+        "numpy_version": np.__version__,
+        "python_version": platform.python_version(),
+        "workload": {
+            "n_series": args.series,
+            "n_queries": args.queries,
+            "length": args.length,
+            "sigma": args.sigma,
+            "epsilon": args.epsilon,
+            "k": args.k,
+            "seed": args.seed,
+            "method": "index",
+        },
+        "repeats": args.repeats,
+        "scalar_loop": {
+            "seconds": round(scalar_best, 6),
+            "queries_per_second": round(args.queries / scalar_best, 2),
+        },
+        "batch_engine": {
+            "seconds": round(batch_best, 6),
+            "queries_per_second": round(args.queries / batch_best, 2),
+            "kernels": engine.last_kernels,
+            "workspace_bytes": engine.workspace.nbytes,
+        },
+        "speedup": round(speedup, 3),
+        "identical_neighbor_lists": identical,
+        "aggregate_stats": {
+            "candidates": stats.candidates,
+            "exact_computations": stats.exact_computations,
+            "pruned": stats.pruned,
+        },
+    }
+
+    print(
+        f"scalar loop : {scalar_best * 1e3:8.1f} ms "
+        f"({record['scalar_loop']['queries_per_second']:8.1f} q/s)"
+    )
+    print(
+        f"batch engine: {batch_best * 1e3:8.1f} ms "
+        f"({record['batch_engine']['queries_per_second']:8.1f} q/s)  "
+        f"kernels={engine.last_kernels}"
+    )
+    print(f"speedup     : {speedup:.2f}x   identical={identical}")
+    return record
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    record = run(args)
+
+    if str(args.output) != "-":
+        args.output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if not record["identical_neighbor_lists"]:
+        print("FAIL: batch engine returned different neighbours", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and record["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {record['speedup']:.2f}x below required "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

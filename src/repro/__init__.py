@@ -26,6 +26,7 @@ Quickstart::
 
 from .core import (
     ApproximateSearcher,
+    BatchQueryEngine,
     Bound,
     Grid,
     IndexedSearcher,
@@ -33,8 +34,10 @@ from .core import (
     Neighbor,
     PruningSearcher,
     QueryResult,
+    QueryWorkspace,
     STS3Database,
     SearchStats,
+    aggregate_stats,
     jaccard,
     jaccard_distance,
     transform,
@@ -56,6 +59,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ApproximateSearcher",
+    "BatchQueryEngine",
     "Bound",
     "ClassificationDataset",
     "DatasetError",
@@ -69,10 +73,12 @@ __all__ = [
     "ParameterError",
     "PruningSearcher",
     "QueryResult",
+    "QueryWorkspace",
     "ReproError",
     "STS3Database",
     "SearchStats",
     "Workload",
+    "aggregate_stats",
     "jaccard",
     "jaccard_distance",
     "transform",

@@ -7,6 +7,9 @@ Subcommands:
 - ``sts3 demo`` — a 30-second end-to-end demonstration on synthetic ECG.
 - ``sts3 query`` — build a database from a UCR-format file (or the
   synthetic ECG stream) and answer a k-NN query, printing neighbours.
+- ``sts3 batch`` — answer many k-NN queries at once through the
+  vectorized batch engine, printing throughput and aggregate search
+  statistics.
 
 The CLI exists so a downstream user can try the system without writing
 code; anything deeper should use the library API (see README).
@@ -54,6 +57,28 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "naive", "index", "pruning", "approximate"],
         default="auto",
     )
+
+    batch = sub.add_parser(
+        "batch", help="batched k-NN queries over a UCR-format file"
+    )
+    batch.add_argument("file", help="UCR-format text file (label + values per line)")
+    batch.add_argument("--queries", type=int, default=10,
+                       help="use the LAST this-many series as the query batch")
+    batch.add_argument("--k", type=int, default=5)
+    batch.add_argument("--sigma", type=float, default=3,
+                       help="time-axis cell width in samples")
+    batch.add_argument("--epsilon", type=float, default=0.5,
+                       help="value-axis cell height")
+    batch.add_argument(
+        "--method",
+        choices=["auto", "naive", "index", "pruning", "approximate"],
+        default="index",
+        help="index engages the vectorized batch kernel",
+    )
+    batch.add_argument("--workers", type=int, default=None,
+                       help="fork this many worker processes")
+    batch.add_argument("--limit", type=int, default=5,
+                       help="print the answers of at most this many queries")
 
     join = sub.add_parser(
         "join", help="all-pairs similarity join over a UCR-format file"
@@ -135,6 +160,51 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import time
+
+    from .core import STS3Database, aggregate_stats
+    from .data.loader import load_ucr_file
+
+    dataset = load_ucr_file(args.file)
+    if not 0 < args.queries < len(dataset):
+        print(
+            f"error: --queries {args.queries} must leave at least one "
+            f"database series (file has {len(dataset)} series)",
+            file=sys.stderr,
+        )
+        return 2
+    split = len(dataset) - args.queries
+    database = list(dataset.series[:split])
+    queries = list(dataset.series[split:])
+    db = STS3Database(database, sigma=args.sigma, epsilon=args.epsilon)
+
+    start = time.perf_counter()
+    results = db.query_batch(
+        queries, k=args.k, method=args.method, workers=args.workers
+    )
+    elapsed = time.perf_counter() - start
+
+    print(
+        f"{len(queries)} queries x top-{args.k} over {split} series "
+        f"(method={args.method})"
+    )
+    print(f"elapsed: {elapsed:.3f}s  ({len(queries) / elapsed:.1f} queries/s)")
+    stats = aggregate_stats(results)
+    print(
+        f"aggregate: {stats.exact_computations} exact computations, "
+        f"{stats.pruned} pruned ({stats.pruning_rate:.1%})"
+    )
+    for qi, result in enumerate(results[: args.limit]):
+        answers = ", ".join(
+            f"#{n.index}(J={n.similarity:.3f})" for n in result.neighbors
+        )
+        print(f"  query {split + qi}: {answers}")
+    if len(results) > args.limit:
+        print(f"  ... and {len(results) - args.limit} more")
+    return 0
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     from .core import STS3Database, similarity_join
     from .data.loader import load_ucr_file
@@ -162,6 +232,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_datasets()
     if args.command == "demo":
         return _cmd_demo(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "join":
         return _cmd_join(args)
     return _cmd_query(args)

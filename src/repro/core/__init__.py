@@ -6,6 +6,7 @@ buffered updates and the parameter-tuning utilities.
 """
 
 from .approximate import ApproximateSearcher
+from .batch import BatchQueryEngine, QueryWorkspace, batch_query
 from .clustering import cluster_series, k_medoids
 from .database import STS3Database, UpdateBuffer
 from .grid import Bound, Grid
@@ -24,7 +25,8 @@ from .jaccard import (
 from .naive import NaiveSearcher
 from .persistence import load_database, save_database
 from .pruning import PruningSearcher, zone_histogram
-from .result import Neighbor, QueryResult, SearchStats
+from .result import Neighbor, QueryResult, SearchStats, aggregate_stats
+from .selection import top_k_indices
 from .setrep import CompressedSet, transform, transform_query
 from .tuning import (
     ScaleTuningResult,
@@ -40,6 +42,7 @@ from .tuning import (
 
 __all__ = [
     "ApproximateSearcher",
+    "BatchQueryEngine",
     "Bound",
     "CompressedSet",
     "DictInvertedIndex",
@@ -54,6 +57,7 @@ __all__ = [
     "Neighbor",
     "PruningSearcher",
     "QueryResult",
+    "QueryWorkspace",
     "STS3Database",
     "ScaleTuningResult",
     "SearchStats",
@@ -61,6 +65,8 @@ __all__ = [
     "SubsequenceSearcher",
     "TuningResult",
     "UpdateBuffer",
+    "aggregate_stats",
+    "batch_query",
     "cluster_series",
     "default_epsilon_grid",
     "default_sigma_grid",
@@ -75,6 +81,7 @@ __all__ = [
     "save_database",
     "size_upper_bound",
     "sts3_error_rate",
+    "top_k_indices",
     "transform",
     "transform_query",
     "tune_max_scale",

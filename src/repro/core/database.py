@@ -25,6 +25,7 @@ from ..data.normalize import z_normalize
 from ..exceptions import EmptyDatabaseError, ParameterError
 from ..types import as_series
 from .approximate import ApproximateSearcher
+from .batch import BatchQueryEngine, QueryWorkspace
 from .grid import Bound, Grid
 from .heap import KnnHeap
 from .indexed import IndexedSearcher
@@ -51,7 +52,7 @@ def _batch_worker(indices: list[int]) -> list["QueryResult"]:
     db = _FORK_STATE["db"]
     queries = _FORK_STATE["queries"]
     params = _FORK_STATE["params"]
-    return [db.query(queries[i], **params) for i in indices]
+    return db._batch_chunk([queries[i] for i in indices], **params)
 
 
 class UpdateBuffer:
@@ -181,6 +182,11 @@ class STS3Database:
         self._pruning: dict[int, PruningSearcher] = {}
         self._approximate: dict[int, ApproximateSearcher] = {}
         self._calibrated_method: str | None = None
+        # The batch engine wraps the indexed searcher, so it dies with
+        # it; its workspace (plain buffers) survives rebuilds.
+        self._batch_engine: BatchQueryEngine | None = None
+        if not hasattr(self, "_workspace"):
+            self._workspace = QueryWorkspace()
 
     def __len__(self) -> int:
         return len(self.series) + len(self.buffer)
@@ -202,6 +208,14 @@ class STS3Database:
         if scale not in self._pruning:
             self._pruning[scale] = PruningSearcher(self.sets, self.grid, scale)
         return self._pruning[scale]
+
+    def batch_engine(self) -> BatchQueryEngine:
+        """The vectorized batch kernel over the inverted index."""
+        if self._batch_engine is None:
+            self._batch_engine = BatchQueryEngine(
+                self.indexed_searcher(), workspace=self._workspace
+            )
+        return self._batch_engine
 
     def approximate_searcher(self, max_scale: int | None = None) -> ApproximateSearcher:
         max_scale = self.default_max_scale if max_scale is None else int(max_scale)
@@ -307,14 +321,29 @@ class STS3Database:
         """Answer many queries, optionally across worker processes.
 
         The paper's conclusion names "adopting a parallelized
-        mechanism" as future work.  Queries are embarrassingly
-        parallel, but CPython threads do not help here (the hot loops
-        hold the GIL), so parallel batches fork worker processes that
-        inherit the built searchers copy-on-write and each take one
-        contiguous chunk of the queries.  On platforms without
-        ``fork`` the batch silently runs sequentially.
-        ``workers=None`` or 1 runs sequentially.
+        mechanism" as future work.  Two mechanisms compose here:
+
+        - With ``method="index"`` the whole batch (or each worker's
+          share of it) is answered by the vectorized
+          :class:`~repro.core.batch.BatchQueryEngine` — one CSR pass
+          over the inverted index instead of a Python-level loop —
+          which returns results identical to per-query :meth:`query`
+          calls.  Other methods fall back to the scalar loop.
+        - Queries are embarrassingly parallel, but CPython threads do
+          not help here (the hot loops hold the GIL), so parallel
+          batches fork worker processes that inherit the built
+          searchers copy-on-write.  Each worker takes a *strided* slice
+          of the queries (``queries[i::workers]``) rather than a
+          contiguous block: query costs are heterogeneous (they scale
+          with postings touched), and striding deals similar mixes of
+          cheap and expensive queries to every worker, which balances
+          load where contiguous blocks would let one worker straggle.
+
+        On platforms without ``fork`` the batch silently runs
+        sequentially.  ``workers=None`` or 1 runs sequentially.
         """
+        if method not in _METHODS:
+            raise ParameterError(f"unknown method {method!r}; one of {_METHODS}")
         if method == "auto":
             method = self._auto_method()
         # Build the needed searcher before fanning out, so workers
@@ -326,20 +355,18 @@ class STS3Database:
         elif method == "approximate":
             self.approximate_searcher(max_scale)
 
-        def run_chunk(chunk: list[np.ndarray]) -> list[QueryResult]:
-            return [
-                self.query(q, k=k, method=method, scale=scale, max_scale=max_scale)
-                for q in chunk
-            ]
-
         if not workers or workers <= 1 or len(queries) < 2:
-            return run_chunk(list(queries))
+            return self._batch_chunk(
+                list(queries), k=k, method=method, scale=scale, max_scale=max_scale
+            )
         import multiprocessing as mp
 
         try:
             context = mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
-            return run_chunk(list(queries))
+            return self._batch_chunk(
+                list(queries), k=k, method=method, scale=scale, max_scale=max_scale
+            )
         workers = min(workers, len(queries))
         chunks = [list(range(i, len(queries), workers)) for i in range(workers)]
         _FORK_STATE["db"] = self
@@ -357,6 +384,35 @@ class STS3Database:
         for i, results in enumerate(chunk_results):
             out[i::workers] = results
         return out
+
+    def _batch_chunk(
+        self,
+        queries: list[np.ndarray],
+        k: int = 1,
+        method: str = "index",
+        scale: int | None = None,
+        max_scale: int | None = None,
+    ) -> list[QueryResult]:
+        """Answer a chunk of queries in-process (``method`` resolved).
+
+        The ``method="index"`` path runs the vectorized batch kernel;
+        every other method loops the scalar :meth:`query`.  Buffered
+        series are merged per query either way, so results always match
+        scalar calls exactly.
+        """
+        if method != "index":
+            return [
+                self.query(q, k=k, method=method, scale=scale, max_scale=max_scale)
+                for q in queries
+            ]
+        prepared = [self._prepare(q) for q in queries]
+        query_sets = [transform_query(p, self.grid) for p in prepared]
+        results = self.batch_engine().query_batch(query_sets, k=k)
+        if len(self.buffer):
+            results = [
+                self._merge_buffer(p, r, k) for p, r in zip(prepared, results)
+            ]
+        return results
 
     def _merge_buffer(
         self, prepared: np.ndarray, result: QueryResult, k: int

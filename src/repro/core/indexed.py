@@ -21,6 +21,7 @@ import numpy as np
 
 from ..exceptions import EmptyDatabaseError, ParameterError
 from .result import Neighbor, QueryResult, SearchStats
+from .selection import top_k_indices
 
 __all__ = ["IndexedSearcher", "DictInvertedIndex"]
 
@@ -73,8 +74,9 @@ class IndexedSearcher:
             exact_computations=int(np.count_nonzero(counts)),
             pruned=int(len(self.sets) - np.count_nonzero(counts)),
         )
-        # Top-k with deterministic ties: similarity desc, index asc.
-        order = np.lexsort((np.arange(len(sims)), -sims))[:k]
+        # Top-k with deterministic ties: similarity desc, index asc —
+        # O(n) selection instead of a full lexsort.
+        order = top_k_indices(sims, k)
         neighbors = [Neighbor(similarity=float(sims[i]), index=int(i)) for i in order]
         stats.final_candidates = len(neighbors)
         return QueryResult(neighbors=neighbors, stats=stats)
@@ -118,7 +120,7 @@ class DictInvertedIndex:
         counts = self.intersection_counts(query_set)
         union = self.lengths + len(query_set) - counts
         sims = np.where(union > 0, counts / np.maximum(union, 1), 1.0)
-        order = np.lexsort((np.arange(len(sims)), -sims))[:k]
+        order = top_k_indices(sims, k)
         neighbors = [Neighbor(similarity=float(sims[i]), index=int(i)) for i in order]
         stats = SearchStats(
             candidates=len(self.sets),

@@ -27,7 +27,8 @@ from ..exceptions import EmptyDatabaseError, ParameterError
 from .grid import Grid
 from .heap import KnnHeap
 from .jaccard import jaccard
-from .result import QueryResult, SearchStats
+from .result import Neighbor, QueryResult, SearchStats
+from .selection import top_k_indices
 
 __all__ = ["PruningSearcher", "zone_histogram"]
 
@@ -87,24 +88,66 @@ class PruningSearcher:
             raise ParameterError(f"k must be >= 1, got {k}")
         k = min(k, len(self.sets))
         bounds = self.upper_bounds(query_set)
-        heap = KnnHeap(k)
         stats = SearchStats(candidates=len(self.sets))
-
         if self.sort_candidates:
-            order = np.lexsort((np.arange(len(bounds)), -bounds))
-        else:
-            order = np.arange(len(bounds))
+            return self._query_sorted(query_set, k, bounds, stats)
+        return self._query_scan(query_set, k, bounds, stats)
 
-        for position, index in enumerate(order):
-            if heap.full and not heap.qualifies(float(bounds[index]), int(index)):
-                if self.sort_candidates:
+    def _query_sorted(
+        self, query_set: np.ndarray, k: int, bounds: np.ndarray, stats: SearchStats
+    ) -> QueryResult:
+        """Best-first scan with chunked, selection-based admission.
+
+        Candidates are evaluated in descending-bound order in growing
+        chunks; after each chunk the k-th best *exact* similarity so far
+        (obtained by O(n) selection, not a per-candidate heap) is
+        compared against the bound of the next candidate.  Because
+        bounds are admissible and non-increasing from that point, a
+        failed comparison prunes every remaining candidate at once —
+        the same stop rule as the historical heap loop, amortized over
+        chunks instead of paid per candidate.
+        """
+        n = len(bounds)
+        order = np.lexsort((np.arange(n), -bounds))
+        sims = np.empty(n, dtype=np.float64)
+        evaluated = 0
+        chunk = max(k, 32)
+        while evaluated < n:
+            if evaluated >= k:
+                top = top_k_indices(
+                    sims[:evaluated], k, tie_break=order[:evaluated]
+                )
+                kth = top[-1]
+                kth_key = (float(sims[kth]), -int(order[kth]))
+                nxt = int(order[evaluated])
+                if (float(bounds[nxt]), -nxt) <= kth_key:
                     # Bounds are non-increasing from here on: prune all.
-                    stats.pruned += len(order) - position
+                    stats.pruned += n - evaluated
                     break
+            end = min(evaluated + chunk, n)
+            for position in range(evaluated, end):
+                sims[position] = jaccard(self.sets[int(order[position])], query_set)
+            stats.exact_computations += end - evaluated
+            evaluated = end
+            chunk *= 2
+        top = top_k_indices(sims[:evaluated], k, tie_break=order[:evaluated])
+        neighbors = [
+            Neighbor(similarity=float(sims[i]), index=int(order[i])) for i in top
+        ]
+        stats.final_candidates = len(neighbors)
+        return QueryResult(neighbors=neighbors, stats=stats)
+
+    def _query_scan(
+        self, query_set: np.ndarray, k: int, bounds: np.ndarray, stats: SearchStats
+    ) -> QueryResult:
+        """The paper's literal scan order (Algorithm 4, line 9)."""
+        heap = KnnHeap(k)
+        for index in range(len(bounds)):
+            if heap.full and not heap.qualifies(float(bounds[index]), index):
                 stats.pruned += 1
                 continue
             similarity = jaccard(self.sets[index], query_set)
             stats.exact_computations += 1
-            heap.consider(similarity, int(index))
+            heap.consider(similarity, index)
         stats.final_candidates = len(heap)
         return QueryResult(neighbors=heap.neighbors(), stats=stats)

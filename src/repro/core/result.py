@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
-__all__ = ["Neighbor", "SearchStats", "QueryResult"]
+__all__ = ["Neighbor", "SearchStats", "QueryResult", "aggregate_stats"]
 
 
 @dataclass(frozen=True, order=True)
@@ -51,6 +52,16 @@ class SearchStats:
             return 0.0
         return self.final_candidates / self.candidates
 
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Counter-wise sum of two stats (derived rates recompute)."""
+        return SearchStats(
+            candidates=self.candidates + other.candidates,
+            exact_computations=self.exact_computations + other.exact_computations,
+            pruned=self.pruned + other.pruned,
+            filter_rounds=self.filter_rounds + other.filter_rounds,
+            final_candidates=self.final_candidates + other.final_candidates,
+        )
+
 
 @dataclass
 class QueryResult:
@@ -71,3 +82,17 @@ class QueryResult:
     def similarities(self) -> list[float]:
         """Similarities of the answers, best first."""
         return [n.similarity for n in self.neighbors]
+
+
+def aggregate_stats(results: Iterable[QueryResult]) -> SearchStats:
+    """Counter-wise sum of the stats of a whole batch of results.
+
+    The derived rates (:attr:`SearchStats.pruning_rate`,
+    :attr:`SearchStats.compression_rate`) of the aggregate are then the
+    work-weighted batch-level rates — what a serving dashboard wants —
+    rather than a mean of per-query ratios.
+    """
+    total = SearchStats()
+    for result in results:
+        total = total.merge(result.stats)
+    return total

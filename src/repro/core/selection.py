@@ -1,0 +1,60 @@
+"""O(n) top-k selection with the repo-wide deterministic tie-break.
+
+Every STS3 variant must return the same neighbours on tied inputs:
+similarity descending, database index ascending (DESIGN.md §8).  The
+historical implementation was a full ``np.lexsort`` over all *n*
+candidates — ``O(n log n)`` per query even though only ``k ≪ n`` rows
+are returned.  :func:`top_k_indices` gets the same answer in ``O(n)``:
+
+1. ``np.partition`` finds the k-th largest similarity (the selection
+   threshold) without ordering anything else;
+2. everything strictly above the threshold is in the top-k by
+   definition; the remaining seats are filled by the *smallest-index*
+   candidates tied at the threshold (the deterministic tie-break);
+3. only the k chosen rows are fully sorted.
+
+The helper is shared by the scalar searchers (`core/indexed.py`), the
+batch kernel (`core/batch.py`), and the pruning searcher's candidate
+admission (`core/pruning.py`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k_indices"]
+
+
+def top_k_indices(
+    sims: np.ndarray, k: int, tie_break: np.ndarray | None = None
+) -> np.ndarray:
+    """Positions of the ``k`` best similarities, best first.
+
+    Returns positions into ``sims`` ordered by (similarity descending,
+    tie-break ascending).  ``tie_break`` defaults to the position
+    itself; pass explicit database indices when ``sims`` is a permuted
+    or partial view (as the pruning searcher does).
+    """
+    sims = np.asarray(sims)
+    n = sims.shape[0]
+    k = min(k, n)
+    tie = np.arange(n, dtype=np.int64) if tie_break is None else tie_break
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    if k == n:
+        return np.lexsort((tie, -sims))
+    # k-th largest similarity = the selection threshold.
+    threshold = -np.partition(-sims, k - 1)[k - 1]
+    greater = np.flatnonzero(sims > threshold)
+    ties = np.flatnonzero(sims == threshold)
+    need = k - greater.size
+    if ties.size > need:
+        # Seats are contested: keep the tied candidates with the
+        # smallest tie-break values.  flatnonzero is ascending, so the
+        # default tie-break needs no extra sort.
+        if tie_break is not None:
+            ties = ties[np.argsort(tie[ties], kind="stable")[:need]]
+        else:
+            ties = ties[:need]
+    chosen = np.concatenate((greater, ties))
+    return chosen[np.lexsort((tie[chosen], -sims[chosen]))]

@@ -68,6 +68,18 @@ class TestCommands:
         with pytest.raises(DatasetError):
             main(["query", str(tmp_path / "nope")])
 
+    def test_batch(self, ucr_file, capsys):
+        assert main(["batch", str(ucr_file), "--queries", "4", "--k", "2",
+                     "--sigma", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "queries/s" in out
+        assert "aggregate:" in out
+        assert out.count("query ") >= 4
+
+    def test_batch_too_many_queries(self, ucr_file, capsys):
+        assert main(["batch", str(ucr_file), "--queries", "99"]) == 2
+        assert "--queries" in capsys.readouterr().err
+
     def test_join(self, ucr_file, capsys):
         assert main(["join", str(ucr_file), "--threshold", "0.2", "--sigma", "2"]) == 0
         out = capsys.readouterr().out
