@@ -5,8 +5,15 @@ of the paper's evaluation section with consistent formatting and a
 single ``REPRO_SCALE`` knob controlling workload sizes.
 """
 
-from .runner import repro_scale, scaled
+from .runner import repro_scale, run_traced, scaled
 from .tables import render_table
 from .timer import Timer, time_callable
 
-__all__ = ["Timer", "render_table", "repro_scale", "scaled", "time_callable"]
+__all__ = [
+    "Timer",
+    "render_table",
+    "repro_scale",
+    "run_traced",
+    "scaled",
+    "time_callable",
+]

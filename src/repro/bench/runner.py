@@ -1,4 +1,4 @@
-"""Workload scaling for the benchmark suite.
+"""Workload scaling and traced runs for the benchmark suite.
 
 The paper's workloads (20,000 ECG windows, 8,926 ElectricDevices
 series, ...) are too large for a quick CI run, so every benchmark
@@ -6,13 +6,34 @@ multiplies its instance counts by ``REPRO_SCALE`` (default 0.05).
 ``REPRO_SCALE=1`` reproduces the paper-size workloads; intermediate
 values trade fidelity for time.  Lengths, class counts, and parameter
 ranges are never scaled — only how many series/queries are used.
+
+:func:`run_traced` runs a callable under a fresh
+:class:`repro.obs.Tracer` and returns its per-stage wall-clock
+breakdown, so benchmark JSON records gain ``filter`` / ``refine`` /
+``select_topk`` timings alongside end-to-end numbers (the Lernaean
+Hydra per-phase reporting convention).
 """
 
 from __future__ import annotations
 
 import os
+from typing import Callable
 
-__all__ = ["repro_scale", "scaled"]
+__all__ = ["repro_scale", "run_traced", "scaled"]
+
+
+def run_traced(fn: Callable[[], object]) -> tuple[object, dict[str, float]]:
+    """Run ``fn()`` under a fresh tracer; return ``(result, stage_seconds)``.
+
+    ``stage_seconds`` maps span names to total seconds (see
+    ``docs/observability.md`` for the naming scheme).  The previous
+    tracer is restored even when ``fn`` raises.
+    """
+    from ..obs import Tracer, use_tracer
+
+    with use_tracer(Tracer()) as tracer:
+        result = fn()
+    return result, tracer.stage_seconds()
 
 #: environment variable controlling workload sizes across benchmarks.
 SCALE_ENV = "REPRO_SCALE"

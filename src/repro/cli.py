@@ -7,9 +7,13 @@ Subcommands:
 - ``sts3 demo`` — a 30-second end-to-end demonstration on synthetic ECG.
 - ``sts3 query`` — build a database from a UCR-format file (or the
   synthetic ECG stream) and answer a k-NN query, printing neighbours.
+  ``--trace`` prints the span trace of the query; ``--profile`` prints
+  a cProfile report (see ``docs/observability.md``).
 - ``sts3 batch`` — answer many k-NN queries at once through the
   vectorized batch engine, printing throughput and aggregate search
-  statistics.
+  statistics.  ``--trace`` prints the batch's span trace;
+  ``--metrics-json PATH`` writes per-stage timings plus the metric
+  registry snapshot as JSON.
 
 The CLI exists so a downstream user can try the system without writing
 code; anything deeper should use the library API (see README).
@@ -19,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from . import __version__
@@ -57,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "naive", "index", "pruning", "approximate"],
         default="auto",
     )
+    query.add_argument("--trace", action="store_true",
+                       help="print the span trace of the query (docs/observability.md)")
+    query.add_argument("--profile", action="store_true",
+                       help="print a cProfile report of the query call")
 
     batch = sub.add_parser(
         "batch", help="batched k-NN queries over a UCR-format file"
@@ -79,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fork this many worker processes")
     batch.add_argument("--limit", type=int, default=5,
                        help="print the answers of at most this many queries")
+    batch.add_argument("--trace", action="store_true",
+                       help="print the span trace of the batch")
+    batch.add_argument("--metrics-json", type=str, default=None, metavar="PATH",
+                       help="write per-stage timings + metric counters as JSON "
+                            "('-' for stdout)")
 
     join = sub.add_parser(
         "join", help="all-pairs similarity join over a UCR-format file"
@@ -149,7 +163,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
     query = dataset.series[args.query_index]
     database = [s for i, s in enumerate(dataset.series) if i != args.query_index]
     db = STS3Database(database, sigma=args.sigma, epsilon=args.epsilon)
-    result = db.query(query, k=args.k, method=args.method)
+    if args.trace:
+        from .obs import Tracer, use_tracer
+
+        with use_tracer(Tracer()) as tracer:
+            result = db.query(query, k=args.k, method=args.method)
+        print("trace (ms, nested):")
+        print(tracer.format_tree())
+        print()
+    elif args.profile:
+        from .obs import profile_query
+
+        result, report = profile_query(
+            db, query, k=args.k, method=args.method, limit=15
+        )
+        print(report)
+    else:
+        result = db.query(query, k=args.k, method=args.method)
     print(f"query: series #{args.query_index} of {args.file}")
     print(f"{'rank':>4}  {'series':>7}  {'label':>6}  Jaccard")
     labels = [l for i, l in enumerate(dataset.labels) if i != args.query_index]
@@ -179,11 +209,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     queries = list(dataset.series[split:])
     db = STS3Database(database, sigma=args.sigma, epsilon=args.epsilon)
 
+    tracer = None
+    if args.trace or args.metrics_json:
+        from .obs import Tracer, set_tracer
+
+        tracer = Tracer()
+        previous_tracer = set_tracer(tracer)
     start = time.perf_counter()
-    results = db.query_batch(
-        queries, k=args.k, method=args.method, workers=args.workers
-    )
-    elapsed = time.perf_counter() - start
+    try:
+        results = db.query_batch(
+            queries, k=args.k, method=args.method, workers=args.workers
+        )
+    finally:
+        elapsed = time.perf_counter() - start
+        if tracer is not None:
+            set_tracer(previous_tracer)
 
     print(
         f"{len(queries)} queries x top-{args.k} over {split} series "
@@ -202,6 +242,63 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"  query {split + qi}: {answers}")
     if len(results) > args.limit:
         print(f"  ... and {len(results) - args.limit} more")
+    if tracer is not None:
+        _report_batch_observability(args, tracer, stats, elapsed, len(queries))
+    return 0
+
+
+#: span names that partition a batch query's work (docs/observability.md);
+#: "tile" is excluded — it is a parent of filter/refine/select_topk and
+#: would double-count.
+_BATCH_STAGES = (
+    "build_index", "transform", "filter", "refine", "select_topk", "merge"
+)
+
+
+def _report_batch_observability(args, tracer, stats, elapsed, n_queries) -> int:
+    """Print the trace and/or write the metrics JSON for ``sts3 batch``."""
+    import json
+
+    from .obs import get_registry
+
+    if args.trace:
+        print("\ntrace (ms, nested):")
+        print(tracer.format_tree())
+    if not args.metrics_json:
+        return 0
+    stage_seconds = tracer.stage_seconds()
+    stages = {name: stage_seconds.get(name, 0.0) for name in _BATCH_STAGES}
+    # Wall-clock of the query work itself is the query_batch root span;
+    # `elapsed` additionally includes tracer setup outside the root.
+    wall = stage_seconds.get("query_batch", elapsed)
+    covered = sum(stages.values())
+    payload = {
+        "command": "batch",
+        "file": str(args.file),
+        "method": args.method,
+        "queries": n_queries,
+        "k": args.k,
+        "workers": args.workers,
+        "wall_seconds": round(elapsed, 6),
+        "query_batch_seconds": round(wall, 6),
+        "stages_seconds": {k: round(v, 6) for k, v in stages.items()},
+        "stage_coverage": round(covered / wall, 4) if wall else 0.0,
+        "span_counts": tracer.stage_counts(),
+        "aggregate_stats": {
+            "candidates": stats.candidates,
+            "exact_computations": stats.exact_computations,
+            "pruned": stats.pruned,
+            "pruning_rate": round(stats.pruning_rate, 6),
+            "compression_rate": round(stats.compression_rate, 6),
+        },
+        "metrics": get_registry().snapshot(),
+    }
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.metrics_json == "-":
+        print(text, end="")
+    else:
+        Path(args.metrics_json).write_text(text)
+        print(f"wrote metrics to {args.metrics_json}")
     return 0
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import EmptyDatabaseError, ParameterError
+from ..obs import span
 from .grid import Bound, Grid
 from .heap import KnnHeap
 from .jaccard import jaccard
@@ -148,7 +149,8 @@ class ApproximateSearcher:
         if k < 1:
             raise ParameterError(f"k must be >= 1, got {k}")
         k = min(k, len(self.sets))
-        survivors, rounds = self.filter_candidates(query_series, k)
+        with span("filter"):
+            survivors, rounds = self.filter_candidates(query_series, k)
         stats = SearchStats(
             candidates=len(self.sets),
             filter_rounds=rounds,
@@ -156,8 +158,11 @@ class ApproximateSearcher:
             pruned=len(self.sets) - len(survivors),
         )
         heap = KnnHeap(k)
-        for index in survivors.tolist():
-            similarity = jaccard(self.sets[index], query_set)
-            stats.exact_computations += 1
-            heap.consider(similarity, index)
-        return QueryResult(neighbors=heap.neighbors(), stats=stats)
+        with span("refine", survivors=len(survivors)):
+            for index in survivors.tolist():
+                similarity = jaccard(self.sets[index], query_set)
+                stats.exact_computations += 1
+                heap.consider(similarity, index)
+        with span("select_topk"):
+            neighbors = heap.neighbors()
+        return QueryResult(neighbors=neighbors, stats=stats)

@@ -59,6 +59,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..obs import get_registry, span
 from .result import Neighbor, QueryResult, SearchStats
 from .selection import top_k_indices
 
@@ -176,44 +177,56 @@ class BatchQueryEngine:
         if not query_sets:
             return []
 
-        q_lens = np.asarray([s.size for s in query_sets], dtype=np.int64)
-        q_indptr = np.zeros(len(query_sets) + 1, dtype=np.int64)
-        np.cumsum(q_lens, out=q_indptr[1:])
-        q_cells = (
-            np.concatenate(query_sets)
-            if q_indptr[-1]
-            else np.empty(0, dtype=np.int64)
-        )
-        # One searchsorted pair for the WHOLE batch: postings runs of
-        # every (query, cell) pair, and through them the exact pair
-        # counts that drive tiling and kernel choice.
-        left = np.searchsorted(self.searcher._cells, q_cells, side="left")
-        right = np.searchsorted(self.searcher._cells, q_cells, side="right")
-        run_lens = right - left
-        pair_cum = np.zeros(run_lens.size + 1, dtype=np.int64)
-        np.cumsum(run_lens, out=pair_cum[1:])
-        pairs_per_query = pair_cum[q_indptr[1:]] - pair_cum[q_indptr[:-1]]
+        # The batch-wide postings location is filtering work (it finds
+        # which series each query touches), so it shares the "filter"
+        # span name with the per-tile counting kernels.
+        with span("filter", phase="locate_postings"):
+            q_lens = np.asarray([s.size for s in query_sets], dtype=np.int64)
+            q_indptr = np.zeros(len(query_sets) + 1, dtype=np.int64)
+            np.cumsum(q_lens, out=q_indptr[1:])
+            q_cells = (
+                np.concatenate(query_sets)
+                if q_indptr[-1]
+                else np.empty(0, dtype=np.int64)
+            )
+            # One searchsorted pair for the WHOLE batch: postings runs of
+            # every (query, cell) pair, and through them the exact pair
+            # counts that drive tiling and kernel choice.
+            left = np.searchsorted(self.searcher._cells, q_cells, side="left")
+            right = np.searchsorted(self.searcher._cells, q_cells, side="right")
+            run_lens = right - left
+            pair_cum = np.zeros(run_lens.size + 1, dtype=np.int64)
+            np.cumsum(run_lens, out=pair_cum[1:])
+            pairs_per_query = pair_cum[q_indptr[1:]] - pair_cum[q_indptr[:-1]]
 
         # Kernel choice is per batch: the dense GEMM's economics depend
         # on the whole batch's pair count, and only the sparse kernel
         # needs its tiles bounded by gathered pairs (its scratch is
-        # pair-sized; the GEMM's is counter-sized).
-        kernel = self._choose_kernel(len(query_sets), int(pair_cum[-1]))
+        # pair-sized; the GEMM's is counter-sized).  The distinct-cell
+        # scan behind the choice can rival the kernels themselves on
+        # first use, so it counts as filter work too.
+        with span("filter", phase="plan_tiles"):
+            kernel = self._choose_kernel(len(query_sets), int(pair_cum[-1]))
+            tiles = self._tiles(q_lens, pairs_per_query, n_series, kernel)
+        get_registry().counter(
+            "sts3_batch_tiles_total", "batch-engine tiles run, by chosen kernel"
+        ).inc(len(tiles), kernel=kernel)
         results: list[QueryResult] = []
-        for start, stop in self._tiles(q_lens, pairs_per_query, n_series, kernel):
+        for start, stop in tiles:
             cell_slice = slice(q_indptr[start], q_indptr[stop])
-            results.extend(
-                self._run_tile(
-                    query_sets[start:stop],
-                    q_lens[start:stop],
-                    q_cells[cell_slice],
-                    left[cell_slice],
-                    run_lens[cell_slice],
-                    int(pairs_per_query[start:stop].sum()),
-                    k,
-                    kernel,
+            with span("tile", kernel=kernel, queries=stop - start):
+                results.extend(
+                    self._run_tile(
+                        query_sets[start:stop],
+                        q_lens[start:stop],
+                        q_cells[cell_slice],
+                        left[cell_slice],
+                        run_lens[cell_slice],
+                        int(pairs_per_query[start:stop].sum()),
+                        k,
+                        kernel,
+                    )
                 )
-            )
         return results
 
     def _tiles(
@@ -374,53 +387,57 @@ class BatchQueryEngine:
         # Counters live in float64: every count is a small integer
         # (exact), and |S|+|Q|-count stays integer-valued, so the final
         # float64 division is bit-identical to the scalar int64 path.
-        counts = self.workspace.buffer("counts", size, np.float64).reshape(
-            n_queries, n_series
-        )
-        self.last_kernels.append(kernel)
-        if kernel == "dense":
-            self._counts_dense(counts, q_lens, q_cells)
-        else:
-            self._counts_sparse(counts, q_lens, left, run_lens, total_pairs)
-
-        union = self.workspace.buffer("union", size, np.float64).reshape(
-            n_queries, n_series
-        )
-        np.subtract(self._lengths_f64[None, :], counts, out=union)
-        np.add(union, q_lens.astype(np.float64)[:, None], out=union)
-        sims = self.workspace.buffer("sims", size, np.float64).reshape(
-            n_queries, n_series
-        )
-        # Scalar parity: sims = where(union > 0, counts / max(union, 1), 1).
-        # union == 0 only when query AND series sets are both empty
-        # (Jaccard of two empty sets is defined as 1), so the patch-up
-        # passes are skipped entirely on indexes without empty sets.
-        if self._has_empty_set:
-            empty = self.workspace.buffer("empty", size, np.bool_).reshape(
+        with span("filter", kernel=kernel):
+            counts = self.workspace.buffer("counts", size, np.float64).reshape(
                 n_queries, n_series
             )
-            np.equal(union, 0.0, out=empty)
-            np.maximum(union, 1.0, out=union)
-            np.divide(counts, union, out=sims)
-            sims[empty] = 1.0
-        else:
-            np.divide(counts, union, out=sims)
-        touched = np.count_nonzero(counts, axis=1)
+            self.last_kernels.append(kernel)
+            if kernel == "dense":
+                self._counts_dense(counts, q_lens, q_cells)
+            else:
+                self._counts_sparse(counts, q_lens, left, run_lens, total_pairs)
 
-        results: list[QueryResult] = []
-        for row in range(n_queries):
-            row_sims = sims[row]
-            order = top_k_indices(row_sims, k)
-            neighbors = [
-                Neighbor(similarity=float(row_sims[i]), index=int(i)) for i in order
-            ]
-            stats = SearchStats(
-                candidates=n_series,
-                exact_computations=int(touched[row]),
-                pruned=int(n_series - touched[row]),
-                final_candidates=len(neighbors),
+        with span("refine"):
+            union = self.workspace.buffer("union", size, np.float64).reshape(
+                n_queries, n_series
             )
-            results.append(QueryResult(neighbors=neighbors, stats=stats))
+            np.subtract(self._lengths_f64[None, :], counts, out=union)
+            np.add(union, q_lens.astype(np.float64)[:, None], out=union)
+            sims = self.workspace.buffer("sims", size, np.float64).reshape(
+                n_queries, n_series
+            )
+            # Scalar parity: sims = where(union > 0, counts / max(union, 1), 1).
+            # union == 0 only when query AND series sets are both empty
+            # (Jaccard of two empty sets is defined as 1), so the patch-up
+            # passes are skipped entirely on indexes without empty sets.
+            if self._has_empty_set:
+                empty = self.workspace.buffer("empty", size, np.bool_).reshape(
+                    n_queries, n_series
+                )
+                np.equal(union, 0.0, out=empty)
+                np.maximum(union, 1.0, out=union)
+                np.divide(counts, union, out=sims)
+                sims[empty] = 1.0
+            else:
+                np.divide(counts, union, out=sims)
+            touched = np.count_nonzero(counts, axis=1)
+
+        with span("select_topk"):
+            results: list[QueryResult] = []
+            for row in range(n_queries):
+                row_sims = sims[row]
+                order = top_k_indices(row_sims, k)
+                neighbors = [
+                    Neighbor(similarity=float(row_sims[i]), index=int(i))
+                    for i in order
+                ]
+                stats = SearchStats(
+                    candidates=n_series,
+                    exact_computations=int(touched[row]),
+                    pruned=int(n_series - touched[row]),
+                    final_candidates=len(neighbors),
+                )
+                results.append(QueryResult(neighbors=neighbors, stats=stats))
         return results
 
 

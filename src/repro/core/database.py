@@ -23,6 +23,7 @@ import numpy as np
 
 from ..data.normalize import z_normalize
 from ..exceptions import EmptyDatabaseError, ParameterError
+from ..obs import get_registry, span
 from ..types import as_series
 from .approximate import ApproximateSearcher
 from .batch import BatchQueryEngine, QueryWorkspace
@@ -291,22 +292,27 @@ class STS3Database:
             raise ParameterError(f"unknown method {method!r}; one of {_METHODS}")
         if method == "auto":
             method = self._auto_method()
-        prepared = self._prepare(series)
-        query_set = transform_query(prepared, self.grid)
+        with span("query", method=method, k=k):
+            with span("transform"):
+                prepared = self._prepare(series)
+                query_set = transform_query(prepared, self.grid)
 
-        if method == "naive":
-            result = self.naive_searcher().query(query_set, k=k)
-        elif method == "index":
-            result = self.indexed_searcher().query(query_set, k=k)
-        elif method == "pruning":
-            result = self.pruning_searcher(scale).query(query_set, k=k)
-        else:
-            result = self.approximate_searcher(max_scale).query(
-                prepared, query_set, k=k
-            )
+            if method == "naive":
+                result = self.naive_searcher().query(query_set, k=k)
+            elif method == "index":
+                result = self.indexed_searcher().query(query_set, k=k)
+            elif method == "pruning":
+                result = self.pruning_searcher(scale).query(query_set, k=k)
+            else:
+                result = self.approximate_searcher(max_scale).query(
+                    prepared, query_set, k=k
+                )
 
-        if len(self.buffer):
-            result = self._merge_buffer(prepared, result, k)
+            if len(self.buffer):
+                result = self._merge_buffer(prepared, result, k)
+        get_registry().counter(
+            "sts3_queries_total", "k-NN queries answered, by search variant"
+        ).inc(method=method)
         return result
 
     def query_batch(
@@ -346,14 +352,34 @@ class STS3Database:
             raise ParameterError(f"unknown method {method!r}; one of {_METHODS}")
         if method == "auto":
             method = self._auto_method()
+        get_registry().counter(
+            "sts3_batch_queries_total", "queries answered through query_batch"
+        ).inc(len(queries), method=method)
+        with span("query_batch", method=method, queries=len(queries)):
+            return self._query_batch(
+                queries, k=k, method=method, scale=scale,
+                max_scale=max_scale, workers=workers,
+            )
+
+    def _query_batch(
+        self,
+        queries: list[np.ndarray],
+        k: int,
+        method: str,
+        scale: int | None,
+        max_scale: int | None,
+        workers: int | None,
+    ) -> list[QueryResult]:
         # Build the needed searcher before fanning out, so workers
         # inherit ready structures instead of each rebuilding them.
-        if method == "index":
-            self.indexed_searcher()
-        elif method == "pruning":
-            self.pruning_searcher(scale)
-        elif method == "approximate":
-            self.approximate_searcher(max_scale)
+        # (A no-op span when the searcher is already cached.)
+        with span("build_index", method=method):
+            if method == "index":
+                self.indexed_searcher()
+            elif method == "pruning":
+                self.pruning_searcher(scale)
+            elif method == "approximate":
+                self.approximate_searcher(max_scale)
 
         if not workers or workers <= 1 or len(queries) < 2:
             return self._batch_chunk(
@@ -374,6 +400,9 @@ class STS3Database:
         _FORK_STATE["params"] = dict(
             k=k, method=method, scale=scale, max_scale=max_scale
         )
+        # Forked workers inherit the active tracer copy-on-write: spans
+        # they record die with the worker process, while the parent's
+        # open query_batch span closes normally (docs/observability.md).
         try:
             with context.Pool(processes=workers) as pool:
                 chunk_results = pool.map(_batch_worker, chunks)
@@ -405,8 +434,9 @@ class STS3Database:
                 self.query(q, k=k, method=method, scale=scale, max_scale=max_scale)
                 for q in queries
             ]
-        prepared = [self._prepare(q) for q in queries]
-        query_sets = [transform_query(p, self.grid) for p in prepared]
+        with span("transform", queries=len(queries)):
+            prepared = [self._prepare(q) for q in queries]
+            query_sets = [transform_query(p, self.grid) for p in prepared]
         results = self.batch_engine().query_batch(query_sets, k=k)
         if len(self.buffer):
             results = [
@@ -423,21 +453,25 @@ class STS3Database:
         compared with every buffered series; buffered series adopt
         indices following the main database.
         """
-        k = min(k, len(self.series) + len(self.buffer))
-        heap = KnnHeap(k)
-        for neighbor in result.neighbors:
-            heap.consider(neighbor.similarity, neighbor.index)
-        buffer_query = transform_query(prepared, self.buffer.grid)
-        base = len(self.series)
-        for offset, cell_set in enumerate(self.buffer.sets):
-            heap.consider(jaccard(cell_set, buffer_query), base + offset)
-        stats = SearchStats(
-            candidates=result.stats.candidates + len(self.buffer),
-            exact_computations=result.stats.exact_computations + len(self.buffer),
-            pruned=result.stats.pruned,
-            filter_rounds=result.stats.filter_rounds,
-            final_candidates=len(heap),
-        )
+        with span("merge", buffered=len(self.buffer)):
+            k = min(k, len(self.series) + len(self.buffer))
+            heap = KnnHeap(k)
+            for neighbor in result.neighbors:
+                heap.consider(neighbor.similarity, neighbor.index)
+            buffer_query = transform_query(prepared, self.buffer.grid)
+            base = len(self.series)
+            for offset, cell_set in enumerate(self.buffer.sets):
+                heap.consider(jaccard(cell_set, buffer_query), base + offset)
+            stats = SearchStats(
+                candidates=result.stats.candidates + len(self.buffer),
+                exact_computations=result.stats.exact_computations + len(self.buffer),
+                pruned=result.stats.pruned,
+                filter_rounds=result.stats.filter_rounds,
+                final_candidates=len(heap),
+            )
+        get_registry().counter(
+            "sts3_buffer_merges_total", "query answers refreshed from the update buffer"
+        ).inc()
         return QueryResult(neighbors=heap.neighbors(), stats=stats)
 
     # -- updates -----------------------------------------------------------
@@ -457,8 +491,14 @@ class STS3Database:
             self.series.append(prepared)
             self.sets.append(transform(prepared, self.grid))
             self._invalidate()
+            get_registry().counter(
+                "sts3_inserts_total", "series inserted, by destination"
+            ).inc(path="direct")
             return
         self.buffer.add(prepared)
+        get_registry().counter(
+            "sts3_inserts_total", "series inserted, by destination"
+        ).inc(path="buffered")
         logger.debug(
             "out-of-bound insert buffered (%d/%d)",
             len(self.buffer),
@@ -512,11 +552,15 @@ class STS3Database:
             len(extra),
             len(self.series) + len(extra),
         )
-        self._rebuild_grid(extra=extra)
-        self.buffer = UpdateBuffer(
-            self.buffer.capacity,
-            self.grid.bound,
-            self.grid.col_width,
-            self.grid.row_heights,
-        )
+        with span("flush", flushed=len(extra)):
+            self._rebuild_grid(extra=extra)
+            self.buffer = UpdateBuffer(
+                self.buffer.capacity,
+                self.grid.bound,
+                self.grid.col_width,
+                self.grid.row_heights,
+            )
         self.rebuild_count += 1
+        get_registry().counter(
+            "sts3_rebuilds_total", "full rebuilds triggered by buffer flushes"
+        ).inc()

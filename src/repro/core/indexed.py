@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import EmptyDatabaseError, ParameterError
+from ..obs import span
 from .result import Neighbor, QueryResult, SearchStats
 from .selection import top_k_indices
 
@@ -64,10 +65,12 @@ class IndexedSearcher:
         if k < 1:
             raise ParameterError(f"k must be >= 1, got {k}")
         k = min(k, len(self.sets))
-        counts = self.intersection_counts(query_set)
-        q_len = len(query_set)
-        union = self.lengths + q_len - counts
-        sims = np.where(union > 0, counts / np.maximum(union, 1), 1.0)
+        with span("filter"):
+            counts = self.intersection_counts(query_set)
+        with span("refine"):
+            q_len = len(query_set)
+            union = self.lengths + q_len - counts
+            sims = np.where(union > 0, counts / np.maximum(union, 1), 1.0)
 
         stats = SearchStats(
             candidates=len(self.sets),
@@ -76,8 +79,11 @@ class IndexedSearcher:
         )
         # Top-k with deterministic ties: similarity desc, index asc —
         # O(n) selection instead of a full lexsort.
-        order = top_k_indices(sims, k)
-        neighbors = [Neighbor(similarity=float(sims[i]), index=int(i)) for i in order]
+        with span("select_topk"):
+            order = top_k_indices(sims, k)
+            neighbors = [
+                Neighbor(similarity=float(sims[i]), index=int(i)) for i in order
+            ]
         stats.final_candidates = len(neighbors)
         return QueryResult(neighbors=neighbors, stats=stats)
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import EmptyDatabaseError, ParameterError
+from ..obs import span
 from .heap import KnnHeap
 from .jaccard import jaccard, size_upper_bound
 from .result import QueryResult, SearchStats
@@ -42,14 +43,19 @@ class NaiveSearcher:
         heap = KnnHeap(k)
         stats = SearchStats(candidates=len(self.sets))
         q_len = len(query_set)
-        for index, candidate in enumerate(self.sets):
-            if self.early_stop and heap.full:
-                bound = size_upper_bound(len(candidate), q_len)
-                if not heap.qualifies(bound, index):
-                    stats.pruned += 1
-                    continue
-            similarity = jaccard(candidate, query_set)
-            stats.exact_computations += 1
-            heap.consider(similarity, index)
+        # The naive scan has no separate filter phase: the size bound
+        # and the exact merge interleave, so the whole loop is "refine".
+        with span("refine"):
+            for index, candidate in enumerate(self.sets):
+                if self.early_stop and heap.full:
+                    bound = size_upper_bound(len(candidate), q_len)
+                    if not heap.qualifies(bound, index):
+                        stats.pruned += 1
+                        continue
+                similarity = jaccard(candidate, query_set)
+                stats.exact_computations += 1
+                heap.consider(similarity, index)
         stats.final_candidates = len(heap)
-        return QueryResult(neighbors=heap.neighbors(), stats=stats)
+        with span("select_topk"):
+            neighbors = heap.neighbors()
+        return QueryResult(neighbors=neighbors, stats=stats)

@@ -21,6 +21,7 @@ from pathlib import Path
 import numpy as np
 
 from ..exceptions import DatasetError
+from ..obs import get_registry, span
 from .database import STS3Database
 
 __all__ = ["save_database", "load_database"]
@@ -70,21 +71,34 @@ def save_database(db: STS3Database, path: str | Path) -> None:
         "default_max_scale": db.default_max_scale,
         "rebuild_count": db.rebuild_count,
     }
-    matrix, lengths, n_dims = _pack(db.series)
-    buf_matrix, buf_lengths, _ = _pack(db.buffer.series)
-    np.savez_compressed(
-        path,
-        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
-        n_dims=np.int64(n_dims),
-        series=matrix,
-        lengths=lengths,
-        buffer_series=buf_matrix,
-        buffer_lengths=buf_lengths,
-    )
+    with span("persist.save", series=len(db.series), buffered=len(db.buffer.series)):
+        matrix, lengths, n_dims = _pack(db.series)
+        buf_matrix, buf_lengths, _ = _pack(db.buffer.series)
+        np.savez_compressed(
+            path,
+            header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+            n_dims=np.int64(n_dims),
+            series=matrix,
+            lengths=lengths,
+            buffer_series=buf_matrix,
+            buffer_lengths=buf_lengths,
+        )
+    get_registry().counter(
+        "sts3_persist_total", "database archive writes and reads"
+    ).inc(op="save")
 
 
 def load_database(path: str | Path) -> STS3Database:
     """Rebuild a database previously written by :func:`save_database`."""
+    with span("persist.load"):
+        db = _load_database(path)
+    get_registry().counter(
+        "sts3_persist_total", "database archive writes and reads"
+    ).inc(op="load")
+    return db
+
+
+def _load_database(path: str | Path) -> STS3Database:
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"no database archive at {path}")

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import EmptyDatabaseError, ParameterError
+from ..obs import span
 from .grid import Grid
 from .heap import KnnHeap
 from .jaccard import jaccard
@@ -87,7 +88,8 @@ class PruningSearcher:
         if k < 1:
             raise ParameterError(f"k must be >= 1, got {k}")
         k = min(k, len(self.sets))
-        bounds = self.upper_bounds(query_set)
+        with span("filter"):
+            bounds = self.upper_bounds(query_set)
         stats = SearchStats(candidates=len(self.sets))
         if self.sort_candidates:
             return self._query_sorted(query_set, k, bounds, stats)
@@ -108,32 +110,36 @@ class PruningSearcher:
         chunks instead of paid per candidate.
         """
         n = len(bounds)
-        order = np.lexsort((np.arange(n), -bounds))
-        sims = np.empty(n, dtype=np.float64)
-        evaluated = 0
-        chunk = max(k, 32)
-        while evaluated < n:
-            if evaluated >= k:
-                top = top_k_indices(
-                    sims[:evaluated], k, tie_break=order[:evaluated]
-                )
-                kth = top[-1]
-                kth_key = (float(sims[kth]), -int(order[kth]))
-                nxt = int(order[evaluated])
-                if (float(bounds[nxt]), -nxt) <= kth_key:
-                    # Bounds are non-increasing from here on: prune all.
-                    stats.pruned += n - evaluated
-                    break
-            end = min(evaluated + chunk, n)
-            for position in range(evaluated, end):
-                sims[position] = jaccard(self.sets[int(order[position])], query_set)
-            stats.exact_computations += end - evaluated
-            evaluated = end
-            chunk *= 2
-        top = top_k_indices(sims[:evaluated], k, tie_break=order[:evaluated])
-        neighbors = [
-            Neighbor(similarity=float(sims[i]), index=int(order[i])) for i in top
-        ]
+        with span("refine"):
+            order = np.lexsort((np.arange(n), -bounds))
+            sims = np.empty(n, dtype=np.float64)
+            evaluated = 0
+            chunk = max(k, 32)
+            while evaluated < n:
+                if evaluated >= k:
+                    top = top_k_indices(
+                        sims[:evaluated], k, tie_break=order[:evaluated]
+                    )
+                    kth = top[-1]
+                    kth_key = (float(sims[kth]), -int(order[kth]))
+                    nxt = int(order[evaluated])
+                    if (float(bounds[nxt]), -nxt) <= kth_key:
+                        # Bounds are non-increasing from here on: prune all.
+                        stats.pruned += n - evaluated
+                        break
+                end = min(evaluated + chunk, n)
+                for position in range(evaluated, end):
+                    sims[position] = jaccard(
+                        self.sets[int(order[position])], query_set
+                    )
+                stats.exact_computations += end - evaluated
+                evaluated = end
+                chunk *= 2
+        with span("select_topk"):
+            top = top_k_indices(sims[:evaluated], k, tie_break=order[:evaluated])
+            neighbors = [
+                Neighbor(similarity=float(sims[i]), index=int(order[i])) for i in top
+            ]
         stats.final_candidates = len(neighbors)
         return QueryResult(neighbors=neighbors, stats=stats)
 
@@ -142,12 +148,15 @@ class PruningSearcher:
     ) -> QueryResult:
         """The paper's literal scan order (Algorithm 4, line 9)."""
         heap = KnnHeap(k)
-        for index in range(len(bounds)):
-            if heap.full and not heap.qualifies(float(bounds[index]), index):
-                stats.pruned += 1
-                continue
-            similarity = jaccard(self.sets[index], query_set)
-            stats.exact_computations += 1
-            heap.consider(similarity, index)
+        with span("refine"):
+            for index in range(len(bounds)):
+                if heap.full and not heap.qualifies(float(bounds[index]), index):
+                    stats.pruned += 1
+                    continue
+                similarity = jaccard(self.sets[index], query_set)
+                stats.exact_computations += 1
+                heap.consider(similarity, index)
         stats.final_candidates = len(heap)
-        return QueryResult(neighbors=heap.neighbors(), stats=stats)
+        with span("select_topk"):
+            neighbors = heap.neighbors()
+        return QueryResult(neighbors=neighbors, stats=stats)

@@ -47,7 +47,19 @@ class SearchStats:
 
     @property
     def compression_rate(self) -> float:
-        """Paper Section 7.4.5: |searchSet after filtering| / |D|."""
+        """Paper Section 7.4.5: |searchSet after filtering| / |D|.
+
+        The denominator here is :attr:`candidates`, which every search
+        variant sets to the number of series *considered* — always the
+        full database size |D| (plus any update-buffer entries merged
+        into the answer), never a pre-filtered subset — so this ratio
+        matches the paper's |D| denominator exactly.  A regression test
+        (``tests/core/test_compression_rate.py``) pins that invariant:
+        if a future searcher ever reported a smaller candidate pool,
+        the rate would silently inflate, which is the deviation this
+        guard exists to catch.  For :func:`aggregate_stats` sums the
+        property becomes the work-weighted batch-level rate.
+        """
         if self.candidates == 0:
             return 0.0
         return self.final_candidates / self.candidates

@@ -1,0 +1,65 @@
+"""Query-path observability: tracing spans, metrics, profiling hooks.
+
+Three zero-dependency layers, all opt-in on the hot path:
+
+- :mod:`repro.obs.trace` — context-manager spans with monotonic-clock
+  durations and parent/child nesting.  Instrumented code calls
+  :func:`span`; with the default :data:`NOOP` tracer that is a shared
+  do-nothing context manager, so untraced queries pay (almost) nothing.
+  Install a :class:`Tracer` (``set_tracer`` / ``use_tracer``) to
+  collect a structured trace.
+- :mod:`repro.obs.metrics` — named counters/gauges/histograms with
+  labels, a deterministic ``snapshot()`` dict, and Prometheus text
+  exposition.  The default registry (:func:`get_registry`) counts
+  queries, batch tiles per kernel, buffer merges, inserts, rebuilds,
+  and persistence round-trips.
+- :mod:`repro.obs.profile` — opt-in ``cProfile`` /
+  ``perf_counter_ns`` wrappers for the "why is it slow" follow-up.
+
+See ``docs/observability.md`` for the span/metric naming scheme and
+worked examples; the CLI surfaces all of it as ``sts3 query --trace``,
+``sts3 query --profile``, and ``sts3 batch --metrics-json``.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .profile import ProfiledBlock, StageTimes, profile_callable, profile_query
+from .trace import (
+    NOOP,
+    NoopTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP",
+    "NoopTracer",
+    "ProfiledBlock",
+    "Span",
+    "StageTimes",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "profile_callable",
+    "profile_query",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "use_tracer",
+]

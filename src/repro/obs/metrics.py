@@ -1,0 +1,314 @@
+"""Named counters, gauges, and histograms with label support.
+
+A :class:`MetricsRegistry` owns a flat namespace of metrics.  Each
+metric is created (or fetched — creation is idempotent) through the
+registry and updated with optional labels::
+
+    from repro.obs import get_registry
+
+    registry = get_registry()
+    registry.counter("sts3_queries_total", "queries answered").inc(method="index")
+    registry.histogram("sts3_query_seconds", "query latency").observe(0.0123)
+
+Two export formats:
+
+- :meth:`MetricsRegistry.snapshot` — a deterministic plain dict
+  (sorted names, sorted label sets) ready for ``json.dumps``; what
+  ``sts3 batch --metrics-json`` writes.
+- :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition
+  (``# HELP`` / ``# TYPE`` plus one sample line per label set), ready
+  to serve from a ``/metrics`` endpoint.
+
+The default process-wide registry (:func:`get_registry`) is enabled;
+instrumentation sites record a handful of per-query / per-tile events,
+so steady-state cost is a few dict operations per query.  Disable with
+``get_registry().enabled = False`` to reduce every update to one
+attribute check.  Updates are lock-guarded and therefore thread-safe;
+label values are stringified so snapshots are stable.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets (seconds): latency-oriented, log-spaced.
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_suffix(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared plumbing: name, help text, per-label-set storage."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str):
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self._values: dict[_LabelKey, object] = {}
+
+    def _sorted_items(self) -> list[tuple[_LabelKey, object]]:
+        return sorted(self._values.items())
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (resets only with the registry)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (default 1) to the labelled series."""
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        key = _label_key(labels)
+        with self._registry._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current count of the labelled series (0.0 if never touched)."""
+        return float(self._values.get(_label_key(labels), 0.0))
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (e.g. buffer fill, bytes held)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labelled series to ``value``."""
+        if not self._registry.enabled:
+            return
+        with self._registry._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (may be negative) to the labelled series."""
+        if not self._registry.enabled:
+            return
+        key = _label_key(labels)
+        with self._registry._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value of the labelled series (0.0 if never set)."""
+        return float(self._values.get(_label_key(labels), 0.0))
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket distribution (Prometheus histogram semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(registry, name, help)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into the labelled series."""
+        if not self._registry.enabled:
+            return
+        key = _label_key(labels)
+        with self._registry._lock:
+            series = self._values.get(key)
+            if series is None:
+                series = self._values[key] = _HistogramSeries(len(self.buckets))
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[i] += 1
+                    break
+            series.total += value
+            series.count += 1
+
+    def series_snapshot(self, **labels) -> dict:
+        """``{"count", "sum", "buckets"}`` for one labelled series."""
+        series = self._values.get(_label_key(labels))
+        if series is None:
+            return {"count": 0, "sum": 0.0, "buckets": {}}
+        return self._series_dict(series)
+
+    def _series_dict(self, series: _HistogramSeries) -> dict:
+        cumulative = 0
+        buckets = {}
+        for bound, count in zip(self.buckets, series.bucket_counts):
+            cumulative += count
+            buckets[repr(bound)] = cumulative
+        buckets["+Inf"] = series.count
+        return {"count": series.count, "sum": series.total, "buckets": buckets}
+
+
+class MetricsRegistry:
+    """A namespace of metrics with deterministic export.
+
+    Metric constructors are get-or-create: calling
+    ``registry.counter(name, ...)`` twice returns the same object, and
+    asking for an existing name with a different kind raises
+    ``ValueError`` (a name means one thing, forever).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(self, name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every metric (definitions and help text survive)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric._values.clear()
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Deterministic plain-dict dump of every metric.
+
+        Shape: ``{"counters": {...}, "gauges": {...}, "histograms":
+        {...}}``, each mapping ``name{label="v"}`` keys to values
+        (counters/gauges) or ``{"count", "sum", "buckets"}`` dicts
+        (histograms).  Keys are sorted, so two registries that saw the
+        same events in any order snapshot identically.
+        """
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                if isinstance(metric, Histogram):
+                    bucket = out["histograms"]
+                    for key, series in metric._sorted_items():
+                        bucket[name + _label_suffix(key)] = metric._series_dict(series)
+                else:
+                    bucket = out["counters"] if metric.kind == "counter" else out["gauges"]
+                    for key, value in metric._sorted_items():
+                        bucket[name + _label_suffix(key)] = value
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                if metric.help:
+                    lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# TYPE {name} {metric.kind}")
+                if isinstance(metric, Histogram):
+                    for key, series in metric._sorted_items():
+                        cumulative = 0
+                        for bound, count in zip(metric.buckets, series.bucket_counts):
+                            cumulative += count
+                            le = _label_suffix(key + (("le", repr(bound)),))
+                            lines.append(f"{name}_bucket{le} {cumulative}")
+                        le = _label_suffix(key + (("le", "+Inf"),))
+                        lines.append(f"{name}_bucket{le} {series.count}")
+                        lines.append(f"{name}_sum{_label_suffix(key)} {series.total}")
+                        lines.append(f"{name}_count{_label_suffix(key)} {series.count}")
+                else:
+                    for key, value in metric._sorted_items():
+                        lines.append(f"{name}{_label_suffix(key)} {value}")
+        return "\n".join(lines) + "\n"
+
+
+#: The process-wide default registry used by instrumentation sites.
+_default = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry; returns the previous one."""
+    global _default
+    previous = _default
+    _default = registry
+    return previous

@@ -1,0 +1,138 @@
+"""Opt-in profiling hooks for the searcher stages.
+
+Two granularities, both strictly opt-in (nothing here runs unless a
+caller asks):
+
+- :class:`StageTimes` — a ``perf_counter_ns`` accumulator for
+  coarse-grained stage timing without a tracer: cheap enough to wrap
+  around individual searcher stages in a tight experiment loop, and
+  the shape benchmarks want (a name → seconds dict).
+- :func:`profile_callable` / :class:`ProfiledBlock` — full ``cProfile``
+  function-level profiles for the "why is this stage slow" follow-up,
+  rendered to a ``pstats`` text table.
+
+Convenience entry point :func:`profile_query` profiles one
+``STS3Database.query`` call end to end::
+
+    result, report = profile_query(db, query, k=5, method="index")
+    print(report)
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from typing import Callable
+
+__all__ = ["StageTimes", "ProfiledBlock", "profile_callable", "profile_query"]
+
+
+class StageTimes:
+    """Accumulate wall-clock nanoseconds per named stage.
+
+    ::
+
+        times = StageTimes()
+        with times.stage("filter"):
+            counts = searcher.intersection_counts(qs)
+        with times.stage("refine"):
+            ...
+        times.seconds()  # {"filter": ..., "refine": ...}
+
+    Re-entering a name accumulates.  Not thread-safe; use one instance
+    per thread (the tracer handles the concurrent case).
+    """
+
+    def __init__(self) -> None:
+        self._totals_ns: dict[str, int] = {}
+        self._counts: dict[str, int] = {}
+
+    def stage(self, name: str) -> "_Stage":
+        """Context manager timing one pass through stage ``name``."""
+        return _Stage(self, name)
+
+    def add_ns(self, name: str, elapsed_ns: int) -> None:
+        """Record ``elapsed_ns`` against ``name`` directly."""
+        self._totals_ns[name] = self._totals_ns.get(name, 0) + elapsed_ns
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def seconds(self) -> dict[str, float]:
+        """Accumulated seconds per stage, sorted by name."""
+        return {k: v / 1e9 for k, v in sorted(self._totals_ns.items())}
+
+    def counts(self) -> dict[str, int]:
+        """Number of timed passes per stage, sorted by name."""
+        return dict(sorted(self._counts.items()))
+
+    def reset(self) -> None:
+        """Drop all accumulated timings."""
+        self._totals_ns.clear()
+        self._counts.clear()
+
+
+class _Stage:
+    __slots__ = ("_times", "_name", "_start")
+
+    def __init__(self, times: StageTimes, name: str):
+        self._times = times
+        self._name = name
+        self._start = 0
+
+    def __enter__(self) -> "_Stage":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._times.add_ns(self._name, time.perf_counter_ns() - self._start)
+        return False
+
+
+class ProfiledBlock:
+    """``cProfile`` a block of code; render the profile afterwards.
+
+    ::
+
+        with ProfiledBlock() as prof:
+            db.query_batch(queries, k=10)
+        print(prof.text(limit=15))
+    """
+
+    def __init__(self) -> None:
+        self.profile = cProfile.Profile()
+
+    def __enter__(self) -> "ProfiledBlock":
+        self.profile.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.profile.disable()
+        return False
+
+    def text(self, sort: str = "cumulative", limit: int = 25) -> str:
+        """The profile as a ``pstats`` table string."""
+        buf = io.StringIO()
+        stats = pstats.Stats(self.profile, stream=buf)
+        stats.sort_stats(sort).print_stats(limit)
+        return buf.getvalue()
+
+
+def profile_callable(
+    fn: Callable[[], object], sort: str = "cumulative", limit: int = 25
+) -> tuple[object, str]:
+    """Run ``fn()`` under cProfile; return ``(result, report_text)``."""
+    with ProfiledBlock() as prof:
+        result = fn()
+    return result, prof.text(sort=sort, limit=limit)
+
+
+def profile_query(db, series, sort: str = "cumulative", limit: int = 25, **query_kwargs):
+    """Profile one ``db.query(series, **query_kwargs)`` call.
+
+    Returns ``(QueryResult, report_text)``; behind ``sts3 query
+    --profile``.
+    """
+    return profile_callable(
+        lambda: db.query(series, **query_kwargs), sort=sort, limit=limit
+    )

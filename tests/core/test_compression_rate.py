@@ -1,0 +1,73 @@
+"""Regression: compression_rate's denominator is the paper's |D|.
+
+Section 7.4.5 defines the compression rate as |searchSet after
+filtering| / |D|.  ``SearchStats.compression_rate`` divides by
+``candidates`` — which is only equivalent if every search variant sets
+``candidates`` to the full database size.  These tests pin that
+invariant for all four searchers, the batch engine, and the
+update-buffer merge path, so any future searcher that reports a
+pre-filtered candidate pool (silently inflating the rate) fails here.
+"""
+
+import numpy as np
+import pytest
+
+from repro import STS3Database
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = np.random.default_rng(7)
+    return STS3Database(
+        [rng.normal(size=64) for _ in range(40)], sigma=3, epsilon=0.5
+    )
+
+
+@pytest.fixture(scope="module")
+def query():
+    return np.random.default_rng(8).normal(size=64)
+
+
+@pytest.mark.parametrize("method", ["naive", "index", "pruning", "approximate"])
+def test_candidates_is_database_size(db, query, method):
+    result = db.query(query, k=3, method=method)
+    assert result.stats.candidates == len(db.series)
+
+
+@pytest.mark.parametrize("method", ["naive", "index", "pruning", "approximate"])
+def test_compression_rate_matches_paper_definition(db, query, method):
+    result = db.query(query, k=3, method=method)
+    expected = result.stats.final_candidates / len(db.series)
+    assert result.stats.compression_rate == pytest.approx(expected)
+
+
+def test_batch_engine_candidates_is_database_size(db, query):
+    (result,) = db.query_batch([query], k=3, method="index")
+    assert result.stats.candidates == len(db.series)
+
+
+def test_buffer_merge_extends_denominator_to_full_collection(db, query):
+    """With buffered series, |D| includes them — and so does candidates."""
+    rng = np.random.default_rng(9)
+    small = STS3Database(
+        [rng.normal(size=32) for _ in range(10)],
+        sigma=3,
+        epsilon=0.5,
+        buffer_capacity=8,
+    )
+    # An out-of-bound series lands in the buffer without a flush.
+    small.insert(np.concatenate([rng.normal(size=31), [50.0]]))
+    assert len(small.buffer) == 1
+    result = small.query(rng.normal(size=32), k=3, method="index")
+    assert result.stats.candidates == len(small.series) + len(small.buffer)
+    assert result.stats.compression_rate == pytest.approx(
+        result.stats.final_candidates / len(small)
+    )
+
+
+def test_approximate_compression_reflects_filtering(db, query):
+    """The approximate variant is the one the paper measures: its
+    final_candidates is the post-filter search set, so the rate is
+    well below 1 on a database larger than k."""
+    result = db.query(query, k=3, method="approximate")
+    assert 0 < result.stats.compression_rate < 1

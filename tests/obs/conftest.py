@@ -1,0 +1,19 @@
+"""Isolation for observability tests: no tracer/registry state leaks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import NOOP, MetricsRegistry, set_registry, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _isolated_observability():
+    """Fresh registry + no-op tracer around every test in this package."""
+    previous_registry = set_registry(MetricsRegistry())
+    previous_tracer = set_tracer(NOOP)
+    try:
+        yield
+    finally:
+        set_registry(previous_registry)
+        set_tracer(previous_tracer)

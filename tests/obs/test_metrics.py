@@ -1,0 +1,172 @@
+"""Metrics registry: labels, determinism, export formats, lifecycle."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("sts3_queries_total", "queries")
+        c.inc(method="index")
+        c.inc(2, method="index")
+        c.inc(method="naive")
+        assert c.value(method="index") == 3.0
+        assert c.value(method="naive") == 1.0
+        assert c.value(method="never") == 0.0
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_unlabelled_series(self):
+        c = MetricsRegistry().counter("c")
+        c.inc()
+        assert c.value() == 1.0
+
+
+class TestGauge:
+    def test_set_inc_and_negative(self):
+        g = MetricsRegistry().gauge("sts3_buffer_fill")
+        g.set(5)
+        g.inc(-2)
+        assert g.value() == 3.0
+
+
+class TestHistogram:
+    def test_observe_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):  # one per bucket + one overflow
+            h.observe(v)
+        snap = h.series_snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(5.555)
+        assert snap["buckets"] == {"0.01": 1, "0.1": 2, "1.0": 3, "+Inf": 4}
+
+    def test_untouched_series_snapshot(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.series_snapshot() == {"count": 0, "sum": 0.0, "buckets": {}}
+
+    def test_default_buckets_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            MetricsRegistry().histogram("lat", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert isinstance(reg.counter("c"), Counter)
+        assert isinstance(reg.gauge("g"), Gauge)
+        assert isinstance(reg.histogram("h"), Histogram)
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("name")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("name")
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(0.1)
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_reset_zeroes_but_keeps_definitions(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c", "help text")
+        c.inc()
+        reg.reset()
+        assert c.value() == 0.0
+        assert reg.counter("c") is c  # definition survives
+
+    def test_default_registry_swap(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+
+
+class TestSnapshotDeterminism:
+    @staticmethod
+    def _feed(reg, order):
+        for method in order:
+            reg.counter("sts3_queries_total", "q").inc(method=method)
+        reg.gauge("fill").set(7, shard="b")
+        reg.gauge("fill").set(3, shard="a")
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.05, op="save")
+
+    def test_same_events_any_order_snapshot_identically(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        self._feed(a, ["index", "naive", "index"])
+        self._feed(b, ["naive", "index", "index"])
+        assert a.snapshot() == b.snapshot()
+        assert a.to_prometheus() == b.to_prometheus()
+
+    def test_snapshot_shape_and_keys(self):
+        reg = MetricsRegistry()
+        self._feed(reg, ["index"])
+        snap = reg.snapshot()
+        assert snap["counters"] == {'sts3_queries_total{method="index"}': 1.0}
+        assert snap["gauges"] == {'fill{shard="a"}': 3.0, 'fill{shard="b"}': 7.0}
+        hist = snap["histograms"]['lat{op="save"}']
+        assert hist["count"] == 1
+        json.dumps(snap)  # JSON-ready throughout
+
+    def test_label_values_stringified(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(k=3)
+        assert reg.counter("c").value(k="3") == 1.0
+
+
+class TestPrometheus:
+    def test_counter_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("sts3_queries_total", "queries answered").inc(method="index")
+        text = reg.to_prometheus()
+        assert "# HELP sts3_queries_total queries answered" in text
+        assert "# TYPE sts3_queries_total counter" in text
+        assert 'sts3_queries_total{method="index"} 1.0' in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_is_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = reg.to_prometheus()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1.0"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 5.55" in text
+        assert "lat_count 3" in text
+
+    def test_no_help_line_when_empty(self):
+        reg = MetricsRegistry()
+        reg.counter("bare").inc()
+        text = reg.to_prometheus()
+        assert "# HELP" not in text
+        assert "# TYPE bare counter" in text

@@ -1,0 +1,67 @@
+"""Profiling hooks: StageTimes accumulator and cProfile wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import ProfiledBlock, StageTimes, profile_callable, profile_query
+
+
+class TestStageTimes:
+    def test_accumulates_across_reentry(self):
+        times = StageTimes()
+        for _ in range(3):
+            with times.stage("filter"):
+                pass
+        with times.stage("refine"):
+            pass
+        assert times.counts() == {"filter": 3, "refine": 1}
+        seconds = times.seconds()
+        assert list(seconds) == ["filter", "refine"]
+        assert all(v >= 0 for v in seconds.values())
+
+    def test_add_ns_direct(self):
+        times = StageTimes()
+        times.add_ns("merge", 2_000_000)
+        times.add_ns("merge", 1_000_000)
+        assert times.seconds()["merge"] == pytest.approx(0.003)
+        assert times.counts()["merge"] == 2
+
+    def test_reset(self):
+        times = StageTimes()
+        with times.stage("filter"):
+            pass
+        times.reset()
+        assert times.seconds() == {}
+        assert times.counts() == {}
+
+    def test_exception_still_recorded(self):
+        times = StageTimes()
+        with pytest.raises(ValueError):
+            with times.stage("filter"):
+                raise ValueError
+        assert times.counts() == {"filter": 1}
+
+
+class TestCProfileWrappers:
+    def test_profiled_block_reports_functions(self):
+        def busywork():
+            return sum(i * i for i in range(1000))
+
+        with ProfiledBlock() as prof:
+            busywork()
+        report = prof.text(limit=10)
+        assert "busywork" in report
+        assert "cumulative" in report or "cumtime" in report
+
+    def test_profile_callable_returns_result_and_text(self):
+        result, report = profile_callable(lambda: 41 + 1, sort="tottime", limit=5)
+        assert result == 42
+        assert "function calls" in report
+
+    def test_profile_query_end_to_end(self, small_db, small_workload):
+        result, report = profile_query(
+            small_db, small_workload.queries[0], k=3, method="index"
+        )
+        assert len(result.neighbors) == 3
+        assert "query" in report  # the profiled entry point shows up

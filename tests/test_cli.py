@@ -80,6 +80,62 @@ class TestCommands:
         assert main(["batch", str(ucr_file), "--queries", "99"]) == 2
         assert "--queries" in capsys.readouterr().err
 
+    def test_query_trace(self, ucr_file, capsys):
+        assert main(["query", str(ucr_file), "--k", "2", "--sigma", "2",
+                     "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace (ms, nested):" in out
+        for stage in ("query", "transform", "refine", "select_topk"):
+            assert stage in out
+        assert "Jaccard" in out  # the normal result still prints
+
+    def test_query_trace_restores_noop(self, ucr_file, capsys):
+        from repro.obs import NOOP, get_tracer
+
+        main(["query", str(ucr_file), "--trace"])
+        assert get_tracer() is NOOP
+
+    def test_query_profile(self, ucr_file, capsys):
+        assert main(["query", str(ucr_file), "--k", "2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "function calls" in out  # the pstats report
+
+    def test_batch_metrics_json_file(self, ucr_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        assert main(["batch", str(ucr_file), "--queries", "4", "--k", "2",
+                     "--sigma", "2", "--metrics-json", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["command"] == "batch"
+        assert report["queries"] == 4
+        assert report["wall_seconds"] > 0
+        stages = report["stages_seconds"]
+        for stage in ("transform", "filter", "refine", "select_topk", "merge"):
+            assert stage in stages
+        # per-stage timings account for the bulk of wall-clock
+        assert 0 < report["stage_coverage"] <= 1.1
+        counters = report["metrics"]["counters"]
+        assert counters['sts3_batch_queries_total{method="index"}'] >= 4.0
+
+    def test_batch_metrics_json_stdout(self, ucr_file, capsys):
+        import json
+
+        assert main(["batch", str(ucr_file), "--queries", "3", "--k", "2",
+                     "--sigma", "2", "--metrics-json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        report = json.loads(payload)
+        assert report["queries"] == 3
+        assert "aggregate_stats" in report
+
+    def test_batch_trace(self, ucr_file, capsys):
+        assert main(["batch", str(ucr_file), "--queries", "3", "--k", "2",
+                     "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace (ms, nested):" in out
+        assert "query_batch" in out
+
     def test_join(self, ucr_file, capsys):
         assert main(["join", str(ucr_file), "--threshold", "0.2", "--sigma", "2"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,92 @@
+"""The documentation stays healthy: tools/check_docs.py passes.
+
+Runs the same stdlib-only checker CI's docs job runs (python examples
+parse, doctests pass, intra-repo links and anchors resolve) and
+unit-tests its parsing helpers.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKER = REPO / "tools" / "check_docs.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_docs", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repo_docs_are_clean():
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER)], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, f"docs checker failed:\n{proc.stderr}{proc.stdout}"
+    assert "0 problem(s)" in proc.stdout
+
+
+def test_observability_docs_exist():
+    for name in ("observability.md", "api.md", "algorithms.md"):
+        assert (REPO / "docs" / name).exists()
+
+
+class TestCheckerHelpers:
+    def test_fenced_blocks_extraction(self):
+        checker = _load_checker()
+        text = "intro\n```python\nx = 1\n```\nmid\n```\nplain\n```\n"
+        blocks = checker.fenced_blocks(text)
+        assert [(line, lang) for line, lang, _ in blocks] == [(3, "python"), (7, "")]
+        assert blocks[0][2] == "x = 1"
+
+    def test_fenced_blocks_skip_marker(self):
+        checker = _load_checker()
+        text = "<!-- docs: skip -->\n```python\nnot python !!\n```\n"
+        assert checker.fenced_blocks(text) == []
+
+    def test_syntax_error_is_reported(self, tmp_path, monkeypatch):
+        checker = _load_checker()
+        monkeypatch.setattr(checker, "REPO", tmp_path)
+        bad = tmp_path / "bad.md"
+        bad.write_text("```python\ndef broken(:\n```\n")
+        problems = checker.check_python_blocks(bad, bad.read_text())
+        assert len(problems) == 1
+        assert "does not parse" in problems[0]
+
+    def test_broken_link_is_reported(self, tmp_path, monkeypatch):
+        checker = _load_checker()
+        monkeypatch.setattr(checker, "REPO", tmp_path)
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [missing](nope.md) and [ok](doc.md)\n")
+        problems = checker.check_links(doc, doc.read_text())
+        assert problems == ["doc.md: broken link -> nope.md"]
+
+    def test_broken_anchor_is_reported(self, tmp_path, monkeypatch):
+        checker = _load_checker()
+        monkeypatch.setattr(checker, "REPO", tmp_path)
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Real Heading\n[a](#real-heading)\n[b](#missing)\n")
+        problems = checker.check_links(doc, doc.read_text())
+        assert problems == ["doc.md: broken anchor -> #missing"]
+
+    def test_heading_anchors_github_style(self):
+        checker = _load_checker()
+        anchors = checker.heading_anchors(
+            "# Algorithm notes — paper to code\n## Span naming scheme\n"
+        )
+        assert "algorithm-notes--paper-to-code" in anchors
+        assert "span-naming-scheme" in anchors
+
+    def test_failing_doctest_is_reported(self, tmp_path, monkeypatch):
+        checker = _load_checker()
+        monkeypatch.setattr(checker, "REPO", tmp_path)
+        doc = tmp_path / "doc.md"
+        doc.write_text('```python\n>>> 1 + 1\n3\n```\n')
+        problems = checker.check_doctests(doc, doc.read_text())
+        assert len(problems) == 1
+        assert "doctest" in problems[0]

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Keep the documentation from rotting (run by the CI ``docs`` job).
+
+Three checks over ``README.md`` and every ``docs/*.md`` file, all
+stdlib-only so the job needs no dependencies:
+
+1. **Python examples parse** — every ```` ```python ```` fenced block
+   must compile (syntax check; blocks are not executed, so examples may
+   reference large workloads).  A block may opt out with a
+   ``<!-- docs: skip -->`` comment on the line before the fence.
+2. **Doctest examples pass** — fenced blocks whose code contains
+   ``>>>`` prompts are additionally run through :mod:`doctest` (these
+   must be self-contained and fast; only ``docs/*.md`` is scanned).
+3. **Links resolve** — relative markdown links (``[x](../README.md)``,
+   ``[y](file.md#anchor)``) must point at existing files, and anchors
+   at existing headings in the target file.
+
+Exit status is the number of problems found (0 = clean).
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+_FENCE = re.compile(r"^(?P<indent> *)```(?P<lang>[\w-]*)\s*$")
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def doc_files() -> list[Path]:
+    """The markdown files under check: README plus docs/*.md."""
+    return [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+
+def fenced_blocks(text: str) -> list[tuple[int, str, str]]:
+    """``(first_line_number, language, code)`` for each fenced block."""
+    blocks = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = _FENCE.match(lines[i])
+        if match:
+            lang = match.group("lang")
+            indent = len(match.group("indent"))
+            body: list[str] = []
+            start = i + 1
+            i += 1
+            while i < len(lines) and not _FENCE.match(lines[i]):
+                body.append(lines[i][indent:])
+                i += 1
+            skip = start >= 2 and "docs: skip" in lines[start - 2]
+            if not skip:
+                blocks.append((start + 1, lang, "\n".join(body)))
+        i += 1
+    return blocks
+
+
+def heading_anchors(text: str) -> set[str]:
+    """GitHub-style anchor slugs for every heading in ``text``."""
+    anchors = set()
+    for heading in _HEADING.findall(text):
+        slug = re.sub(r"[`*_]", "", heading.strip().lower())
+        slug = re.sub(r"[^\w\- ]", "", slug)
+        anchors.add(slug.replace(" ", "-"))
+    return anchors
+
+
+def check_python_blocks(path: Path, text: str) -> list[str]:
+    problems = []
+    for line, lang, code in fenced_blocks(text):
+        if lang != "python":
+            continue
+        try:
+            compile(code, f"{path.name}:{line}", "exec")
+        except SyntaxError as exc:
+            problems.append(
+                f"{path.relative_to(REPO)}:{line}: python example does not "
+                f"parse: {exc.msg} (line {exc.lineno} of the block)"
+            )
+    return problems
+
+
+def check_doctests(path: Path, text: str) -> list[str]:
+    problems = []
+    runner = doctest.DocTestRunner(verbose=False)
+    parser = doctest.DocTestParser()
+    for line, lang, code in fenced_blocks(text):
+        if lang != "python" or ">>>" not in code:
+            continue
+        test = parser.get_doctest(
+            code, {}, f"{path.name}:{line}", str(path), line
+        )
+        result = runner.run(test, clear_globs=True)
+        if result.failed:
+            problems.append(
+                f"{path.relative_to(REPO)}:{line}: {result.failed} doctest "
+                f"example(s) failed (run python -m doctest for details)"
+            )
+    return problems
+
+
+def check_links(path: Path, text: str) -> list[str]:
+    problems = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}: broken link -> {target}"
+                )
+                continue
+        else:
+            resolved = path
+        if anchor and resolved.suffix == ".md":
+            if anchor.lower() not in heading_anchors(resolved.read_text()):
+                problems.append(
+                    f"{path.relative_to(REPO)}: broken anchor -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    checked = 0
+    for path in doc_files():
+        if not path.exists():
+            problems.append(f"missing documentation file: {path}")
+            continue
+        text = path.read_text()
+        problems += check_python_blocks(path, text)
+        if path.parent.name == "docs":
+            problems += check_doctests(path, text)
+        problems += check_links(path, text)
+        checked += 1
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    blocks = sum(
+        1
+        for path in doc_files()
+        if path.exists()
+        for _, lang, _ in fenced_blocks(path.read_text())
+        if lang == "python"
+    )
+    print(f"checked {checked} files, {blocks} python blocks: "
+          f"{len(problems)} problem(s)")
+    return min(len(problems), 99)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
