@@ -16,16 +16,28 @@ untraced run.  A microbenchmark of the disabled (no-op) span path is
 also recorded, confirming the always-on instrumentation stays under
 2% of scalar query time.
 
+It also measures the insert-heavy path of the segmented storage
+engine: flushing a full update buffer seals it as a new segment in
+O(buffer) transform work, where the pre-segmented engine re-transformed
+the whole database.  The benchmark times a seal (``flush``) against
+the equivalent full rebuild (``compact``), verifies through the
+``sts3_transforms_total`` counter that the seal did zero transform
+work, checks query answers are bit-identical before and after both
+operations, and fails when the seal is not at least
+``--min-flush-speedup`` times faster than the rebuild.
+
 Run standalone (defaults reproduce the acceptance workload: 10,000
 database series, 200 queries, k=10)::
 
     PYTHONPATH=src python benchmarks/bench_batch_engine.py
 
 or as a CI perf-smoke on a small workload, failing when the batch
-engine is slower than the scalar loop::
+engine is slower than the scalar loop or sealing is not faster than
+rebuilding::
 
     PYTHONPATH=src python benchmarks/bench_batch_engine.py \
-        --series 1500 --queries 60 --repeats 5 --min-speedup 1.0
+        --series 1500 --queries 60 --repeats 5 --min-speedup 1.0 \
+        --insert-series 1200 --insert-buffer 48 --min-flush-speedup 2.0
 """
 
 from __future__ import annotations
@@ -66,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(negative disables the guard)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="JSON result path ('-' to skip writing)")
+    parser.add_argument("--insert-series", type=int, default=4000,
+                        help="database size for the insert-heavy workload")
+    parser.add_argument("--insert-buffer", type=int, default=64,
+                        help="buffered inserts sealed per flush")
+    parser.add_argument("--min-flush-speedup", type=float, default=None,
+                        help="exit non-zero when sealing a buffer is not at "
+                             "least this many times faster than the "
+                             "equivalent full rebuild (compact)")
     return parser
 
 
@@ -80,6 +100,105 @@ def _noop_span_cost(iterations: int = 200_000) -> float:
         with span("noop_probe"):
             pass
     return (time.perf_counter() - start) / iterations
+
+
+def run_insert_workload(args: argparse.Namespace) -> dict:
+    """Time sealing a full buffer (flush) against a full rebuild (compact).
+
+    Before the segmented engine a flush re-transformed every stored
+    series; ``compact()`` still does exactly that work (it re-derives
+    the bound and rebuilds one merged segment), so flush-vs-compact is
+    a like-for-like O(buffer) vs O(database) comparison on identical
+    state.  Answers are checked bit-identical across buffered → sealed
+    → compacted, and the ``sts3_transforms_total`` counter proves the
+    seal performed zero transform work.
+    """
+    from repro.obs import MetricsRegistry, get_registry, set_registry
+
+    n, b = args.insert_series, args.insert_buffer
+    print(
+        f"insert workload: {n} series, sealing {b}-element buffers "
+        f"({args.repeats} repeats)",
+        flush=True,
+    )
+    previous = set_registry(MetricsRegistry())
+    try:
+        rng = np.random.default_rng(args.seed)
+        base = [rng.normal(size=args.length) for _ in range(n)]
+        queries = [rng.normal(size=args.length) for _ in range(3)]
+        db = STS3Database(
+            base, sigma=args.sigma, epsilon=args.epsilon,
+            normalize=False, buffer_capacity=b + 1,
+        )
+        transforms = get_registry().counter("sts3_transforms_total")
+
+        def _total_transforms():
+            return sum(
+                transforms.value(context=c)
+                for c in ("build", "buffer", "extend", "compact", "load")
+            )
+
+        def _answers():
+            return [
+                [(nb.index, nb.similarity) for nb in
+                 db.query(q, k=args.k, method="index").neighbors]
+                for q in queries
+            ]
+
+        flush_best = rebuild_best = float("inf")
+        flush_transforms = 0.0
+        identical = True
+        spike = 100.0
+        for _ in range(args.repeats):
+            for _ in range(b):
+                series = rng.normal(size=args.length)
+                series[int(rng.integers(0, args.length))] = spike
+                spike += 10.0  # always breaks even the grown bound
+                db.insert(series)
+            assert len(db.buffer) == b, "inserts flushed early"
+            buffered = _answers()
+
+            before = _total_transforms()
+            start = time.perf_counter()
+            db.flush()
+            flush_best = min(flush_best, time.perf_counter() - start)
+            flush_transforms = _total_transforms() - before
+
+            identical = identical and _answers() == buffered
+
+            start = time.perf_counter()
+            db.compact()
+            rebuild_best = min(rebuild_best, time.perf_counter() - start)
+            identical = identical and _answers() == buffered
+        rebuild_transforms = transforms.value(context="compact") / args.repeats
+    finally:
+        set_registry(previous)
+
+    speedup = rebuild_best / flush_best
+    record = {
+        "n_series": n,
+        "buffer": b,
+        "flush": {
+            "seconds": round(flush_best, 6),
+            "transforms": flush_transforms,
+        },
+        "full_rebuild": {
+            "seconds": round(rebuild_best, 6),
+            "transforms_per_rebuild": rebuild_transforms,
+        },
+        "flush_speedup": round(speedup, 3),
+        "identical_neighbor_lists": identical,
+    }
+    print(
+        f"seal (flush): {flush_best * 1e3:8.2f} ms "
+        f"({flush_transforms:.0f} transforms)"
+    )
+    print(
+        f"full rebuild: {rebuild_best * 1e3:8.2f} ms "
+        f"(~{rebuild_transforms:.0f} transforms)"
+    )
+    print(f"seal speedup: {speedup:.1f}x   identical={identical}")
+    return record
 
 
 def run(args: argparse.Namespace) -> dict:
@@ -207,6 +326,7 @@ def run(args: argparse.Namespace) -> dict:
         f"noop spans  : {noop * 1e9:8.1f} ns/span "
         f"(~{noop_fraction:.2%} of scalar query time)"
     )
+    record["insert_workload"] = run_insert_workload(args)
     return record
 
 
@@ -236,6 +356,30 @@ def main(argv=None) -> int:
         print(
             f"FAIL: tracing overhead {overhead:.1%} exceeds "
             f"{args.max_trace_overhead:.1%}",
+            file=sys.stderr,
+        )
+        return 1
+    insert = record["insert_workload"]
+    if not insert["identical_neighbor_lists"]:
+        print(
+            "FAIL: answers changed across flush/compact in the insert workload",
+            file=sys.stderr,
+        )
+        return 1
+    if insert["flush_speedup"] <= 1.0:
+        print(
+            f"FAIL: sealing a buffer ({insert['flush']['seconds']}s) was not "
+            f"faster than a full rebuild ({insert['full_rebuild']['seconds']}s)",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_flush_speedup is not None
+        and insert["flush_speedup"] < args.min_flush_speedup
+    ):
+        print(
+            f"FAIL: flush speedup {insert['flush_speedup']:.1f}x below "
+            f"required {args.min_flush_speedup:.1f}x",
             file=sys.stderr,
         )
         return 1

@@ -33,10 +33,13 @@ from .core import (
     NaiveSearcher,
     Neighbor,
     PruningSearcher,
+    QueryPlanner,
     QueryResult,
     QueryWorkspace,
     STS3Database,
     SearchStats,
+    Segment,
+    SegmentCatalog,
     aggregate_stats,
     jaccard,
     jaccard_distance,
@@ -72,11 +75,14 @@ __all__ = [
     "Neighbor",
     "ParameterError",
     "PruningSearcher",
+    "QueryPlanner",
     "QueryResult",
     "QueryWorkspace",
     "ReproError",
     "STS3Database",
     "SearchStats",
+    "Segment",
+    "SegmentCatalog",
     "Workload",
     "aggregate_stats",
     "jaccard",

@@ -14,6 +14,9 @@ Subcommands:
   statistics.  ``--trace`` prints the batch's span trace;
   ``--metrics-json PATH`` writes per-stage timings plus the metric
   registry snapshot as JSON.
+- ``sts3 inspect`` — open a saved database (``save_database`` .npz)
+  and print its segment catalog: per-segment sizes, grid shapes, and
+  buffer occupancy (see DESIGN.md §10 on the segmented engine).
 
 The CLI exists so a downstream user can try the system without writing
 code; anything deeper should use the library API (see README).
@@ -93,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--metrics-json", type=str, default=None, metavar="PATH",
                        help="write per-stage timings + metric counters as JSON "
                             "('-' for stdout)")
+
+    inspect = sub.add_parser(
+        "inspect", help="print the segment catalog of a saved database"
+    )
+    inspect.add_argument("file", help=".npz file written by save_database")
 
     join = sub.add_parser(
         "join", help="all-pairs similarity join over a UCR-format file"
@@ -251,7 +259,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 #: "tile" is excluded — it is a parent of filter/refine/select_topk and
 #: would double-count.
 _BATCH_STAGES = (
-    "build_index", "transform", "filter", "refine", "select_topk", "merge"
+    "build_index", "plan", "transform", "filter", "refine", "select_topk", "merge"
 )
 
 
@@ -302,6 +310,35 @@ def _report_batch_observability(args, tracer, stats, elapsed, n_queries) -> int:
     return 0
 
 
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .core import load_database
+    from .exceptions import DatasetError
+
+    try:
+        db = load_database(args.file)
+    except (DatasetError, OSError, ValueError) as exc:
+        print(f"error: cannot load {args.file}: {exc}", file=sys.stderr)
+        return 2
+    catalog = db.catalog
+    print(f"database: {args.file}")
+    print(
+        f"{catalog.n_series} series in {len(catalog.segments)} segment(s), "
+        f"{len(db.buffer)} buffered (capacity {db.buffer.capacity}), "
+        f"generation {catalog.generation}, {db.rebuild_count} flush(es)"
+    )
+    print(f"{'id':>4} {'offset':>7} {'series':>7} {'cells':>9}  grid (rows x cols)")
+    for row in catalog.describe():
+        rows = row["n_rows"]
+        rows_text = (
+            ",".join(str(r) for r in rows) if isinstance(rows, tuple) else str(rows)
+        )
+        print(
+            f"{row['segment_id']:>4} {row['offset']:>7} {row['n_series']:>7} "
+            f"{row['n_cells']:>9}  {rows_text} x {row['n_columns']}"
+        )
+    return 0
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     from .core import STS3Database, similarity_join
     from .data.loader import load_ucr_file
@@ -331,6 +368,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_demo(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
     if args.command == "join":
         return _cmd_join(args)
     return _cmd_query(args)

@@ -7,9 +7,12 @@ buffered updates and the parameter-tuning utilities.
 
 from .approximate import ApproximateSearcher
 from .batch import BatchQueryEngine, QueryWorkspace, batch_query
+from .catalog import SegmentCatalog
 from .clustering import cluster_series, k_medoids
 from .database import STS3Database, UpdateBuffer
 from .grid import Bound, Grid
+from .planner import QueryPlanner, SegmentPlan
+from .segment import Segment
 from .heap import KnnHeap
 from .indexed import DictInvertedIndex, IndexedSearcher
 from .join import JoinPair, similarity_join
@@ -56,11 +59,15 @@ __all__ = [
     "NaiveSearcher",
     "Neighbor",
     "PruningSearcher",
+    "QueryPlanner",
     "QueryResult",
     "QueryWorkspace",
     "STS3Database",
     "ScaleTuningResult",
     "SearchStats",
+    "Segment",
+    "SegmentCatalog",
+    "SegmentPlan",
     "SubsequenceMatch",
     "SubsequenceSearcher",
     "TuningResult",

@@ -31,9 +31,9 @@ import numpy as np
 from ..exceptions import EmptyDatabaseError, ParameterError
 from ..obs import span
 from .grid import Bound, Grid
-from .heap import KnnHeap
 from .jaccard import jaccard
-from .result import QueryResult, SearchStats
+from .result import Neighbor, QueryResult, SearchStats
+from .selection import top_k_indices
 from .setrep import transform
 
 __all__ = ["ApproximateSearcher"]
@@ -157,12 +157,19 @@ class ApproximateSearcher:
             final_candidates=len(survivors),
             pruned=len(self.sets) - len(survivors),
         )
-        heap = KnnHeap(k)
         with span("refine", survivors=len(survivors)):
-            for index in survivors.tolist():
-                similarity = jaccard(self.sets[index], query_set)
-                stats.exact_computations += 1
-                heap.consider(similarity, index)
+            sims = np.asarray(
+                [jaccard(self.sets[index], query_set) for index in survivors.tolist()],
+                dtype=np.float64,
+            )
+            stats.exact_computations += len(survivors)
         with span("select_topk"):
-            neighbors = heap.neighbors()
+            # O(n) deterministic selection over the survivors; the
+            # tie-break runs on database indices, not survivor
+            # positions, so ties resolve exactly as a full scan would.
+            chosen = top_k_indices(sims, k, tie_break=survivors)
+            neighbors = [
+                Neighbor(index=int(survivors[i]), similarity=float(sims[i]))
+                for i in chosen.tolist()
+            ]
         return QueryResult(neighbors=neighbors, stats=stats)

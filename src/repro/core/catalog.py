@@ -1,0 +1,205 @@
+"""Segment catalog: the index-lifecycle layer (DESIGN.md §10).
+
+:class:`SegmentCatalog` tracks the live, immutable
+:class:`~repro.core.segment.Segment` objects in global-index order,
+assigns segment IDs, and bumps a generation number on every structural
+change (bootstrap, seal, extend, compact).  It replaces the seed's
+ad-hoc ``_invalidate``/cached-searcher dance in ``database.py``: since
+segments own their searcher caches and never mutate, "invalidation" is
+simply replacing a segment, and anything holding a stale generation
+number knows to re-plan.
+
+Lifecycle spans/counters (docs/observability.md): sealing a buffer
+emits a ``segment.seal`` span and increments
+``sts3_segments_sealed_total``; merging emits ``segment.compact`` and
+increments ``sts3_rebuilds_total`` (compaction is where the seed's
+full-rebuild cost now lives).  The ``sts3_live_segments`` gauge tracks
+the catalog size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..obs import get_registry, span
+from .grid import Bound, Grid
+from .segment import Segment, count_transforms
+from .setrep import transform
+
+__all__ = ["SegmentCatalog"]
+
+
+class SegmentCatalog:
+    """Ordered collection of live segments plus their shared parameters.
+
+    Global series index ``g`` lives in the segment at the largest
+    offset ``<= g`` (see :meth:`offsets`); segment order therefore
+    *is* insertion order, and compaction only ever merges consecutive
+    runs so that global indices — the identity queries report — stay
+    stable across every lifecycle operation.
+    """
+
+    def __init__(self, sigma: float, epsilon, value_padding: float = 0.0):
+        self.sigma = float(sigma)
+        self.epsilon = epsilon
+        self.value_padding = float(value_padding)
+        self.segments: list[Segment] = []
+        #: bumped on every structural change; cheap staleness check for
+        #: anything caching per-segment derived state.
+        self.generation = 0
+        self._next_id = 0
+        self._offsets: list[int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def __iter__(self):
+        return iter(self.segments)
+
+    @property
+    def n_series(self) -> int:
+        """Total series across all segments (excludes any update buffer)."""
+        return sum(len(seg) for seg in self.segments)
+
+    def offsets(self) -> list[int]:
+        """Global index of each segment's first series (cached per generation)."""
+        if self._offsets is None:
+            offsets, total = [], 0
+            for seg in self.segments:
+                offsets.append(total)
+                total += len(seg)
+            self._offsets = offsets
+        return self._offsets
+
+    def all_series(self) -> list[np.ndarray]:
+        """Every series in global-index order (a fresh list)."""
+        return [s for seg in self.segments for s in seg.series]
+
+    def _allocate_id(self) -> int:
+        segment_id = self._next_id
+        self._next_id += 1
+        return segment_id
+
+    def _bump(self) -> None:
+        self.generation += 1
+        self._offsets = None
+        get_registry().gauge(
+            "sts3_live_segments", "segments currently in the catalog"
+        ).set(len(self.segments))
+
+    # -- lifecycle ------------------------------------------------------
+
+    def bootstrap(self, series: list[np.ndarray]) -> Segment:
+        """Build the base segment from the initial database series."""
+        segment = Segment.build(
+            self._allocate_id(), series, self.sigma, self.epsilon,
+            value_padding=self.value_padding, context="build",
+        )
+        self.segments.append(segment)
+        self._bump()
+        return segment
+
+    def seal(
+        self, series: list[np.ndarray], grid: Grid, sets: list[np.ndarray]
+    ) -> Segment:
+        """Seal already-transformed series (a drained buffer) as a segment.
+
+        The buffer's grid and set representations are adopted verbatim,
+        so sealing does zero transform work — this is what turns a
+        flush from O(|database|) into O(|buffer|).
+        """
+        with span("segment.seal", series=len(series), segments=len(self.segments) + 1):
+            segment = Segment(self._allocate_id(), series, grid, sets)
+            self.segments.append(segment)
+            self._bump()
+        get_registry().counter(
+            "sts3_segments_sealed_total", "buffer flushes sealed as new segments"
+        ).inc()
+        return segment
+
+    def extend_last(self, series_item: np.ndarray) -> Segment:
+        """Append one in-bound series to the newest segment (direct insert)."""
+        if not self.segments:
+            raise ParameterError("cannot extend an empty catalog")
+        self.segments[-1] = self.segments[-1].extend(series_item)
+        self._bump()
+        return self.segments[-1]
+
+    def adopt(self, series: list[np.ndarray], grid: Grid) -> Segment:
+        """Append a segment with a *known* grid, re-transforming its series.
+
+        Persistence uses this to reconstruct a catalog bit-identically:
+        the archived grid is authoritative (re-deriving it from the
+        series would tighten sealed segments' bounds and change
+        similarities), only the derived sets are recomputed.
+        """
+        sets = [transform(s, grid) for s in series]
+        count_transforms(len(series), "load")
+        segment = Segment(self._allocate_id(), series, grid, sets)
+        self.segments.append(segment)
+        self._bump()
+        return segment
+
+    def compact(self, min_size: int | None = None) -> int:
+        """Merge segments; returns how many segments were merged away.
+
+        With ``min_size=None`` every segment merges into one (a full
+        rebuild: new tight bound + ``value_padding``, every series
+        re-transformed — bit-identical to constructing from scratch).
+        Otherwise each maximal run of *consecutive* segments smaller
+        than ``min_size`` is merged, which bounds catalog growth under
+        sustained inserts while leaving big segments untouched.
+        """
+        if min_size is None:
+            runs = [(0, len(self.segments))] if len(self.segments) > 1 else []
+        else:
+            if min_size < 1:
+                raise ParameterError(f"min_size must be >= 1, got {min_size}")
+            runs, start = [], None
+            for i, seg in enumerate(self.segments):
+                if len(seg) < min_size:
+                    start = i if start is None else start
+                    continue
+                if start is not None and i - start > 1:
+                    runs.append((start, i))
+                start = None
+            if start is not None and len(self.segments) - start > 1:
+                runs.append((start, len(self.segments)))
+        merged_away = 0
+        for start, stop in reversed(runs):
+            group = self.segments[start:stop]
+            series = [s for seg in group for s in seg.series]
+            with span("segment.compact", segments=len(group), series=len(series)):
+                merged = Segment.build(
+                    self._allocate_id(), series, self.sigma, self.epsilon,
+                    value_padding=self.value_padding, context="compact",
+                )
+                self.segments[start:stop] = [merged]
+            get_registry().counter(
+                "sts3_rebuilds_total", "segment-merging rebuilds (compactions)"
+            ).inc()
+            merged_away += len(group) - 1
+        if merged_away:
+            self._bump()
+        return merged_away
+
+    # -- diagnostics ----------------------------------------------------
+
+    def covering_bound(self) -> Bound:
+        """Smallest bound covering every segment's grid bound."""
+        if not self.segments:
+            raise ParameterError("cannot bound an empty catalog")
+        bound = self.segments[0].grid.bound
+        for seg in self.segments[1:]:
+            bound = bound.union(seg.grid.bound)
+        return bound
+
+    def describe(self) -> list[dict]:
+        """Per-segment stats rows, in global-index order."""
+        rows = []
+        for offset, seg in zip(self.offsets(), self.segments):
+            row = seg.stats()
+            row["offset"] = offset
+            rows.append(row)
+        return rows

@@ -1,18 +1,24 @@
-"""User-facing STS3 database (the paper's system glued together).
+"""User-facing STS3 database: a facade over segments, catalog, planner.
 
-:class:`STS3Database` owns the bound, the grid, the set representations
-of all series, and lazily-built accelerated searchers.  It implements:
+:class:`STS3Database` wires the paper's system together out of three
+layers (DESIGN.md §10):
 
-- k-NN queries with any STS3 variant (``method=`` "naive", "index",
-  "pruning", "approximate", or "auto" per Section 4's suitability
-  guidance);
-- out-of-bound query points via Algorithm 6 (Section 5.3.1);
-- inserts with the lazy buffered-update strategy of Section 5.3.2:
-  in-bound series join the database directly; out-of-bound series
-  ("out-TSs") go to a buffer whose own bound may grow, and a full
-  rebuild with an expanded bound happens only when the buffer fills.
-  Queries consult the main database first and then refresh the answer
-  from the buffer, exactly as the paper describes.
+- the **storage layer** (:mod:`repro.core.segment`) of immutable
+  segments, each with its own grid, set representations, and searchers;
+- the **index-lifecycle layer** (:mod:`repro.core.catalog`), which
+  tracks live segments and generation numbers and performs
+  seal/extend/compact transitions;
+- the **query planner/executor** (:mod:`repro.core.planner`), which
+  picks a method per segment and merges per-segment top-k answers
+  deterministically.
+
+The paper's semantics are unchanged: k-NN queries with any STS3
+variant (``method=`` "naive", "index", "pruning", "approximate", or
+"auto"), out-of-bound query points via Algorithm 6, and the lazy
+buffered-update strategy of Section 5.3.2 — except that a full buffer
+is now *sealed* as a new segment in O(buffer) work instead of
+triggering an O(database) rebuild.  :meth:`compact` performs the
+deferred merge on demand.
 """
 
 from __future__ import annotations
@@ -27,13 +33,14 @@ from ..obs import get_registry, span
 from ..types import as_series
 from .approximate import ApproximateSearcher
 from .batch import BatchQueryEngine, QueryWorkspace
+from .catalog import SegmentCatalog
 from .grid import Bound, Grid
-from .heap import KnnHeap
 from .indexed import IndexedSearcher
-from .jaccard import jaccard
 from .naive import NaiveSearcher
+from .planner import QueryPlanner
 from .pruning import PruningSearcher
-from .result import QueryResult, SearchStats
+from .result import QueryResult
+from .segment import count_transforms
 from .setrep import transform, transform_query
 
 __all__ = ["STS3Database", "UpdateBuffer"]
@@ -42,17 +49,25 @@ logger = logging.getLogger(__name__)
 
 _METHODS = ("naive", "index", "pruning", "approximate", "auto")
 
-#: fork-inherited state for parallel batches; see query_batch.  The
-#: worker function must live at module level (Pool pickles it by name),
-#: and the database itself travels to the children via fork's
-#: copy-on-write memory rather than pickling.
-_FORK_STATE: dict = {}
+#: per-worker-process batch context, installed by the Pool initializer.
+#: The worker function must live at module level (Pool pickles it by
+#: name); the payload arrives via ``initargs``, which ``fork`` passes
+#: in-memory and ``spawn`` pickles exactly once per worker — so the
+#: handoff is explicit and start-method agnostic, instead of relying on
+#: fork-inherited module globals.
+_WORKER_CONTEXT: dict = {}
+
+
+def _init_batch_worker(db: "STS3Database", queries: list, params: dict) -> None:
+    _WORKER_CONTEXT["db"] = db
+    _WORKER_CONTEXT["queries"] = queries
+    _WORKER_CONTEXT["params"] = params
 
 
 def _batch_worker(indices: list[int]) -> list["QueryResult"]:
-    db = _FORK_STATE["db"]
-    queries = _FORK_STATE["queries"]
-    params = _FORK_STATE["params"]
+    db = _WORKER_CONTEXT["db"]
+    queries = _WORKER_CONTEXT["queries"]
+    params = _WORKER_CONTEXT["params"]
     return db._batch_chunk([queries[i] for i in indices], **params)
 
 
@@ -62,7 +77,10 @@ class UpdateBuffer:
     The buffer keeps its own bound, which grows to cover each added
     series and is always at least the database bound; set
     representations of buffered series are recomputed whenever the
-    bound grows (the buffer is small, so this is cheap).
+    bound grows (the buffer is small, so this is cheap).  When the
+    buffer fills, :meth:`seal_parts` hands its series, sets, *and grid*
+    over to the catalog, which adopts them verbatim as a new segment —
+    the already-paid transform work is what makes a flush O(buffer).
     """
 
     def __init__(self, capacity: int, db_bound: Bound, col_width: float, row_heights: tuple[float, ...]):
@@ -87,16 +105,13 @@ class UpdateBuffer:
         """Add an out-TS, growing the buffer bound if needed."""
         own = Bound.of_series(series)
         if not self.bound.covers(own):
-            self.bound = Bound(
-                min(self.bound.t_min, own.t_min),
-                max(self.bound.t_max, own.t_max),
-                tuple(min(a, b) for a, b in zip(self.bound.x_min, own.x_min)),
-                tuple(max(a, b) for a, b in zip(self.bound.x_max, own.x_max)),
-            )
+            self.bound = self.bound.union(own)
             self.grid = Grid(self.bound, self.col_width, self.row_heights)
             self.sets = [transform(s, self.grid) for s in self.series]
+            count_transforms(len(self.series), "buffer")
         self.series.append(series)
         self.sets.append(transform(series, self.grid))
+        count_transforms(1, "buffer")
 
     def drain(self) -> list[np.ndarray]:
         """Remove and return all buffered series."""
@@ -104,6 +119,13 @@ class UpdateBuffer:
         self.series = []
         self.sets = []
         return out
+
+    def seal_parts(self) -> tuple[list[np.ndarray], Grid, list[np.ndarray]]:
+        """Empty the buffer, returning ``(series, grid, sets)`` for sealing."""
+        series, sets, grid = self.series, self.sets, self.grid
+        self.series = []
+        self.sets = []
+        return series, grid, sets
 
 
 class STS3Database:
@@ -116,6 +138,12 @@ class STS3Database:
     variant).  With ``normalize=True`` (default) every series —
     database, inserts, and queries — is z-normalized on the way in,
     matching the paper's standing assumption.
+
+    Storage is segmented: :attr:`catalog` holds the live segments and
+    :attr:`planner` answers queries across them.  On a fresh database
+    there is exactly one segment, and :attr:`series`, :attr:`sets`, and
+    :attr:`grid` expose its live state just as the monolithic
+    implementation did.
     """
 
     def __init__(
@@ -141,13 +169,23 @@ class STS3Database:
         self.value_padding = float(value_padding)
         self.default_scale = int(default_scale)
         self.default_max_scale = int(default_max_scale)
-        self.series = [self._prepare(s) for s in series]
-        self._rebuild_grid()
+        self.catalog = SegmentCatalog(
+            self.sigma, self.epsilon, value_padding=self.value_padding
+        )
+        self.catalog.bootstrap([self._prepare(s) for s in series])
+        self.planner = QueryPlanner(
+            self.catalog,
+            default_scale=self.default_scale,
+            default_max_scale=self.default_max_scale,
+        )
+        self._workspace = QueryWorkspace()
         self.buffer = UpdateBuffer(
             buffer_capacity, self.grid.bound, self.grid.col_width, self.grid.row_heights
         )
-        #: number of full rebuilds triggered by buffer overflows
-        #: (observable cost for the Appendix A propositions).
+        #: number of buffer flushes (historical name: before the
+        #: segmented engine each flush was a full rebuild; now each is
+        #: an O(buffer) seal, and Appendix A's ~1/capacity scaling
+        #: still holds).
         self.rebuild_count = 0
 
     # -- construction helpers -------------------------------------------
@@ -158,92 +196,132 @@ class STS3Database:
         arr = as_series(series)
         return z_normalize(arr) if self.normalize else arr
 
-    def _rebuild_grid(self, extra: list[np.ndarray] | None = None) -> None:
-        """(Re)compute bound, grid, and every set representation."""
-        if extra:
-            self.series.extend(extra)
-        bound = Bound.of_database(self.series, value_padding=self.value_padding)
-        if isinstance(self.epsilon, tuple):
-            self.grid = Grid.from_axis_cell_sizes(bound, self.sigma, self.epsilon)
-        else:
-            self.grid = Grid.from_cell_sizes(bound, self.sigma, self.epsilon)
-        self.sets = [transform(s, self.grid) for s in self.series]
-        self._invalidate()
-        logger.debug(
-            "rebuilt grid: %d series, %d columns x %s rows (%d cells)",
-            len(self.series),
-            self.grid.n_columns,
-            self.grid.n_rows,
-            self.grid.n_cells,
-        )
+    @classmethod
+    def from_segments(
+        cls,
+        payloads: list[tuple[list[np.ndarray], Grid]],
+        sigma: float,
+        epsilon: float | tuple[float, ...],
+        normalize: bool,
+        value_padding: float,
+        buffer_capacity: int,
+        default_scale: int,
+        default_max_scale: int,
+    ) -> "STS3Database":
+        """Reassemble a database from per-segment ``(series, grid)`` pairs.
 
-    def _invalidate(self) -> None:
-        self._naive: NaiveSearcher | None = None
-        self._indexed: IndexedSearcher | None = None
-        self._pruning: dict[int, PruningSearcher] = {}
-        self._approximate: dict[int, ApproximateSearcher] = {}
-        self._calibrated_method: str | None = None
-        # The batch engine wraps the indexed searcher, so it dies with
-        # it; its workspace (plain buffers) survives rebuilds.
-        self._batch_engine: BatchQueryEngine | None = None
-        if not hasattr(self, "_workspace"):
-            self._workspace = QueryWorkspace()
+        Persistence uses this to restore a segmented catalog exactly:
+        each archived grid is adopted verbatim (series are assumed
+        already prepared), so similarities — which depend on each
+        segment's grid — survive a round-trip bit-for-bit.
+        """
+        if not payloads:
+            raise EmptyDatabaseError("cannot restore a database from no segments")
+        self = cls.__new__(cls)
+        self.normalize = normalize
+        self.sigma = float(sigma)
+        self.epsilon = (
+            tuple(float(e) for e in epsilon)
+            if isinstance(epsilon, (tuple, list))
+            else float(epsilon)
+        )
+        self.value_padding = float(value_padding)
+        self.default_scale = int(default_scale)
+        self.default_max_scale = int(default_max_scale)
+        self.catalog = SegmentCatalog(
+            self.sigma, self.epsilon, value_padding=self.value_padding
+        )
+        for series, grid in payloads:
+            self.catalog.adopt(series, grid)
+        self.planner = QueryPlanner(
+            self.catalog,
+            default_scale=self.default_scale,
+            default_max_scale=self.default_max_scale,
+        )
+        self._workspace = QueryWorkspace()
+        last = self.catalog.segments[-1].grid
+        self.buffer = UpdateBuffer(
+            buffer_capacity, self.catalog.covering_bound(),
+            last.col_width, last.row_heights,
+        )
+        self.rebuild_count = 0
+        return self
+
+    # -- storage views ---------------------------------------------------
+
+    @property
+    def series(self) -> list[np.ndarray]:
+        """All stored series in global-index order (excludes the buffer).
+
+        On a single-segment catalog this is the segment's *live* list;
+        with multiple segments it is a fresh concatenation.
+        """
+        segments = self.catalog.segments
+        if len(segments) == 1:
+            return segments[0].series
+        return [s for seg in segments for s in seg.series]
+
+    @property
+    def sets(self) -> list[np.ndarray]:
+        """All set representations in global-index order.
+
+        Sets from different segments are *not* comparable — each is
+        digitized under its own segment grid.  Same single-segment
+        liveness rule as :attr:`series`.
+        """
+        segments = self.catalog.segments
+        if len(segments) == 1:
+            return segments[0].sets
+        return [s for seg in segments for s in seg.sets]
+
+    @sets.setter
+    def sets(self, value: list[np.ndarray]) -> None:
+        segments = self.catalog.segments
+        if len(segments) != 1:
+            raise ParameterError(
+                "sets can only be replaced wholesale on a single-segment "
+                "database; use the catalog for segmented stores"
+            )
+        segments[0].sets = list(value)
+
+    @property
+    def grid(self) -> Grid:
+        """The base segment's grid (queries' reference frame for ties)."""
+        return self.catalog.segments[0].grid
 
     def __len__(self) -> int:
-        return len(self.series) + len(self.buffer)
+        return self.catalog.n_series + len(self.buffer)
 
     # -- searcher access -------------------------------------------------
 
     def naive_searcher(self) -> NaiveSearcher:
-        if self._naive is None:
-            self._naive = NaiveSearcher(self.sets)
-        return self._naive
+        """The base segment's cached linear-scan searcher."""
+        return self.catalog.segments[0].naive_searcher()
 
     def indexed_searcher(self) -> IndexedSearcher:
-        if self._indexed is None:
-            self._indexed = IndexedSearcher(self.sets)
-        return self._indexed
+        """The base segment's cached inverted-index searcher."""
+        return self.catalog.segments[0].indexed_searcher()
 
     def pruning_searcher(self, scale: int | None = None) -> PruningSearcher:
+        """The base segment's cached zone-pruning searcher."""
         scale = self.default_scale if scale is None else int(scale)
-        if scale not in self._pruning:
-            self._pruning[scale] = PruningSearcher(self.sets, self.grid, scale)
-        return self._pruning[scale]
+        return self.catalog.segments[0].pruning_searcher(scale)
 
     def batch_engine(self) -> BatchQueryEngine:
-        """The vectorized batch kernel over the inverted index."""
-        if self._batch_engine is None:
-            self._batch_engine = BatchQueryEngine(
-                self.indexed_searcher(), workspace=self._workspace
-            )
-        return self._batch_engine
+        """The base segment's vectorized batch kernel."""
+        return self.catalog.segments[0].batch_engine(self._workspace)
 
     def approximate_searcher(self, max_scale: int | None = None) -> ApproximateSearcher:
+        """The base segment's cached multi-scale approximate searcher."""
         max_scale = self.default_max_scale if max_scale is None else int(max_scale)
-        if max_scale not in self._approximate:
-            self._approximate[max_scale] = ApproximateSearcher(
-                self.series, self.sets, self.grid.bound, max_scale
-            )
-        return self._approximate[max_scale]
+        return self.catalog.segments[0].approximate_searcher(max_scale)
 
     def _auto_method(self) -> str:
-        """Pick the variant for ``method="auto"`` queries.
+        return self.planner.resolve_auto()
 
-        After :meth:`calibrate` has run, the measured fastest *exact*
-        variant wins.  Otherwise Section 4's suitability guidance is
-        applied as a rule of thumb: "the index-based algorithm is
-        suitable for long time series, the pruning-based algorithm for
-        short time series and the approximate algorithm for very long
-        time series."
-        """
-        if self._calibrated_method is not None:
-            return self._calibrated_method
-        median_len = int(np.median([len(s) for s in self.series]))
-        if median_len < 200:
-            return "pruning"
-        if median_len < 1000:
-            return "index"
-        return "approximate"
+    @property
+    def _calibrated_method(self) -> str | None:
+        return self.planner.calibrated_method
 
     def calibrate(self, sample_queries: list[np.ndarray], k: int = 1) -> dict[str, float]:
         """Measure the exact variants on sample queries; fix ``auto``.
@@ -264,13 +342,17 @@ class STS3Database:
             for query in sample_queries:
                 self.query(query, k=k, method=method)
             timings[method] = time.perf_counter() - start
-        self._calibrated_method = min(timings, key=timings.get)
+        self.planner.calibrated_method = min(timings, key=timings.get)
         return timings
 
     # -- queries -----------------------------------------------------------
 
     def transform_query(self, series: np.ndarray) -> np.ndarray:
-        """Set representation of a (possibly out-of-bound) query."""
+        """Set representation of a (possibly out-of-bound) query.
+
+        Computed under the *base* segment's grid; per-segment query
+        sets used during execution are built by the planner.
+        """
         return transform_query(self._prepare(series), self.grid)
 
     def query(
@@ -284,8 +366,8 @@ class STS3Database:
         """k-NN query under the Jaccard similarity of set representations.
 
         Returns neighbours ordered best-first; ``Neighbor.index``
-        refers to :attr:`series` positions, with buffered series
-        indexed after the main database (their positions are stable
+        refers to global :attr:`series` positions, with buffered series
+        indexed after the stored segments (their positions are stable
         across the eventual flush).
         """
         if method not in _METHODS:
@@ -293,23 +375,11 @@ class STS3Database:
         if method == "auto":
             method = self._auto_method()
         with span("query", method=method, k=k):
-            with span("transform"):
-                prepared = self._prepare(series)
-                query_set = transform_query(prepared, self.grid)
-
-            if method == "naive":
-                result = self.naive_searcher().query(query_set, k=k)
-            elif method == "index":
-                result = self.indexed_searcher().query(query_set, k=k)
-            elif method == "pruning":
-                result = self.pruning_searcher(scale).query(query_set, k=k)
-            else:
-                result = self.approximate_searcher(max_scale).query(
-                    prepared, query_set, k=k
-                )
-
-            if len(self.buffer):
-                result = self._merge_buffer(prepared, result, k)
+            prepared = self._prepare(series)
+            result = self.planner.execute(
+                prepared, k, method, scale=scale, max_scale=max_scale,
+                buffer=self.buffer,
+            )
         get_registry().counter(
             "sts3_queries_total", "k-NN queries answered, by search variant"
         ).inc(method=method)
@@ -323,6 +393,7 @@ class STS3Database:
         scale: int | None = None,
         max_scale: int | None = None,
         workers: int | None = None,
+        start_method: str | None = None,
     ) -> list[QueryResult]:
         """Answer many queries, optionally across worker processes.
 
@@ -330,23 +401,27 @@ class STS3Database:
         mechanism" as future work.  Two mechanisms compose here:
 
         - With ``method="index"`` the whole batch (or each worker's
-          share of it) is answered by the vectorized
-          :class:`~repro.core.batch.BatchQueryEngine` — one CSR pass
-          over the inverted index instead of a Python-level loop —
-          which returns results identical to per-query :meth:`query`
-          calls.  Other methods fall back to the scalar loop.
+          share of it) runs through the planner's vectorized per-segment
+          execution — one CSR pass over each index-planned segment's
+          inverted index instead of a Python-level loop — which returns
+          results identical to per-query :meth:`query` calls.  Other
+          methods fall back to the scalar loop.
         - Queries are embarrassingly parallel, but CPython threads do
           not help here (the hot loops hold the GIL), so parallel
-          batches fork worker processes that inherit the built
-          searchers copy-on-write.  Each worker takes a *strided* slice
-          of the queries (``queries[i::workers]``) rather than a
-          contiguous block: query costs are heterogeneous (they scale
-          with postings touched), and striding deals similar mixes of
-          cheap and expensive queries to every worker, which balances
-          load where contiguous blocks would let one worker straggle.
+          batches spin up worker processes.  Each worker takes a
+          *strided* slice of the queries (``queries[i::workers]``)
+          rather than a contiguous block: query costs are heterogeneous
+          (they scale with postings touched), and striding deals
+          similar mixes of cheap and expensive queries to every worker,
+          which balances load where contiguous blocks would let one
+          worker straggle.
 
-        On platforms without ``fork`` the batch silently runs
-        sequentially.  ``workers=None`` or 1 runs sequentially.
+        Workers receive the database and their queries as an explicit
+        ``Pool(initializer=...)`` context, so both ``fork`` (payload
+        inherited copy-on-write) and ``spawn`` (payload pickled once
+        per worker) start methods behave identically.
+        ``start_method=None`` prefers ``fork`` where available;
+        ``workers=None`` or 1 runs sequentially.
         """
         if method not in _METHODS:
             raise ParameterError(f"unknown method {method!r}; one of {_METHODS}")
@@ -358,7 +433,7 @@ class STS3Database:
         with span("query_batch", method=method, queries=len(queries)):
             return self._query_batch(
                 queries, k=k, method=method, scale=scale,
-                max_scale=max_scale, workers=workers,
+                max_scale=max_scale, workers=workers, start_method=start_method,
             )
 
     def _query_batch(
@@ -369,10 +444,11 @@ class STS3Database:
         scale: int | None,
         max_scale: int | None,
         workers: int | None,
+        start_method: str | None = None,
     ) -> list[QueryResult]:
-        # Build the needed searcher before fanning out, so workers
-        # inherit ready structures instead of each rebuilding them.
-        # (A no-op span when the searcher is already cached.)
+        # Build the base segment's searcher before fanning out, so
+        # workers inherit (or receive) ready structures instead of each
+        # rebuilding them.  (A no-op span when already cached.)
         with span("build_index", method=method):
             if method == "index":
                 self.indexed_searcher()
@@ -387,27 +463,28 @@ class STS3Database:
             )
         import multiprocessing as mp
 
-        try:
-            context = mp.get_context("fork")
-        except ValueError:  # pragma: no cover - non-fork platforms
-            return self._batch_chunk(
-                list(queries), k=k, method=method, scale=scale, max_scale=max_scale
+        available = mp.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in available else mp.get_start_method()
+        elif start_method not in available:
+            raise ParameterError(
+                f"start_method {start_method!r} not available; one of {available}"
             )
+        context = mp.get_context(start_method)
         workers = min(workers, len(queries))
         chunks = [list(range(i, len(queries), workers)) for i in range(workers)]
-        _FORK_STATE["db"] = self
-        _FORK_STATE["queries"] = list(queries)
-        _FORK_STATE["params"] = dict(
-            k=k, method=method, scale=scale, max_scale=max_scale
-        )
-        # Forked workers inherit the active tracer copy-on-write: spans
-        # they record die with the worker process, while the parent's
-        # open query_batch span closes normally (docs/observability.md).
-        try:
-            with context.Pool(processes=workers) as pool:
-                chunk_results = pool.map(_batch_worker, chunks)
-        finally:
-            _FORK_STATE.clear()
+        params = dict(k=k, method=method, scale=scale, max_scale=max_scale)
+        # Under fork, workers inherit the active tracer copy-on-write:
+        # spans they record die with the worker process, while the
+        # parent's open query_batch span closes normally
+        # (docs/observability.md).  Under spawn, workers start with the
+        # default no-op tracer.
+        with context.Pool(
+            processes=workers,
+            initializer=_init_batch_worker,
+            initargs=(self, list(queries), params),
+        ) as pool:
+            chunk_results = pool.map(_batch_worker, chunks)
         # Re-interleave: chunk i holds queries i, i+workers, i+2w, ...
         out: list[QueryResult] = [None] * len(queries)  # type: ignore[list-item]
         for i, results in enumerate(chunk_results):
@@ -424,73 +501,38 @@ class STS3Database:
     ) -> list[QueryResult]:
         """Answer a chunk of queries in-process (``method`` resolved).
 
-        The ``method="index"`` path runs the vectorized batch kernel;
-        every other method loops the scalar :meth:`query`.  Buffered
-        series are merged per query either way, so results always match
-        scalar calls exactly.
+        The ``method="index"`` path runs the planner's vectorized batch
+        execution; every other method loops the scalar :meth:`query`.
+        Buffered series are merged per query either way, so results
+        always match scalar calls exactly.
         """
         if method != "index":
             return [
                 self.query(q, k=k, method=method, scale=scale, max_scale=max_scale)
                 for q in queries
             ]
-        with span("transform", queries=len(queries)):
-            prepared = [self._prepare(q) for q in queries]
-            query_sets = [transform_query(p, self.grid) for p in prepared]
-        results = self.batch_engine().query_batch(query_sets, k=k)
-        if len(self.buffer):
-            results = [
-                self._merge_buffer(p, r, k) for p, r in zip(prepared, results)
-            ]
-        return results
-
-    def _merge_buffer(
-        self, prepared: np.ndarray, result: QueryResult, k: int
-    ) -> QueryResult:
-        """Refresh the k-NN answer from the update buffer (Section 5.3.2).
-
-        The query is re-transformed under the buffer's bound and
-        compared with every buffered series; buffered series adopt
-        indices following the main database.
-        """
-        with span("merge", buffered=len(self.buffer)):
-            k = min(k, len(self.series) + len(self.buffer))
-            heap = KnnHeap(k)
-            for neighbor in result.neighbors:
-                heap.consider(neighbor.similarity, neighbor.index)
-            buffer_query = transform_query(prepared, self.buffer.grid)
-            base = len(self.series)
-            for offset, cell_set in enumerate(self.buffer.sets):
-                heap.consider(jaccard(cell_set, buffer_query), base + offset)
-            stats = SearchStats(
-                candidates=result.stats.candidates + len(self.buffer),
-                exact_computations=result.stats.exact_computations + len(self.buffer),
-                pruned=result.stats.pruned,
-                filter_rounds=result.stats.filter_rounds,
-                final_candidates=len(heap),
-            )
-        get_registry().counter(
-            "sts3_buffer_merges_total", "query answers refreshed from the update buffer"
-        ).inc()
-        return QueryResult(neighbors=heap.neighbors(), stats=stats)
+        prepared = [self._prepare(q) for q in queries]
+        return self.planner.execute_batch(
+            prepared, k, method, scale=scale, max_scale=max_scale,
+            buffer=self.buffer, workspace=self._workspace,
+        )
 
     # -- updates -----------------------------------------------------------
 
     def insert(self, series: np.ndarray) -> None:
         """Add a series; out-of-bound series go through the lazy buffer.
 
-        An in-bound series is appended directly (accelerated searchers
-        are invalidated and rebuilt lazily).  An out-TS lands in the
-        buffer; when the buffer fills, the whole database is rebuilt
-        with a bound covering everything (the "refresh" of Section
-        5.3.2), which is the expensive O(M·n·log n) step that
-        Proposition 1 amortizes.
+        An in-bound series extends the newest segment directly (its
+        searcher caches are rebuilt lazily).  An out-TS lands in the
+        buffer; when the buffer fills it is *sealed* as a new segment —
+        O(buffer) work, since the buffer's grid and set representations
+        are adopted as-is (Section 5.3.2's refresh, deferred further to
+        :meth:`compact`).
         """
         prepared = self._prepare(series)
-        if self.grid.bound.covers(Bound.of_series(prepared)):
-            self.series.append(prepared)
-            self.sets.append(transform(prepared, self.grid))
-            self._invalidate()
+        newest = self.catalog.segments[-1]
+        if newest.grid.bound.covers(Bound.of_series(prepared)):
+            self.catalog.extend_last(prepared)
             get_registry().counter(
                 "sts3_inserts_total", "series inserted, by destination"
             ).inc(path="direct")
@@ -511,56 +553,64 @@ class STS3Database:
         """Self-check the database's internal consistency.
 
         Returns a list of human-readable problem descriptions (empty
-        when everything is consistent).  Checks: series/set parallel
-        lists, every set matches a fresh transform under the current
-        grid, the bound covers every stored series, buffer bound covers
-        the database bound, and cached searchers reference the live set
-        list.  Intended for test harnesses and post-crash diagnostics;
-        cost is one full re-transform, so don't call it per query.
+        when everything is consistent).  Checks, per segment:
+        series/set parallel lists, every set matches a fresh transform
+        under the segment's grid, the segment bound covers every stored
+        series, and cached searchers reference the live set lists; plus
+        that the buffer bound covers every segment bound.  Intended for
+        test harnesses and post-crash diagnostics; cost is one full
+        re-transform, so don't call it per query.
         """
         problems: list[str] = []
-        if len(self.series) != len(self.sets):
-            problems.append(
-                f"{len(self.series)} series but {len(self.sets)} set reps"
-            )
-        for i, (series, cell_set) in enumerate(zip(self.series, self.sets)):
-            if not self.grid.bound.covers(Bound.of_series(series)):
-                problems.append(f"series {i} escapes the database bound")
-            fresh = transform(series, self.grid)
-            if not np.array_equal(fresh, cell_set):
-                problems.append(f"series {i} has a stale set representation")
-        if not self.buffer.bound.covers(self.grid.bound):
+        for offset, segment in zip(self.catalog.offsets(), self.catalog.segments):
+            problems.extend(segment.verify_integrity(offset))
+        if not self.buffer.bound.covers(self.catalog.covering_bound()):
             problems.append("buffer bound does not cover the database bound")
         if len(self.buffer.series) != len(self.buffer.sets):
             problems.append("buffer series/sets lists are out of sync")
-        if self._naive is not None and self._naive.sets is not self.sets:
-            problems.append("cached naive searcher references stale sets")
-        if self._indexed is not None and self._indexed.sets is not self.sets:
-            problems.append("cached index searcher references stale sets")
-        for scale, searcher in self._pruning.items():
-            if searcher.sets is not self.sets:
-                problems.append(f"cached pruning searcher (scale={scale}) is stale")
         return problems
 
     def flush(self) -> None:
-        """Force the buffered series into the database (full rebuild)."""
+        """Seal the buffered series as a new segment (O(buffer) work)."""
         if not len(self.buffer):
             return
-        extra = self.buffer.drain()
+        series, grid, sets = self.buffer.seal_parts()
         logger.info(
-            "flushing %d buffered series; rebuilding %d set representations",
-            len(extra),
-            len(self.series) + len(extra),
+            "sealing %d buffered series as segment %d (catalog generation %d)",
+            len(series),
+            self.catalog._next_id,
+            self.catalog.generation,
         )
-        with span("flush", flushed=len(extra)):
-            self._rebuild_grid(extra=extra)
+        with span("flush", flushed=len(series)):
+            self.catalog.seal(series, grid, sets)
+            # The next buffer anchors at the sealed grid's bound, which
+            # covers every earlier segment by induction — preserving
+            # the invariant that sealing never shrinks a bound.
             self.buffer = UpdateBuffer(
-                self.buffer.capacity,
-                self.grid.bound,
-                self.grid.col_width,
-                self.grid.row_heights,
+                self.buffer.capacity, grid.bound, grid.col_width, grid.row_heights
             )
         self.rebuild_count += 1
-        get_registry().counter(
-            "sts3_rebuilds_total", "full rebuilds triggered by buffer flushes"
-        ).inc()
+
+    def compact(self, min_size: int | None = None) -> int:
+        """Merge segments (Section 5.3.2's deferred full "refresh").
+
+        ``min_size=None`` merges everything into one segment with a
+        fresh tight bound — bit-identical to rebuilding the database
+        from scratch over the same series.  With ``min_size`` only
+        consecutive runs of segments smaller than ``min_size`` merge.
+        Returns the number of segments merged away.  If merging changed
+        the covering bound, the update buffer is re-anchored (buffered
+        series re-transform under the new buffer grid).
+        """
+        merged_away = self.catalog.compact(min_size=min_size)
+        if merged_away:
+            covering = self.catalog.covering_bound()
+            if not self.buffer.bound.covers(covering):
+                pending = self.buffer.drain()
+                last = self.catalog.segments[-1].grid
+                self.buffer = UpdateBuffer(
+                    self.buffer.capacity, covering, last.col_width, last.row_heights
+                )
+                for series_item in pending:
+                    self.buffer.add(series_item)
+        return merged_away

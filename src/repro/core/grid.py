@@ -121,6 +121,19 @@ class Bound:
             and all(a >= b for a, b in zip(self.x_max, other.x_max))
         )
 
+    def union(self, other: "Bound") -> "Bound":
+        """The smallest bound covering both ``self`` and ``other``."""
+        if other.n_dims != self.n_dims:
+            raise GridError(
+                f"cannot union a {self.n_dims}-dim bound with {other.n_dims} dims"
+            )
+        return Bound(
+            min(self.t_min, other.t_min),
+            max(self.t_max, other.t_max),
+            tuple(min(a, b) for a, b in zip(self.x_min, other.x_min)),
+            tuple(max(a, b) for a, b in zip(self.x_max, other.x_max)),
+        )
+
 
 class Grid:
     """Division of a :class:`Bound` into cells with integer IDs.

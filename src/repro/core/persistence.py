@@ -1,13 +1,22 @@
 """Save/load an :class:`~repro.core.database.STS3Database` to disk.
 
-A database is a pure function of its series and parameters, so the
-on-disk format stores exactly those: one ``.npz`` holding the raw
-series (padded into a matrix with a length vector, so unequal lengths
-survive) plus a JSON sidecar-free header embedded in the same archive.
-Set representations, grids, and searchers are *rebuilt* on load — they
-are derived state, and rebuilding guarantees a loaded database is
-byte-for-byte equivalent to one constructed fresh (a property the tests
-assert via :meth:`verify_integrity` and query equivalence).
+A database is a function of its series, parameters, and *segment
+layout*, so the on-disk format stores exactly those: one ``.npz``
+holding the raw series (padded into a matrix with a length vector, so
+unequal lengths survive) plus a JSON header embedded in the same
+archive.  Format version 2 records the per-segment sizes and grid
+geometry — a sealed segment's grid is the update buffer's grid at seal
+time and cannot be re-derived from the series alone (re-deriving would
+tighten the bound and change Jaccard similarities), so each segment's
+``(bound, col_width, row_heights)`` is archived and adopted verbatim on
+load.  Set representations and searchers are *rebuilt* — they are
+derived state, and rebuilding guarantees a loaded database is
+byte-for-byte equivalent (a property the tests assert via
+:meth:`verify_integrity` and query equivalence).
+
+Version-1 archives (pre-segmentation) still load: they carry no segment
+table and restore as a single-segment catalog, which is exactly what
+the monolithic engine was.
 
 Buffered (not yet flushed) series are stored too and re-buffered on
 load, preserving provisional neighbour indices across a round-trip.
@@ -23,11 +32,15 @@ import numpy as np
 from ..exceptions import DatasetError
 from ..obs import get_registry, span
 from .database import STS3Database
+from .grid import Bound, Grid
 
 __all__ = ["save_database", "load_database"]
 
 #: bumped on any incompatible change to the archive layout.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: versions this loader understands.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def _pack(series_list: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray, int]:
@@ -56,6 +69,31 @@ def _unpack(matrix: np.ndarray, lengths: np.ndarray, n_dims: int) -> list[np.nda
     return out
 
 
+def _segment_entry(segment) -> dict:
+    grid = segment.grid
+    return {
+        "size": len(segment),
+        "bound": {
+            "t_min": grid.bound.t_min,
+            "t_max": grid.bound.t_max,
+            "x_min": list(grid.bound.x_min),
+            "x_max": list(grid.bound.x_max),
+        },
+        "col_width": grid.col_width,
+        "row_heights": list(grid.row_heights),
+    }
+
+
+def _segment_grid(entry: dict) -> Grid:
+    bound = Bound(
+        entry["bound"]["t_min"],
+        entry["bound"]["t_max"],
+        tuple(entry["bound"]["x_min"]),
+        tuple(entry["bound"]["x_max"]),
+    )
+    return Grid(bound, entry["col_width"], tuple(entry["row_heights"]))
+
+
 def save_database(db: STS3Database, path: str | Path) -> None:
     """Write ``db`` to ``path`` (a single ``.npz`` archive)."""
     path = Path(path)
@@ -70,9 +108,16 @@ def save_database(db: STS3Database, path: str | Path) -> None:
         "default_scale": db.default_scale,
         "default_max_scale": db.default_max_scale,
         "rebuild_count": db.rebuild_count,
+        "segments": [_segment_entry(seg) for seg in db.catalog.segments],
     }
-    with span("persist.save", series=len(db.series), buffered=len(db.buffer.series)):
-        matrix, lengths, n_dims = _pack(db.series)
+    all_series = db.catalog.all_series()
+    with span(
+        "persist.save",
+        series=len(all_series),
+        segments=len(db.catalog.segments),
+        buffered=len(db.buffer.series),
+    ):
+        matrix, lengths, n_dims = _pack(all_series)
         buf_matrix, buf_lengths, _ = _pack(db.buffer.series)
         np.savez_compressed(
             path,
@@ -107,10 +152,11 @@ def _load_database(path: str | Path) -> STS3Database:
             header = json.loads(bytes(archive["header"]).decode())
         except (KeyError, json.JSONDecodeError) as exc:
             raise DatasetError(f"{path} is not an STS3 database archive") from exc
-        if header.get("format_version") != FORMAT_VERSION:
+        if header.get("format_version") not in SUPPORTED_VERSIONS:
             raise DatasetError(
                 f"{path}: unsupported format version "
-                f"{header.get('format_version')!r} (expected {FORMAT_VERSION})"
+                f"{header.get('format_version')!r} (expected one of "
+                f"{SUPPORTED_VERSIONS})"
             )
         n_dims = int(archive["n_dims"])
         series = _unpack(archive["series"], archive["lengths"], n_dims)
@@ -119,19 +165,45 @@ def _load_database(path: str | Path) -> STS3Database:
     epsilon = header["epsilon"]
     if header["epsilon_is_tuple"]:
         epsilon = tuple(epsilon)
-    db = STS3Database(
-        series,
-        sigma=header["sigma"],
-        epsilon=epsilon,
-        # stored series are already normalized; renormalizing is a
-        # no-op but wasteful, so construct raw then restore the flag
-        normalize=False,
-        value_padding=header["value_padding"],
-        buffer_capacity=header["buffer_capacity"],
-        default_scale=header["default_scale"],
-        default_max_scale=header["default_max_scale"],
-    )
-    db.normalize = header["normalize"]
+
+    if header["format_version"] == 1 or "segments" not in header:
+        # Legacy single-grid archive: constructing fresh reproduces the
+        # pre-segmentation engine exactly (one bootstrap segment with a
+        # tight bound + padding).  Stored series are already normalized;
+        # construct raw then restore the flag.
+        db = STS3Database(
+            series,
+            sigma=header["sigma"],
+            epsilon=epsilon,
+            normalize=False,
+            value_padding=header["value_padding"],
+            buffer_capacity=header["buffer_capacity"],
+            default_scale=header["default_scale"],
+            default_max_scale=header["default_max_scale"],
+        )
+        db.normalize = header["normalize"]
+    else:
+        payloads = []
+        cursor = 0
+        for entry in header["segments"]:
+            size = int(entry["size"])
+            payloads.append((series[cursor : cursor + size], _segment_grid(entry)))
+            cursor += size
+        if cursor != len(series):
+            raise DatasetError(
+                f"{path}: segment table covers {cursor} series, archive "
+                f"holds {len(series)}"
+            )
+        db = STS3Database.from_segments(
+            payloads,
+            sigma=header["sigma"],
+            epsilon=epsilon,
+            normalize=header["normalize"],
+            value_padding=header["value_padding"],
+            buffer_capacity=header["buffer_capacity"],
+            default_scale=header["default_scale"],
+            default_max_scale=header["default_max_scale"],
+        )
     db.rebuild_count = header["rebuild_count"]
     for series_item in buffered:
         db.buffer.add(series_item)

@@ -1,0 +1,288 @@
+"""Per-segment query planning and execution (DESIGN.md §10).
+
+:class:`QueryPlanner` turns ``(query, k, method)`` into one
+:class:`SegmentPlan` per live segment, runs each segment's searcher
+under its own grid, and merges the per-segment top-k (plus the update
+buffer) with the deterministic ``(similarity desc, index asc)``
+tie-break — the Lernaean-Hydra-style per-partition answer merge, but
+with bit-exact parity guarantees against the pre-segmented engine:
+
+- On a single-segment catalog with an empty buffer the planner returns
+  the segment result *unchanged* — same neighbours, same stats, same
+  spans as the seed's monolithic path.
+- Delta segments (sealed buffers) are always searched *exactly*, even
+  when ``method="approximate"`` was requested: the seed scanned the
+  buffer exhaustively, and a sealed buffer keeps that contract.  The
+  requested method runs verbatim on the base segment only.
+- Merged statistics are the counter-wise sums over segments plus the
+  buffer's exhaustive scan, exactly reproducing the seed's
+  ``_merge_buffer`` accounting.
+
+Planning is method + segment-size aware: a calibrated method (from
+``STS3Database.calibrate``) pins ``auto``; tiny delta segments run the
+naive scan because index/pruning structures cost more than they save
+below :data:`SMALL_SEGMENT` series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs import get_registry, span
+from .batch import QueryWorkspace
+from .catalog import SegmentCatalog
+from .heap import KnnHeap
+from .jaccard import jaccard
+from .result import QueryResult, SearchStats
+from .segment import Segment
+from .setrep import transform_query
+
+__all__ = ["QueryPlanner", "SegmentPlan", "SMALL_SEGMENT"]
+
+#: below this many series a delta segment is scanned naively — building
+#: postings/zone tables for a handful of series costs more than the
+#: exhaustive scan they would accelerate.
+SMALL_SEGMENT = 64
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """One segment's slice of a query plan.
+
+    ``offset`` is the global index of the segment's first series: the
+    executor adds it to segment-local neighbour indices when merging.
+    """
+
+    segment_id: int
+    offset: int
+    method: str
+
+
+class QueryPlanner:
+    """Plans and executes k-NN queries across a segment catalog."""
+
+    def __init__(
+        self,
+        catalog: SegmentCatalog,
+        default_scale: int = 6,
+        default_max_scale: int = 4,
+    ):
+        self.catalog = catalog
+        self.default_scale = int(default_scale)
+        self.default_max_scale = int(default_max_scale)
+        self._calibrated: tuple[int, str] | None = None
+
+    @property
+    def calibrated_method(self) -> str | None:
+        """The method ``calibrate`` pinned, or None once the catalog changed.
+
+        Calibration is recorded against the catalog generation it was
+        measured on; any structural change (insert, seal, compact)
+        silently invalidates it, matching the seed's
+        invalidate-on-insert semantics without an explicit hook.
+        """
+        if self._calibrated is None:
+            return None
+        generation, method = self._calibrated
+        return method if generation == self.catalog.generation else None
+
+    @calibrated_method.setter
+    def calibrated_method(self, method: str | None) -> None:
+        self._calibrated = (
+            None if method is None else (self.catalog.generation, method)
+        )
+
+    # -- planning -------------------------------------------------------
+
+    def resolve_auto(self) -> str:
+        """Pick the variant for ``method="auto"`` queries.
+
+        After calibration the measured fastest *exact* variant wins.
+        Otherwise Section 4's suitability guidance is applied over the
+        whole catalog: pruning for short series, index for long,
+        approximate for very long.
+        """
+        if self.calibrated_method is not None:
+            return self.calibrated_method
+        lengths = [len(s) for seg in self.catalog.segments for s in seg.series]
+        median_len = int(np.median(lengths))
+        if median_len < 200:
+            return "pruning"
+        if median_len < 1000:
+            return "index"
+        return "approximate"
+
+    def plan(self, method: str) -> list[SegmentPlan]:
+        """Per-segment plans for a resolved (non-``auto``) method."""
+        plans, offset = [], 0
+        for position, segment in enumerate(self.catalog.segments):
+            plans.append(
+                SegmentPlan(
+                    segment_id=segment.segment_id,
+                    offset=offset,
+                    method=self._segment_method(position, segment, method),
+                )
+            )
+            offset += len(segment)
+        return plans
+
+    def _segment_method(self, position: int, segment: Segment, method: str) -> str:
+        if position == 0:
+            # The base segment honours the request verbatim — including
+            # ``approximate``, whose filtering contract is defined
+            # against the big segment.
+            return method
+        # Delta segments are always searched exactly: the seed scanned
+        # the update buffer exhaustively, and sealing must not silently
+        # make buffered series approximate.
+        if len(segment) < SMALL_SEGMENT:
+            return "naive"
+        if method == "approximate":
+            return "index"
+        return method
+
+    # -- execution ------------------------------------------------------
+
+    def execute(
+        self,
+        prepared: np.ndarray,
+        k: int,
+        method: str,
+        scale: int | None = None,
+        max_scale: int | None = None,
+        buffer=None,
+    ) -> QueryResult:
+        """Answer one prepared (validated/normalized) query."""
+        scale = self.default_scale if scale is None else int(scale)
+        max_scale = self.default_max_scale if max_scale is None else int(max_scale)
+        segments = self.catalog.segments
+        with span("plan", method=method, segments=len(segments)):
+            plans = self.plan(method)
+        results = [
+            self._run_segment(segment, plan.method, prepared, k, scale, max_scale)
+            for segment, plan in zip(segments, plans)
+        ]
+        if len(results) == 1 and not (buffer is not None and len(buffer)):
+            return results[0]
+        return self._merge(results, plans, prepared, k, buffer)
+
+    def execute_batch(
+        self,
+        prepared_queries: list[np.ndarray],
+        k: int,
+        method: str,
+        scale: int | None = None,
+        max_scale: int | None = None,
+        buffer=None,
+        workspace: QueryWorkspace | None = None,
+    ) -> list[QueryResult]:
+        """Answer many prepared queries, vectorizing index-planned segments.
+
+        Segments planned as ``index`` run the whole batch through their
+        :class:`~repro.core.batch.BatchQueryEngine` (sharing
+        ``workspace``); other segments fall back to a scalar loop.
+        Results are merged per query and match scalar :meth:`execute`
+        calls exactly.
+        """
+        scale = self.default_scale if scale is None else int(scale)
+        max_scale = self.default_max_scale if max_scale is None else int(max_scale)
+        segments = self.catalog.segments
+        with span("plan", method=method, segments=len(segments),
+                  queries=len(prepared_queries)):
+            plans = self.plan(method)
+        per_segment: list[list[QueryResult]] = []
+        for segment, plan in zip(segments, plans):
+            if plan.method == "index":
+                with span("transform", queries=len(prepared_queries),
+                          segment=segment.segment_id):
+                    query_sets = [
+                        transform_query(p, segment.grid) for p in prepared_queries
+                    ]
+                per_segment.append(
+                    segment.batch_engine(workspace).query_batch(query_sets, k=k)
+                )
+            else:
+                per_segment.append([
+                    self._run_segment(segment, plan.method, p, k, scale, max_scale)
+                    for p in prepared_queries
+                ])
+        if len(segments) == 1 and not (buffer is not None and len(buffer)):
+            return per_segment[0]
+        return [
+            self._merge([res[qi] for res in per_segment], plans, prepared, k, buffer)
+            for qi, prepared in enumerate(prepared_queries)
+        ]
+
+    def _run_segment(
+        self,
+        segment: Segment,
+        method: str,
+        prepared: np.ndarray,
+        k: int,
+        scale: int,
+        max_scale: int,
+    ) -> QueryResult:
+        """One segment's answer (segment-local neighbour indices)."""
+        with span("transform", segment=segment.segment_id):
+            query_set = transform_query(prepared, segment.grid)
+        if method == "naive":
+            return segment.naive_searcher().query(query_set, k=k)
+        if method == "index":
+            return segment.indexed_searcher().query(query_set, k=k)
+        if method == "pruning":
+            return segment.pruning_searcher(scale).query(query_set, k=k)
+        return segment.approximate_searcher(max_scale).query(
+            prepared, query_set, k=k
+        )
+
+    def _merge(
+        self,
+        results: list[QueryResult],
+        plans: list[SegmentPlan],
+        prepared: np.ndarray,
+        k: int,
+        buffer,
+    ) -> QueryResult:
+        """Deterministic global top-k over per-segment answers + buffer.
+
+        The KnnHeap orders by ``(similarity desc, global index asc)``,
+        the repo-wide tie-break, so the merge is bit-reproducible no
+        matter how the catalog is segmented.  Statistics are summed
+        counter-wise; buffered series count as exhaustively-scanned
+        candidates, exactly like the seed's ``_merge_buffer``.
+        """
+        n_buffered = len(buffer) if buffer is not None else 0
+        k = min(k, self.catalog.n_series + n_buffered)
+        with span("merge", segments=len(results), buffered=n_buffered):
+            heap = KnnHeap(k)
+            candidates = exact = pruned = rounds = 0
+            for result, plan in zip(results, plans):
+                stats = result.stats
+                candidates += stats.candidates
+                exact += stats.exact_computations
+                pruned += stats.pruned
+                rounds += stats.filter_rounds
+                for neighbor in result.neighbors:
+                    heap.consider(neighbor.similarity, neighbor.index + plan.offset)
+            if n_buffered:
+                buffer_query = transform_query(prepared, buffer.grid)
+                base = self.catalog.n_series
+                for offset, cell_set in enumerate(buffer.sets):
+                    heap.consider(jaccard(cell_set, buffer_query), base + offset)
+                candidates += n_buffered
+                exact += n_buffered
+            merged_stats = SearchStats(
+                candidates=candidates,
+                exact_computations=exact,
+                pruned=pruned,
+                filter_rounds=rounds,
+                final_candidates=len(heap),
+            )
+        if n_buffered:
+            get_registry().counter(
+                "sts3_buffer_merges_total",
+                "query answers refreshed from the update buffer",
+            ).inc()
+        return QueryResult(neighbors=heap.neighbors(), stats=merged_stats)

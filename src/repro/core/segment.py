@@ -1,0 +1,228 @@
+"""Immutable storage segments (the LSM-flavoured half of DESIGN.md §10).
+
+A :class:`Segment` owns one slice of the database: its series, the grid
+those series were digitized under, their set representations, and
+lazily-built per-segment searchers (naive / inverted-index / pruning /
+approximate) plus a batch engine.  Segments are *immutable*: sealing a
+flushed update buffer creates a new segment in O(buffer) work, a direct
+in-bound insert produces a replacement segment sharing the grid, and
+:meth:`~repro.core.catalog.SegmentCatalog.compact` merges segments by
+building a fresh one.  Queries never observe a half-updated segment.
+
+Because Jaccard similarity is a function of the grid, every segment
+keeps the grid its sets were computed under.  A sealed segment inherits
+the update buffer's grid *and* its already-computed sets, which is what
+makes a flush O(buffer): no series outside the buffer is re-transformed
+(the seed implementation re-transformed the whole database).  The
+``sts3_transforms_total`` counter (labelled by ``context``) makes that
+cost observable and is asserted in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..obs import get_registry
+from .approximate import ApproximateSearcher
+from .batch import BatchQueryEngine, QueryWorkspace
+from .grid import Bound, Grid
+from .indexed import IndexedSearcher
+from .naive import NaiveSearcher
+from .pruning import PruningSearcher
+from .setrep import transform
+
+__all__ = ["Segment", "count_transforms", "grid_for_bound"]
+
+
+def count_transforms(amount: int, context: str) -> None:
+    """Record ``amount`` series-to-set transforms on the shared registry.
+
+    ``context`` labels who paid: ``build`` (initial construction),
+    ``extend`` (direct insert), ``buffer`` (update-buffer adds and
+    bound-growth re-transforms), ``compact`` (segment merges), or
+    ``load`` (persistence).  The O(buffer)-flush acceptance test asserts
+    that sealing a buffer adds *no* ``build``/``compact`` transforms.
+    """
+    if amount:
+        get_registry().counter(
+            "sts3_transforms_total", "series set-representation transforms, by cause"
+        ).inc(amount, context=context)
+
+
+def grid_for_bound(bound: Bound, sigma: float, epsilon) -> Grid:
+    """The σ/ε grid over ``bound`` (per-axis heights when ``epsilon`` is a tuple)."""
+    if isinstance(epsilon, tuple):
+        return Grid.from_axis_cell_sizes(bound, sigma, epsilon)
+    return Grid.from_cell_sizes(bound, sigma, epsilon)
+
+
+class Segment:
+    """One immutable slice of the database: series + grid + set reps.
+
+    ``Neighbor.index`` values returned by the per-segment searchers are
+    *segment-local*; the query planner offsets them into global
+    positions when merging.  Searchers are built lazily and cached for
+    the segment's lifetime — there is no invalidation protocol, because
+    a segment's contents never change (mutation produces a new segment).
+    """
+
+    def __init__(
+        self,
+        segment_id: int,
+        series: list[np.ndarray],
+        grid: Grid,
+        sets: list[np.ndarray],
+    ):
+        if not series:
+            raise ParameterError("a segment must own at least one series")
+        if len(series) != len(sets):
+            raise ParameterError(
+                f"segment got {len(series)} series but {len(sets)} set reps"
+            )
+        self.segment_id = int(segment_id)
+        self.series = list(series)
+        self.grid = grid
+        self.sets = list(sets)
+        self._naive: NaiveSearcher | None = None
+        self._indexed: IndexedSearcher | None = None
+        self._pruning: dict[int, PruningSearcher] = {}
+        self._approximate: dict[int, ApproximateSearcher] = {}
+        self._batch_engine: BatchQueryEngine | None = None
+
+    @classmethod
+    def build(
+        cls,
+        segment_id: int,
+        series: list[np.ndarray],
+        sigma: float,
+        epsilon,
+        value_padding: float = 0.0,
+        context: str = "build",
+    ) -> "Segment":
+        """Build a segment from raw series: bound → grid → transforms.
+
+        This is the O(n) constructor — one transform per series — used
+        for initial construction and compaction.  Sealing a buffer uses
+        :class:`Segment` directly with the buffer's grid and sets.
+        """
+        bound = Bound.of_database(series, value_padding=value_padding)
+        grid = grid_for_bound(bound, sigma, epsilon)
+        sets = [transform(s, grid) for s in series]
+        count_transforms(len(series), context)
+        return cls(segment_id, series, grid, sets)
+
+    def extend(self, series_item: np.ndarray) -> "Segment":
+        """Replacement segment with one more (in-bound) series appended.
+
+        Shares the grid and every existing set representation, so only
+        the new series is transformed; fresh searcher caches preserve
+        the seed's invalidate-on-insert semantics.
+        """
+        cell_set = transform(series_item, self.grid)
+        count_transforms(1, "extend")
+        return Segment(
+            self.segment_id,
+            self.series + [series_item],
+            self.grid,
+            self.sets + [cell_set],
+        )
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Segment(id={self.segment_id}, series={len(self.series)}, "
+            f"cells={self.grid.n_cells})"
+        )
+
+    # -- searcher access ------------------------------------------------
+
+    def naive_searcher(self) -> NaiveSearcher:
+        """The segment's cached linear-scan searcher."""
+        if self._naive is None:
+            self._naive = NaiveSearcher(self.sets)
+        return self._naive
+
+    def indexed_searcher(self) -> IndexedSearcher:
+        """The segment's cached inverted-index searcher."""
+        if self._indexed is None:
+            self._indexed = IndexedSearcher(self.sets)
+        return self._indexed
+
+    def pruning_searcher(self, scale: int) -> PruningSearcher:
+        """The segment's cached zone-pruning searcher for ``scale``."""
+        scale = int(scale)
+        if scale not in self._pruning:
+            self._pruning[scale] = PruningSearcher(self.sets, self.grid, scale)
+        return self._pruning[scale]
+
+    def approximate_searcher(self, max_scale: int) -> ApproximateSearcher:
+        """The segment's cached multi-scale approximate searcher."""
+        max_scale = int(max_scale)
+        if max_scale not in self._approximate:
+            self._approximate[max_scale] = ApproximateSearcher(
+                self.series, self.sets, self.grid.bound, max_scale
+            )
+        return self._approximate[max_scale]
+
+    def batch_engine(self, workspace: QueryWorkspace | None = None) -> BatchQueryEngine:
+        """The segment's cached vectorized batch kernel."""
+        if self._batch_engine is None:
+            self._batch_engine = BatchQueryEngine(
+                self.indexed_searcher(), workspace=workspace or QueryWorkspace()
+            )
+        return self._batch_engine
+
+    # -- diagnostics ----------------------------------------------------
+
+    @property
+    def median_length(self) -> int:
+        """Median series length (drives the planner's auto heuristic)."""
+        return int(np.median([len(s) for s in self.series]))
+
+    def stats(self) -> dict:
+        """Per-segment statistics for catalogs, the CLI, and dashboards."""
+        lengths = [len(s) for s in self.series]
+        return {
+            "segment_id": self.segment_id,
+            "n_series": len(self.series),
+            "n_cells": self.grid.n_cells,
+            "n_columns": self.grid.n_columns,
+            "n_rows": self.grid.n_rows,
+            "min_length": min(lengths),
+            "median_length": self.median_length,
+            "max_length": max(lengths),
+            "searchers": sorted(
+                (["naive"] if self._naive is not None else [])
+                + (["index"] if self._indexed is not None else [])
+                + [f"pruning[{s}]" for s in self._pruning]
+                + [f"approximate[{s}]" for s in self._approximate]
+                + (["batch"] if self._batch_engine is not None else [])
+            ),
+        }
+
+    def verify_integrity(self, offset: int = 0) -> list[str]:
+        """Self-check; series are reported at global position ``offset + i``."""
+        problems: list[str] = []
+        if len(self.series) != len(self.sets):
+            problems.append(
+                f"{len(self.series)} series but {len(self.sets)} set reps"
+            )
+        for i, (series, cell_set) in enumerate(zip(self.series, self.sets)):
+            if not self.grid.bound.covers(Bound.of_series(series)):
+                problems.append(f"series {offset + i} escapes the database bound")
+            fresh = transform(series, self.grid)
+            if not np.array_equal(fresh, cell_set):
+                problems.append(
+                    f"series {offset + i} has a stale set representation"
+                )
+        if self._naive is not None and self._naive.sets is not self.sets:
+            problems.append("cached naive searcher references stale sets")
+        if self._indexed is not None and self._indexed.sets is not self.sets:
+            problems.append("cached index searcher references stale sets")
+        for scale, searcher in self._pruning.items():
+            if searcher.sets is not self.sets:
+                problems.append(f"cached pruning searcher (scale={scale}) is stale")
+        return problems

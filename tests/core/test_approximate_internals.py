@@ -64,3 +64,52 @@ class TestSparseFallback:
             b = sparse_searcher.query(query, query_set, k=3)
             assert a.indices() == b.indices()
             assert a.similarities() == pytest.approx(b.similarities())
+
+
+class TestRefinementSelection:
+    """The O(n) top-k refinement must match an exhaustive reference.
+
+    The refinement stage ranks filter survivors with
+    ``selection.top_k_indices`` instead of a heap; parity here means the
+    same neighbours in the same order under the repo-wide
+    ``(similarity desc, database index asc)`` tie-break.
+    """
+
+    @pytest.mark.parametrize("k", [1, 3, 10, 50])
+    def test_matches_exhaustive_reference(self, data, k):
+        from repro.core.jaccard import jaccard
+
+        series, sets, bound = data
+        searcher = ApproximateSearcher(series, sets, bound, max_scale=4)
+        grid = Grid.from_cell_sizes(bound, 2, 0.4)
+        rng = np.random.default_rng(2)
+        for trial in range(5):
+            query = series[trial] if trial < 2 else rng.normal(size=48)
+            query_set = transform(query, grid)
+            result = searcher.query(query, query_set, k=k)
+            # Reference: exhaustively rank the SAME survivors the filter
+            # kept, with an explicit stable sort.
+            survivors, _ = searcher.filter_candidates(query, k=k)
+            ranked = sorted(
+                ((jaccard(sets[i], query_set), int(i)) for i in survivors),
+                key=lambda t: (-t[0], t[1]),
+            )[: min(k, len(survivors))]
+            got = [(n.similarity, n.index) for n in result.neighbors]
+            assert got == ranked
+
+    def test_duplicate_similarities_prefer_smaller_index(self, data):
+        series, _, bound = data
+        # Duplicate every series so exact ties are guaranteed.
+        doubled = series + [s.copy() for s in series]
+        grid = Grid.from_cell_sizes(Bound.of_database(doubled), 2, 0.4)
+        doubled_sets = [transform(s, grid) for s in doubled]
+        searcher = ApproximateSearcher(
+            doubled, doubled_sets, Bound.of_database(doubled), max_scale=4
+        )
+        result = searcher.query(doubled[3], doubled_sets[3], k=2)
+        sims = [n.similarity for n in result.neighbors]
+        indices = [n.index for n in result.neighbors]
+        assert sims[0] == 1.0
+        # the twin pair (3, 28) ties at 1.0; smaller index first
+        assert indices[0] == 3
+        assert sims == sorted(sims, reverse=True)

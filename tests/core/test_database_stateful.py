@@ -1,7 +1,8 @@
 """Hypothesis stateful test of STS3Database against a naive model.
 
 The rule machine interleaves in-bound inserts, out-of-bound inserts,
-explicit flushes, and queries through every method, checking after each
+explicit flushes, segment compactions, and queries through every
+method, checking after each
 query that the database's best answer matches a model that just stores
 all series and compares transformed sets directly.  This hunts for
 state bugs the example-based tests can't reach: stale caches after
@@ -59,6 +60,11 @@ class DatabaseMachine(RuleBasedStateMachine):
     def flush(self):
         self.db.flush()
 
+    @rule()
+    def compact(self):
+        """Merging segments must preserve sizes, integrity, and indices."""
+        self.db.compact()
+
     @invariant()
     def sizes_agree(self):
         assert len(self.db) == len(self.model)
@@ -77,12 +83,14 @@ class DatabaseMachine(RuleBasedStateMachine):
         query = _series(self.seed + 30_000 + offset)
         result = self.db.query(query, k=k, method=method)
 
-        # Model: transform against main grid / buffer grid exactly as
-        # the database documents, then rank.
-        from repro.core.setrep import transform, transform_query
+        # Model: transform against each segment's grid and the buffer
+        # grid exactly as the database documents, then rank globally.
+        from repro.core.setrep import transform_query
 
-        main_q = transform_query(query, self.db.grid)
-        sims = [jaccard(s, main_q) for s in self.db.sets]
+        sims = []
+        for segment in self.db.catalog.segments:
+            segment_q = transform_query(query, segment.grid)
+            sims += [jaccard(s, segment_q) for s in segment.sets]
         buffer_q = transform_query(query, self.db.buffer.grid)
         sims += [jaccard(s, buffer_q) for s in self.db.buffer.sets]
         expected = sorted(

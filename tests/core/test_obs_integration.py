@@ -159,15 +159,42 @@ class TestUpdateSpans:
         merges = fresh_registry.counter("sts3_buffer_merges_total")
         assert merges.value() == 1.0
 
-    def test_flush_emits_span_and_rebuild_counter(self, tiny_db,
-                                                  out_of_bound_series,
-                                                  fresh_registry):
+    def test_flush_emits_seal_span_and_counter(self, tiny_db,
+                                               out_of_bound_series,
+                                               fresh_registry):
         tiny_db.insert(out_of_bound_series)
         _, tracer = traced(tiny_db.flush)
-        assert tracer.stage_counts()["flush"] == 1
+        counts = tracer.stage_counts()
+        assert counts["flush"] == 1
+        assert counts["segment.seal"] == 1
         assert len(tiny_db.buffer) == 0
+        sealed = fresh_registry.counter("sts3_segments_sealed_total")
+        assert sealed.value() == 1.0
+        # Sealing is not a rebuild: the rebuild counter moved to compact().
+        assert fresh_registry.counter("sts3_rebuilds_total").value() == 0.0
+
+    def test_compact_emits_span_and_rebuild_counter(self, tiny_db,
+                                                    out_of_bound_series,
+                                                    fresh_registry):
+        tiny_db.insert(out_of_bound_series)
+        tiny_db.flush()
+        _, tracer = traced(tiny_db.compact)
+        assert tracer.stage_counts()["segment.compact"] == 1
+        assert len(tiny_db.catalog.segments) == 1
         rebuilds = fresh_registry.counter("sts3_rebuilds_total")
         assert rebuilds.value() == 1.0
+
+    def test_multi_segment_query_emits_plan_and_merge(self, tiny_db, rng,
+                                                      out_of_bound_series):
+        tiny_db.insert(out_of_bound_series)
+        tiny_db.flush()
+        _, tracer = traced(
+            lambda: tiny_db.query(rng.normal(size=32), k=3, method="index")
+        )
+        counts = tracer.stage_counts()
+        assert counts["plan"] == 1
+        assert counts["merge"] == 1
+        assert counts["transform"] == 2  # one per segment
 
 
 class TestPersistenceSpans:

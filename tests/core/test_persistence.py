@@ -120,3 +120,81 @@ class TestErrors:
         np.savez(path, **data)
         with pytest.raises(DatasetError):
             load_database(path)
+
+
+class TestFormatVersions:
+    def _rewrite_header(self, path, mutate):
+        import json
+
+        with np.load(path) as archive:
+            data = dict(archive)
+        header = json.loads(bytes(data["header"]).decode())
+        mutate(header)
+        data["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+        np.savez(path, **data)
+
+    def test_v1_archive_loads_as_single_segment(self, db, tmp_path):
+        """A pre-segmentation (v1, no segment table) archive still loads.
+
+        The legacy path reconstructs through the constructor — one
+        bootstrap segment with a freshly-derived tight bound — which is
+        exactly what the pre-segmented engine did on load.
+        """
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+
+        def to_v1(header):
+            header["format_version"] = 1
+            del header["segments"]
+
+        self._rewrite_header(path, to_v1)
+        loaded = load_database(path)
+        assert len(loaded.catalog.segments) == 1
+        assert len(loaded) == len(db)
+        assert loaded.verify_integrity() == []
+        rng = np.random.default_rng(6)
+        for _ in range(3):
+            query = rng.normal(size=48)
+            a = db.query(query, k=4, method="index")
+            b = loaded.query(query, k=4, method="index")
+            assert a.indices() == b.indices()
+            assert a.similarities() == b.similarities()
+
+    def test_v2_archive_restores_segment_table(self, tmp_path):
+        rng = np.random.default_rng(7)
+        db = STS3Database(
+            [rng.normal(size=32) for _ in range(10)],
+            sigma=2, epsilon=0.5, normalize=False, buffer_capacity=2,
+        )
+        for i in range(2):  # fills the buffer → seals a delta segment
+            spike = rng.normal(size=32)
+            spike[0] = 60.0 + 10.0 * i
+            db.insert(spike)
+        assert len(db.catalog.segments) == 2
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert [len(s) for s in loaded.catalog.segments] == [
+            len(s) for s in db.catalog.segments
+        ]
+        query = rng.normal(size=32)
+        for method in ("naive", "index", "pruning", "approximate"):
+            a = db.query(query, k=3, method=method)
+            b = loaded.query(query, k=3, method=method)
+            assert a.indices() == b.indices()
+            assert a.similarities() == b.similarities()
+
+    def test_truncated_segment_table_rejected(self, tmp_path):
+        rng = np.random.default_rng(8)
+        db = STS3Database(
+            [rng.normal(size=32) for _ in range(6)], sigma=2, epsilon=0.5
+        )
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+
+        def corrupt(header):
+            header["segments"][0]["size"] = 3  # claims fewer than stored
+
+        self._rewrite_header(path, corrupt)
+        with pytest.raises(DatasetError):
+            load_database(path)

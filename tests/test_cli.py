@@ -144,3 +144,33 @@ class TestCommands:
     def test_join_strict_threshold_finds_nothing(self, ucr_file, capsys):
         assert main(["join", str(ucr_file), "--threshold", "0.999"]) == 0
         assert "0 pairs" in capsys.readouterr().out
+
+    def test_inspect(self, tmp_path, capsys):
+        from repro import STS3Database
+        from repro.core import save_database
+
+        rng = np.random.default_rng(5)
+        db = STS3Database(
+            [rng.normal(size=32) for _ in range(12)],
+            sigma=2, epsilon=0.5, normalize=False, buffer_capacity=2,
+        )
+        spiked = rng.normal(size=32)
+        spiked[0] = 50.0
+        db.insert(spiked)
+        db.insert(spiked + 10.0)  # fills the buffer: seals a delta segment
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "14 series in 2 segment(s)" in out
+        assert "grid (rows x cols)" in out
+        # one row per segment, offsets 0 and 12
+        body = out[out.index("grid (rows x cols)"):].splitlines()[1:]
+        rows = [line.split() for line in body if line.strip()]
+        assert [r[1] for r in rows] == ["0", "12"]
+        assert [r[2] for r in rows] == ["12", "2"]
+
+    def test_inspect_missing_file(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope.npz")]) == 2
+        assert "cannot load" in capsys.readouterr().err

@@ -32,6 +32,9 @@ SUBMODULES = [
     "repro.core.pruning",
     "repro.core.approximate",
     "repro.core.database",
+    "repro.core.segment",
+    "repro.core.catalog",
+    "repro.core.planner",
     "repro.core.tuning",
     "repro.baselines",
     "repro.baselines.ed",
