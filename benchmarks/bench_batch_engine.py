@@ -26,18 +26,30 @@ work, checks query answers are bit-identical before and after both
 operations, and fails when the seal is not at least
 ``--min-flush-speedup`` times faster than the rebuild.
 
+It also runs a kernel ablation on a dense-overlap workload (small
+shared vocabulary, coarse grid): the sparse, dense, and bitset batch
+kernels are timed on identical queries, answers are checked
+bit-identical, and the run fails when the bitset kernel is not faster
+than the sparse kernel (``--min-bitset-speedup`` raises the floor).
+
+Every run additionally *appends* a machine-tagged summary to
+``BENCH_trajectory.json`` (``--trajectory``; schema-versioned,
+append-only), so performance across PRs stays diffable even though
+``BENCH_batch_engine.json`` is overwritten in place.
+
 Run standalone (defaults reproduce the acceptance workload: 10,000
 database series, 200 queries, k=10)::
 
     PYTHONPATH=src python benchmarks/bench_batch_engine.py
 
 or as a CI perf-smoke on a small workload, failing when the batch
-engine is slower than the scalar loop or sealing is not faster than
-rebuilding::
+engine is slower than the scalar loop, sealing is not faster than
+rebuilding, or the bitset kernel loses to sparse::
 
     PYTHONPATH=src python benchmarks/bench_batch_engine.py \
         --series 1500 --queries 60 --repeats 5 --min-speedup 1.0 \
-        --insert-series 1200 --insert-buffer 48 --min-flush-speedup 2.0
+        --insert-series 1200 --insert-buffer 48 --min-flush-speedup 2.0 \
+        --bitset-series 2000 --bitset-queries 48 --min-bitset-speedup 2.0
 """
 
 from __future__ import annotations
@@ -53,10 +65,16 @@ import numpy as np
 
 from repro import STS3Database, __version__, aggregate_stats
 from repro.bench import run_traced
+from repro.core.batch import BatchQueryEngine
 from repro.data.workloads import ecg_workload
 from repro.obs import span
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batch_engine.json"
+DEFAULT_TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_trajectory.json"
+
+#: trajectory schema version — bump only on incompatible entry changes;
+#: readers must skip entries with a newer schema than they understand.
+TRAJECTORY_SCHEMA = 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +104,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit non-zero when sealing a buffer is not at "
                              "least this many times faster than the "
                              "equivalent full rebuild (compact)")
+    parser.add_argument("--bitset-series", type=int, default=4000,
+                        help="database size for the dense-overlap kernel "
+                             "ablation")
+    parser.add_argument("--bitset-queries", type=int, default=64,
+                        help="query batch size for the kernel ablation")
+    parser.add_argument("--min-bitset-speedup", type=float, default=None,
+                        help="exit non-zero when the bitset kernel is not at "
+                             "least this many times faster than the sparse "
+                             "kernel on the dense-overlap workload")
+    parser.add_argument("--trajectory", type=Path, default=DEFAULT_TRAJECTORY,
+                        help="append-only run history path ('-' to skip)")
     return parser
 
 
@@ -199,6 +228,107 @@ def run_insert_workload(args: argparse.Namespace) -> dict:
     )
     print(f"seal speedup: {speedup:.1f}x   identical={identical}")
     return record
+
+
+def run_bitset_ablation(args: argparse.Namespace) -> dict:
+    """Time the three batch kernels on a dense-overlap workload.
+
+    Short windows under a coarse grid (``sigma=8, epsilon=2.0``) give a
+    ~50-cell vocabulary that every series shares, so the sparse
+    kernel's gathered-pair count approaches ``n_queries × total
+    postings`` while the whole database packs into one uint64 word per
+    series — the regime the bitset kernel exists for.  Answers are
+    checked bit-identical across all three kernels; the recorded
+    ``bitset_speedup`` (sparse/bitset) backs the CI floor.
+    """
+    n, q = args.bitset_series, args.bitset_queries
+    print(
+        f"kernel ablation: {n} series x {q} queries, dense-overlap grid "
+        f"({args.repeats} repeats)",
+        flush=True,
+    )
+    workload = ecg_workload(n, q, 64, seed=args.seed)
+    db = STS3Database(workload.database, sigma=8, epsilon=2.0)
+    searcher = db.indexed_searcher()
+    query_sets = [db.transform_query(series) for series in workload.queries]
+
+    timings: dict[str, float] = {}
+    answers: dict[str, list] = {}
+    for kernel in ("sparse", "dense", "bitset"):
+        engine = BatchQueryEngine(searcher, kernel=kernel)
+        answers[kernel] = _neighbor_lists(engine.query_batch(query_sets, k=args.k))
+        best = float("inf")
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            engine.query_batch(query_sets, k=args.k)
+            best = min(best, time.perf_counter() - start)
+        timings[kernel] = best
+    auto_engine = BatchQueryEngine(searcher, kernel="auto")
+    auto_engine.query_batch(query_sets, k=args.k)
+
+    identical = (
+        answers["sparse"] == answers["dense"] == answers["bitset"]
+    )
+    speedup = timings["sparse"] / timings["bitset"]
+    record = {
+        "n_series": n,
+        "n_queries": q,
+        "distinct_cells": int(np.unique(searcher._cells).size),
+        "kernels_seconds": {k: round(v, 6) for k, v in timings.items()},
+        "auto_selected": auto_engine.last_kernels[:1],
+        "bitset_speedup": round(speedup, 3),
+        "identical_neighbor_lists": identical,
+    }
+    for kernel, seconds in timings.items():
+        print(f"{kernel:>7} kernel: {seconds * 1e3:8.2f} ms")
+    print(
+        f"bitset vs sparse: {speedup:.1f}x   identical={identical}   "
+        f"auto={record['auto_selected']}"
+    )
+    return record
+
+
+def append_trajectory(record: dict, path: Path) -> None:
+    """Append this run to the machine-tagged trajectory history.
+
+    The file holds ``{"schema": N, "runs": [...]}`` and is append-only:
+    entries are never rewritten, so perf across PRs is diffable.  A
+    missing or unreadable file starts a fresh history (the trajectory
+    must never block a benchmark run).
+    """
+    history = {"schema": TRAJECTORY_SCHEMA, "runs": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                history["runs"] = loaded["runs"]
+        except (json.JSONDecodeError, OSError):
+            print(f"warning: {path} unreadable, starting a fresh trajectory")
+    entry = {
+        "schema": TRAJECTORY_SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "repro": __version__,
+        },
+        "workload": record["workload"],
+        "summary": {
+            "batch_speedup": record["speedup"],
+            "batch_queries_per_second":
+                record["batch_engine"]["queries_per_second"],
+            "flush_speedup": record["insert_workload"]["flush_speedup"],
+            "bitset_speedup": record["bitset_ablation"]["bitset_speedup"],
+            "bitset_kernels_seconds":
+                record["bitset_ablation"]["kernels_seconds"],
+            "trace_overhead": record["traced_run"]["overhead_vs_untraced"],
+        },
+    }
+    history["runs"].append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended run {len(history['runs'])} to {path}")
 
 
 def run(args: argparse.Namespace) -> dict:
@@ -327,6 +457,7 @@ def run(args: argparse.Namespace) -> dict:
         f"(~{noop_fraction:.2%} of scalar query time)"
     )
     record["insert_workload"] = run_insert_workload(args)
+    record["bitset_ablation"] = run_bitset_ablation(args)
     return record
 
 
@@ -337,6 +468,8 @@ def main(argv=None) -> int:
     if str(args.output) != "-":
         args.output.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {args.output}")
+    if str(args.trajectory) != "-":
+        append_trajectory(record, args.trajectory)
 
     if not record["identical_neighbor_lists"]:
         print("FAIL: batch engine returned different neighbours", file=sys.stderr)
@@ -380,6 +513,32 @@ def main(argv=None) -> int:
         print(
             f"FAIL: flush speedup {insert['flush_speedup']:.1f}x below "
             f"required {args.min_flush_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    ablation = record["bitset_ablation"]
+    if not ablation["identical_neighbor_lists"]:
+        print(
+            "FAIL: kernels disagreed on the dense-overlap workload",
+            file=sys.stderr,
+        )
+        return 1
+    if ablation["bitset_speedup"] <= 1.0:
+        print(
+            f"FAIL: bitset kernel "
+            f"({ablation['kernels_seconds']['bitset']}s) was not faster "
+            f"than sparse ({ablation['kernels_seconds']['sparse']}s) on "
+            f"the dense-overlap workload",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_bitset_speedup is not None
+        and ablation["bitset_speedup"] < args.min_bitset_speedup
+    ):
+        print(
+            f"FAIL: bitset speedup {ablation['bitset_speedup']:.1f}x below "
+            f"required {args.min_bitset_speedup:.1f}x",
             file=sys.stderr,
         )
         return 1

@@ -15,8 +15,10 @@ Subcommands:
   ``--metrics-json PATH`` writes per-stage timings plus the metric
   registry snapshot as JSON.
 - ``sts3 inspect`` — open a saved database (``save_database`` .npz)
-  and print its segment catalog: per-segment sizes, grid shapes, and
-  buffer occupancy (see DESIGN.md §10 on the segmented engine).
+  and print its segment catalog: per-segment sizes, grid shapes,
+  resident bytes per set representation (sorted arrays / packed
+  bitmaps / coarse levels), and buffer occupancy (see DESIGN.md §10
+  on the segmented engine, §11 on the packed bitsets).
 
 The CLI exists so a downstream user can try the system without writing
 code; anything deeper should use the library API (see README).
@@ -62,7 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="value-axis cell height")
     query.add_argument(
         "--method",
-        choices=["auto", "naive", "index", "pruning", "approximate"],
+        choices=["auto", "naive", "index", "pruning", "approximate", "minhash"],
         default="auto",
     )
     query.add_argument("--trace", action="store_true",
@@ -83,7 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="value-axis cell height")
     batch.add_argument(
         "--method",
-        choices=["auto", "naive", "index", "pruning", "approximate"],
+        choices=["auto", "naive", "index", "pruning", "approximate", "minhash"],
         default="index",
         help="index engages the vectorized batch kernel",
     )
@@ -326,17 +328,35 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         f"{len(db.buffer)} buffered (capacity {db.buffer.capacity}), "
         f"generation {catalog.generation}, {db.rebuild_count} flush(es)"
     )
-    print(f"{'id':>4} {'offset':>7} {'series':>7} {'cells':>9}  grid (rows x cols)")
+    print(
+        f"{'id':>4} {'offset':>7} {'series':>7} {'cells':>9} "
+        f"{'sorted':>9} {'packed':>9} {'coarse':>9}  grid (rows x cols)"
+    )
     for row in catalog.describe():
         rows = row["n_rows"]
         rows_text = (
             ",".join(str(r) for r in rows) if isinstance(rows, tuple) else str(rows)
         )
+        memory = row["memory"]
         print(
             f"{row['segment_id']:>4} {row['offset']:>7} {row['n_series']:>7} "
-            f"{row['n_cells']:>9}  {rows_text} x {row['n_columns']}"
+            f"{row['n_cells']:>9} "
+            f"{_fmt_bytes(memory['sorted_sets_bytes']):>9} "
+            f"{_fmt_bytes(memory['packed_bitset_bytes']):>9} "
+            f"{_fmt_bytes(memory['coarse_levels_bytes']):>9}  "
+            f"{rows_text} x {row['n_columns']}"
         )
     return 0
+
+
+def _fmt_bytes(amount: int) -> str:
+    """Human-readable byte count (fixed-ish width for table columns)."""
+    value = float(amount)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{int(value)}B"  # pragma: no cover - unreachable
 
 
 def _cmd_join(args: argparse.Namespace) -> int:

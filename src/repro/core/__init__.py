@@ -7,6 +7,7 @@ buffered updates and the parameter-tuning utilities.
 
 from .approximate import ApproximateSearcher
 from .batch import BatchQueryEngine, QueryWorkspace, batch_query
+from .bitset import BitsetStore, popcount_u64, popcount_u64_lut
 from .catalog import SegmentCatalog
 from .clustering import cluster_series, k_medoids
 from .database import STS3Database, UpdateBuffer
@@ -46,6 +47,7 @@ from .tuning import (
 __all__ = [
     "ApproximateSearcher",
     "BatchQueryEngine",
+    "BitsetStore",
     "Bound",
     "CompressedSet",
     "DictInvertedIndex",
@@ -85,6 +87,8 @@ __all__ = [
     "jaccard_distance",
     "jaccard_from_intersection",
     "load_database",
+    "popcount_u64",
+    "popcount_u64_lut",
     "save_database",
     "size_upper_bound",
     "sts3_error_rate",

@@ -9,12 +9,14 @@ candidates survive.  The survivors are finally ranked by their exact
 full-resolution Jaccard similarity.
 
 Implementation note: a coarse grid at scale ``s`` has only ``s²`` cells
-(per value dimension), so the coarse sets are stored as a dense 0/1
-incidence matrix of shape ``(N, n_cells)``; the coarse Jaccard of the
-query against *every* candidate is then a single matrix-vector product
-— the Python-level loop the paper's Java implementation runs per
-candidate becomes three vectorized numpy expressions.  (For very
-high-dimensional series whose coarse grids exceed
+(per value dimension), so a series' coarse set packs into
+``ceil(s²/64)`` uint64 words — a :class:`~repro.core.bitset.BitsetStore`
+row.  Every refinement round then runs as a popcount kernel: the coarse
+``|S ∩ Q|`` of the query against all surviving candidates is
+``popcount(matrix[candidates] & q)`` in one vectorized pass, replacing
+both the paper's per-candidate Java loop and the earlier one-hot
+incidence-matrix product (at 1/8th the memory of a uint8 matrix).
+(For very high-dimensional series whose coarse grids exceed
 ``_DENSE_CELL_LIMIT`` cells, the code falls back to per-candidate
 merges.)
 
@@ -30,6 +32,7 @@ import numpy as np
 
 from ..exceptions import EmptyDatabaseError, ParameterError
 from ..obs import span
+from .bitset import BitsetStore
 from .grid import Bound, Grid
 from .jaccard import jaccard
 from .result import Neighbor, QueryResult, SearchStats
@@ -38,12 +41,18 @@ from .setrep import transform
 
 __all__ = ["ApproximateSearcher"]
 
-#: coarse grids larger than this use sorted-array sets, not matrices.
+#: coarse grids larger than this use sorted-array sets, not bitsets.
 _DENSE_CELL_LIMIT = 65536
 
 
 class _CoarseLevel:
-    """One scale's precomputed representation of the whole database."""
+    """One scale's precomputed representation of the whole database.
+
+    A ``maxScale × maxScale`` grid fits every series in
+    ``ceil(maxScale²/64)`` uint64 words, so the level is a tiny
+    :class:`BitsetStore` and each refinement round is one popcount
+    kernel over the surviving candidates.
+    """
 
     def __init__(self, grid: Grid, series: list[np.ndarray]):
         self.grid = grid
@@ -51,22 +60,26 @@ class _CoarseLevel:
         self.lengths = np.asarray([len(s) for s in sets], dtype=np.int64)
         self.dense = grid.n_cells <= _DENSE_CELL_LIMIT
         if self.dense:
-            matrix = np.zeros((len(sets), grid.n_cells), dtype=np.uint8)
-            for row, cell_set in zip(matrix, sets):
-                row[cell_set] = 1
-            self.matrix = matrix
+            self.store: BitsetStore | None = BitsetStore(sets)
             self.sets: list[np.ndarray] | None = None
         else:  # exercised via the sparse-fallback tests
-            self.matrix = None
+            self.store = None
             self.sets = sets
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of this level's candidate representation."""
+        if self.store is not None:
+            return self.store.nbytes + self.lengths.nbytes
+        return sum(s.nbytes for s in self.sets) + self.lengths.nbytes
 
     def similarities(self, candidates: np.ndarray, query_rep: np.ndarray) -> np.ndarray:
         """Coarse Jaccard of the query against each candidate index."""
         q_len = len(query_rep)
         if self.dense:
-            q_vec = np.zeros(self.grid.n_cells, dtype=np.uint8)
-            q_vec[query_rep] = 1
-            inter = self.matrix[candidates] @ q_vec.astype(np.int64)
+            inter = self.store.intersection_counts_rows(
+                candidates, self.store.pack(query_rep)
+            )
         else:
             inter = np.asarray(
                 [

@@ -1,0 +1,268 @@
+"""Packed-bitset set representation with popcount Jaccard kernels.
+
+STS3 reduces similarity search to set intersection, and a grid cell set
+is exactly a small sparse bitmap over the segment's cell vocabulary.
+:class:`BitsetStore` exploits that: it remaps the segment's distinct
+cell IDs to dense bit columns and packs every series' set into one row
+of an ``(n_series, ceil(vocab/64))`` uint64 matrix.  The exact
+intersection size of a query against *all* candidates then collapses to
+a single vectorized pass::
+
+    |S_i ∩ Q|  =  popcount(matrix[i] & q)     for every i at once
+
+with ``popcount`` either numpy >= 2.0's :func:`numpy.bitwise_count` or
+a uint8 lookup-table fallback (one gather + row sum) on older numpy.
+Counts are bit-identical to the sorted-merge ``intersect1d`` path —
+same integers in, same float64 Jaccard out — so every searcher can swap
+its per-candidate merge loop for one popcount sweep without perturbing
+results or deterministic tie-breaks.
+
+Query cells absent from the vocabulary (including Algorithm 6's
+out-of-bound ID space) intersect nothing by construction and are
+dropped during packing; ``|Q|`` always uses the *full* query set size,
+so the Jaccard denominator is unchanged.
+
+Memory math (DESIGN.md §11): sorted int64 arrays cost ``8 · Σ|S_i|``
+bytes; the packed matrix costs ``8 · n · ceil(v/64)`` for vocabulary
+size ``v``.  Packing wins whenever the average set size exceeds
+``ceil(v/64)`` — i.e. on dense-overlap segments, which is exactly where
+the per-candidate merge loop is slowest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..obs import span
+
+__all__ = [
+    "BitsetStore",
+    "HAVE_BITWISE_COUNT",
+    "popcount_u64",
+    "popcount_u64_lut",
+]
+
+#: numpy >= 2.0 ships a vectorized popcount ufunc.
+HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: per-byte popcount table for the numpy < 2.0 fallback.
+_BYTE_POPCOUNT = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)
+
+
+def popcount_u64_lut(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint64 array via a uint8 lookup table.
+
+    The fallback for numpy < 2.0: view the (contiguous) words as bytes,
+    gather per-byte counts, and fold the 8 bytes of every word back
+    together.  Returns int64 counts with ``words.shape``.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    per_byte = _BYTE_POPCOUNT[words.view(np.uint8)]
+    return per_byte.reshape(words.shape + (8,)).sum(axis=-1, dtype=np.int64)
+
+
+def popcount_u64(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint64 array (int64 result).
+
+    Uses :func:`numpy.bitwise_count` when available (numpy >= 2.0) and
+    the lookup-table fallback otherwise.
+    """
+    if HAVE_BITWISE_COUNT:
+        return np.bitwise_count(words).astype(np.int64)
+    return popcount_u64_lut(words)
+
+
+class BitsetStore:
+    """Packed bitmap of many cell-ID sets over a shared vocabulary.
+
+    Parameters
+    ----------
+    sets:
+        Sorted unique int64 cell-ID arrays (one per series), exactly as
+        produced by :func:`repro.core.setrep.transform`.
+    use_lut:
+        Force the uint8 lookup-table popcount (``True``), force the
+        numpy ufunc (``False``, raises if unavailable), or auto-detect
+        (``None``, the default).  Tests use this to exercise the
+        numpy < 2.0 path on any numpy.
+
+    Attributes
+    ----------
+    vocab:
+        Sorted distinct cell IDs across all sets (the dense column map).
+    matrix:
+        ``(n_series, n_words)`` uint64; bit ``j`` of word ``w`` in row
+        ``i`` is set iff series ``i`` contains ``vocab[64·w + j]``.
+    lengths:
+        int64 set sizes (the ``|S_i|`` Jaccard terms).
+    """
+
+    def __init__(self, sets: list[np.ndarray], use_lut: bool | None = None):
+        if use_lut is None:
+            use_lut = not HAVE_BITWISE_COUNT
+        elif not use_lut and not HAVE_BITWISE_COUNT:
+            raise ParameterError(
+                "use_lut=False requires numpy.bitwise_count (numpy >= 2.0)"
+            )
+        self.use_lut = bool(use_lut)
+        self.lengths = np.asarray([len(s) for s in sets], dtype=np.int64)
+        total = int(self.lengths.sum())
+        all_cells = (
+            np.concatenate(sets) if total else np.empty(0, dtype=np.int64)
+        )
+        self.vocab = np.unique(all_cells)
+        self.n_words = (self.vocab.size + 63) // 64
+        self.matrix = np.zeros((len(sets), self.n_words), dtype=np.uint64)
+        if total:
+            # Every set is a subset of the vocabulary by construction,
+            # so the searchsorted rank is exact — no membership check.
+            columns = np.searchsorted(self.vocab, all_cells)
+            rows = np.repeat(
+                np.arange(len(sets), dtype=np.int64), self.lengths
+            )
+            flat = rows * self.n_words + (columns >> 6)
+            bits = np.uint64(1) << (columns & 63).astype(np.uint64)
+            np.bitwise_or.at(self.matrix.reshape(-1), flat, bits)
+
+    @classmethod
+    def from_parts(
+        cls,
+        vocab: np.ndarray,
+        matrix: np.ndarray,
+        lengths: np.ndarray,
+        use_lut: bool | None = None,
+    ) -> "BitsetStore":
+        """Reassemble a store from persisted arrays (format v3).
+
+        The parts are adopted verbatim; shape consistency is validated
+        so a corrupted archive fails loudly instead of mis-counting.
+        """
+        matrix = np.ascontiguousarray(matrix, dtype=np.uint64)
+        vocab = np.asarray(vocab, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        n_words = (vocab.size + 63) // 64
+        if matrix.ndim != 2 or matrix.shape != (lengths.size, n_words):
+            raise ParameterError(
+                f"bitset matrix shape {matrix.shape} does not match "
+                f"{lengths.size} series x {n_words} words"
+            )
+        self = cls.__new__(cls)
+        self.use_lut = (
+            bool(use_lut) if use_lut is not None else not HAVE_BITWISE_COUNT
+        )
+        self.vocab = vocab
+        self.n_words = n_words
+        self.matrix = matrix
+        self.lengths = lengths
+        return self
+
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the packed representation (matrix + vocab)."""
+        return self.matrix.nbytes + self.vocab.nbytes + self.lengths.nbytes
+
+    # -- packing ---------------------------------------------------------
+
+    def pack(self, cell_set: np.ndarray) -> np.ndarray:
+        """Pack a (possibly foreign) cell set into one uint64 word row.
+
+        Cells outside the vocabulary — unseen database cells or
+        Algorithm 6 out-of-bound query IDs — cannot intersect any
+        stored set and are dropped; the caller keeps using the full
+        ``len(cell_set)`` for the union term.
+        """
+        words = np.zeros(self.n_words, dtype=np.uint64)
+        cells = np.asarray(cell_set, dtype=np.int64)
+        if cells.size == 0 or self.vocab.size == 0:
+            return words
+        ranks = np.searchsorted(self.vocab, cells)
+        present = ranks < self.vocab.size
+        present &= self.vocab[np.where(present, ranks, 0)] == cells
+        columns = ranks[present]
+        if columns.size:
+            np.bitwise_or.at(
+                words,
+                columns >> 6,
+                np.uint64(1) << (columns & 63).astype(np.uint64),
+            )
+        return words
+
+    # -- popcount kernels ------------------------------------------------
+
+    def _popcount(self, words: np.ndarray) -> np.ndarray:
+        if self.use_lut:
+            return popcount_u64_lut(words)
+        return np.bitwise_count(words).astype(np.int64)
+
+    def _sweep(self, rows: np.ndarray, q_words: np.ndarray) -> np.ndarray:
+        """``popcount(rows & q)`` summed per row — the shared inner kernel."""
+        if rows.shape[1] == 0:
+            return np.zeros(rows.shape[0], dtype=np.int64)
+        return self._popcount(rows & q_words[None, :]).sum(
+            axis=1, dtype=np.int64
+        )
+
+    def intersection_counts(self, query_set: np.ndarray) -> np.ndarray:
+        """``|S_i ∩ Q|`` for every stored series, in one popcount pass."""
+        q_words = self.pack(query_set)
+        with span("kernel.bitset", rows=len(self), words=self.n_words):
+            return self._sweep(self.matrix, q_words)
+
+    def intersection_counts_rows(
+        self, rows: np.ndarray, q_words: np.ndarray
+    ) -> np.ndarray:
+        """``|S_i ∩ Q|`` for the selected row indices only.
+
+        ``q_words`` must come from :meth:`pack`; used by the pruning
+        searcher to evaluate one best-first chunk per popcount pass.
+        """
+        with span("kernel.bitset", rows=len(rows), words=self.n_words):
+            return self._sweep(self.matrix[rows], q_words)
+
+    def masked_counts(self, q_words: np.ndarray, masks: np.ndarray) -> np.ndarray:
+        """``popcount(q & mask_z)`` for every mask row ``z``.
+
+        With one mask per pruning zone this computes the query's zone
+        histogram (restricted to the vocabulary) as ``n_zones`` masked
+        popcounts instead of a decode + bincount pass.
+        """
+        with span("kernel.bitset", rows=len(masks), words=self.n_words):
+            return self._sweep(masks, q_words)
+
+    def column_masks(self, groups: np.ndarray, n_groups: int) -> np.ndarray:
+        """``(n_groups, n_words)`` masks selecting each group's columns.
+
+        ``groups`` assigns every vocabulary column to a group (e.g. its
+        pruning zone); the returned masks feed :meth:`masked_counts`.
+        """
+        masks = np.zeros((int(n_groups), self.n_words), dtype=np.uint64)
+        if self.vocab.size:
+            columns = np.arange(self.vocab.size, dtype=np.int64)
+            flat = np.asarray(groups, dtype=np.int64) * self.n_words + (
+                columns >> 6
+            )
+            bits = np.uint64(1) << (columns & 63).astype(np.uint64)
+            np.bitwise_or.at(masks.reshape(-1), flat, bits)
+        return masks
+
+    def verify_against(self, sets: list[np.ndarray]) -> list[str]:
+        """Self-check: unpacking every row recovers the source sets."""
+        problems: list[str] = []
+        if len(sets) != len(self):
+            problems.append(
+                f"store packs {len(self)} series but got {len(sets)} sets"
+            )
+            return problems
+        for i, cell_set in enumerate(sets):
+            counts = self._sweep(self.matrix[i : i + 1], self.pack(cell_set))
+            if int(counts[0]) != len(cell_set) or int(
+                self.lengths[i]
+            ) != len(cell_set):
+                problems.append(f"row {i} does not round-trip its cell set")
+        return problems

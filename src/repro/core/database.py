@@ -13,8 +13,9 @@ layers (DESIGN.md §10):
   deterministically.
 
 The paper's semantics are unchanged: k-NN queries with any STS3
-variant (``method=`` "naive", "index", "pruning", "approximate", or
-"auto"), out-of-bound query points via Algorithm 6, and the lazy
+variant (``method=`` "naive", "index", "pruning", "approximate",
+"minhash", or "auto"), out-of-bound query points via Algorithm 6, and
+the lazy
 buffered-update strategy of Section 5.3.2 — except that a full buffer
 is now *sealed* as a new segment in O(buffer) work instead of
 triggering an O(database) rebuild.  :meth:`compact` performs the
@@ -47,7 +48,7 @@ __all__ = ["STS3Database", "UpdateBuffer"]
 
 logger = logging.getLogger(__name__)
 
-_METHODS = ("naive", "index", "pruning", "approximate", "auto")
+_METHODS = ("naive", "index", "pruning", "approximate", "minhash", "auto")
 
 #: per-worker-process batch context, installed by the Pool initializer.
 #: The worker function must live at module level (Pool pickles it by
@@ -316,6 +317,10 @@ class STS3Database:
         max_scale = self.default_max_scale if max_scale is None else int(max_scale)
         return self.catalog.segments[0].approximate_searcher(max_scale)
 
+    def minhash_searcher(self, num_perm: int = 128, bands: int = 32):
+        """The base segment's cached MinHash/LSH searcher."""
+        return self.catalog.segments[0].minhash_searcher(num_perm, bands)
+
     def _auto_method(self) -> str:
         return self.planner.resolve_auto()
 
@@ -456,6 +461,8 @@ class STS3Database:
                 self.pruning_searcher(scale)
             elif method == "approximate":
                 self.approximate_searcher(max_scale)
+            elif method == "minhash":
+                self.minhash_searcher()
 
         if not workers or workers <= 1 or len(queries) < 2:
             return self._batch_chunk(

@@ -7,6 +7,13 @@ the scan can skip candidates whose size-based upper bound
 ``min(|S|,|Q|)/max(|S|,|Q|)`` already falls below the current k-th best
 similarity — the bound is exact to compute and admissible, so the
 result is unchanged.
+
+With a :class:`~repro.core.bitset.BitsetStore` attached, the scan's
+per-candidate sorted merges collapse into one popcount sweep over the
+packed matrix: every ``|S_i ∩ Q|`` at once, then a vectorized Jaccard
+and the usual deterministic top-k.  Answers are bit-identical; only the
+scan bookkeeping changes (every candidate is exactly evaluated, so
+nothing is reported as pruned).
 """
 
 from __future__ import annotations
@@ -17,20 +24,31 @@ from ..exceptions import EmptyDatabaseError, ParameterError
 from ..obs import span
 from .heap import KnnHeap
 from .jaccard import jaccard, size_upper_bound
-from .result import QueryResult, SearchStats
+from .result import Neighbor, QueryResult, SearchStats
+from .selection import top_k_indices
 
 __all__ = ["NaiveSearcher"]
 
 
 class NaiveSearcher:
-    """Linear-scan k-NN search over a list of cell-ID sets."""
+    """Linear-scan k-NN search over a list of cell-ID sets.
 
-    def __init__(self, sets: list[np.ndarray], early_stop: bool = True):
+    ``bitset`` optionally supplies a packed
+    :class:`~repro.core.bitset.BitsetStore` built over the same sets;
+    when present, queries run as a single popcount sweep instead of a
+    Python-dispatched merge per candidate (``early_stop`` then has no
+    work to skip).
+    """
+
+    def __init__(
+        self, sets: list[np.ndarray], early_stop: bool = True, bitset=None
+    ):
         if not sets:
             raise EmptyDatabaseError("cannot search an empty database")
         self.sets = sets
         self.lengths = np.asarray([len(s) for s in sets], dtype=np.int64)
         self.early_stop = early_stop
+        self.bitset = bitset
 
     def __len__(self) -> int:
         return len(self.sets)
@@ -40,6 +58,8 @@ class NaiveSearcher:
         if k < 1:
             raise ParameterError(f"k must be >= 1, got {k}")
         k = min(k, len(self.sets))
+        if self.bitset is not None:
+            return self._query_bitset(query_set, k)
         heap = KnnHeap(k)
         stats = SearchStats(candidates=len(self.sets))
         q_len = len(query_set)
@@ -58,4 +78,23 @@ class NaiveSearcher:
         stats.final_candidates = len(heap)
         with span("select_topk"):
             neighbors = heap.neighbors()
+        return QueryResult(neighbors=neighbors, stats=stats)
+
+    def _query_bitset(self, query_set: np.ndarray, k: int) -> QueryResult:
+        """One popcount sweep over the packed matrix (bit-identical)."""
+        with span("refine"):
+            counts = self.bitset.intersection_counts(query_set)
+            union = self.lengths + len(query_set) - counts
+            # union == 0 only for two empty sets (Jaccard defined as 1).
+            sims = np.where(union > 0, counts / np.maximum(union, 1), 1.0)
+        stats = SearchStats(
+            candidates=len(self.sets),
+            exact_computations=len(self.sets),
+        )
+        with span("select_topk"):
+            order = top_k_indices(sims, k)
+            neighbors = [
+                Neighbor(similarity=float(sims[i]), index=int(i)) for i in order
+            ]
+        stats.final_candidates = len(neighbors)
         return QueryResult(neighbors=neighbors, stats=stats)

@@ -18,6 +18,14 @@ Version-1 archives (pre-segmentation) still load: they carry no segment
 table and restore as a single-segment catalog, which is exactly what
 the monolithic engine was.
 
+Format version 3 adds *optional* packed bitmaps
+(``save_database(..., pack_bitsets=True)``): each segment's
+:class:`~repro.core.bitset.BitsetStore` vocabulary and uint64 matrix
+are archived and re-attached verbatim on load, skipping the pack step
+for the popcount kernels.  The bitmaps are still derived state — a v3
+archive without them (the default) differs from v2 only in the version
+number, and v1/v2 archives load unchanged.
+
 Buffered (not yet flushed) series are stored too and re-buffered on
 load, preserving provisional neighbour indices across a round-trip.
 """
@@ -31,16 +39,17 @@ import numpy as np
 
 from ..exceptions import DatasetError
 from ..obs import get_registry, span
+from .bitset import BitsetStore
 from .database import STS3Database
 from .grid import Bound, Grid
 
 __all__ = ["save_database", "load_database"]
 
 #: bumped on any incompatible change to the archive layout.
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 #: versions this loader understands.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _pack(series_list: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray, int]:
@@ -94,8 +103,16 @@ def _segment_grid(entry: dict) -> Grid:
     return Grid(bound, entry["col_width"], tuple(entry["row_heights"]))
 
 
-def save_database(db: STS3Database, path: str | Path) -> None:
-    """Write ``db`` to ``path`` (a single ``.npz`` archive)."""
+def save_database(
+    db: STS3Database, path: str | Path, pack_bitsets: bool = False
+) -> None:
+    """Write ``db`` to ``path`` (a single ``.npz`` archive).
+
+    With ``pack_bitsets=True`` every segment's packed bitset (built on
+    demand; segments whose memory gate declines are skipped) is
+    archived alongside the series, so a loaded database answers its
+    first popcount-kernel query without re-packing.
+    """
     path = Path(path)
     header = {
         "format_version": FORMAT_VERSION,
@@ -110,6 +127,17 @@ def save_database(db: STS3Database, path: str | Path) -> None:
         "rebuild_count": db.rebuild_count,
         "segments": [_segment_entry(seg) for seg in db.catalog.segments],
     }
+    bitset_arrays: dict[str, np.ndarray] = {}
+    if pack_bitsets:
+        packed_positions = []
+        for position, segment in enumerate(db.catalog.segments):
+            store = segment.bitset_store()
+            if store is None:
+                continue
+            packed_positions.append(position)
+            bitset_arrays[f"bitset_vocab_{position}"] = store.vocab
+            bitset_arrays[f"bitset_matrix_{position}"] = store.matrix
+        header["bitset_segments"] = packed_positions
     all_series = db.catalog.all_series()
     with span(
         "persist.save",
@@ -127,6 +155,7 @@ def save_database(db: STS3Database, path: str | Path) -> None:
             lengths=lengths,
             buffer_series=buf_matrix,
             buffer_lengths=buf_lengths,
+            **bitset_arrays,
         )
     get_registry().counter(
         "sts3_persist_total", "database archive writes and reads"
@@ -161,6 +190,18 @@ def _load_database(path: str | Path) -> STS3Database:
         n_dims = int(archive["n_dims"])
         series = _unpack(archive["series"], archive["lengths"], n_dims)
         buffered = _unpack(archive["buffer_series"], archive["buffer_lengths"], n_dims)
+        bitsets: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for position in header.get("bitset_segments", []):
+            try:
+                bitsets[int(position)] = (
+                    archive[f"bitset_vocab_{position}"],
+                    archive[f"bitset_matrix_{position}"],
+                )
+            except KeyError as exc:
+                raise DatasetError(
+                    f"{path}: header names a packed bitset for segment "
+                    f"{position} but the arrays are missing"
+                ) from exc
 
     epsilon = header["epsilon"]
     if header["epsilon_is_tuple"]:
@@ -205,6 +246,22 @@ def _load_database(path: str | Path) -> STS3Database:
             default_max_scale=header["default_max_scale"],
         )
     db.rebuild_count = header["rebuild_count"]
+    for position, (vocab, matrix) in bitsets.items():
+        if not 0 <= position < len(db.catalog.segments):
+            raise DatasetError(
+                f"{path}: packed bitset refers to segment {position}, "
+                f"archive restored {len(db.catalog.segments)} segments"
+            )
+        segment = db.catalog.segments[position]
+        lengths = np.asarray([len(s) for s in segment.sets], dtype=np.int64)
+        # from_parts validates the matrix shape against the rebuilt
+        # sets, so a truncated archive fails here instead of miscounting.
+        segment._bitset = BitsetStore.from_parts(vocab, matrix, lengths)
+        segment._bitset_decided = True
+        get_registry().gauge(
+            "sts3_bitset_bytes_resident",
+            "packed bitset bytes resident, by segment",
+        ).set(segment._bitset.nbytes, segment=str(segment.segment_id))
     for series_item in buffered:
         db.buffer.add(series_item)
     return db

@@ -26,7 +26,7 @@ below :data:`SMALL_SEGMENT` series.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -53,11 +53,16 @@ class SegmentPlan:
 
     ``offset`` is the global index of the segment's first series: the
     executor adds it to segment-local neighbour indices when merging.
+    ``kernel`` is filled in during execution: the batch-engine kernel
+    ("sparse"/"dense"/"bitset") that answered an index-planned segment,
+    or ``"scalar"`` for per-query searcher paths.  Plans of the last
+    execution are kept on :attr:`QueryPlanner.last_plans`.
     """
 
     segment_id: int
     offset: int
     method: str
+    kernel: str | None = None
 
 
 class QueryPlanner:
@@ -73,6 +78,9 @@ class QueryPlanner:
         self.default_scale = int(default_scale)
         self.default_max_scale = int(default_max_scale)
         self._calibrated: tuple[int, str] | None = None
+        #: plans of the most recent execute/execute_batch call, with
+        #: their executed kernels recorded (diagnostic).
+        self.last_plans: list[SegmentPlan] = []
 
     @property
     def calibrated_method(self) -> str | None:
@@ -139,7 +147,7 @@ class QueryPlanner:
         # make buffered series approximate.
         if len(segment) < SMALL_SEGMENT:
             return "naive"
-        if method == "approximate":
+        if method in ("approximate", "minhash"):
             return "index"
         return method
 
@@ -159,7 +167,8 @@ class QueryPlanner:
         max_scale = self.default_max_scale if max_scale is None else int(max_scale)
         segments = self.catalog.segments
         with span("plan", method=method, segments=len(segments)):
-            plans = self.plan(method)
+            plans = [replace(p, kernel="scalar") for p in self.plan(method)]
+            self.last_plans = plans
         results = [
             self._run_segment(segment, plan.method, prepared, k, scale, max_scale)
             for segment, plan in zip(segments, plans)
@@ -193,21 +202,26 @@ class QueryPlanner:
                   queries=len(prepared_queries)):
             plans = self.plan(method)
         per_segment: list[list[QueryResult]] = []
-        for segment, plan in zip(segments, plans):
+        for position, (segment, plan) in enumerate(zip(segments, plans)):
             if plan.method == "index":
                 with span("transform", queries=len(prepared_queries),
                           segment=segment.segment_id):
                     query_sets = [
                         transform_query(p, segment.grid) for p in prepared_queries
                     ]
-                per_segment.append(
-                    segment.batch_engine(workspace).query_batch(query_sets, k=k)
-                )
+                engine = segment.batch_engine(workspace)
+                per_segment.append(engine.query_batch(query_sets, k=k))
+                # The engine picks one kernel per batch; record it on
+                # the plan for diagnostics (``sts3 inspect``, tests).
+                kernel = engine.last_kernels[-1] if engine.last_kernels else None
+                plans[position] = replace(plan, kernel=kernel)
             else:
                 per_segment.append([
                     self._run_segment(segment, plan.method, p, k, scale, max_scale)
                     for p in prepared_queries
                 ])
+                plans[position] = replace(plan, kernel="scalar")
+        self.last_plans = plans
         if len(segments) == 1 and not (buffer is not None and len(buffer)):
             return per_segment[0]
         return [
@@ -233,6 +247,8 @@ class QueryPlanner:
             return segment.indexed_searcher().query(query_set, k=k)
         if method == "pruning":
             return segment.pruning_searcher(scale).query(query_set, k=k)
+        if method == "minhash":
+            return segment.minhash_searcher().query(query_set, k=k)
         return segment.approximate_searcher(max_scale).query(
             prepared, query_set, k=k
         )

@@ -17,6 +17,14 @@ threshold, *all* remaining candidates are pruned at once.  This
 preserves exactness (the bound is admissible) and is the natural
 best-first engineering of line 9; ``sort_candidates=False`` restores
 the paper's literal scan order for comparison.
+
+With a :class:`~repro.core.bitset.BitsetStore` attached, two inner
+loops turn into popcount kernels without changing a single bound or
+result: the query's zone histogram becomes per-zone *masked* popcounts
+(``popcount(q & zone_mask)``, plus a bincount over the few cells
+outside the store vocabulary, so ``Σ min(|S_i|, |Q_i|)`` is unchanged),
+and each best-first chunk's exact Jaccard evaluations become one
+gathered popcount sweep instead of a merge per candidate.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ class PruningSearcher:
         grid: Grid,
         scale: int = 6,
         sort_candidates: bool = True,
+        bitset=None,
     ):
         if not sets:
             raise EmptyDatabaseError("cannot search an empty database")
@@ -58,6 +67,7 @@ class PruningSearcher:
         self.grid = grid
         self.scale = int(scale)
         self.sort_candidates = sort_candidates
+        self.bitset = bitset
         self.lengths = np.asarray([len(s) for s in sets], dtype=np.int64)
         #: ``Dzone``: one zone histogram per database series, offline.
         #: int32 keeps the (N, scale²) matrix half-sized at paper scale
@@ -66,9 +76,40 @@ class PruningSearcher:
         self.zone_counts = np.stack(
             [zone_histogram(s, grid, scale) for s in sets]
         ).astype(np.int32)
+        #: per-zone uint64 masks over the store vocabulary, built lazily
+        #: on the first bitset-assisted query.
+        self._zone_masks: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.sets)
+
+    def _query_zone_histogram(self, query_set: np.ndarray) -> np.ndarray:
+        """The query's zone histogram, identical to :func:`zone_histogram`.
+
+        With a bitset store the in-vocabulary cells are counted by
+        per-zone masked popcounts; the (typically empty) remainder —
+        unseen database cells and Algorithm 6 out-of-bound IDs — falls
+        back to the decode + bincount path, so the sum matches the
+        scalar histogram cell for cell.
+        """
+        if self.bitset is None:
+            return zone_histogram(query_set, self.grid, self.scale)
+        if self._zone_masks is None:
+            zones = self.grid.zones_of_cells(self.bitset.vocab, self.scale)
+            self._zone_masks = self.bitset.column_masks(
+                zones, self.scale * self.scale
+            )
+        q_words = self.bitset.pack(query_set)
+        hist = self.bitset.masked_counts(q_words, self._zone_masks)
+        outside = query_set[
+            ~np.isin(query_set, self.bitset.vocab, assume_unique=True)
+        ]
+        if outside.size:
+            hist = hist + np.bincount(
+                self.grid.zones_of_cells(outside, self.scale),
+                minlength=self.scale * self.scale,
+            )
+        return hist
 
     def upper_bounds(self, query_set: np.ndarray) -> np.ndarray:
         """Jaccard upper bound of every database series vs the query.
@@ -76,7 +117,7 @@ class PruningSearcher:
         Vectorized lines 5-9 of Algorithm 4: zone-wise minimum sums and
         the bound ``ub / (|S| + |Q| − ub)``.
         """
-        q_hist = zone_histogram(query_set, self.grid, self.scale)
+        q_hist = self._query_zone_histogram(query_set)
         inter_bound = np.minimum(self.zone_counts, q_hist).sum(axis=1)
         union_lower = self.lengths + len(query_set) - inter_bound
         return np.where(
@@ -110,6 +151,9 @@ class PruningSearcher:
         chunks instead of paid per candidate.
         """
         n = len(bounds)
+        q_words = (
+            self.bitset.pack(query_set) if self.bitset is not None else None
+        )
         with span("refine"):
             order = np.lexsort((np.arange(n), -bounds))
             sims = np.empty(n, dtype=np.float64)
@@ -128,10 +172,21 @@ class PruningSearcher:
                         stats.pruned += n - evaluated
                         break
                 end = min(evaluated + chunk, n)
-                for position in range(evaluated, end):
-                    sims[position] = jaccard(
-                        self.sets[int(order[position])], query_set
+                if q_words is not None:
+                    # One gathered popcount sweep scores the whole chunk.
+                    rows = order[evaluated:end]
+                    counts = self.bitset.intersection_counts_rows(
+                        rows, q_words
                     )
+                    union = self.lengths[rows] + len(query_set) - counts
+                    sims[evaluated:end] = np.where(
+                        union > 0, counts / np.maximum(union, 1), 1.0
+                    )
+                else:
+                    for position in range(evaluated, end):
+                        sims[position] = jaccard(
+                            self.sets[int(order[position])], query_set
+                        )
                 stats.exact_computations += end - evaluated
                 evaluated = end
                 chunk *= 2

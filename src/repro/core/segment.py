@@ -26,13 +26,22 @@ from ..exceptions import ParameterError
 from ..obs import get_registry
 from .approximate import ApproximateSearcher
 from .batch import BatchQueryEngine, QueryWorkspace
+from .bitset import BitsetStore
 from .grid import Bound, Grid
 from .indexed import IndexedSearcher
+from .minhash import MinHashSearcher
 from .naive import NaiveSearcher
 from .pruning import PruningSearcher
 from .setrep import transform
 
 __all__ = ["Segment", "count_transforms", "grid_for_bound"]
+
+#: A segment only packs its sets into a bitset when the matrix costs at
+#: most this multiple of the sorted-array footprint.  Packing always
+#: helps speed, but on near-disjoint vocabularies (n_series ≫ 64 rows
+#: over columns each row barely touches) the matrix would dwarf the
+#: sets it mirrors; those segments keep the merge path.
+_BITSET_BYTE_RATIO = 4
 
 
 def count_transforms(amount: int, context: str) -> None:
@@ -89,6 +98,9 @@ class Segment:
         self._pruning: dict[int, PruningSearcher] = {}
         self._approximate: dict[int, ApproximateSearcher] = {}
         self._batch_engine: BatchQueryEngine | None = None
+        self._minhash: dict[tuple[int, int], MinHashSearcher] = {}
+        self._bitset: BitsetStore | None = None
+        self._bitset_decided = False
 
     @classmethod
     def build(
@@ -139,10 +151,37 @@ class Segment:
 
     # -- searcher access ------------------------------------------------
 
+    def bitset_store(self) -> BitsetStore | None:
+        """The segment's packed bitset, built lazily (None when gated).
+
+        Built at most once per segment; because segments are immutable,
+        :meth:`extend` and compaction produce replacement segments with
+        fresh (empty) caches, which is the whole invalidation protocol.
+        Returns ``None`` when packing would cost more than
+        ``_BITSET_BYTE_RATIO`` times the sorted arrays it mirrors.
+        """
+        if not self._bitset_decided:
+            self._bitset_decided = True
+            sorted_bytes = sum(s.nbytes for s in self.sets)
+            vocab = np.unique(
+                np.concatenate(self.sets)
+                if sorted_bytes
+                else np.empty(0, dtype=np.int64)
+            )
+            n_words = (vocab.size + 63) // 64
+            packed_bytes = len(self.sets) * n_words * 8
+            if packed_bytes <= max(_BITSET_BYTE_RATIO * sorted_bytes, 4096):
+                self._bitset = BitsetStore(self.sets)
+                get_registry().gauge(
+                    "sts3_bitset_bytes_resident",
+                    "packed bitset bytes resident, by segment",
+                ).set(self._bitset.nbytes, segment=str(self.segment_id))
+        return self._bitset
+
     def naive_searcher(self) -> NaiveSearcher:
         """The segment's cached linear-scan searcher."""
         if self._naive is None:
-            self._naive = NaiveSearcher(self.sets)
+            self._naive = NaiveSearcher(self.sets, bitset=self.bitset_store())
         return self._naive
 
     def indexed_searcher(self) -> IndexedSearcher:
@@ -155,7 +194,9 @@ class Segment:
         """The segment's cached zone-pruning searcher for ``scale``."""
         scale = int(scale)
         if scale not in self._pruning:
-            self._pruning[scale] = PruningSearcher(self.sets, self.grid, scale)
+            self._pruning[scale] = PruningSearcher(
+                self.sets, self.grid, scale, bitset=self.bitset_store()
+            )
         return self._pruning[scale]
 
     def approximate_searcher(self, max_scale: int) -> ApproximateSearcher:
@@ -167,11 +208,29 @@ class Segment:
             )
         return self._approximate[max_scale]
 
+    def minhash_searcher(
+        self, num_perm: int = 128, bands: int = 32
+    ) -> MinHashSearcher:
+        """The segment's cached MinHash/LSH searcher."""
+        key = (int(num_perm), int(bands))
+        if key not in self._minhash:
+            self._minhash[key] = MinHashSearcher(
+                self.sets, num_perm=key[0], bands=key[1]
+            )
+        return self._minhash[key]
+
     def batch_engine(self, workspace: QueryWorkspace | None = None) -> BatchQueryEngine:
-        """The segment's cached vectorized batch kernel."""
+        """The segment's cached vectorized batch kernel.
+
+        The engine receives :meth:`bitset_store` as a supplier, so the
+        segment and its batch kernel share one packed matrix — built
+        only if the auto-selection (or another searcher) wants it.
+        """
         if self._batch_engine is None:
             self._batch_engine = BatchQueryEngine(
-                self.indexed_searcher(), workspace=workspace or QueryWorkspace()
+                self.indexed_searcher(),
+                workspace=workspace or QueryWorkspace(),
+                bitset_store=self.bitset_store,
             )
         return self._batch_engine
 
@@ -200,7 +259,30 @@ class Segment:
                 + [f"pruning[{s}]" for s in self._pruning]
                 + [f"approximate[{s}]" for s in self._approximate]
                 + (["batch"] if self._batch_engine is not None else [])
+                + [f"minhash[{p}/{b}]" for p, b in self._minhash]
+                + (["bitset"] if self._bitset is not None else [])
             ),
+            "memory": self.memory_stats(),
+        }
+
+    def memory_stats(self) -> dict:
+        """Resident bytes per set representation (DESIGN.md §11).
+
+        Only representations that have actually been built are
+        non-zero; lazily-gated structures report 0 until first use.
+        """
+        coarse = sum(
+            level.nbytes
+            for searcher in self._approximate.values()
+            for level in searcher.levels.values()
+        )
+        return {
+            "series_bytes": sum(s.nbytes for s in self.series),
+            "sorted_sets_bytes": sum(s.nbytes for s in self.sets),
+            "packed_bitset_bytes": (
+                self._bitset.nbytes if self._bitset is not None else 0
+            ),
+            "coarse_levels_bytes": coarse,
         }
 
     def verify_integrity(self, offset: int = 0) -> list[str]:

@@ -24,15 +24,25 @@ class TestCoarseLevel:
         series, _, bound = data
         level = _CoarseLevel(Grid.from_resolution(bound, 4), series)
         assert level.dense
-        assert level.matrix.shape == (25, 16)
+        # 25 series over a <=16-cell vocabulary pack into one uint64 word.
+        assert level.store.matrix.shape == (25, 1)
 
     def test_matrix_rows_match_sets(self, data):
         series, _, bound = data
         grid = Grid.from_resolution(bound, 5)
         level = _CoarseLevel(grid, series)
+        assert level.store.verify_against([transform(s, grid) for s in series]) == []
         for i, s in enumerate(series):
             expected = transform(s, grid)
-            assert np.array_equal(np.flatnonzero(level.matrix[i]), expected)
+            # Unpack row i: set bit columns map back to vocabulary cells.
+            row = level.store.matrix[i]
+            cols = [
+                w * 64 + b
+                for w in range(row.size)
+                for b in range(64)
+                if (int(row[w]) >> b) & 1
+            ]
+            assert np.array_equal(level.store.vocab[cols], expected)
 
     def test_similarities_match_direct(self, data):
         from repro.core.jaccard import jaccard

@@ -164,7 +164,7 @@ class TestEngineKernels:
         engine = BatchQueryEngine(searcher)
         engine.query_batch(_random_sets(rng, 5), k=1)
         assert engine.last_kernels
-        assert set(engine.last_kernels) <= {"sparse", "dense"}
+        assert set(engine.last_kernels) <= {"sparse", "dense", "bitset"}
 
     def test_rejects_bad_parameters(self):
         searcher = IndexedSearcher([np.array([1], dtype=np.int64)])

@@ -157,3 +157,45 @@ class TestMinHashSearcher:
             got = searcher.query(query, k=1).best.index
             hits += want == got
         assert hits >= 8
+
+
+class TestDatabaseWiring:
+    """MinHash is a first-class ``STS3Database.query`` method."""
+
+    def test_query_method_minhash_smoke(self, small_db, small_workload):
+        from repro.core.jaccard import jaccard as exact_jaccard
+
+        query = small_workload.queries[0]
+        result = small_db.query(query, k=5, method="minhash")
+        assert len(result.neighbors) == 5
+        # Recall accounting: every database series was a candidate and
+        # the non-surfaced remainder is reported as pruned.
+        assert result.stats.candidates == len(small_db.series)
+        assert result.stats.pruned + result.stats.final_candidates == len(
+            small_db.series
+        )
+        # Returned similarities are exact (re-ranked), never estimates.
+        query_set = small_db.transform_query(query)
+        for n in result.neighbors:
+            assert n.similarity == exact_jaccard(
+                small_db.sets[n.index], query_set
+            )
+        # ...and a superset sanity check against the exact answer: the
+        # LSH top-1 similarity can never exceed the exhaustive top-1.
+        exact = small_db.query(query, k=1, method="naive")
+        assert result.best.similarity <= exact.best.similarity
+
+    def test_query_batch_method_minhash(self, small_db, small_workload):
+        queries = list(small_workload.queries[:3])
+        batch = small_db.query_batch(queries, k=3, method="minhash")
+        for query, result in zip(queries, batch):
+            scalar = small_db.query(query, k=3, method="minhash")
+            assert [(n.index, n.similarity) for n in result.neighbors] == [
+                (n.index, n.similarity) for n in scalar.neighbors
+            ]
+
+    def test_cli_accepts_minhash(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["query", "f", "--method", "minhash"])
+        assert args.method == "minhash"

@@ -90,8 +90,14 @@ class TestBatchSpans:
         assert counts["select_topk"] >= 1
 
         tiles = fresh_registry.counter("sts3_batch_tiles_total")
-        kernel_total = tiles.value(kernel="sparse") + tiles.value(kernel="dense")
+        kernel_total = sum(
+            tiles.value(kernel=name) for name in ("sparse", "dense", "bitset")
+        )
         assert kernel_total == counts["tile"]
+        selected = fresh_registry.counter("sts3_kernel_selected_total")
+        assert sum(
+            selected.value(kernel=name) for name in ("sparse", "dense", "bitset")
+        ) == 1.0
         batch_counter = fresh_registry.counter("sts3_batch_queries_total")
         assert batch_counter.value(method="index") == 6.0
 
