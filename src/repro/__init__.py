@@ -33,6 +33,7 @@ from .core import (
     NaiveSearcher,
     Neighbor,
     PruningSearcher,
+    QuarantineRecord,
     QueryPlanner,
     QueryResult,
     QueryWorkspace,
@@ -40,14 +41,17 @@ from .core import (
     SearchStats,
     Segment,
     SegmentCatalog,
+    WriteAheadLog,
     aggregate_stats,
     jaccard,
     jaccard_distance,
+    recover_database,
     transform,
     transform_query,
     tune_max_scale,
     tune_scale,
     tune_sigma_epsilon,
+    verify_archive,
 )
 from .exceptions import (
     DatasetError,
@@ -75,6 +79,7 @@ __all__ = [
     "Neighbor",
     "ParameterError",
     "PruningSearcher",
+    "QuarantineRecord",
     "QueryPlanner",
     "QueryResult",
     "QueryWorkspace",
@@ -84,13 +89,16 @@ __all__ = [
     "Segment",
     "SegmentCatalog",
     "Workload",
+    "WriteAheadLog",
     "aggregate_stats",
     "jaccard",
     "jaccard_distance",
+    "recover_database",
     "transform",
     "transform_query",
     "tune_max_scale",
     "tune_scale",
     "tune_sigma_epsilon",
+    "verify_archive",
     "__version__",
 ]

@@ -14,11 +14,18 @@ Subcommands:
   statistics.  ``--trace`` prints the batch's span trace;
   ``--metrics-json PATH`` writes per-stage timings plus the metric
   registry snapshot as JSON.
-- ``sts3 inspect`` — open a saved database (``save_database`` .npz)
+- ``sts3 inspect`` — open a saved database (``save_database`` archive)
   and print its segment catalog: per-segment sizes, grid shapes,
   resident bytes per set representation (sorted arrays / packed
-  bitmaps / coarse levels), and buffer occupancy (see DESIGN.md §10
-  on the segmented engine, §11 on the packed bitsets).
+  bitmaps / coarse levels), buffer occupancy, per-segment checksum
+  status, and WAL replay lag (see DESIGN.md §10 on the segmented
+  engine, §11 on the packed bitsets, §12 on durability).
+- ``sts3 verify`` — offline integrity check of an archive + its WAL:
+  per-payload checksum status and WAL frame health, without building
+  the database.  Exit code 1 when anything fails verification.
+- ``sts3 recover`` — crash recovery: load the archive (quarantining
+  corrupt segments), replay the WAL tail, and write a fresh checkpoint
+  archive (see docs/durability.md for the runbook).
 
 The CLI exists so a downstream user can try the system without writing
 code; anything deeper should use the library API (see README).
@@ -71,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the span trace of the query (docs/observability.md)")
     query.add_argument("--profile", action="store_true",
                        help="print a cProfile report of the query call")
+    query.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                       help="per-query time budget: past half of it remaining "
+                            "segments downgrade to approximate, past it they "
+                            "are skipped (answer reports complete=False)")
 
     batch = sub.add_parser(
         "batch", help="batched k-NN queries over a UCR-format file"
@@ -98,11 +109,32 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--metrics-json", type=str, default=None, metavar="PATH",
                        help="write per-stage timings + metric counters as JSON "
                             "('-' for stdout)")
+    batch.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                       help="per-query time budget (see 'sts3 query --deadline-ms')")
 
     inspect = sub.add_parser(
         "inspect", help="print the segment catalog of a saved database"
     )
-    inspect.add_argument("file", help=".npz file written by save_database")
+    inspect.add_argument("file", help="archive written by save_database")
+    inspect.add_argument("--wal", type=str, default=None, metavar="DIR",
+                         help="WAL directory (default: <file>.wal)")
+
+    verify = sub.add_parser(
+        "verify", help="offline checksum verification of an archive + WAL"
+    )
+    verify.add_argument("file", help="archive written by save_database")
+    verify.add_argument("--wal", type=str, default=None, metavar="DIR",
+                        help="WAL directory (default: <file>.wal)")
+
+    recover = sub.add_parser(
+        "recover", help="replay the WAL onto the archive and checkpoint"
+    )
+    recover.add_argument("file", help="archive written by save_database")
+    recover.add_argument("--wal", type=str, default=None, metavar="DIR",
+                         help="WAL directory (default: <file>.wal)")
+    recover.add_argument("--output", type=str, default=None, metavar="PATH",
+                         help="write the recovered archive here instead of "
+                              "checkpointing over the input")
 
     join = sub.add_parser(
         "join", help="all-pairs similarity join over a UCR-format file"
@@ -177,7 +209,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         from .obs import Tracer, use_tracer
 
         with use_tracer(Tracer()) as tracer:
-            result = db.query(query, k=args.k, method=args.method)
+            result = db.query(
+                query, k=args.k, method=args.method, deadline_ms=args.deadline_ms
+            )
         print("trace (ms, nested):")
         print(tracer.format_tree())
         print()
@@ -189,8 +223,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         print(report)
     else:
-        result = db.query(query, k=args.k, method=args.method)
+        result = db.query(
+            query, k=args.k, method=args.method, deadline_ms=args.deadline_ms
+        )
     print(f"query: series #{args.query_index} of {args.file}")
+    if not result.complete:
+        print(
+            f"DEGRADED ({result.degraded_reason}): "
+            f"skipped {', '.join(result.skipped_segments) or 'nothing'}"
+        )
     print(f"{'rank':>4}  {'series':>7}  {'label':>6}  Jaccard")
     labels = [l for i, l in enumerate(dataset.labels) if i != args.query_index]
     for rank, n in enumerate(result.neighbors, start=1):
@@ -228,7 +269,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     try:
         results = db.query_batch(
-            queries, k=args.k, method=args.method, workers=args.workers
+            queries, k=args.k, method=args.method, workers=args.workers,
+            deadline_ms=args.deadline_ms,
         )
     finally:
         elapsed = time.perf_counter() - start
@@ -245,6 +287,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"aggregate: {stats.exact_computations} exact computations, "
         f"{stats.pruned} pruned ({stats.pruning_rate:.1%})"
     )
+    degraded = sum(1 for r in results if not r.complete)
+    if degraded:
+        reasons = sorted({r.degraded_reason for r in results if not r.complete})
+        print(f"DEGRADED: {degraded}/{len(results)} answers ({', '.join(reasons)})")
     for qi, result in enumerate(results[: args.limit]):
         answers = ", ".join(
             f"#{n.index}(J={n.similarity:.3f})" for n in result.neighbors
@@ -313,7 +359,7 @@ def _report_batch_observability(args, tracer, stats, elapsed, n_queries) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    from .core import load_database
+    from .core import load_database, verify_archive
     from .exceptions import DatasetError
 
     try:
@@ -330,7 +376,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     )
     print(
         f"{'id':>4} {'offset':>7} {'series':>7} {'cells':>9} "
-        f"{'sorted':>9} {'packed':>9} {'coarse':>9}  grid (rows x cols)"
+        f"{'sorted':>9} {'packed':>9} {'coarse':>9} {'checksum':>10}  "
+        f"grid (rows x cols)"
     )
     for row in catalog.describe():
         rows = row["n_rows"]
@@ -338,13 +385,90 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             ",".join(str(r) for r in rows) if isinstance(rows, tuple) else str(rows)
         )
         memory = row["memory"]
+        crc = row["payload_crc32"]
+        checksum = f"{crc:08x}" if crc is not None else "-"
         print(
             f"{row['segment_id']:>4} {row['offset']:>7} {row['n_series']:>7} "
             f"{row['n_cells']:>9} "
             f"{_fmt_bytes(memory['sorted_sets_bytes']):>9} "
             f"{_fmt_bytes(memory['packed_bitset_bytes']):>9} "
-            f"{_fmt_bytes(memory['coarse_levels_bytes']):>9}  "
+            f"{_fmt_bytes(memory['coarse_levels_bytes']):>9} "
+            f"{checksum:>10}  "
             f"{rows_text} x {row['n_columns']}"
+        )
+    for record in catalog.quarantined:
+        print(
+            f"QUARANTINED {record.name}: {record.n_series} series lost "
+            f"({record.reason})"
+        )
+    try:
+        report = verify_archive(args.file, wal_dir=args.wal)
+    except DatasetError:
+        report = None
+    if report is not None:
+        wal = report["wal"]
+        if wal["present"]:
+            print(
+                f"WAL: {wal['records']} record(s) in {wal['directory']}, "
+                f"replay lag {wal['replay_lag']}"
+                + ("" if wal["clean"] else "  [DAMAGED — run sts3 recover]")
+            )
+        else:
+            print(f"WAL: none at {wal['directory']}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .core import verify_archive
+    from .exceptions import DatasetError
+
+    try:
+        report = verify_archive(args.file, wal_dir=args.wal)
+    except (DatasetError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"archive: {report['path']} (format v{report['format_version']})")
+    for payload in report["payloads"]:
+        crc = payload["crc32"]
+        checksum = f"{crc:08x}" if crc is not None else "-"
+        print(
+            f"  {payload['name']:<12} {payload['n_series']:>7} series  "
+            f"crc {checksum:>10}  {payload['status']}"
+        )
+    wal = report["wal"]
+    if wal["present"]:
+        state = "clean" if wal["clean"] else "DAMAGED (torn tail)"
+        print(
+            f"wal: {wal['records']} record(s), replay lag "
+            f"{wal['replay_lag']}, {state}"
+        )
+    else:
+        print(f"wal: none at {wal['directory']}")
+    for problem in report["problems"]:
+        print(f"PROBLEM: {problem}")
+    return 1 if report["problems"] else 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .core import recover_database, save_database
+    from .exceptions import DatasetError
+
+    try:
+        db = recover_database(args.file, wal_dir=args.wal)
+    except (DatasetError, OSError) as exc:
+        print(f"error: cannot recover {args.file}: {exc}", file=sys.stderr)
+        return 2
+    output = args.output or args.file
+    save_database(db, output)  # checkpoint: retires the replayed WAL
+    db.close()
+    print(
+        f"recovered {len(db)} series in {len(db.catalog.segments)} segment(s) "
+        f"-> {output}"
+    )
+    for record in db.catalog.quarantined:
+        print(
+            f"QUARANTINED {record.name}: {record.n_series} series lost "
+            f"({record.reason})"
         )
     return 0
 
@@ -390,6 +514,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_batch(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     if args.command == "join":
         return _cmd_join(args)
     return _cmd_query(args)

@@ -8,7 +8,7 @@ buffered updates and the parameter-tuning utilities.
 from .approximate import ApproximateSearcher
 from .batch import BatchQueryEngine, QueryWorkspace, batch_query
 from .bitset import BitsetStore, popcount_u64, popcount_u64_lut
-from .catalog import SegmentCatalog
+from .catalog import QuarantineRecord, SegmentCatalog
 from .clustering import cluster_series, k_medoids
 from .database import STS3Database, UpdateBuffer
 from .grid import Bound, Grid
@@ -27,7 +27,14 @@ from .jaccard import (
     size_upper_bound,
 )
 from .naive import NaiveSearcher
-from .persistence import load_database, save_database
+from .persistence import (
+    default_wal_dir,
+    load_database,
+    recover_database,
+    save_database,
+    verify_archive,
+)
+from .wal import ReplayReport, WriteAheadLog, replay_wal, scan_wal
 from .pruning import PruningSearcher, zone_histogram
 from .result import Neighbor, QueryResult, SearchStats, aggregate_stats
 from .selection import top_k_indices
@@ -61,9 +68,11 @@ __all__ = [
     "NaiveSearcher",
     "Neighbor",
     "PruningSearcher",
+    "QuarantineRecord",
     "QueryPlanner",
     "QueryResult",
     "QueryWorkspace",
+    "ReplayReport",
     "STS3Database",
     "ScaleTuningResult",
     "SearchStats",
@@ -74,11 +83,13 @@ __all__ = [
     "SubsequenceSearcher",
     "TuningResult",
     "UpdateBuffer",
+    "WriteAheadLog",
     "aggregate_stats",
     "batch_query",
     "cluster_series",
     "default_epsilon_grid",
     "default_sigma_grid",
+    "default_wal_dir",
     "estimate_jaccard",
     "k_medoids",
     "intersection_size",
@@ -89,8 +100,12 @@ __all__ = [
     "load_database",
     "popcount_u64",
     "popcount_u64_lut",
+    "recover_database",
+    "replay_wal",
     "save_database",
+    "scan_wal",
     "size_upper_bound",
+    "verify_archive",
     "sts3_error_rate",
     "top_k_indices",
     "transform",

@@ -19,6 +19,8 @@ the catalog size.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..exceptions import ParameterError
@@ -27,7 +29,25 @@ from .grid import Bound, Grid
 from .segment import Segment, count_transforms
 from .setrep import transform
 
-__all__ = ["SegmentCatalog"]
+__all__ = ["QuarantineRecord", "SegmentCatalog"]
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """A segment payload the loader refused to trust (DESIGN.md §12).
+
+    ``name`` is the payload's manifest name (``segment-<position>`` or
+    ``buffer``), ``n_series`` how many series the manifest said it held.
+    Quarantined payloads are *skipped*, not restored: the surviving
+    segments pack consecutively, so global indices shift — queries
+    against a quarantined catalog report ``complete=False`` with
+    ``degraded_reason="quarantine"`` rather than pretending nothing
+    happened.
+    """
+
+    name: str
+    n_series: int
+    reason: str
 
 
 class SegmentCatalog:
@@ -45,6 +65,8 @@ class SegmentCatalog:
         self.epsilon = epsilon
         self.value_padding = float(value_padding)
         self.segments: list[Segment] = []
+        #: payloads the loader could not verify — see :meth:`quarantine`.
+        self.quarantined: list[QuarantineRecord] = []
         #: bumped on every structural change; cheap staleness check for
         #: anything caching per-segment derived state.
         self.generation = 0
@@ -183,6 +205,21 @@ class SegmentCatalog:
         if merged_away:
             self._bump()
         return merged_away
+
+    def quarantine(self, record: QuarantineRecord) -> None:
+        """Record a payload that failed verification during load.
+
+        The catalog keeps serving the segments that did verify; the
+        planner marks every query against it degraded
+        (``degraded_reason="quarantine"``), and the
+        ``sts3_quarantined_segments`` gauge makes the loss visible to
+        operators before anyone notices missing neighbours.
+        """
+        self.quarantined.append(record)
+        get_registry().gauge(
+            "sts3_quarantined_segments",
+            "archive payloads quarantined by checksum verification",
+        ).set(len(self.quarantined))
 
     # -- diagnostics ----------------------------------------------------
 

@@ -43,6 +43,7 @@ from .pruning import PruningSearcher
 from .result import QueryResult
 from .segment import count_transforms
 from .setrep import transform, transform_query
+from .wal import encode_series  # noqa: F401  (re-exported for replay tooling)
 
 __all__ = ["STS3Database", "UpdateBuffer"]
 
@@ -188,6 +189,11 @@ class STS3Database:
         #: an O(buffer) seal, and Appendix A's ~1/capacity scaling
         #: still holds).
         self.rebuild_count = 0
+        #: optional write-ahead log (attach_wal) + the last WAL seq the
+        #: source archive covered (0 for a fresh database).
+        self.wal = None
+        self.wal_seq = 0
+        self._replaying = False
 
     # -- construction helpers -------------------------------------------
 
@@ -246,7 +252,35 @@ class STS3Database:
             last.col_width, last.row_heights,
         )
         self.rebuild_count = 0
+        self.wal = None
+        self.wal_seq = 0
+        self._replaying = False
         return self
+
+    # -- durability -------------------------------------------------------
+
+    def attach_wal(self, wal) -> None:
+        """Journal every mutation to ``wal`` before applying it.
+
+        With a WAL attached, :meth:`insert`, :meth:`flush`, and
+        :meth:`compact` append a record (durable at the log's fsync
+        cadence) *before* touching the buffer or catalog, so a crash
+        loses at most the unsynced tail — never an acknowledged write.
+        Recovery is :func:`repro.core.persistence.recover_database`.
+        """
+        self.wal = wal
+
+    def close(self) -> None:
+        """Sync and release the attached WAL (safe to call twice)."""
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+
+    def _wal_append(self, op: str, **fields) -> None:
+        # During recovery the records being applied are already on
+        # disk; re-journaling them would double history on every crash.
+        if self.wal is not None and not self._replaying:
+            self.wal.append(op, **fields)
 
     # -- storage views ---------------------------------------------------
 
@@ -367,6 +401,7 @@ class STS3Database:
         method: str = "auto",
         scale: int | None = None,
         max_scale: int | None = None,
+        deadline_ms: float | None = None,
     ) -> QueryResult:
         """k-NN query under the Jaccard similarity of set representations.
 
@@ -374,6 +409,12 @@ class STS3Database:
         refers to global :attr:`series` positions, with buffered series
         indexed after the stored segments (their positions are stable
         across the eventual flush).
+
+        ``deadline_ms`` opts into graceful degradation (DESIGN.md §12):
+        past half the budget remaining segments downgrade exact methods
+        to approximate, past the budget they are skipped — the result
+        then reports ``complete=False`` with a ``degraded_reason``
+        instead of blowing the latency budget or raising.
         """
         if method not in _METHODS:
             raise ParameterError(f"unknown method {method!r}; one of {_METHODS}")
@@ -383,7 +424,7 @@ class STS3Database:
             prepared = self._prepare(series)
             result = self.planner.execute(
                 prepared, k, method, scale=scale, max_scale=max_scale,
-                buffer=self.buffer,
+                buffer=self.buffer, deadline_ms=deadline_ms,
             )
         get_registry().counter(
             "sts3_queries_total", "k-NN queries answered, by search variant"
@@ -399,8 +440,14 @@ class STS3Database:
         max_scale: int | None = None,
         workers: int | None = None,
         start_method: str | None = None,
+        deadline_ms: float | None = None,
     ) -> list[QueryResult]:
         """Answer many queries, optionally across worker processes.
+
+        ``deadline_ms`` is a *per-query* budget (see :meth:`query`); it
+        routes the batch through the scalar loop, since the vectorized
+        kernel commits to a whole segment at once and cannot downgrade
+        mid-pass.
 
         The paper's conclusion names "adopting a parallelized
         mechanism" as future work.  Two mechanisms compose here:
@@ -439,6 +486,7 @@ class STS3Database:
             return self._query_batch(
                 queries, k=k, method=method, scale=scale,
                 max_scale=max_scale, workers=workers, start_method=start_method,
+                deadline_ms=deadline_ms,
             )
 
     def _query_batch(
@@ -450,6 +498,7 @@ class STS3Database:
         max_scale: int | None,
         workers: int | None,
         start_method: str | None = None,
+        deadline_ms: float | None = None,
     ) -> list[QueryResult]:
         # Build the base segment's searcher before fanning out, so
         # workers inherit (or receive) ready structures instead of each
@@ -466,7 +515,8 @@ class STS3Database:
 
         if not workers or workers <= 1 or len(queries) < 2:
             return self._batch_chunk(
-                list(queries), k=k, method=method, scale=scale, max_scale=max_scale
+                list(queries), k=k, method=method, scale=scale,
+                max_scale=max_scale, deadline_ms=deadline_ms,
             )
         import multiprocessing as mp
 
@@ -480,7 +530,10 @@ class STS3Database:
         context = mp.get_context(start_method)
         workers = min(workers, len(queries))
         chunks = [list(range(i, len(queries), workers)) for i in range(workers)]
-        params = dict(k=k, method=method, scale=scale, max_scale=max_scale)
+        params = dict(
+            k=k, method=method, scale=scale, max_scale=max_scale,
+            deadline_ms=deadline_ms,
+        )
         # Under fork, workers inherit the active tracer copy-on-write:
         # spans they record die with the worker process, while the
         # parent's open query_batch span closes normally
@@ -505,17 +558,21 @@ class STS3Database:
         method: str = "index",
         scale: int | None = None,
         max_scale: int | None = None,
+        deadline_ms: float | None = None,
     ) -> list[QueryResult]:
         """Answer a chunk of queries in-process (``method`` resolved).
 
         The ``method="index"`` path runs the planner's vectorized batch
-        execution; every other method loops the scalar :meth:`query`.
-        Buffered series are merged per query either way, so results
-        always match scalar calls exactly.
+        execution; every other method — and any deadline-bounded batch —
+        loops the scalar :meth:`query`.  Buffered series are merged per
+        query either way, so results always match scalar calls exactly.
         """
-        if method != "index":
+        if method != "index" or deadline_ms is not None:
             return [
-                self.query(q, k=k, method=method, scale=scale, max_scale=max_scale)
+                self.query(
+                    q, k=k, method=method, scale=scale, max_scale=max_scale,
+                    deadline_ms=deadline_ms,
+                )
                 for q in queries
             ]
         prepared = [self._prepare(q) for q in queries]
@@ -535,8 +592,22 @@ class STS3Database:
         O(buffer) work, since the buffer's grid and set representations
         are adopted as-is (Section 5.3.2's refresh, deferred further to
         :meth:`compact`).
+
+        With a WAL attached the insert is journaled first, so a crash
+        any time after the append (once synced) cannot lose it.
         """
-        prepared = self._prepare(series)
+        self._insert_prepared(self._prepare(series))
+
+    def _insert_prepared(self, prepared: np.ndarray) -> None:
+        """Insert an already-prepared series (the WAL-replay entry point).
+
+        The WAL journals *prepared* series — z-normalization is not
+        bitwise idempotent, so replaying raw inputs through
+        :meth:`_prepare` again would break the bit-identical-recovery
+        contract.
+        """
+        if self.wal is not None and not self._replaying:
+            self.wal.append_series("insert", prepared)
         newest = self.catalog.segments[-1]
         if newest.grid.bound.covers(Bound.of_series(prepared)):
             self.catalog.extend_last(prepared)
@@ -581,6 +652,7 @@ class STS3Database:
         """Seal the buffered series as a new segment (O(buffer) work)."""
         if not len(self.buffer):
             return
+        self._wal_append("flush")
         series, grid, sets = self.buffer.seal_parts()
         logger.info(
             "sealing %d buffered series as segment %d (catalog generation %d)",
@@ -597,6 +669,10 @@ class STS3Database:
                 self.buffer.capacity, grid.bound, grid.col_width, grid.row_heights
             )
         self.rebuild_count += 1
+        # Rotate at segment seal: generation boundaries then line up
+        # with segment boundaries, and a checkpoint retires whole files.
+        if self.wal is not None and not self._replaying:
+            self.wal.rotate()
 
     def compact(self, min_size: int | None = None) -> int:
         """Merge segments (Section 5.3.2's deferred full "refresh").
@@ -609,6 +685,11 @@ class STS3Database:
         the covering bound, the update buffer is re-anchored (buffered
         series re-transform under the new buffer grid).
         """
+        if min_size is not None and min_size < 1:
+            # Validate before journaling — a record that cannot replay
+            # would poison every future recovery.
+            raise ParameterError(f"min_size must be >= 1, got {min_size}")
+        self._wal_append("compact", min_size=min_size)
         merged_away = self.catalog.compact(min_size=min_size)
         if merged_away:
             covering = self.catalog.covering_bound()

@@ -1,55 +1,135 @@
 """Save/load an :class:`~repro.core.database.STS3Database` to disk.
 
 A database is a function of its series, parameters, and *segment
-layout*, so the on-disk format stores exactly those: one ``.npz``
-holding the raw series (padded into a matrix with a length vector, so
-unequal lengths survive) plus a JSON header embedded in the same
-archive.  Format version 2 records the per-segment sizes and grid
-geometry — a sealed segment's grid is the update buffer's grid at seal
-time and cannot be re-derived from the series alone (re-deriving would
-tighten the bound and change Jaccard similarities), so each segment's
-``(bound, col_width, row_heights)`` is archived and adopted verbatim on
-load.  Set representations and searchers are *rebuilt* — they are
-derived state, and rebuilding guarantees a loaded database is
-byte-for-byte equivalent (a property the tests assert via
-:meth:`verify_integrity` and query equivalence).
+layout*, so the on-disk format stores exactly those — set
+representations and searchers are rebuilt on load (they are derived
+state, and rebuilding guarantees a loaded database is byte-for-byte
+equivalent, a property the tests assert via :meth:`verify_integrity`
+and query equivalence).  Buffered (not yet flushed) series are stored
+too and re-buffered on load.
 
-Version-1 archives (pre-segmentation) still load: they carry no segment
-table and restore as a single-segment catalog, which is exactly what
-the monolithic engine was.
+**Format version 4** (the default, DESIGN.md §12) is built for crash
+safety:
 
-Format version 3 adds *optional* packed bitmaps
-(``save_database(..., pack_bitsets=True)``): each segment's
-:class:`~repro.core.bitset.BitsetStore` vocabulary and uint64 matrix
-are archived and re-attached verbatim on load, skipping the pack step
-for the popcount kernels.  The bitmaps are still derived state — a v3
-archive without them (the default) differs from v2 only in the version
-number, and v1/v2 archives load unchanged.
+- a single-file container: an 8-byte magic, one ``.npz`` payload per
+  segment **each followed by a CRC32 footer**, a buffer payload, a JSON
+  manifest, and a fixed trailer locating the manifest;
+- every write goes to a temp file that is fsynced and then
+  ``os.replace``-d over the target, so an interrupted save never
+  clobbers the previous good archive;
+- :func:`load_database` verifies every checksum and **quarantines**
+  corrupt segment payloads (recorded on
+  ``db.catalog.quarantined``, surfaced in query results and the
+  ``sts3_quarantined_segments`` gauge) instead of raising — only a
+  corrupt manifest/trailer, which leaves nothing trustworthy to load,
+  is a :class:`~repro.exceptions.DatasetError`;
+- the manifest records ``wal_seq``, the last write-ahead-log sequence
+  the archive covers, which is what lets :func:`recover_database`
+  replay exactly the tail of the WAL (see :mod:`repro.core.wal` and
+  docs/durability.md).
 
-Buffered (not yet flushed) series are stored too and re-buffered on
-load, preserving provisional neighbour indices across a round-trip.
+Earlier formats still load: v1 (pre-segmentation single grid), v2
+(segment table), v3 (v2 + optional packed bitmaps) are one-``.npz``
+archives; ``save_database(..., format_version=3)`` still writes one
+(now atomically).  Transient I/O errors on either path are retried
+with capped, jittered, deterministically-seeded exponential backoff
+(``sts3_io_retries_total``).
 """
 
 from __future__ import annotations
 
+import io
 import json
+import os
+import random
+import struct
+import time
 from pathlib import Path
+from zlib import crc32
 
 import numpy as np
 
+from .. import faults
 from ..exceptions import DatasetError
 from ..obs import get_registry, span
 from .bitset import BitsetStore
+from .catalog import QuarantineRecord
 from .database import STS3Database
 from .grid import Bound, Grid
+from .wal import WriteAheadLog, decode_series, replay_wal, scan_wal
 
-__all__ = ["save_database", "load_database"]
+__all__ = [
+    "save_database",
+    "load_database",
+    "recover_database",
+    "verify_archive",
+    "default_wal_dir",
+]
 
 #: bumped on any incompatible change to the archive layout.
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 
 #: versions this loader understands.
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
+
+#: first 8 bytes of a v4 archive.
+DB_MAGIC = b"STS3DB4\n"
+
+#: trailer: manifest offset (u64), length (u32), crc32 (u32), end magic.
+_TRAILER = struct.Struct("<QII8s")
+_END_MAGIC = b"STS3END4"
+_FOOTER = struct.Struct("<I")  # CRC32 footer after each payload blob
+
+#: retry policy around persistence I/O — exponential backoff with
+#: jitter from a deterministically-seeded RNG (reseed `_retry_rng` in
+#: tests for reproducible schedules), capped per sleep and in attempts.
+RETRY_ATTEMPTS = 4
+RETRY_BASE_DELAY = 0.005
+RETRY_MAX_DELAY = 0.25
+_retry_rng = random.Random(0x5753)
+
+
+def _with_retries(op: str, fn):
+    """Run ``fn`` retrying transient ``OSError`` with backoff.
+
+    :class:`~repro.faults.SimulatedCrash` is *not* an OSError and
+    propagates immediately — a crash must never be retried into
+    oblivion.  Under an installed fault plan the backoff sleeps on the
+    plan's virtual clock, so tests never actually wait.
+    """
+    plan = faults.get_plan()
+    sleep = plan.sleep if plan is not None else time.sleep
+    delay = RETRY_BASE_DELAY
+    for attempt in range(1, RETRY_ATTEMPTS + 1):
+        try:
+            return fn()
+        except OSError:
+            if attempt == RETRY_ATTEMPTS:
+                raise
+            get_registry().counter(
+                "sts3_io_retries_total", "persistence I/O retries, by operation"
+            ).inc(op=op)
+            sleep(delay * (0.5 + _retry_rng.random()))
+            delay = min(delay * 2.0, RETRY_MAX_DELAY)
+
+
+def default_wal_dir(path: str | Path) -> Path:
+    """The conventional WAL directory for the archive at ``path``."""
+    return Path(str(path) + ".wal")
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make a directory entry durable (best-effort off POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
 
 
 def _pack(series_list: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray, int]:
@@ -103,19 +183,9 @@ def _segment_grid(entry: dict) -> Grid:
     return Grid(bound, entry["col_width"], tuple(entry["row_heights"]))
 
 
-def save_database(
-    db: STS3Database, path: str | Path, pack_bitsets: bool = False
-) -> None:
-    """Write ``db`` to ``path`` (a single ``.npz`` archive).
-
-    With ``pack_bitsets=True`` every segment's packed bitset (built on
-    demand; segments whose memory gate declines are skipped) is
-    archived alongside the series, so a loaded database answers its
-    first popcount-kernel query without re-packing.
-    """
-    path = Path(path)
-    header = {
-        "format_version": FORMAT_VERSION,
+def _header_params(db: STS3Database) -> dict:
+    wal = getattr(db, "wal", None)
+    return {
         "sigma": db.sigma,
         "epsilon": list(db.epsilon) if isinstance(db.epsilon, tuple) else db.epsilon,
         "epsilon_is_tuple": isinstance(db.epsilon, tuple),
@@ -125,8 +195,97 @@ def save_database(
         "default_scale": db.default_scale,
         "default_max_scale": db.default_max_scale,
         "rebuild_count": db.rebuild_count,
-        "segments": [_segment_entry(seg) for seg in db.catalog.segments],
+        "wal_seq": wal.last_seq if wal is not None else getattr(db, "wal_seq", 0),
     }
+
+
+def _npz_bytes(**arrays) -> bytes:
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **arrays)
+    return buf.getvalue()
+
+
+def _atomic_write(path: Path, writer, op: str) -> None:
+    """Write via temp-then-``os.replace`` so the old file always survives.
+
+    ``writer(fileobj)`` produces the content; any failure (torn write,
+    crash, ENOSPC) leaves the target untouched and removes the temp.
+    """
+    temp = path.with_name(path.name + ".tmp")
+
+    def attempt() -> None:
+        try:
+            with open(temp, "wb") as fh:
+                writer(fh)
+                fh.flush()
+                faults.fault_point("persist.sync")
+                os.fsync(fh.fileno())
+            faults.fault_point("persist.rename")
+            os.replace(temp, path)
+            _fsync_directory(path.parent)
+        except BaseException:
+            temp.unlink(missing_ok=True)
+            raise
+
+    _with_retries(op, attempt)
+
+
+def save_database(
+    db: STS3Database,
+    path: str | Path,
+    pack_bitsets: bool = False,
+    format_version: int | None = None,
+    checkpoint_wal: bool = True,
+) -> None:
+    """Write ``db`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The default writes format v4 (checksummed, crash-safe);
+    ``format_version=3`` keeps the legacy single-``.npz`` layout for
+    downgrade paths.  With ``pack_bitsets=True`` every segment's packed
+    bitset (built on demand; segments whose memory gate declines are
+    skipped) is archived alongside the series, so a loaded database
+    answers its first popcount-kernel query without re-packing.
+
+    If the database has an attached write-ahead log, a successful save
+    is a *checkpoint*: the archive records the WAL position it covers
+    and (with ``checkpoint_wal=True``) retires the now-redundant log
+    generations.
+    """
+    version = FORMAT_VERSION if format_version is None else int(format_version)
+    if version not in (3, 4):
+        raise DatasetError(
+            f"can only write format versions 3 and 4, not {format_version!r}"
+        )
+    path = Path(path)
+    wal = getattr(db, "wal", None)
+    if wal is not None:
+        wal.sync()  # everything the archive captures must be acknowledged
+    all_series = db.catalog.all_series()
+    with span(
+        "persist.save",
+        series=len(all_series),
+        segments=len(db.catalog.segments),
+        buffered=len(db.buffer.series),
+        version=version,
+    ):
+        if version == 3:
+            _save_v3(db, path, pack_bitsets)
+        else:
+            _save_v4(db, path, pack_bitsets)
+    db.wal_seq = _header_params(db)["wal_seq"]
+    if wal is not None and checkpoint_wal:
+        wal.checkpoint()
+    get_registry().counter(
+        "sts3_persist_total", "database archive writes and reads"
+    ).inc(op="save")
+
+
+def _save_v3(db: STS3Database, path: Path, pack_bitsets: bool) -> None:
+    """Legacy one-``.npz`` archive (format v3), written atomically."""
+    if not str(path).endswith(".npz"):
+        path = path.with_name(path.name + ".npz")  # np.savez compatibility
+    header = {"format_version": 3, **_header_params(db)}
+    header["segments"] = [_segment_entry(seg) for seg in db.catalog.segments]
     bitset_arrays: dict[str, np.ndarray] = {}
     if pack_bitsets:
         packed_positions = []
@@ -138,34 +297,89 @@ def save_database(
             bitset_arrays[f"bitset_vocab_{position}"] = store.vocab
             bitset_arrays[f"bitset_matrix_{position}"] = store.matrix
         header["bitset_segments"] = packed_positions
-    all_series = db.catalog.all_series()
-    with span(
-        "persist.save",
-        series=len(all_series),
-        segments=len(db.catalog.segments),
-        buffered=len(db.buffer.series),
-    ):
-        matrix, lengths, n_dims = _pack(all_series)
-        buf_matrix, buf_lengths, _ = _pack(db.buffer.series)
-        np.savez_compressed(
-            path,
-            header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
-            n_dims=np.int64(n_dims),
-            series=matrix,
-            lengths=lengths,
-            buffer_series=buf_matrix,
-            buffer_lengths=buf_lengths,
-            **bitset_arrays,
+    matrix, lengths, n_dims = _pack(db.catalog.all_series())
+    buf_matrix, buf_lengths, _ = _pack(db.buffer.series)
+    blob = _npz_bytes(
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        n_dims=np.int64(n_dims),
+        series=matrix,
+        lengths=lengths,
+        buffer_series=buf_matrix,
+        buffer_lengths=buf_lengths,
+        **bitset_arrays,
+    )
+    _atomic_write(
+        path, lambda fh: faults.fault_write(fh, blob, "persist.payload.write"), "save"
+    )
+
+
+def _save_v4(db: STS3Database, path: Path, pack_bitsets: bool) -> None:
+    """Checksummed container: per-segment payloads + manifest + trailer."""
+    segment_entries = []
+    blobs: list[bytes] = []
+    n_dims = 1
+    for segment in db.catalog.segments:
+        entry = _segment_entry(segment)
+        matrix, lengths, n_dims = _pack(segment.series)
+        arrays = {"series": matrix, "lengths": lengths}
+        entry["bitset"] = False
+        if pack_bitsets:
+            store = segment.bitset_store()
+            if store is not None:
+                arrays["bitset_vocab"] = store.vocab
+                arrays["bitset_matrix"] = store.matrix
+                entry["bitset"] = True
+        blob = _npz_bytes(**arrays)
+        entry["payload"] = {"length": len(blob), "crc32": crc32(blob)}
+        segment_entries.append(entry)
+        blobs.append(blob)
+    buf_matrix, buf_lengths, _ = _pack(db.buffer.series)
+    buffer_blob = _npz_bytes(series=buf_matrix, lengths=buf_lengths)
+    buffer_entry = {
+        "size": len(db.buffer.series),
+        "payload": {"length": len(buffer_blob), "crc32": crc32(buffer_blob)},
+    }
+    # Assign offsets now that every blob size is known.
+    cursor = len(DB_MAGIC)
+    for entry, blob in zip(segment_entries + [buffer_entry], blobs + [buffer_blob]):
+        entry["payload"]["offset"] = cursor
+        cursor += len(blob) + _FOOTER.size
+    manifest = {
+        "format_version": 4,
+        **_header_params(db),
+        "n_dims": n_dims,
+        "segments": segment_entries,
+        "buffer_payload": buffer_entry,
+    }
+    manifest_bytes = json.dumps(manifest).encode()
+
+    def write(fh) -> None:
+        fh.write(DB_MAGIC)
+        for blob in blobs:
+            faults.fault_write(fh, blob, "persist.payload.write")
+            fh.write(_FOOTER.pack(crc32(blob)))
+        faults.fault_write(fh, buffer_blob, "persist.payload.write")
+        fh.write(_FOOTER.pack(crc32(buffer_blob)))
+        faults.fault_write(fh, manifest_bytes, "persist.manifest.write")
+        fh.write(
+            _TRAILER.pack(cursor, len(manifest_bytes), crc32(manifest_bytes), _END_MAGIC)
         )
-    get_registry().counter(
-        "sts3_persist_total", "database archive writes and reads"
-    ).inc(op="save")
+
+    _atomic_write(path, write, "save")
 
 
 def load_database(path: str | Path) -> STS3Database:
-    """Rebuild a database previously written by :func:`save_database`."""
+    """Rebuild a database previously written by :func:`save_database`.
+
+    v4 archives are checksum-verified; a segment payload that fails its
+    CRC is *quarantined* — the rest of the database loads, the loss is
+    recorded on ``db.catalog.quarantined``, and queries degrade
+    gracefully (``complete=False``) instead of raising.  Only an
+    unreadable manifest (nothing trustworthy to load) raises
+    :class:`~repro.exceptions.DatasetError`.
+    """
     with span("persist.load"):
-        db = _load_database(path)
+        db = _with_retries("load", lambda: _load_database(path))
     get_registry().counter(
         "sts3_persist_total", "database archive writes and reads"
     ).inc(op="load")
@@ -176,6 +390,160 @@ def _load_database(path: str | Path) -> STS3Database:
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"no database archive at {path}")
+    faults.fault_point("persist.read")
+    data = path.read_bytes()
+    if data[: len(DB_MAGIC)] == DB_MAGIC:
+        return _load_v4(path, data)
+    return _load_legacy(path)
+
+
+# -- format v4 ----------------------------------------------------------
+
+
+def _read_manifest(path: Path, data: bytes) -> dict:
+    if len(data) < len(DB_MAGIC) + _TRAILER.size:
+        raise DatasetError(f"{path}: v4 archive truncated before its trailer")
+    offset, length, checksum, end_magic = _TRAILER.unpack_from(
+        data, len(data) - _TRAILER.size
+    )
+    if end_magic != _END_MAGIC:
+        raise DatasetError(f"{path}: v4 archive trailer is damaged")
+    blob = data[offset : offset + length]
+    if len(blob) < length or crc32(blob) != checksum:
+        raise DatasetError(f"{path}: v4 manifest fails its checksum")
+    try:
+        manifest = json.loads(blob.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise DatasetError(f"{path}: v4 manifest is not valid JSON") from exc
+    if manifest.get("format_version") not in SUPPORTED_VERSIONS:
+        raise DatasetError(
+            f"{path}: unsupported format version "
+            f"{manifest.get('format_version')!r} (expected one of "
+            f"{SUPPORTED_VERSIONS})"
+        )
+    return manifest
+
+
+def _payload_blob(data: bytes, entry: dict) -> tuple[bytes | None, str | None]:
+    """The verified blob for a manifest payload entry, or a problem."""
+    payload = entry["payload"]
+    offset, length = int(payload["offset"]), int(payload["length"])
+    end = offset + length
+    if end + _FOOTER.size > len(data):
+        return None, "payload extends past end of archive"
+    blob = data[offset:end]
+    (footer,) = _FOOTER.unpack_from(data, end)
+    actual = crc32(blob)
+    if actual != int(payload["crc32"]) or actual != footer:
+        return None, "checksum mismatch"
+    return blob, None
+
+
+def _load_v4(path: Path, data: bytes) -> STS3Database:
+    manifest = _read_manifest(path, data)
+    n_dims = int(manifest["n_dims"])
+    epsilon = manifest["epsilon"]
+    if manifest["epsilon_is_tuple"]:
+        epsilon = tuple(epsilon)
+
+    survivors: list[tuple[list[np.ndarray], Grid]] = []
+    survivor_meta: list[tuple[int, dict, dict | None]] = []  # (pos, entry, bitset)
+    quarantined: list[QuarantineRecord] = []
+    for position, entry in enumerate(manifest["segments"]):
+        name = f"segment-{position}"
+        blob, problem = _payload_blob(data, entry)
+        if blob is not None:
+            try:
+                with np.load(io.BytesIO(blob)) as payload:
+                    series = _unpack(payload["series"], payload["lengths"], n_dims)
+                    bitset = None
+                    if entry.get("bitset"):
+                        bitset = {
+                            "vocab": payload["bitset_vocab"],
+                            "matrix": payload["bitset_matrix"],
+                        }
+            except Exception:
+                blob, problem = None, "unreadable payload"
+        if blob is None:
+            quarantined.append(
+                QuarantineRecord(name, int(entry["size"]), problem)
+            )
+            continue
+        if len(series) != int(entry["size"]):
+            quarantined.append(
+                QuarantineRecord(
+                    name,
+                    int(entry["size"]),
+                    f"payload holds {len(series)} series, manifest says "
+                    f"{entry['size']}",
+                )
+            )
+            continue
+        survivors.append((series, _segment_grid(entry)))
+        survivor_meta.append((position, entry, bitset))
+    if not survivors:
+        raise DatasetError(
+            f"{path}: every segment payload failed verification "
+            f"({'; '.join(f'{q.name}: {q.reason}' for q in quarantined)})"
+        )
+
+    db = STS3Database.from_segments(
+        survivors,
+        sigma=manifest["sigma"],
+        epsilon=epsilon,
+        normalize=manifest["normalize"],
+        value_padding=manifest["value_padding"],
+        buffer_capacity=manifest["buffer_capacity"],
+        default_scale=manifest["default_scale"],
+        default_max_scale=manifest["default_max_scale"],
+    )
+    db.rebuild_count = manifest["rebuild_count"]
+    db.wal_seq = int(manifest.get("wal_seq", 0))
+    for segment, (position, entry, bitset) in zip(db.catalog.segments, survivor_meta):
+        segment.payload_crc32 = int(entry["payload"]["crc32"])
+        if bitset is not None:
+            _attach_bitset(segment, bitset["vocab"], bitset["matrix"], path)
+    for record in quarantined:
+        db.catalog.quarantine(record)
+
+    buffer_entry = manifest["buffer_payload"]
+    blob, problem = _payload_blob(data, buffer_entry)
+    buffered: list[np.ndarray] = []
+    if blob is None:
+        db.catalog.quarantine(
+            QuarantineRecord("buffer", int(buffer_entry["size"]), problem)
+        )
+    else:
+        try:
+            with np.load(io.BytesIO(blob)) as payload:
+                buffered = _unpack(payload["series"], payload["lengths"], n_dims)
+        except Exception:
+            db.catalog.quarantine(
+                QuarantineRecord(
+                    "buffer", int(buffer_entry["size"]), "unreadable payload"
+                )
+            )
+    for series_item in buffered:
+        db.buffer.add(series_item)
+    return db
+
+
+def _attach_bitset(segment, vocab, matrix, path) -> None:
+    lengths = np.asarray([len(s) for s in segment.sets], dtype=np.int64)
+    # from_parts validates the matrix shape against the rebuilt sets,
+    # so a truncated archive fails here instead of miscounting.
+    segment._bitset = BitsetStore.from_parts(vocab, matrix, lengths)
+    segment._bitset_decided = True
+    get_registry().gauge(
+        "sts3_bitset_bytes_resident",
+        "packed bitset bytes resident, by segment",
+    ).set(segment._bitset.nbytes, segment=str(segment.segment_id))
+
+
+# -- formats v1-v3 ------------------------------------------------------
+
+
+def _load_legacy(path: Path) -> STS3Database:
     with np.load(path) as archive:
         try:
             header = json.loads(bytes(archive["header"]).decode())
@@ -246,22 +614,147 @@ def _load_database(path: str | Path) -> STS3Database:
             default_max_scale=header["default_max_scale"],
         )
     db.rebuild_count = header["rebuild_count"]
+    db.wal_seq = int(header.get("wal_seq", 0))
     for position, (vocab, matrix) in bitsets.items():
         if not 0 <= position < len(db.catalog.segments):
             raise DatasetError(
                 f"{path}: packed bitset refers to segment {position}, "
                 f"archive restored {len(db.catalog.segments)} segments"
             )
-        segment = db.catalog.segments[position]
-        lengths = np.asarray([len(s) for s in segment.sets], dtype=np.int64)
-        # from_parts validates the matrix shape against the rebuilt
-        # sets, so a truncated archive fails here instead of miscounting.
-        segment._bitset = BitsetStore.from_parts(vocab, matrix, lengths)
-        segment._bitset_decided = True
-        get_registry().gauge(
-            "sts3_bitset_bytes_resident",
-            "packed bitset bytes resident, by segment",
-        ).set(segment._bitset.nbytes, segment=str(segment.segment_id))
+        _attach_bitset(db.catalog.segments[position], vocab, matrix, path)
     for series_item in buffered:
         db.buffer.add(series_item)
     return db
+
+
+# -- recovery -----------------------------------------------------------
+
+
+def apply_wal_records(db: STS3Database, records: list[dict], from_seq: int) -> int:
+    """Re-apply WAL records with ``seq > from_seq`` to ``db``.
+
+    Replay is deterministic and side-effect-free on the log itself:
+    the database's WAL logging is suppressed while records are applied
+    (they are already on disk), so recovery never re-writes history.
+    Returns the number of records applied.
+    """
+    applied = 0
+    db._replaying = True
+    try:
+        for record in records:
+            if record["seq"] <= from_seq:
+                continue
+            op = record["op"]
+            if op == "insert":
+                db._insert_prepared(decode_series(record["series"]))
+            elif op == "flush":
+                db.flush()
+            elif op == "compact":
+                db.compact(record.get("min_size"))
+            else:
+                raise DatasetError(f"unknown WAL operation {op!r} during replay")
+            applied += 1
+    finally:
+        db._replaying = False
+    return applied
+
+
+def recover_database(
+    path: str | Path,
+    wal_dir: str | Path | None = None,
+    fsync_batch: int | None = None,
+) -> STS3Database:
+    """Crash recovery: last checkpoint archive + write-ahead-log replay.
+
+    Loads the archive at ``path`` (quarantining corrupt segments),
+    replays the WAL tail (records past the archive's ``wal_seq``;
+    a torn tail is truncated first), and re-attaches a live WAL so
+    the recovered database keeps journaling.  ``wal_dir`` defaults to
+    :func:`default_wal_dir`; a missing WAL directory simply means
+    nothing to replay.
+    """
+    path = Path(path)
+    wal_dir = default_wal_dir(path) if wal_dir is None else Path(wal_dir)
+    with span("recover", archive=str(path)):
+        db = load_database(path)
+        records, report = replay_wal(wal_dir, truncate=True)
+        applied = apply_wal_records(db, records, from_seq=db.wal_seq)
+        wal = WriteAheadLog(
+            wal_dir,
+            **({"fsync_batch": fsync_batch} if fsync_batch is not None else {}),
+            start_seq=max(db.wal_seq, report.last_seq),
+        )
+        db.attach_wal(wal)
+    get_registry().counter(
+        "sts3_recoveries_total", "databases recovered from archive + WAL"
+    ).inc()
+    get_registry().counter(
+        "sts3_wal_applied_records_total", "WAL records re-applied during recovery"
+    ).inc(applied)
+    return db
+
+
+def verify_archive(path: str | Path, wal_dir: str | Path | None = None) -> dict:
+    """Offline integrity report for ``sts3 verify`` / ``sts3 inspect``.
+
+    Checks the archive's manifest and every payload checksum (v4) or
+    basic readability (v1-v3), then scans the WAL for frame damage and
+    replay lag (records past the archive's ``wal_seq``).  Never builds
+    the database; raises :class:`~repro.exceptions.DatasetError` only
+    when the file is entirely unreadable.
+    """
+    path = Path(path)
+    wal_dir = default_wal_dir(path) if wal_dir is None else Path(wal_dir)
+    if not path.exists():
+        raise DatasetError(f"no database archive at {path}")
+    data = path.read_bytes()
+    report: dict = {"path": str(path), "payloads": [], "problems": []}
+    if data[: len(DB_MAGIC)] == DB_MAGIC:
+        manifest = _read_manifest(path, data)
+        report["format_version"] = 4
+        report["wal_seq"] = int(manifest.get("wal_seq", 0))
+        entries = [
+            (f"segment-{i}", e) for i, e in enumerate(manifest["segments"])
+        ] + [("buffer", manifest["buffer_payload"])]
+        for name, entry in entries:
+            blob, problem = _payload_blob(data, entry)
+            status = "ok" if problem is None else problem
+            report["payloads"].append(
+                {
+                    "name": name,
+                    "n_series": int(entry["size"]),
+                    "crc32": int(entry["payload"]["crc32"]),
+                    "status": status,
+                }
+            )
+            if problem is not None:
+                report["problems"].append(f"{name}: {problem}")
+    else:
+        try:
+            with np.load(path) as archive:
+                header = json.loads(bytes(archive["header"]).decode())
+        except Exception as exc:
+            raise DatasetError(f"{path} is not an STS3 database archive") from exc
+        report["format_version"] = int(header.get("format_version", 1))
+        report["wal_seq"] = int(header.get("wal_seq", 0))
+        for position, entry in enumerate(header.get("segments", [])):
+            report["payloads"].append(
+                {
+                    "name": f"segment-{position}",
+                    "n_series": int(entry["size"]),
+                    "crc32": None,
+                    "status": "unchecksummed (pre-v4 archive)",
+                }
+            )
+    records, wal_report = scan_wal(wal_dir)
+    replay_lag = sum(1 for r in records if r["seq"] > report["wal_seq"])
+    report["wal"] = {
+        "directory": str(wal_dir),
+        "present": wal_report.files > 0,
+        "records": wal_report.records,
+        "replay_lag": replay_lag,
+        "clean": wal_report.clean,
+        "problems": list(wal_report.problems),
+    }
+    report["problems"].extend(wal_report.problems)
+    return report

@@ -26,6 +26,7 @@ below :data:`SMALL_SEGMENT` series.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -39,12 +40,27 @@ from .result import QueryResult, SearchStats
 from .segment import Segment
 from .setrep import transform_query
 
-__all__ = ["QueryPlanner", "SegmentPlan", "SMALL_SEGMENT"]
+__all__ = [
+    "DEADLINE_SOFT_FRACTION",
+    "QueryPlanner",
+    "SegmentPlan",
+    "SMALL_SEGMENT",
+]
 
 #: below this many series a delta segment is scanned naively — building
 #: postings/zone tables for a handful of series costs more than the
 #: exhaustive scan they would accelerate.
 SMALL_SEGMENT = 64
+
+#: past this fraction of a query's deadline, remaining exact segment
+#: plans downgrade to approximate (the first rung of the degradation
+#: ladder — exact → approximate → skipped; DESIGN.md §12).
+DEADLINE_SOFT_FRACTION = 0.5
+
+#: methods the soft-deadline rung can downgrade (``approximate`` is
+#: already the cheap rung; tiny segments stay naive — the exhaustive
+#: scan over a handful of series is cheaper than any filter).
+_EXACTISH = ("naive", "index", "pruning", "minhash")
 
 
 @dataclass(frozen=True)
@@ -81,6 +97,9 @@ class QueryPlanner:
         #: plans of the most recent execute/execute_batch call, with
         #: their executed kernels recorded (diagnostic).
         self.last_plans: list[SegmentPlan] = []
+        #: monotonic-seconds clock for deadline accounting — injectable
+        #: so degradation tests advance time deterministically.
+        self.clock = time.monotonic
 
     @property
     def calibrated_method(self) -> str | None:
@@ -161,21 +180,71 @@ class QueryPlanner:
         scale: int | None = None,
         max_scale: int | None = None,
         buffer=None,
+        deadline_ms: float | None = None,
     ) -> QueryResult:
-        """Answer one prepared (validated/normalized) query."""
+        """Answer one prepared (validated/normalized) query.
+
+        ``deadline_ms`` arms the degradation ladder: past
+        :data:`DEADLINE_SOFT_FRACTION` of the budget, remaining exact
+        segment plans downgrade to approximate; past the budget,
+        remaining segments are skipped entirely (the first segment
+        always runs, so the answer is never empty).  Quarantined
+        payloads on the catalog degrade the answer unconditionally.
+        Degraded answers carry ``complete=False`` plus the reason — the
+        Lernaean-Hydra serving stance: a timely approximate answer over
+        a late exact one or an exception.
+        """
         scale = self.default_scale if scale is None else int(scale)
         max_scale = self.default_max_scale if max_scale is None else int(max_scale)
         segments = self.catalog.segments
         with span("plan", method=method, segments=len(segments)):
             plans = [replace(p, kernel="scalar") for p in self.plan(method)]
             self.last_plans = plans
-        results = [
-            self._run_segment(segment, plan.method, prepared, k, scale, max_scale)
-            for segment, plan in zip(segments, plans)
-        ]
-        if len(results) == 1 and not (buffer is not None and len(buffer)):
+        reasons: set[str] = set()
+        skipped: list[str] = [q.name for q in self.catalog.quarantined]
+        if skipped:
+            reasons.add("quarantine")
+        start = self.clock() if deadline_ms is not None else 0.0
+        results: list[QueryResult] = []
+        executed_plans: list[SegmentPlan] = []
+        for position, (segment, plan) in enumerate(zip(segments, plans)):
+            if deadline_ms is not None:
+                elapsed_ms = (self.clock() - start) * 1000.0
+                if elapsed_ms >= deadline_ms and results:
+                    reasons.add("deadline")
+                    skipped.append(f"segment-{segment.segment_id}")
+                    continue
+                if (
+                    elapsed_ms >= deadline_ms * DEADLINE_SOFT_FRACTION
+                    and plan.method in _EXACTISH
+                    and len(segment) >= SMALL_SEGMENT
+                ):
+                    reasons.add("deadline")
+                    plan = replace(plan, method="approximate")
+                    plans[position] = plan
+            results.append(
+                self._run_segment(segment, plan.method, prepared, k, scale, max_scale)
+            )
+            executed_plans.append(plan)
+        if not reasons and len(results) == 1 and not (
+            buffer is not None and len(buffer)
+        ):
             return results[0]
-        return self._merge(results, plans, prepared, k, buffer)
+        merged = self._merge(results, executed_plans, prepared, k, buffer)
+        if reasons:
+            self._mark_degraded(merged, skipped, reasons)
+        return merged
+
+    def _mark_degraded(
+        self, result: QueryResult, skipped: list[str], reasons: set[str]
+    ) -> None:
+        result.complete = False
+        result.skipped_segments = list(skipped)
+        result.degraded_reason = "+".join(sorted(reasons))
+        get_registry().counter(
+            "sts3_degraded_queries_total",
+            "queries answered incompletely, by reason",
+        ).inc(reason=result.degraded_reason)
 
     def execute_batch(
         self,
@@ -222,12 +291,18 @@ class QueryPlanner:
                 ])
                 plans[position] = replace(plan, kernel="scalar")
         self.last_plans = plans
-        if len(segments) == 1 and not (buffer is not None and len(buffer)):
+        quarantined = [q.name for q in self.catalog.quarantined]
+        if not quarantined and len(segments) == 1 and not (
+            buffer is not None and len(buffer)
+        ):
             return per_segment[0]
-        return [
+        merged = [
             self._merge([res[qi] for res in per_segment], plans, prepared, k, buffer)
             for qi, prepared in enumerate(prepared_queries)
         ]
+        for result in merged if quarantined else ():
+            self._mark_degraded(result, quarantined, {"quarantine"})
+        return merged
 
     def _run_segment(
         self,

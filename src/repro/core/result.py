@@ -77,10 +77,23 @@ class SearchStats:
 
 @dataclass
 class QueryResult:
-    """Answer of a k-NN query: neighbours sorted by descending similarity."""
+    """Answer of a k-NN query: neighbours sorted by descending similarity.
+
+    A result may be *degraded* (DESIGN.md §12): when a query deadline
+    expired mid-plan or the catalog holds quarantined segments, the
+    planner answers from what it could search instead of raising.
+    ``complete`` is False for such answers, ``skipped_segments`` names
+    what was not searched (quarantined payload names and/or
+    deadline-skipped segments), and ``degraded_reason`` says why
+    (``"deadline"``, ``"quarantine"``, or ``"deadline+quarantine"``).
+    Callers that require exact answers should check ``complete``.
+    """
 
     neighbors: list[Neighbor]
     stats: SearchStats = field(default_factory=SearchStats)
+    complete: bool = True
+    skipped_segments: list[str] = field(default_factory=list)
+    degraded_reason: str | None = None
 
     @property
     def best(self) -> Neighbor:

@@ -101,6 +101,9 @@ class Segment:
         self._minhash: dict[tuple[int, int], MinHashSearcher] = {}
         self._bitset: BitsetStore | None = None
         self._bitset_decided = False
+        #: CRC32 of the archive payload this segment was restored from
+        #: (format v4 loads only); None for segments built in memory.
+        self.payload_crc32: int | None = None
 
     @classmethod
     def build(
@@ -246,6 +249,7 @@ class Segment:
         lengths = [len(s) for s in self.series]
         return {
             "segment_id": self.segment_id,
+            "payload_crc32": self.payload_crc32,
             "n_series": len(self.series),
             "n_cells": self.grid.n_cells,
             "n_columns": self.grid.n_columns,

@@ -1,0 +1,526 @@
+"""Write-ahead log for the lazy update path (DESIGN.md §12).
+
+The paper's buffered-update scheme (Section 5.3.2) keeps inserted
+series in memory until the buffer seals; a crash between insert and
+seal silently loses them.  The WAL closes that window: every mutation
+is appended (and, at the fsync cadence, made durable) *before* it
+touches the :class:`~repro.core.database.UpdateBuffer` or catalog, so
+recovery is "load the last checkpoint archive, replay the log".
+
+On-disk layout — a directory of numbered *generation* files::
+
+    <wal dir>/00000001.wal
+    <wal dir>/00000002.wal        # rotated at each segment seal
+    ...
+
+Each file starts with an 8-byte magic (:data:`MAGIC`) and then holds
+CRC32-framed records::
+
+    [payload_len: u32 LE][crc32(payload): u32 LE][payload]
+
+A payload is either compact JSON (UTF-8; first byte ``{``) or, for the
+hot insert path, a *binary series frame* — a NUL byte, a compact JSON
+header ``{"seq":...,"op":...,"series":{"dtype":...,"shape":[...]}}``,
+a NUL separator, and the array's raw bytes (no base64, ~25% fewer
+journaled bytes).  Records carry a monotonically increasing ``seq``
+plus an ``op`` (``insert`` / ``flush`` / ``compact``); inserted series
+travel as their exact float64 bytes, so replay is bit-identical.
+
+Durability semantics:
+
+- :meth:`WriteAheadLog.append` buffers; every ``fsync_batch`` appends
+  (or an explicit :meth:`~WriteAheadLog.sync`) the file is fsynced and
+  ``synced_seq`` advances.  A write is **acknowledged** once its seq is
+  ``<= synced_seq`` — the crash-recovery suite asserts no acknowledged
+  write is ever lost, while a torn unsynced tail may be.
+- :func:`replay_wal` reads generations in order, stops at the first bad
+  frame (short header, short payload, CRC mismatch, undecodable JSON,
+  sequence gap), and — with ``truncate=True`` — truncates the file at
+  the bad offset and drops later generations: a torn tail never poisons
+  a recovery twice.
+- :meth:`~WriteAheadLog.rotate` (called at segment seal) starts a new
+  generation; :meth:`~WriteAheadLog.checkpoint` (called after a
+  successful :func:`~repro.core.persistence.save_database`) deletes the
+  generations the archive has made redundant.
+
+Observability: ``wal.append`` / ``wal.replay`` spans and the
+``sts3_wal_*`` metric family (appends, bytes, fsyncs, replayed records,
+truncated bytes, pending-record gauge) — see docs/observability.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from base64 import b64decode, b64encode
+from dataclasses import dataclass, field
+from pathlib import Path
+from zlib import crc32
+
+import numpy as np
+
+from .. import faults
+from ..exceptions import ParameterError
+from ..obs import get_registry, get_tracer, span
+
+__all__ = [
+    "MAGIC",
+    "ReplayReport",
+    "WriteAheadLog",
+    "decode_series",
+    "encode_series",
+    "replay_wal",
+    "scan_wal",
+]
+
+#: first 8 bytes of every generation file.
+MAGIC = b"STS3WAL1"
+
+_FRAME_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+
+#: default appends between fsyncs — the insert-path overhead budget
+#: (<= 15%, enforced by benchmarks/bench_wal.py) is measured here.  A
+#: single fsync costs ~1-2 ms on commodity filesystems, so the batch
+#: size bounds both the amortized insert overhead and the worst-case
+#: unacknowledged tail (at most this many records can be lost in a
+#: crash; set ``fsync_batch=1`` for ack-every-insert durability).  At
+#: 256 records (~300 KiB of frames) the amortized fsync cost drops
+#: under ~10 µs per insert while the at-risk window stays well below
+#: one buffer flush worth of data.
+DEFAULT_FSYNC_BATCH = 256
+
+#: spill the in-memory append buffer to the file once it exceeds this
+#: many bytes, bounding memory without forcing an fsync.
+_SPILL_BYTES = 1 << 20
+
+
+class _AppendBuffer:
+    """In-memory tail of the active generation (group commit).
+
+    Appended frames accumulate here and reach the file in one write at
+    each sync (or earlier, past :data:`_SPILL_BYTES`).  Durability
+    semantics are unchanged — a record was never acknowledged before
+    its fsync — but the insert path pays a ``bytearray`` extend instead
+    of a buffered-I/O write.  Quacks like a file so the fault-injection
+    layer (:func:`repro.faults.fault_write`) can tear or flip appends
+    in-flight exactly as it would real writes.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def write(self, chunk: bytes) -> None:
+        self.data += chunk
+
+    def flush(self) -> None:  # torn-write faults flush before raising
+        pass
+
+
+def encode_series(series: np.ndarray) -> dict:
+    """JSON-safe encoding of a series, bit-exact (base64 of raw bytes)."""
+    arr = np.ascontiguousarray(series)
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_series(record: dict) -> np.ndarray:
+    """Inverse of both series encodings (returns a writable array).
+
+    Accepts the base64 form produced by :func:`encode_series` (key
+    ``data``) and the binary frame form produced by
+    :meth:`WriteAheadLog.append_series` (key ``raw``, bytes attached by
+    the frame parser).
+    """
+    raw = record["raw"] if "raw" in record else b64decode(record["data"])
+    arr = np.frombuffer(raw, dtype=np.dtype(record["dtype"]))
+    return arr.reshape(tuple(record["shape"])).copy()
+
+
+def _generation_files(directory: Path) -> list[Path]:
+    return sorted(directory.glob("[0-9]" * 8 + ".wal"))
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make a directory entry durable (best-effort off POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """Append-only durability log; one instance per live database."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fsync_batch: int = DEFAULT_FSYNC_BATCH,
+        start_seq: int = 0,
+    ):
+        if fsync_batch < 1:
+            raise ParameterError(f"fsync_batch must be >= 1, got {fsync_batch}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_batch = int(fsync_batch)
+        #: seq of the last appended record (may not be durable yet).
+        self.last_seq = int(start_seq)
+        #: seq of the last record known to be on stable storage; a
+        #: write is *acknowledged* once its seq is <= synced_seq.
+        self.synced_seq = int(start_seq)
+        self._pending = 0
+        self._file = None
+        # metric handles resolved once: registry lookups are measurable
+        # at append rates (see benchmarks/bench_wal.py)
+        registry = get_registry()
+        self._m_appends = registry.counter(
+            "sts3_wal_appends_total", "WAL records appended, by operation"
+        )
+        self._m_bytes = registry.counter("sts3_wal_bytes_total", "WAL bytes written")
+        self._m_pending = registry.gauge(
+            "sts3_wal_pending_records", "appended WAL records not yet fsynced"
+        )
+        self._m_fsyncs = registry.counter("sts3_wal_fsyncs_total", "WAL fsync calls")
+        # per-op append counts and bytes accumulated locally between
+        # fsyncs, flushed to the registry in sync()
+        self._lazy_appends: dict[str, int] = {}
+        self._lazy_bytes = 0
+        self._buffer = _AppendBuffer()
+        # memoized binary-frame headers keyed by (op, dtype, shape):
+        # rebuilding the JSON header from scratch costs ~5µs/append,
+        # filling the sequence number into a cached template ~0.2µs
+        self._series_formats: dict[tuple, bytes] = {}
+        self._open_generation()
+
+    # -- file lifecycle -------------------------------------------------
+
+    def _open_generation(self) -> None:
+        existing = _generation_files(self.directory)
+        index = 1
+        if existing:
+            index = int(existing[-1].stem) + 1
+        path = self.directory / f"{index:08d}.wal"
+        self._file = open(path, "ab")
+        self._file.write(MAGIC)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        _fsync_directory(self.directory)
+        self.path = path
+
+    def close(self) -> None:
+        """Sync and close the active generation file."""
+        if self._file is None:
+            return
+        self.sync()
+        self._file.close()
+        self._file = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the hot path ---------------------------------------------------
+
+    def append(self, op: str, **fields) -> int:
+        """Append one record; returns its seq (durable once synced)."""
+        if self._file is None:
+            raise ParameterError("write-ahead log is closed")
+        seq = self.last_seq + 1
+        payload = json.dumps(
+            {"seq": seq, "op": op, **fields}, separators=(",", ":")
+        ).encode()
+        return self._append_payload(op, seq, payload)
+
+    def append_series(self, op: str, series: np.ndarray) -> int:
+        """Append a record carrying ``series``, bit-exact — the hot path.
+
+        Logically equivalent to ``append(op, series=
+        encode_series(series))`` but framed in the *binary* payload
+        form: a NUL marker, a compact JSON header, a NUL separator, and
+        the array's raw bytes.  Skipping base64 cuts the journaled
+        bytes by ~25% and the encode/replay CPU roughly in half — the
+        insert path is where benchmarks/bench_wal.py enforces the
+        overhead budget.
+        """
+        if self._file is None:
+            raise ParameterError("write-ahead log is closed")
+        seq = self.last_seq + 1
+        arr = np.ascontiguousarray(series)
+        key = (op, arr.dtype, arr.shape)
+        fmt = self._series_formats.get(key)
+        if fmt is None:
+            # dtype.str ("<f8") over str(dtype) ("float64"): the
+            # byte order must be explicit for cross-platform replay
+            fmt = b'\x00{"seq":%%d,"op":"%s","series":{"dtype":"%s","shape":[%s]}}\x00' % (
+                op.encode(),
+                arr.dtype.str.encode(),
+                ",".join(map(str, arr.shape)).encode(),
+            )
+            self._series_formats[key] = fmt
+        header = fmt % seq
+        if faults.get_plan() is None and not get_tracer().enabled:
+            # zero-copy fast path: the frame is assembled directly in
+            # the append buffer — header and raw array bytes extended
+            # separately, checksum chained across the two pieces — so
+            # no intermediate payload/frame bytes objects are built.
+            # The per-append allocation churn those temporaries cause
+            # is the dominant journaling cost once fsyncs are batched.
+            raw = arr.data
+            length = len(header) + arr.nbytes
+            buf = self._buffer.data
+            buf += _FRAME_HEADER.pack(length, crc32(raw, crc32(header)))
+            buf += header
+            buf += raw
+            return self._after_append(op, seq, length + _FRAME_HEADER.size)
+        return self._append_payload(op, seq, header + arr.tobytes())
+
+    def _append_payload(self, op: str, seq: int, payload: bytes) -> int:
+        frame = _FRAME_HEADER.pack(len(payload), crc32(payload)) + payload
+        tracer = get_tracer()
+        if tracer.enabled:  # even the no-op span costs ~1.3µs/append
+            with tracer.span("wal.append", op=op):
+                faults.fault_write(self._buffer, frame, "wal.append")
+        else:
+            faults.fault_write(self._buffer, frame, "wal.append")
+        return self._after_append(op, seq, len(frame))
+
+    def _after_append(self, op: str, seq: int, frame_bytes: int) -> int:
+        """Bookkeeping shared by both append paths, post buffer write."""
+        if len(self._buffer.data) >= _SPILL_BYTES:
+            self._spill()
+        self.last_seq = seq
+        self._pending += 1
+        # metric flushing (counters and the pending gauge alike) is
+        # deferred to the fsync cadence: registry updates per append
+        # are measurable against the insert-path budget
+        self._lazy_appends[op] = self._lazy_appends.get(op, 0) + 1
+        self._lazy_bytes += frame_bytes
+        if self._pending >= self.fsync_batch:
+            self.sync()
+        return seq
+
+    def _spill(self) -> None:
+        """Write the in-memory append buffer through to the file."""
+        if self._buffer.data:
+            self._file.write(bytes(self._buffer.data))
+            self._buffer.data.clear()
+            # gauge granularity is the spill/fsync boundary, not the
+            # individual append — sampling between batches undercounts
+            # by at most fsync_batch - 1 records
+            self._m_pending.set(self._pending)
+
+    def sync(self) -> None:
+        """fsync the active generation; acknowledges every append so far."""
+        if self._file is None:
+            return
+        self._spill()
+        self._file.flush()
+        faults.fault_point("wal.sync")
+        os.fsync(self._file.fileno())
+        self.synced_seq = self.last_seq
+        self._pending = 0
+        self._m_fsyncs.inc()
+        self._m_pending.set(0)
+        if self._lazy_appends:
+            for op, count in self._lazy_appends.items():
+                self._m_appends.inc(count, op=op)
+            self._m_bytes.inc(self._lazy_bytes)
+            self._lazy_appends = {}
+            self._lazy_bytes = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def rotate(self) -> None:
+        """Start a new generation file (called at segment seal)."""
+        self.sync()
+        self._file.close()
+        self._open_generation()
+        get_registry().counter(
+            "sts3_wal_rotations_total", "WAL generation rotations"
+        ).inc()
+
+    def checkpoint(self) -> int:
+        """Drop generations made redundant by a successful archive save.
+
+        Rotates first, so the whole pre-checkpoint log is in retired
+        generations, then unlinks them.  Returns the number of files
+        removed.  Call only *after* the archive covering ``last_seq``
+        is durably on disk — :func:`~repro.core.persistence.save_database`
+        does this automatically for a database with an attached WAL.
+        """
+        self.rotate()
+        removed = 0
+        for path in _generation_files(self.directory):
+            if path != self.path:
+                path.unlink()
+                removed += 1
+        _fsync_directory(self.directory)
+        get_registry().counter(
+            "sts3_wal_checkpoints_total", "WAL checkpoints (retired generations)"
+        ).inc()
+        return removed
+
+
+# -- replay -------------------------------------------------------------
+
+
+@dataclass
+class ReplayReport:
+    """What :func:`replay_wal` (or :func:`scan_wal`) found on disk."""
+
+    records: int = 0
+    files: int = 0
+    last_seq: int = 0
+    truncated_bytes: int = 0
+    truncated_file: str | None = None
+    dropped_files: list[str] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when every frame of every generation parsed and chained."""
+        return not self.problems
+
+
+def _scan_file(path: Path, expect_seq: int | None) -> tuple[list[dict], int, str | None]:
+    """Parse one generation file.
+
+    Returns ``(records, good_bytes, problem)`` where ``good_bytes`` is
+    the offset of the first bad byte (file length when clean) and
+    ``problem`` describes why parsing stopped (None when clean).
+    ``expect_seq`` is the seq the next record must carry (None = accept
+    whatever comes first).
+    """
+    data = path.read_bytes()
+    if data[: len(MAGIC)] != MAGIC:
+        return [], 0, f"{path.name}: bad or missing magic"
+    records: list[dict] = []
+    offset = len(MAGIC)
+    while offset < len(data):
+        if offset + _FRAME_HEADER.size > len(data):
+            return records, offset, f"{path.name}: torn frame header at byte {offset}"
+        length, checksum = _FRAME_HEADER.unpack_from(data, offset)
+        start = offset + _FRAME_HEADER.size
+        payload = data[start : start + length]
+        if len(payload) < length:
+            return records, offset, f"{path.name}: torn payload at byte {offset}"
+        if crc32(payload) != checksum:
+            return records, offset, f"{path.name}: CRC mismatch at byte {offset}"
+        if payload[:1] == b"\x00":
+            # binary series frame: NUL, JSON header, NUL, raw array bytes
+            sep = payload.find(b"\x00", 1)
+            try:
+                if sep < 0:
+                    raise ValueError("missing header separator")
+                record = json.loads(payload[1:sep].decode())
+                record["series"]["raw"] = payload[sep + 1 :]
+            except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+                return (
+                    records,
+                    offset,
+                    f"{path.name}: undecodable record at byte {offset}",
+                )
+        else:
+            try:
+                record = json.loads(payload.decode())
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return (
+                    records,
+                    offset,
+                    f"{path.name}: undecodable record at byte {offset}",
+                )
+        seq = record.get("seq")
+        if not isinstance(seq, int):
+            return records, offset, f"{path.name}: record without seq at byte {offset}"
+        if expect_seq is not None and seq != expect_seq:
+            return (
+                records,
+                offset,
+                f"{path.name}: sequence gap at byte {offset} "
+                f"(expected {expect_seq}, got {seq})",
+            )
+        records.append(record)
+        expect_seq = seq + 1
+        offset = start + length
+    return records, offset, None
+
+
+def scan_wal(directory: str | Path) -> tuple[list[dict], ReplayReport]:
+    """Read every parseable record without touching the files.
+
+    Parsing stops at the first bad frame (everything after it is
+    suspect); the report lists the problem and the generations that
+    would be dropped by a truncating :func:`replay_wal`.
+    """
+    directory = Path(directory)
+    report = ReplayReport()
+    records: list[dict] = []
+    if not directory.is_dir():
+        return records, report
+    files = _generation_files(directory)
+    expect: int | None = None
+    for position, path in enumerate(files):
+        file_records, good_bytes, problem = _scan_file(path, expect)
+        records.extend(file_records)
+        report.files += 1
+        if problem is not None:
+            report.problems.append(problem)
+            report.truncated_file = path.name
+            report.truncated_bytes = path.stat().st_size - good_bytes
+            report.dropped_files = [p.name for p in files[position + 1 :]]
+            break
+        if file_records:
+            expect = file_records[-1]["seq"] + 1
+    report.records = len(records)
+    report.last_seq = records[-1]["seq"] if records else 0
+    return records, report
+
+
+def replay_wal(
+    directory: str | Path, truncate: bool = True
+) -> tuple[list[dict], ReplayReport]:
+    """Read back every intact record, healing a torn tail.
+
+    With ``truncate=True`` the first bad frame is cut off on disk (the
+    file is truncated at the bad offset; a file with corrupt magic is
+    removed) and later generations are unlinked, so the log is left in
+    the exact state the returned records describe.
+    """
+    directory = Path(directory)
+    with span("wal.replay"):
+        records, report = scan_wal(directory)
+        if truncate and report.truncated_file is not None:
+            bad = directory / report.truncated_file
+            keep = bad.stat().st_size - report.truncated_bytes
+            if keep <= len(MAGIC):
+                bad.unlink()
+            else:
+                with open(bad, "r+b") as fh:
+                    fh.truncate(keep)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            for name in report.dropped_files:
+                (directory / name).unlink(missing_ok=True)
+            _fsync_directory(directory)
+    registry = get_registry()
+    registry.counter(
+        "sts3_wal_replayed_records_total", "WAL records read back during replay"
+    ).inc(len(records))
+    if report.truncated_bytes:
+        registry.counter(
+            "sts3_wal_truncated_bytes_total", "torn WAL tail bytes discarded"
+        ).inc(report.truncated_bytes)
+    return records, report

@@ -1,0 +1,214 @@
+"""Deterministic fault injection for the durability layer.
+
+The crash-recovery test suite (``tests/core/test_crash_recovery.py``)
+needs to kill the database at *every* point where a write could tear,
+and needs the same fault to happen on every run — flaky crash tests
+are worse than none.  This module provides that determinism:
+
+- A :class:`FaultPlan` is a list of :class:`Fault` specs, each naming
+  an **injection point** (a string like ``"wal.append"`` or
+  ``"persist.payload.write"``), a fault ``kind``, and which call at
+  that point should trigger (``hit``, 1-based).  Everything random —
+  where a torn write cuts, which bit flips — comes from a seeded
+  :class:`random.Random`, never the wall clock.
+- Durability-layer code marks its I/O through :func:`fault_write`
+  (writes that can tear or flip) and :func:`fault_point` (fsync,
+  rename, read — operations that can only fail or stall).  With no
+  plan installed both are straight pass-throughs.
+- Tests install a plan with :func:`inject`::
+
+      plan = FaultPlan([Fault("wal.sync", "crash", hit=2)], seed=7)
+      with faults.inject(plan):
+          ...            # second fsync raises SimulatedCrash
+
+Fault kinds:
+
+``crash``
+    Raise :class:`SimulatedCrash` *before* the operation — the process
+    "died" and nothing was written.
+``torn``
+    Write a strict prefix of the data (seeded cut point), then raise
+    :class:`SimulatedCrash` — the classic torn write.
+``bitflip``
+    Flip one seeded bit of the data, write it, and carry on — silent
+    media corruption, caught later by checksums.
+``enospc``
+    Raise ``OSError(ENOSPC)`` — the disk filled up.  Retryable, so
+    the persistence backoff loop sees it.
+``slow``
+    Record a simulated delay on the plan's virtual clock (no real
+    sleeping) and proceed — lets deadline/degradation tests advance
+    time deterministically.
+
+The plan also exposes :meth:`FaultPlan.sleep` and
+:meth:`FaultPlan.time`, a virtual clock the persistence retry loop
+uses instead of ``time.sleep``/``time.monotonic`` while a plan is
+installed, so backoff tests run in microseconds.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "SimulatedCrash",
+    "fault_point",
+    "fault_write",
+    "get_plan",
+    "inject",
+]
+
+
+class SimulatedCrash(RuntimeError):
+    """The injected process death.
+
+    Deliberately *not* an ``OSError``: retry loops must never swallow a
+    crash — it propagates to the test harness, which then recovers the
+    database from disk and checks the durability contract.
+    """
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned failure: ``kind`` at the ``hit``-th call of ``point``."""
+
+    point: str
+    kind: str  # crash | torn | bitflip | enospc | slow
+    hit: int = 1
+    repeat: bool = False  # keep firing on every call at/after ``hit``
+    delay: float = 0.05  # virtual seconds, only for kind="slow"
+
+    _KINDS = ("crash", "torn", "bitflip", "enospc", "slow")
+
+    def __post_init__(self):
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {self._KINDS}")
+        if self.hit < 1:
+            raise ValueError(f"hit is 1-based, got {self.hit}")
+
+
+@dataclass
+class FaultPlan:
+    """A seeded schedule of faults plus a virtual clock.
+
+    ``hits`` counts calls per injection point (useful to enumerate the
+    points a scenario actually exercises); ``triggered`` logs every
+    fault that fired as ``(point, kind, call_number)``.
+    """
+
+    faults: list[Fault] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self):
+        self.faults = list(self.faults)
+        self.rng = random.Random(self.seed)
+        self.hits: dict[str, int] = {}
+        self.triggered: list[tuple[str, str, int]] = []
+        self._now = 0.0
+
+    # -- virtual clock --------------------------------------------------
+
+    def time(self) -> float:
+        """Virtual monotonic seconds (advanced by ``sleep`` and slow faults)."""
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance the virtual clock; never blocks."""
+        self._now += max(0.0, float(seconds))
+
+    # -- firing ---------------------------------------------------------
+
+    def _match(self, point: str) -> Fault | None:
+        count = self.hits.get(point, 0) + 1
+        self.hits[point] = count
+        for fault in self.faults:
+            if fault.point != point:
+                continue
+            if count == fault.hit or (fault.repeat and count >= fault.hit):
+                self.triggered.append((point, fault.kind, count))
+                return fault
+        return None
+
+    def check(self, point: str) -> None:
+        """Non-write injection point: crash, ENOSPC, or slow only."""
+        fault = self._match(point)
+        if fault is None:
+            return
+        if fault.kind == "slow":
+            self.sleep(fault.delay)
+            return
+        if fault.kind == "enospc":
+            raise OSError(errno.ENOSPC, f"injected ENOSPC at {point}")
+        # torn/bitflip make no sense without data; treat as a crash so a
+        # mis-specified plan still kills the process instead of passing.
+        raise SimulatedCrash(f"injected crash at {point}")
+
+    def write(self, fileobj, data: bytes, point: str) -> None:
+        """Write ``data`` through the plan's fault semantics."""
+        fault = self._match(point)
+        if fault is None:
+            fileobj.write(data)
+            return
+        if fault.kind == "crash":
+            raise SimulatedCrash(f"injected crash before write at {point}")
+        if fault.kind == "enospc":
+            raise OSError(errno.ENOSPC, f"injected ENOSPC at {point}")
+        if fault.kind == "slow":
+            self.sleep(fault.delay)
+            fileobj.write(data)
+            return
+        if fault.kind == "torn":
+            cut = self.rng.randrange(0, len(data)) if data else 0
+            fileobj.write(data[:cut])
+            fileobj.flush()
+            raise SimulatedCrash(
+                f"injected torn write at {point} ({cut}/{len(data)} bytes)"
+            )
+        # bitflip: corrupt one seeded bit, write the lot, carry on.
+        if data:
+            flipped = bytearray(data)
+            position = self.rng.randrange(0, len(flipped))
+            flipped[position] ^= 1 << self.rng.randrange(0, 8)
+            data = bytes(flipped)
+        fileobj.write(data)
+
+
+#: the installed plan (module-global: the durability layer is
+#: single-process, and tests install/uninstall around each scenario).
+_active: FaultPlan | None = None
+
+
+def get_plan() -> FaultPlan | None:
+    """The currently installed plan, or None (production)."""
+    return _active
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Install ``plan`` for the duration of the block."""
+    global _active
+    previous = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = previous
+
+
+def fault_point(point: str) -> None:
+    """Mark a non-write injection point (fsync, rename, read, ...)."""
+    if _active is not None:
+        _active.check(point)
+
+
+def fault_write(fileobj, data: bytes, point: str) -> None:
+    """Write ``data`` to ``fileobj``, subject to the installed plan."""
+    if _active is None:
+        fileobj.write(data)
+    else:
+        _active.write(fileobj, data, point)

@@ -12,7 +12,13 @@ Three zero-dependency layers, all opt-in on the hot path:
   labels, a deterministic ``snapshot()`` dict, and Prometheus text
   exposition.  The default registry (:func:`get_registry`) counts
   queries, batch tiles per kernel, buffer merges, inserts, rebuilds,
-  and persistence round-trips.
+  and persistence round-trips.  The durability layer (DESIGN.md §12)
+  adds the ``sts3_wal_*`` family (appends, bytes, fsyncs, rotations,
+  checkpoints, replayed/truncated totals, pending-records gauge),
+  ``sts3_quarantined_segments``,
+  ``sts3_degraded_queries_total{reason}``, ``sts3_io_retries_total``,
+  and ``sts3_recoveries_total``, plus the ``wal.append`` /
+  ``wal.replay`` / ``recover`` / ``persist.save`` spans.
 - :mod:`repro.obs.profile` — opt-in ``cProfile`` /
   ``perf_counter_ns`` wrappers for the "why is it slow" follow-up.
 

@@ -111,7 +111,7 @@ class TestErrors:
         import json
 
         path = tmp_path / "db.npz"
-        save_database(db, path)
+        save_database(db, path, format_version=3)
         with np.load(path) as archive:
             data = dict(archive)
         header = json.loads(bytes(data["header"]).decode())
@@ -123,6 +123,10 @@ class TestErrors:
 
 
 class TestFormatVersions:
+    """Legacy-format compatibility (headers rewritten via np.load/savez,
+    which only works on the one-npz v1-v3 layout — hence the explicit
+    ``format_version=3`` saves)."""
+
     def _rewrite_header(self, path, mutate):
         import json
 
@@ -141,7 +145,7 @@ class TestFormatVersions:
         exactly what the pre-segmented engine did on load.
         """
         path = tmp_path / "db.npz"
-        save_database(db, path)
+        save_database(db, path, format_version=3)
 
         def to_v1(header):
             header["format_version"] = 1
@@ -172,7 +176,7 @@ class TestFormatVersions:
             db.insert(spike)
         assert len(db.catalog.segments) == 2
         path = tmp_path / "db.npz"
-        save_database(db, path)
+        save_database(db, path, format_version=3)
         loaded = load_database(path)
         assert [len(s) for s in loaded.catalog.segments] == [
             len(s) for s in db.catalog.segments
@@ -190,7 +194,7 @@ class TestFormatVersions:
             [rng.normal(size=32) for _ in range(6)], sigma=2, epsilon=0.5
         )
         path = tmp_path / "db.npz"
-        save_database(db, path)
+        save_database(db, path, format_version=3)
 
         def corrupt(header):
             header["segments"][0]["size"] = 3  # claims fewer than stored

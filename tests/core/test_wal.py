@@ -1,0 +1,188 @@
+"""Unit tests for the write-ahead log (repro.core.wal)."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.wal import (
+    MAGIC,
+    WriteAheadLog,
+    decode_series,
+    encode_series,
+    replay_wal,
+    scan_wal,
+)
+from repro.exceptions import ParameterError
+
+
+class TestSeriesCodec:
+    def test_roundtrip_bit_identical(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=100)
+        back = decode_series(encode_series(series))
+        assert back.dtype == series.dtype
+        assert back.tobytes() == series.tobytes()
+
+    def test_multidim(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=(24, 2))
+        back = decode_series(encode_series(series))
+        assert back.shape == (24, 2)
+        assert np.array_equal(back, series)
+
+    def test_decoded_is_writable(self):
+        back = decode_series(encode_series(np.zeros(4)))
+        back[0] = 1.0  # frombuffer alone would raise here
+
+
+class TestAppendReplay:
+    def test_append_replay_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync_batch=2)
+        s1 = wal.append("insert", series=encode_series(np.arange(3.0)))
+        s2 = wal.append("flush")
+        s3 = wal.append("compact", min_size=None)
+        wal.close()
+        assert (s1, s2, s3) == (1, 2, 3)
+        records, report = replay_wal(tmp_path / "wal")
+        assert report.clean
+        assert [r["op"] for r in records] == ["insert", "flush", "compact"]
+        assert [r["seq"] for r in records] == [1, 2, 3]
+        assert np.array_equal(
+            decode_series(records[0]["series"]), np.arange(3.0)
+        )
+
+    def test_acknowledgement_tracks_fsync_batch(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync_batch=3)
+        wal.append("flush")
+        wal.append("flush")
+        assert wal.synced_seq == 0  # two pending, batch of 3
+        wal.append("flush")
+        assert wal.synced_seq == 3  # batch hit: auto-synced
+        wal.append("flush")
+        assert wal.synced_seq == 3
+        wal.sync()
+        assert wal.synced_seq == 4
+        wal.close()
+
+    def test_start_seq_continues_numbering(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", start_seq=41)
+        assert wal.append("flush") == 42
+        wal.close()
+
+    def test_fsync_batch_validated(self, tmp_path):
+        with pytest.raises(ParameterError):
+            WriteAheadLog(tmp_path / "wal", fsync_batch=0)
+
+    def test_closed_log_rejects_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.close()
+        with pytest.raises(ParameterError):
+            wal.append("flush")
+
+    def test_empty_directory_replays_nothing(self, tmp_path):
+        records, report = replay_wal(tmp_path / "missing")
+        assert records == []
+        assert report.clean and report.records == 0
+
+
+class TestRotationCheckpoint:
+    def test_rotate_starts_new_generation(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append("flush")
+        first = wal.path
+        wal.rotate()
+        assert wal.path != first
+        wal.append("flush")
+        wal.close()
+        records, report = replay_wal(tmp_path / "wal")
+        assert report.files == 2
+        assert [r["seq"] for r in records] == [1, 2]
+
+    def test_checkpoint_drops_retired_generations(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append("flush")
+        wal.rotate()
+        wal.append("flush")
+        removed = wal.checkpoint()
+        assert removed == 2  # both pre-checkpoint generations gone
+        wal.append("flush")
+        wal.close()
+        records, report = replay_wal(tmp_path / "wal")
+        assert report.files == 1
+        assert [r["seq"] for r in records] == [3]
+
+
+class TestTornTail:
+    def _write_frames(self, wal, n):
+        for _ in range(n):
+            wal.append("flush")
+        wal.sync()
+
+    def test_torn_tail_truncated(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        self._write_frames(wal, 3)
+        wal.close()
+        # a torn frame: header promises more bytes than exist
+        with open(wal.path, "ab") as fh:
+            fh.write(struct.pack("<II", 1000, 0) + b"short")
+        records, report = scan_wal(tmp_path / "wal")
+        assert len(records) == 3 and not report.clean
+        records, report = replay_wal(tmp_path / "wal", truncate=True)
+        assert len(records) == 3
+        # after truncation the log is clean again
+        records, report = scan_wal(tmp_path / "wal")
+        assert report.clean and len(records) == 3
+
+    def test_crc_mismatch_stops_replay(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        self._write_frames(wal, 2)
+        wal.close()
+        data = bytearray(wal.path.read_bytes())
+        data[-1] ^= 0xFF  # corrupt the last record's payload
+        wal.path.write_bytes(bytes(data))
+        records, report = replay_wal(tmp_path / "wal")
+        assert len(records) == 1
+        assert any("CRC mismatch" in p for p in report.problems)
+
+    def test_later_generations_dropped_after_tear(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        self._write_frames(wal, 2)
+        wal.rotate()
+        self._write_frames(wal, 2)
+        wal.close()
+        files = sorted((tmp_path / "wal").glob("*.wal"))
+        assert len(files) == 2
+        data = bytearray(files[0].read_bytes())
+        data[-1] ^= 0xFF
+        files[0].write_bytes(bytes(data))
+        records, report = replay_wal(tmp_path / "wal", truncate=True)
+        # only the intact prefix of generation 1 survives; generation 2
+        # would have a sequence gap, so it is dropped entirely.
+        assert [r["seq"] for r in records] == [1]
+        assert sorted((tmp_path / "wal").glob("*.wal")) == [files[0]]
+
+    def test_bad_magic_removes_file(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append("flush")
+        wal.close()
+        wal.path.write_bytes(b"NOTMAGIC")
+        records, report = replay_wal(tmp_path / "wal", truncate=True)
+        assert records == []
+        assert not wal.path.exists()
+
+    def test_sequence_gap_within_file_detected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        self._write_frames(wal, 1)
+        wal.close()
+        # hand-append a record that skips seq 2 (jumps to seq 9): same
+        # framing, valid CRC, but the chain breaks.
+        import json
+        from zlib import crc32
+
+        payload = json.dumps({"seq": 9, "op": "flush"}).encode()
+        with open(wal.path, "ab") as fh:
+            fh.write(struct.pack("<II", len(payload), crc32(payload)) + payload)
+        records, report = scan_wal(tmp_path / "wal")
+        assert [r["seq"] for r in records] == [1]
+        assert any("sequence gap" in p for p in report.problems)

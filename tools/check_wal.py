@@ -1,0 +1,254 @@
+#!/usr/bin/env python
+"""Offline write-ahead-log linter (run by the CI ``docs`` job).
+
+Walks one or more WAL generation files (or directories of them) and
+checks, without importing the library and without numpy, that the log
+on disk is something ``repro.core.wal.scan_wal`` will replay cleanly:
+
+1. **Magic** — every ``*.wal`` file starts with ``STS3WAL1``.
+2. **Frames** — each ``[length u32][crc32 u32][payload]`` frame is
+   complete and its checksum matches.  A torn frame at the very tail
+   of the *last* generation is reported as a note, not a problem —
+   that is the expected shape of a crash, and recovery truncates it.
+   Torn frames anywhere else are corruption.
+3. **Payloads decode** — JSON records parse; binary series frames
+   (NUL, JSON header, NUL, raw array bytes) carry a parseable header
+   whose ``dtype``/``shape`` agree with the number of raw bytes.
+4. **Sequence numbers** — strictly increasing by one across the
+   generation files of a directory, in generation order.
+
+Exit status is the number of problems found (0 = clean), matching
+``tools/check_docs.py``.  ``--self-test`` builds known-good and
+known-bad logs in a temporary directory and checks the linter's own
+verdicts; CI runs exactly that, so the linter cannot silently rot.
+
+Usage::
+
+    python tools/check_wal.py path/to/db.sts3.wal [more ...]
+    python tools/check_wal.py --self-test
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import struct
+import sys
+import tempfile
+from pathlib import Path
+from zlib import crc32
+
+MAGIC = b"STS3WAL1"
+_FRAME_HEADER = struct.Struct("<II")
+# numpy dtype strings the binary frame header uses: optional byte
+# order, a kind letter, and an itemsize in bytes (e.g. "<f8", "|b1")
+_DTYPE = re.compile(r"^[<>|=]?[a-zA-Z](\d+)$")
+# fallback for dtype *names* ("float64", "int32"): trailing bit width
+_DTYPE_NAME = re.compile(r"^[a-z]+?(\d+)$")
+
+
+def _check_series_header(record: dict, raw_bytes: int) -> str | None:
+    """Problem string when a binary frame's header and bytes disagree."""
+    series = record.get("series")
+    if not isinstance(series, dict):
+        return "binary frame without a series header"
+    dtype = str(series.get("dtype", ""))
+    match = _DTYPE.match(dtype)
+    if match is not None:
+        itemsize = int(match.group(1))
+    else:
+        match = _DTYPE_NAME.match(dtype)
+        if match is None:
+            return f"unrecognized dtype {series.get('dtype')!r}"
+        itemsize = int(match.group(1)) // 8
+    shape = series.get("shape")
+    if not isinstance(shape, list) or not all(
+        isinstance(n, int) and n >= 0 for n in shape
+    ):
+        return f"bad shape {shape!r}"
+    expected = math.prod(shape) * itemsize
+    if expected != raw_bytes:
+        return (
+            f"shape {shape} x dtype {dtype} wants "
+            f"{expected} raw bytes, found {raw_bytes}"
+        )
+    return None
+
+
+def check_file(path: Path, expect_seq: int | None, last: bool):
+    """Lint one generation file.
+
+    Returns ``(problems, notes, next_seq)`` where ``next_seq`` is the
+    seq the next generation must start with (unchanged when the file
+    held no records).
+    """
+    problems: list[str] = []
+    notes: list[str] = []
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"], notes, expect_seq
+    if data[: len(MAGIC)] != MAGIC:
+        return [f"{path}: bad or missing magic"], notes, expect_seq
+    offset = len(MAGIC)
+    frame = 0
+    while offset < len(data):
+        where = f"{path}: frame {frame} at byte {offset}"
+        if offset + _FRAME_HEADER.size > len(data):
+            if last:
+                notes.append(f"{where}: torn frame header (crash tail, recovery truncates)")
+            else:
+                problems.append(f"{where}: torn frame header in a sealed generation")
+            return problems, notes, expect_seq
+        length, checksum = _FRAME_HEADER.unpack_from(data, offset)
+        start = offset + _FRAME_HEADER.size
+        payload = data[start : start + length]
+        if len(payload) < length:
+            if last:
+                notes.append(f"{where}: torn payload (crash tail, recovery truncates)")
+            else:
+                problems.append(f"{where}: torn payload in a sealed generation")
+            return problems, notes, expect_seq
+        if crc32(payload) != checksum:
+            problems.append(f"{where}: CRC mismatch")
+            return problems, notes, expect_seq
+        raw_bytes = None
+        if payload[:1] == b"\x00":
+            sep = payload.find(b"\x00", 1)
+            header = payload[1:sep] if sep > 0 else b""
+            raw_bytes = length - sep - 1 if sep > 0 else 0
+        else:
+            header = payload
+        try:
+            record = json.loads(header.decode())
+            if not isinstance(record, dict):
+                raise ValueError("record is not an object")
+        except (UnicodeDecodeError, ValueError):
+            problems.append(f"{where}: undecodable record")
+            return problems, notes, expect_seq
+        if raw_bytes is not None:
+            complaint = _check_series_header(record, raw_bytes)
+            if complaint:
+                problems.append(f"{where}: {complaint}")
+        seq = record.get("seq")
+        if not isinstance(seq, int):
+            problems.append(f"{where}: record without seq")
+            return problems, notes, expect_seq
+        if expect_seq is not None and seq != expect_seq:
+            problems.append(f"{where}: expected seq {expect_seq}, got {seq}")
+        expect_seq = seq + 1
+        offset = start + length
+        frame += 1
+    return problems, notes, expect_seq
+
+
+def check_wal(target: Path):
+    """Lint a WAL directory (or a single generation file)."""
+    if target.is_dir():
+        files = sorted(target.glob("*.wal"))
+        if not files:
+            return [f"{target}: no *.wal generation files"], []
+    else:
+        files = [target]
+    problems: list[str] = []
+    notes: list[str] = []
+    expect_seq = None
+    for path in files:
+        got, noted, expect_seq = check_file(path, expect_seq, path is files[-1])
+        problems += got
+        notes += noted
+    return problems, notes
+
+
+# -- self-test ----------------------------------------------------------
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME_HEADER.pack(len(payload), crc32(payload)) + payload
+
+
+def _json_record(seq: int, op: str = "flush") -> bytes:
+    return json.dumps({"seq": seq, "op": op}, separators=(",", ":")).encode()
+
+
+def _binary_record(seq: int, values: int = 4) -> bytes:
+    header = json.dumps(
+        {"seq": seq, "op": "insert", "series": {"dtype": "<f8", "shape": [values]}},
+        separators=(",", ":"),
+    ).encode()
+    return b"\x00" + header + b"\x00" + struct.pack(f"<{values}d", *range(values))
+
+
+def self_test() -> int:
+    """Exercise the linter against synthetic good and bad logs."""
+    failures = 0
+
+    def expect(name: str, content: dict[str, bytes], n_problems: int, n_notes: int = 0):
+        nonlocal failures
+        with tempfile.TemporaryDirectory(prefix="sts3-check-wal-") as tmp:
+            wal = Path(tmp) / "db.sts3.wal"
+            wal.mkdir()
+            for filename, blob in content.items():
+                (wal / filename).write_bytes(blob)
+            problems, notes = check_wal(wal)
+            ok = len(problems) == n_problems and len(notes) == n_notes
+            print(f"{'ok ' if ok else 'FAIL'} {name}: "
+                  f"{len(problems)} problems, {len(notes)} notes")
+            if not ok:
+                for line in problems + notes:
+                    print(f"      {line}")
+                failures += 1
+
+    clean = MAGIC + _frame(_json_record(1)) + _frame(_binary_record(2))
+    expect("clean mixed log", {"00000001.wal": clean}, 0)
+    expect(
+        "clean rotation",
+        {"00000001.wal": clean, "00000002.wal": MAGIC + _frame(_binary_record(3))},
+        0,
+    )
+    expect("torn tail on last generation", {"00000001.wal": clean + b"\x07\x00"}, 0, 1)
+    expect(
+        "torn frame in sealed generation",
+        {"00000001.wal": clean + b"\x07\x00", "00000002.wal": MAGIC},
+        1,
+    )
+    corrupt = bytearray(clean)
+    corrupt[-3] ^= 0x40  # flip one bit inside the last payload
+    expect("bit flip", {"00000001.wal": bytes(corrupt)}, 1)
+    expect("bad magic", {"00000001.wal": b"NOTAWAL!" + _frame(_json_record(1))}, 1)
+    expect(
+        "sequence regression",
+        {"00000001.wal": MAGIC + _frame(_json_record(5)) + _frame(_json_record(5))},
+        1,
+    )
+    short = _binary_record(3)[:-8]  # header says 4 values, carries 3
+    expect("shape/bytes mismatch", {"00000001.wal": MAGIC + _frame(short)}, 1)
+    expect("undecodable record", {"00000001.wal": MAGIC + _frame(b"\xff\xfe")}, 1)
+    expect("empty directory", {}, 1)
+
+    print("self-test:", "FAIL" if failures else "ok")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] == "--self-test":
+        return self_test()
+    if not argv:
+        print(__doc__.strip().splitlines()[0])
+        print("usage: check_wal.py WAL_DIR_OR_FILE... | --self-test")
+        return 1
+    problems: list[str] = []
+    for arg in argv:
+        got, notes = check_wal(Path(arg))
+        problems += got
+        for line in notes:
+            print(f"note: {line}")
+    for line in problems:
+        print(f"problem: {line}")
+    print(f"check_wal: {len(problems)} problems")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
