@@ -55,6 +55,7 @@ rebuilding, or the bitset kernel loses to sparse::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import sys
@@ -347,38 +348,52 @@ def run(args: argparse.Namespace) -> dict:
     db.query(workload.queries[0], k=args.k, method="index")
     db.query_batch(workload.queries[: min(8, args.queries)], k=args.k, method="index")
 
-    scalar_best = batch_best = float("inf")
-    scalar_results = batch_results = None
-    for _ in range(args.repeats):
-        start = time.perf_counter()
-        scalar_results = [
-            db.query(q, k=args.k, method="index") for q in workload.queries
-        ]
-        scalar_best = min(scalar_best, time.perf_counter() - start)
-
-        start = time.perf_counter()
-        batch_results = db.query_batch(workload.queries, k=args.k, method="index")
-        batch_best = min(batch_best, time.perf_counter() - start)
-
-    # Traced repeats: same batch call with a live Tracer installed.
-    # The overhead guard compares best-of against the untraced best.
-    traced_best = float("inf")
-    traced_results = None
+    # The traced-vs-untraced comparison resolves a ~5% effect, so both
+    # sides must see the same noise environment: gc is disabled for the
+    # timed region (a collection landing in one loop but not the other
+    # once produced a -6% "overhead"), and the scalar, untraced-batch,
+    # and traced-batch variants are interleaved inside ONE best-of-N
+    # loop so slow drift (page cache, thermal) hits all three equally.
+    scalar_best = batch_best = traced_best = float("inf")
+    scalar_results = batch_results = traced_results = None
     traced_stages: dict = {}
-    for _ in range(args.repeats):
-        start = time.perf_counter()
-        results, stages = run_traced(
-            lambda: db.query_batch(workload.queries, k=args.k, method="index")
-        )
-        elapsed = time.perf_counter() - start
-        if elapsed < traced_best:
-            traced_best = elapsed
-            traced_results, traced_stages = results, stages
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            scalar_results = [
+                db.query(q, k=args.k, method="index") for q in workload.queries
+            ]
+            scalar_best = min(scalar_best, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            batch_results = db.query_batch(
+                workload.queries, k=args.k, method="index"
+            )
+            batch_best = min(batch_best, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            results, stages = run_traced(
+                lambda: db.query_batch(workload.queries, k=args.k, method="index")
+            )
+            elapsed = time.perf_counter() - start
+            if elapsed < traced_best:
+                traced_best = elapsed
+                traced_results, traced_stages = results, stages
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
     identical = _neighbor_lists(scalar_results) == _neighbor_lists(batch_results)
     traced_identical = _neighbor_lists(traced_results) == _neighbor_lists(batch_results)
     speedup = scalar_best / batch_best
-    trace_overhead = traced_best / batch_best - 1.0
+    # Tracing can only add work; a measured negative overhead is pure
+    # noise.  The floored value is what the gate and trajectory use, the
+    # raw value is kept so a too-noisy run (strongly negative) can FAIL
+    # the guard instead of silently passing it.
+    raw_trace_overhead = traced_best / batch_best - 1.0
+    trace_overhead = max(raw_trace_overhead, 0.0)
     noop = _noop_span_cost()
     # The scalar path enters ~7 no-op spans per query; estimate their
     # share of untraced per-query time (the tentpole's <2% claim).
@@ -416,6 +431,7 @@ def run(args: argparse.Namespace) -> dict:
         "traced_run": {
             "seconds": round(traced_best, 6),
             "overhead_vs_untraced": round(trace_overhead, 4),
+            "raw_overhead_vs_untraced": round(raw_trace_overhead, 4),
             "stages_seconds": {
                 name: round(seconds, 6)
                 for name, seconds in traced_stages.items()
@@ -450,7 +466,8 @@ def run(args: argparse.Namespace) -> dict:
     )
     print(
         f"traced      : {traced_best * 1e3:8.1f} ms "
-        f"(+{trace_overhead:.1%} vs untraced)  {stage_text}"
+        f"(+{trace_overhead:.1%} vs untraced, raw "
+        f"{raw_trace_overhead:+.1%})  {stage_text}"
     )
     print(
         f"noop spans  : {noop * 1e9:8.1f} ns/span "
@@ -485,13 +502,25 @@ def main(argv=None) -> int:
         )
         return 1
     overhead = record["traced_run"]["overhead_vs_untraced"]
-    if args.max_trace_overhead >= 0 and overhead > args.max_trace_overhead:
-        print(
-            f"FAIL: tracing overhead {overhead:.1%} exceeds "
-            f"{args.max_trace_overhead:.1%}",
-            file=sys.stderr,
-        )
-        return 1
+    raw_overhead = record["traced_run"]["raw_overhead_vs_untraced"]
+    if args.max_trace_overhead >= 0:
+        if overhead > args.max_trace_overhead:
+            print(
+                f"FAIL: tracing overhead {overhead:.1%} exceeds "
+                f"{args.max_trace_overhead:.1%}",
+                file=sys.stderr,
+            )
+            return 1
+        if raw_overhead < -args.max_trace_overhead:
+            # A traced run this much *faster* than untraced means the
+            # measurement is noise — the guard proved nothing.
+            print(
+                f"FAIL: raw tracing overhead {raw_overhead:.1%} is below "
+                f"-{args.max_trace_overhead:.1%}; the comparison is too "
+                "noisy to trust",
+                file=sys.stderr,
+            )
+            return 1
     insert = record["insert_workload"]
     if not insert["identical_neighbor_lists"]:
         print(

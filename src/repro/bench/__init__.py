@@ -5,6 +5,13 @@ of the paper's evaluation section with consistent formatting and a
 single ``REPRO_SCALE`` knob controlling workload sizes.
 """
 
+from .levers import (
+    run_cache_phase,
+    run_combined_phase,
+    run_lever_phases,
+    run_mmap_phase,
+    run_parallel_phase,
+)
 from .runner import repro_scale, run_traced, scaled
 from .tables import render_table
 from .timer import Timer, time_callable
@@ -13,6 +20,11 @@ __all__ = [
     "Timer",
     "render_table",
     "repro_scale",
+    "run_cache_phase",
+    "run_combined_phase",
+    "run_lever_phases",
+    "run_mmap_phase",
+    "run_parallel_phase",
     "run_traced",
     "scaled",
     "time_callable",

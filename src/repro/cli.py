@@ -26,6 +26,10 @@ Subcommands:
 - ``sts3 recover`` — crash recovery: load the archive (quarantining
   corrupt segments), replay the WAL tail, and write a fresh checkpoint
   archive (see docs/durability.md for the runbook).
+- ``sts3 bench`` — run the kernel-speed lever phases (parallel segment
+  execution, zero-copy mapped loads, the query-result cache, and the
+  combined serving workload) on a synthetic workload and print a
+  per-lever speedup table (``--levers`` picks phases; DESIGN.md §13).
 
 The CLI exists so a downstream user can try the system without writing
 code; anything deeper should use the library API (see README).
@@ -118,6 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("file", help="archive written by save_database")
     inspect.add_argument("--wal", type=str, default=None, metavar="DIR",
                          help="WAL directory (default: <file>.wal)")
+    inspect.add_argument("--mmap", action="store_true",
+                         help="open the archive zero-copy (v4 only): segments "
+                              "stay mapped and the catalog reports their "
+                              "on-disk payload bytes instead of resident ones")
 
     verify = sub.add_parser(
         "verify", help="offline checksum verification of an archive + WAL"
@@ -146,6 +154,31 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--epsilon", type=float, default=0.5)
     join.add_argument("--limit", type=int, default=20,
                       help="print at most this many pairs")
+
+    bench = sub.add_parser(
+        "bench", help="run the kernel-speed lever benchmark phases"
+    )
+    bench.add_argument("--levers", default="parallel,mmap,cache,combined",
+                       help="comma-separated phases: parallel, mmap, cache, "
+                            "combined")
+    bench.add_argument("--series", type=int, default=2000,
+                       help="database size per phase")
+    bench.add_argument("--queries", type=int, default=32)
+    bench.add_argument("--length", type=int, default=128)
+    bench.add_argument("--k", type=int, default=10)
+    bench.add_argument("--sigma", type=float, default=3)
+    bench.add_argument("--epsilon", type=float, default=0.58)
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repetitions; best (min) time is reported")
+    bench.add_argument("--workers", type=int, default=0,
+                       help="thread workers for parallel/combined "
+                            "(0 = cpu count)")
+    bench.add_argument("--cache-bytes", type=int, default=8 << 20,
+                       help="result-cache budget for cache/combined")
+    bench.add_argument("--json", type=str, default=None, metavar="PATH",
+                       help="also write the phase records as JSON "
+                            "('-' for stdout)")
     return parser
 
 
@@ -363,7 +396,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     from .exceptions import DatasetError
 
     try:
-        db = load_database(args.file)
+        db = load_database(args.file, mmap=args.mmap)
     except (DatasetError, OSError, ValueError) as exc:
         print(f"error: cannot load {args.file}: {exc}", file=sys.stderr)
         return 2
@@ -501,6 +534,74 @@ def _cmd_join(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import render_table
+    from .bench.levers import run_lever_phases
+
+    levers = [lever.strip() for lever in args.levers.split(",") if lever.strip()]
+    try:
+        records = run_lever_phases(
+            levers,
+            n_series=args.series, n_queries=args.queries, length=args.length,
+            sigma=args.sigma, epsilon=args.epsilon, k=args.k, seed=args.seed,
+            repeats=args.repeats, workers=args.workers,
+            cache_bytes=args.cache_bytes,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = []
+    for record in records:
+        phase = record["phase"]
+        speedup_key = {
+            "parallel": "parallel_speedup",
+            "mmap": "mmap_open_speedup",
+            "cache": "cache_hit_speedup",
+            "combined": "combined_speedup",
+        }[phase]
+        baseline, levered = {
+            "parallel": ("serial_seconds", "parallel_seconds"),
+            "mmap": ("eager_open_seconds", "mmap_open_seconds"),
+            "cache": ("uncached_seconds", "cached_seconds"),
+            "combined": ("baseline_seconds", "levered_seconds"),
+        }[phase]
+        rows.append([
+            phase,
+            f"{record[baseline] * 1e3:.2f}",
+            f"{record[levered] * 1e3:.2f}",
+            f"{record[speedup_key]:.2f}x",
+            record["identical_neighbor_lists"],
+        ])
+    print(render_table(
+        ["lever", "baseline (ms)", "levered (ms)", "speedup", "identical"],
+        rows,
+        title=(
+            f"lever phases over {args.series} series "
+            f"(length {args.length}, k={args.k}, repeats {args.repeats})"
+        ),
+    ))
+    combined = next((r for r in records if r["phase"] == "combined"), None)
+    if combined is not None:
+        print(
+            f"combined serving throughput: "
+            f"{combined['combined_queries_per_second']:.1f} q/s levered vs "
+            f"{combined['baseline_queries_per_second']:.1f} q/s baseline"
+        )
+    if args.json:
+        import json
+
+        text = json.dumps(records, indent=2) + "\n"
+        if args.json == "-":
+            print(text, end="")
+        else:
+            Path(args.json).write_text(text)
+            print(f"wrote {args.json}")
+    if not all(record["identical_neighbor_lists"] for record in records):
+        print("error: a levered path returned different answers", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -520,6 +621,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_recover(args)
     if args.command == "join":
         return _cmd_join(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return _cmd_query(args)
 
 

@@ -8,7 +8,9 @@ buffered updates and the parameter-tuning utilities.
 from .approximate import ApproximateSearcher
 from .batch import BatchQueryEngine, QueryWorkspace, batch_query
 from .bitset import BitsetStore, popcount_u64, popcount_u64_lut
+from .cache import CandidateCache, LRUBytesCache, QueryResultCache, fingerprint
 from .catalog import QuarantineRecord, SegmentCatalog
+from .executor import ExecutorPool, get_pool, resolve_workers
 from .clustering import cluster_series, k_medoids
 from .database import STS3Database, UpdateBuffer
 from .grid import Bound, Grid
@@ -56,12 +58,15 @@ __all__ = [
     "BatchQueryEngine",
     "BitsetStore",
     "Bound",
+    "CandidateCache",
     "CompressedSet",
     "DictInvertedIndex",
+    "ExecutorPool",
     "Grid",
     "IndexedSearcher",
     "JoinPair",
     "KnnHeap",
+    "LRUBytesCache",
     "LSHIndex",
     "MinHashSearcher",
     "MinHasher",
@@ -71,6 +76,7 @@ __all__ = [
     "QuarantineRecord",
     "QueryPlanner",
     "QueryResult",
+    "QueryResultCache",
     "QueryWorkspace",
     "ReplayReport",
     "STS3Database",
@@ -91,6 +97,8 @@ __all__ = [
     "default_sigma_grid",
     "default_wal_dir",
     "estimate_jaccard",
+    "fingerprint",
+    "get_pool",
     "k_medoids",
     "intersection_size",
     "jaccard",
@@ -102,6 +110,7 @@ __all__ = [
     "popcount_u64_lut",
     "recover_database",
     "replay_wal",
+    "resolve_workers",
     "save_database",
     "scan_wal",
     "size_upper_bound",

@@ -33,6 +33,7 @@ import numpy as np
 from ..exceptions import EmptyDatabaseError, ParameterError
 from ..obs import span
 from .bitset import BitsetStore
+from .cache import CandidateCache, fingerprint
 from .grid import Bound, Grid
 from .jaccard import jaccard
 from .result import Neighbor, QueryResult, SearchStats
@@ -43,6 +44,12 @@ __all__ = ["ApproximateSearcher"]
 
 #: coarse grids larger than this use sorted-array sets, not bitsets.
 _DENSE_CELL_LIMIT = 65536
+
+#: per-searcher budget for cached coarse-filter survivor sets.  A
+#: searcher is built over an immutable segment, so entries never go
+#: stale and the cache is on by default; survivor arrays are small
+#: (int64 indices), so 1 MiB holds thousands of distinct queries.
+_CANDIDATE_CACHE_BYTES = 1 << 20
 
 
 class _CoarseLevel:
@@ -122,6 +129,10 @@ class ApproximateSearcher:
             scale: _CoarseLevel(Grid.from_resolution(bound, scale), series)
             for scale in range(2, self.max_scale + 1)
         }
+        #: survivor sets keyed on the query's exact coarse reps (see
+        #: :meth:`filter_candidates`); segment immutability is the
+        #: invalidation story, so this needs no generation component.
+        self._candidates = CandidateCache(_CANDIDATE_CACHE_BYTES)
 
     def __len__(self) -> int:
         return len(self.sets)
@@ -134,12 +145,30 @@ class ApproximateSearcher:
         Returns the surviving candidate indices and the number of
         filtering rounds executed.
         """
+        # All coarse reps are computed up front so the cache key covers
+        # *exactly* the inputs filtering depends on — two queries with
+        # identical reps at every scale provably produce identical
+        # survivors, so serving the cached set is bit-identical, not
+        # heuristic.  (max_scale is small, so the extra transforms on an
+        # early-exit miss are noise next to the similarity kernels.)
+        reps = {
+            scale: transform(query_series, self.levels[scale].grid)
+            for scale in range(2, self.max_scale + 1)
+        }
+        key = (
+            int(k),
+            fingerprint(*(reps[s].tobytes() for s in sorted(reps))),
+        )
+        cached = self._candidates.get(key)
+        if cached is not None:
+            survivors, rounds = cached
+            return survivors.copy(), rounds
         candidates = np.arange(len(self.sets), dtype=np.int64)
         rounds = 0
         for scale in range(2, self.max_scale + 1):
             rounds += 1
             level = self.levels[scale]
-            query_rep = transform(query_series, level.grid)
+            query_rep = reps[scale]
             sims = level.similarities(candidates, query_rep)
             if len(candidates) > k:
                 # Keep everything tying the k-th largest similarity, so
@@ -148,6 +177,9 @@ class ApproximateSearcher:
                 candidates = candidates[sims >= kth]
             if len(candidates) <= k:
                 break
+        self._candidates.put(
+            key, (candidates.copy(), rounds), candidates.nbytes + 64
+        )
         return candidates, rounds
 
     def query(

@@ -64,6 +64,8 @@ transparently.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..exceptions import ParameterError
@@ -129,6 +131,40 @@ class QueryWorkspace:
         return sum(b.nbytes for b in self._buffers.values())
 
 
+class _KernelArtifacts:
+    """Lazily-built index-side artifacts shared by engine clones.
+
+    The distinct-cell array, one-hot matrix, and packed bitset depend
+    only on the (immutable) searcher, never on the workspace, so
+    workspace-bound clones (:meth:`BatchQueryEngine.with_workspace`)
+    share one instance and parallel shards build each artifact exactly
+    once, under the lock.  The lock is dropped and rebuilt across
+    pickling (the process-based ``query_batch(workers=N)`` path).
+    """
+
+    __slots__ = ("lock", "distinct", "onehot", "bitset")
+
+    def __init__(self, bitset=None):
+        self.lock = threading.Lock()
+        self.distinct: np.ndarray | None = None
+        self.onehot: np.ndarray | None = None
+        #: a BitsetStore, a zero-arg supplier for one, or None.
+        self.bitset = bitset
+
+    def __getstate__(self) -> dict:
+        return {
+            "distinct": self.distinct,
+            "onehot": self.onehot,
+            "bitset": self.bitset,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.lock = threading.Lock()
+        self.distinct = state["distinct"]
+        self.onehot = state["onehot"]
+        self.bitset = state["bitset"]
+
+
 class BatchQueryEngine:
     """One-pass k-NN over the inverted index for a whole query batch.
 
@@ -174,6 +210,7 @@ class BatchQueryEngine:
         kernel: str = "auto",
         dense_limit: int = 64_000_000,
         bitset_store=None,
+        artifacts: _KernelArtifacts | None = None,
     ):
         if tile_cells < 1:
             raise ParameterError(f"tile_cells must be >= 1, got {tile_cells}")
@@ -189,13 +226,33 @@ class BatchQueryEngine:
         self.dense_limit = int(dense_limit)
         self._lengths_f64 = np.asarray(searcher.lengths, dtype=np.float64)
         self._has_empty_set = bool(np.any(searcher.lengths == 0))
-        # Dense-kernel artifacts, built lazily on first use.
-        self._distinct_cells: np.ndarray | None = None
-        self._onehot: np.ndarray | None = None
-        self._bitset = bitset_store
+        # Index-side artifacts (distinct cells, one-hot, bitset), built
+        # lazily on first use and shared with workspace-bound clones.
+        self._artifacts = (
+            artifacts if artifacts is not None else _KernelArtifacts(bitset_store)
+        )
         #: kernel chosen for each tile of the last query_batch call
         #: (diagnostic, consumed by the benchmark report).
         self.last_kernels: list[str] = []
+
+    def with_workspace(self, workspace: QueryWorkspace | None) -> "BatchQueryEngine":
+        """A clone bound to ``workspace`` but sharing every artifact.
+
+        Workspaces are not thread-safe; parallel batch shards each run
+        through their own clone over a per-worker workspace while the
+        heavy index-side artifacts stay shared (and build once).
+        ``last_kernels`` is per-clone, so shards don't race on the
+        diagnostic either.
+        """
+        return BatchQueryEngine(
+            self.searcher,
+            workspace=workspace,
+            tile_cells=self.tile_cells,
+            tile_postings=self.tile_postings,
+            kernel=self.kernel,
+            dense_limit=self.dense_limit,
+            artifacts=self._artifacts,
+        )
 
     # -- batch entry point ----------------------------------------------
 
@@ -316,29 +373,44 @@ class BatchQueryEngine:
         return best
 
     def _distinct(self) -> np.ndarray:
-        if self._distinct_cells is None:
-            # _cells is sorted, so unique is a linear pass.
-            self._distinct_cells = np.unique(self.searcher._cells)
-        return self._distinct_cells
+        art = self._artifacts
+        if art.distinct is None:
+            with art.lock:
+                if art.distinct is None:
+                    # _cells is sorted, so unique is a linear pass.
+                    art.distinct = np.unique(self.searcher._cells)
+        return art.distinct
 
     def _bitset_store(self) -> BitsetStore:
         """The packed database bitmap: supplied, injected, or built once."""
-        if callable(self._bitset):
-            self._bitset = self._bitset()
-        if self._bitset is None:
-            self._bitset = BitsetStore(self.searcher.sets)
-        return self._bitset
+        art = self._artifacts
+        if not isinstance(art.bitset, BitsetStore):
+            with art.lock:
+                if callable(art.bitset):
+                    art.bitset = art.bitset()
+                if art.bitset is None:
+                    art.bitset = BitsetStore(self.searcher.sets)
+        return art.bitset
 
     def _onehot_matrix(self) -> np.ndarray:
         """One-hot (distinct cells × n_series) float32 matrix, built once."""
-        if self._onehot is None:
-            distinct = self._distinct()
-            n_series = len(self.searcher.sets)
-            onehot = np.zeros((distinct.size, n_series), dtype=np.float32)
-            rank = np.searchsorted(distinct, self.searcher._cells)
-            onehot.ravel()[rank * n_series + self.searcher._owners] = 1.0
-            self._onehot = onehot
-        return self._onehot
+        art = self._artifacts
+        if art.onehot is None:
+            with art.lock:
+                if art.onehot is None:
+                    # inline (the lock is not reentrant, so no _distinct())
+                    distinct = (
+                        art.distinct
+                        if art.distinct is not None
+                        else np.unique(self.searcher._cells)
+                    )
+                    n_series = len(self.searcher.sets)
+                    onehot = np.zeros((distinct.size, n_series), dtype=np.float32)
+                    rank = np.searchsorted(distinct, self.searcher._cells)
+                    onehot.ravel()[rank * n_series + self.searcher._owners] = 1.0
+                    art.distinct = distinct
+                    art.onehot = onehot
+        return art.onehot
 
     def _counts_sparse(
         self,

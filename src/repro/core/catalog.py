@@ -110,6 +110,16 @@ class SegmentCatalog:
             "sts3_live_segments", "segments currently in the catalog"
         ).set(len(self.segments))
 
+    def touch(self) -> None:
+        """Bump the generation without a structural change.
+
+        Buffered inserts use this: the segment layout (and therefore
+        the offsets cache) is untouched, but anything keyed on the
+        generation — calibration, the query-result cache — must stop
+        trusting answers computed before the buffer changed.
+        """
+        self.generation += 1
+
     # -- lifecycle ------------------------------------------------------
 
     def bootstrap(self, series: list[np.ndarray]) -> Segment:
@@ -159,6 +169,24 @@ class SegmentCatalog:
         sets = [transform(s, grid) for s in series]
         count_transforms(len(series), "load")
         segment = Segment(self._allocate_id(), series, grid, sets)
+        self.segments.append(segment)
+        self._bump()
+        return segment
+
+    def adopt_lazy(
+        self, grid: Grid, size: int, loader, payload_bytes: int = 0
+    ) -> Segment:
+        """Append a mapped segment whose payload loads on first touch.
+
+        The zero-copy counterpart of :meth:`adopt`: the archived grid
+        and manifest size are adopted now (enough for planning, offsets
+        and ``len``), while series, sets, and transform accounting are
+        deferred to :meth:`Segment._materialize` — an untouched segment
+        costs no transforms and no resident payload bytes.
+        """
+        segment = Segment.lazy(
+            self._allocate_id(), grid, size, loader, payload_bytes=payload_bytes
+        )
         self.segments.append(segment)
         self._bump()
         return segment

@@ -25,6 +25,7 @@ deferred merge on demand.
 from __future__ import annotations
 
 import logging
+from dataclasses import replace as _dc_replace
 
 import numpy as np
 
@@ -34,6 +35,7 @@ from ..obs import get_registry, span
 from ..types import as_series
 from .approximate import ApproximateSearcher
 from .batch import BatchQueryEngine, QueryWorkspace
+from .cache import QueryResultCache
 from .catalog import SegmentCatalog
 from .grid import Bound, Grid
 from .indexed import IndexedSearcher
@@ -158,6 +160,8 @@ class STS3Database:
         buffer_capacity: int = 32,
         default_scale: int = 6,
         default_max_scale: int = 4,
+        max_workers: int | None = None,
+        cache_bytes: int = 0,
     ):
         if not series:
             raise EmptyDatabaseError("cannot build a database from no series")
@@ -179,10 +183,16 @@ class STS3Database:
             self.catalog,
             default_scale=self.default_scale,
             default_max_scale=self.default_max_scale,
+            max_workers=max_workers,
         )
         self._workspace = QueryWorkspace()
         self.buffer = UpdateBuffer(
             buffer_capacity, self.grid.bound, self.grid.col_width, self.grid.row_heights
+        )
+        #: LRU over complete query answers (DESIGN.md §13), or None
+        #: when disabled (``cache_bytes=0``, the default).
+        self.result_cache = (
+            QueryResultCache(cache_bytes) if cache_bytes > 0 else None
         )
         #: number of buffer flushes (historical name: before the
         #: segmented engine each flush was a full rebuild; now each is
@@ -195,6 +205,15 @@ class STS3Database:
         self.wal_seq = 0
         self._replaying = False
 
+    @property
+    def max_workers(self) -> int | None:
+        """Thread-parallelism knob, delegated to the planner (live)."""
+        return self.planner.max_workers
+
+    @max_workers.setter
+    def max_workers(self, value: int | None) -> None:
+        self.planner.max_workers = value
+
     # -- construction helpers -------------------------------------------
 
     def _prepare(self, series: np.ndarray) -> np.ndarray:
@@ -204,26 +223,22 @@ class STS3Database:
         return z_normalize(arr) if self.normalize else arr
 
     @classmethod
-    def from_segments(
+    def _assembly_shell(
         cls,
-        payloads: list[tuple[list[np.ndarray], Grid]],
         sigma: float,
         epsilon: float | tuple[float, ...],
         normalize: bool,
         value_padding: float,
-        buffer_capacity: int,
         default_scale: int,
         default_max_scale: int,
     ) -> "STS3Database":
-        """Reassemble a database from per-segment ``(series, grid)`` pairs.
+        """A database shell with an *empty* catalog, awaiting segments.
 
-        Persistence uses this to restore a segmented catalog exactly:
-        each archived grid is adopted verbatim (series are assumed
-        already prepared), so similarities — which depend on each
-        segment's grid — survive a round-trip bit-for-bit.
+        Persistence adopts segments into ``shell.catalog`` (eagerly or
+        lazily) and then calls :meth:`_finish_assembly`; splitting the
+        two lets the mmap loader register payload loaders without ever
+        materializing a series.
         """
-        if not payloads:
-            raise EmptyDatabaseError("cannot restore a database from no segments")
         self = cls.__new__(cls)
         self.normalize = normalize
         self.sigma = float(sigma)
@@ -238,12 +253,24 @@ class STS3Database:
         self.catalog = SegmentCatalog(
             self.sigma, self.epsilon, value_padding=self.value_padding
         )
-        for series, grid in payloads:
-            self.catalog.adopt(series, grid)
+        return self
+
+    def _finish_assembly(
+        self,
+        buffer_capacity: int,
+        max_workers: int | None = None,
+        cache_bytes: int = 0,
+    ) -> None:
+        """Wire planner/buffer/caches once the catalog holds segments.
+
+        Touches only segment *grids* (covering bound, buffer anchor),
+        never series or sets, so lazy segments stay mapped.
+        """
         self.planner = QueryPlanner(
             self.catalog,
             default_scale=self.default_scale,
             default_max_scale=self.default_max_scale,
+            max_workers=max_workers,
         )
         self._workspace = QueryWorkspace()
         last = self.catalog.segments[-1].grid
@@ -251,10 +278,46 @@ class STS3Database:
             buffer_capacity, self.catalog.covering_bound(),
             last.col_width, last.row_heights,
         )
+        self.result_cache = (
+            QueryResultCache(cache_bytes) if cache_bytes > 0 else None
+        )
         self.rebuild_count = 0
         self.wal = None
         self.wal_seq = 0
         self._replaying = False
+
+    @classmethod
+    def from_segments(
+        cls,
+        payloads: list[tuple[list[np.ndarray], Grid]],
+        sigma: float,
+        epsilon: float | tuple[float, ...],
+        normalize: bool,
+        value_padding: float,
+        buffer_capacity: int,
+        default_scale: int,
+        default_max_scale: int,
+        max_workers: int | None = None,
+        cache_bytes: int = 0,
+    ) -> "STS3Database":
+        """Reassemble a database from per-segment ``(series, grid)`` pairs.
+
+        Persistence uses this to restore a segmented catalog exactly:
+        each archived grid is adopted verbatim (series are assumed
+        already prepared), so similarities — which depend on each
+        segment's grid — survive a round-trip bit-for-bit.
+        """
+        if not payloads:
+            raise EmptyDatabaseError("cannot restore a database from no segments")
+        self = cls._assembly_shell(
+            sigma, epsilon, normalize, value_padding,
+            default_scale, default_max_scale,
+        )
+        for series, grid in payloads:
+            self.catalog.adopt(series, grid)
+        self._finish_assembly(
+            buffer_capacity, max_workers=max_workers, cache_bytes=cache_bytes
+        )
         return self
 
     # -- durability -------------------------------------------------------
@@ -422,14 +485,78 @@ class STS3Database:
             method = self._auto_method()
         with span("query", method=method, k=k):
             prepared = self._prepare(series)
-            result = self.planner.execute(
-                prepared, k, method, scale=scale, max_scale=max_scale,
-                buffer=self.buffer, deadline_ms=deadline_ms,
-            )
+            cache = self.result_cache
+            # Deadline-bounded answers depend on the wall clock and are
+            # never cached (nor served from the cache: a cached complete
+            # answer is *better* than a degraded one, but replaying it
+            # would make deadline behaviour untestable).
+            if cache is not None and deadline_ms is None:
+                key = self._result_cache_key(prepared, k, method, scale, max_scale)
+                cached = cache.get(key)
+                if cached is not None:
+                    result = self._clone_result(cached)
+                else:
+                    result = self.planner.execute(
+                        prepared, k, method, scale=scale, max_scale=max_scale,
+                        buffer=self.buffer, deadline_ms=None,
+                    )
+                    self._cache_store(key, result)
+            else:
+                result = self.planner.execute(
+                    prepared, k, method, scale=scale, max_scale=max_scale,
+                    buffer=self.buffer, deadline_ms=deadline_ms,
+                )
         get_registry().counter(
             "sts3_queries_total", "k-NN queries answered, by search variant"
         ).inc(method=method)
         return result
+
+    # -- result-cache plumbing (DESIGN.md §13) ---------------------------
+
+    def _result_cache_key(
+        self,
+        prepared: np.ndarray,
+        k: int,
+        method: str,
+        scale: int | None,
+        max_scale: int | None,
+    ) -> tuple:
+        """Cache key over everything a complete answer depends on.
+
+        The catalog generation component is the invalidation wire:
+        insert/flush/compact all bump it, so entries for the old state
+        simply stop being addressable.  ``scale``/``max_scale`` are
+        resolved to their defaults first, so explicit-default and
+        implicit calls share entries.
+        """
+        resolved_scale = self.default_scale if scale is None else int(scale)
+        resolved_max = (
+            self.default_max_scale if max_scale is None else int(max_scale)
+        )
+        payload = repr(prepared.shape).encode() + np.ascontiguousarray(
+            prepared
+        ).tobytes()
+        return QueryResultCache.key(
+            payload, k, method, resolved_scale, resolved_max,
+            self.epsilon, self.catalog.generation,
+        )
+
+    @staticmethod
+    def _clone_result(result: QueryResult) -> QueryResult:
+        """A detached copy: callers may mutate results; the cache keeps its own."""
+        return QueryResult(
+            neighbors=list(result.neighbors),
+            stats=_dc_replace(result.stats),
+            complete=result.complete,
+            skipped_segments=list(result.skipped_segments),
+            degraded_reason=result.degraded_reason,
+        )
+
+    def _cache_store(self, key: tuple, result: QueryResult) -> None:
+        """Cache a complete answer (degraded ones must never replay)."""
+        if result.complete:
+            nbytes = 120 * len(result.neighbors) + 512  # neighbors + stats + key
+            self.result_cache.put(key, self._clone_result(result), nbytes)
 
     def query_batch(
         self,
@@ -576,10 +703,37 @@ class STS3Database:
                 for q in queries
             ]
         prepared = [self._prepare(q) for q in queries]
-        return self.planner.execute_batch(
-            prepared, k, method, scale=scale, max_scale=max_scale,
-            buffer=self.buffer, workspace=self._workspace,
-        )
+        cache = self.result_cache
+        if cache is None:
+            return self.planner.execute_batch(
+                prepared, k, method, scale=scale, max_scale=max_scale,
+                buffer=self.buffer, workspace=self._workspace,
+            )
+        # Per-query cache keys are identical to the scalar path's, so a
+        # batch can hit entries that scalar queries populated (and vice
+        # versa); only the misses run through the vectorized kernel.
+        keys = [
+            self._result_cache_key(p, k, method, scale, max_scale)
+            for p in prepared
+        ]
+        out: list[QueryResult | None] = [None] * len(queries)
+        misses: list[int] = []
+        for i, key in enumerate(keys):
+            hit = cache.get(key)
+            if hit is not None:
+                out[i] = self._clone_result(hit)
+            else:
+                misses.append(i)
+        if misses:
+            miss_results = self.planner.execute_batch(
+                [prepared[i] for i in misses], k, method,
+                scale=scale, max_scale=max_scale,
+                buffer=self.buffer, workspace=self._workspace,
+            )
+            for i, result in zip(misses, miss_results):
+                self._cache_store(keys[i], result)
+                out[i] = result
+        return out  # type: ignore[return-value]
 
     # -- updates -----------------------------------------------------------
 
@@ -616,6 +770,10 @@ class STS3Database:
             ).inc(path="direct")
             return
         self.buffer.add(prepared)
+        # Not a structural change, but cached answers computed before
+        # the buffer grew are stale — advance the generation so the
+        # result cache stops serving them (satellite 4's contract).
+        self.catalog.touch()
         get_registry().counter(
             "sts3_inserts_total", "series inserted, by destination"
         ).inc(path="buffered")

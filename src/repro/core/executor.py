@@ -1,0 +1,101 @@
+"""Shared thread pool for parallel segment execution (DESIGN.md §13).
+
+The planner's unit of parallel work is one :class:`SegmentPlan` (or one
+shard of a batch): independent numpy sweeps — popcount, GEMM,
+``searchsorted`` — that release the GIL, so *threads* scale them across
+cores without the pickling and copy-on-write costs of the
+process-based ``query_batch(workers=N)`` path.  An
+:class:`ExecutorPool` wraps one lazily-created
+:class:`~concurrent.futures.ThreadPoolExecutor` per worker count and is
+shared process-wide (:func:`get_pool`): pools are tiny, and sharing
+keeps thread churn off the per-query path.
+
+Determinism: :meth:`ExecutorPool.map_ordered` returns results in
+submission order regardless of completion order, which is what lets the
+planner keep its bit-identical ``(similarity desc, index asc)`` merge —
+parallelism changes *when* a segment answer is computed, never how
+answers combine.
+
+``resolve_workers`` is the single knob-decoding point: ``None`` → 1
+(serial — the default, so single-threaded callers and deterministic
+tests see byte-identical behaviour), ``0`` → one worker per CPU, any
+other value is used as-is.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["ExecutorPool", "get_pool", "resolve_workers"]
+
+
+def resolve_workers(max_workers: int | None) -> int:
+    """Decode the ``max_workers`` knob into a concrete worker count."""
+    if max_workers is None:
+        return 1
+    workers = int(max_workers)
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"max_workers must be >= 0 or None, got {max_workers}")
+    return workers
+
+
+class ExecutorPool:
+    """A named, lazily-started thread pool with ordered fan-out.
+
+    Threads are created on first use and reused for the life of the
+    process (``ThreadPoolExecutor`` joins them at interpreter exit).
+    The pool is safe to share between databases: tasks carry their own
+    state and the planner gives each worker thread its own workspace.
+    """
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise ValueError(f"ExecutorPool needs >= 1 worker, got {max_workers}")
+        self.max_workers = int(max_workers)
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            with self._lock:
+                if self._executor is None:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="sts3-exec",
+                    )
+        return self._executor
+
+    def map_ordered(self, fn, items) -> list:
+        """Run ``fn(item)`` for every item; results in submission order.
+
+        Exceptions propagate from the first failing item (in submission
+        order), matching what a plain loop would raise.
+        """
+        executor = self._ensure()
+        futures = [executor.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        """Join the worker threads (tests; production pools live on)."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+
+_pools: dict[int, ExecutorPool] = {}
+_pools_lock = threading.Lock()
+
+
+def get_pool(max_workers: int) -> ExecutorPool:
+    """The process-wide shared pool for ``max_workers`` threads."""
+    max_workers = int(max_workers)
+    with _pools_lock:
+        pool = _pools.get(max_workers)
+        if pool is None:
+            pool = _pools[max_workers] = ExecutorPool(max_workers)
+        return pool

@@ -38,12 +38,14 @@ with capped, jittered, deterministically-seeded exponential backoff
 
 from __future__ import annotations
 
+import ast
 import io
 import json
 import os
 import random
 import struct
 import time
+import zipfile
 from pathlib import Path
 from zlib import crc32
 
@@ -53,6 +55,7 @@ from .. import faults
 from ..exceptions import DatasetError
 from ..obs import get_registry, span
 from .bitset import BitsetStore
+from .cache import QueryResultCache
 from .catalog import QuarantineRecord
 from .database import STS3Database
 from .grid import Bound, Grid
@@ -150,11 +153,23 @@ def _pack(series_list: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray, int]:
     return matrix, lengths, n_dims
 
 
-def _unpack(matrix: np.ndarray, lengths: np.ndarray, n_dims: int) -> list[np.ndarray]:
+def _unpack(
+    matrix: np.ndarray, lengths: np.ndarray, n_dims: int, copy: bool = True
+) -> list[np.ndarray]:
+    """Split a padded matrix back into per-series arrays.
+
+    With ``copy=False`` each series is a *view* into ``matrix`` — the
+    zero-copy path over a mapped archive.  Views are read-only there
+    (the memmap is opened ``mode="r"``), which is safe: stored series
+    are never mutated, only transformed and compared.
+    """
     out = []
     for row, length in zip(matrix, lengths.tolist()):
         flat = row[: length * n_dims]
-        out.append(flat.copy() if n_dims == 1 else flat.reshape(length, n_dims))
+        if n_dims == 1:
+            out.append(flat.copy() if copy else flat)
+        else:
+            out.append(flat.reshape(length, n_dims))
     return out
 
 
@@ -199,9 +214,19 @@ def _header_params(db: STS3Database) -> dict:
     }
 
 
-def _npz_bytes(**arrays) -> bytes:
+def _npz_bytes(compressed: bool = True, **arrays) -> bytes:
+    """``.npz`` bytes for ``arrays``.
+
+    v4 payloads are written *uncompressed* (STORED zip members): that is
+    what lets the mmap loader hand out :func:`np.frombuffer` views
+    straight over the archive instead of inflating copies.  v3 keeps
+    compression — it is a single monolithic blob with no mapped path.
+    """
     buf = io.BytesIO()
-    np.savez_compressed(buf, **arrays)
+    if compressed:
+        np.savez_compressed(buf, **arrays)
+    else:
+        np.savez(buf, **arrays)
     return buf.getvalue()
 
 
@@ -329,12 +354,12 @@ def _save_v4(db: STS3Database, path: Path, pack_bitsets: bool) -> None:
                 arrays["bitset_vocab"] = store.vocab
                 arrays["bitset_matrix"] = store.matrix
                 entry["bitset"] = True
-        blob = _npz_bytes(**arrays)
+        blob = _npz_bytes(compressed=False, **arrays)
         entry["payload"] = {"length": len(blob), "crc32": crc32(blob)}
         segment_entries.append(entry)
         blobs.append(blob)
     buf_matrix, buf_lengths, _ = _pack(db.buffer.series)
-    buffer_blob = _npz_bytes(series=buf_matrix, lengths=buf_lengths)
+    buffer_blob = _npz_bytes(compressed=False, series=buf_matrix, lengths=buf_lengths)
     buffer_entry = {
         "size": len(db.buffer.series),
         "payload": {"length": len(buffer_blob), "crc32": crc32(buffer_blob)},
@@ -368,7 +393,12 @@ def _save_v4(db: STS3Database, path: Path, pack_bitsets: bool) -> None:
     _atomic_write(path, write, "save")
 
 
-def load_database(path: str | Path) -> STS3Database:
+def load_database(
+    path: str | Path,
+    mmap: bool = False,
+    max_workers: int | None = None,
+    cache_bytes: int = 0,
+) -> STS3Database:
     """Rebuild a database previously written by :func:`save_database`.
 
     v4 archives are checksum-verified; a segment payload that fails its
@@ -377,20 +407,43 @@ def load_database(path: str | Path) -> STS3Database:
     gracefully (``complete=False``) instead of raising.  Only an
     unreadable manifest (nothing trustworthy to load) raises
     :class:`~repro.exceptions.DatasetError`.
+
+    With ``mmap=True`` (v4 archives only; earlier formats silently fall
+    back to the eager path) segment payloads stay on disk: each segment
+    is restored from its manifest row alone and maps its series as
+    zero-copy buffer views on first touch.  Checksum verification moves
+    with the payload — the manifest, trailer, and per-payload footers
+    are still verified at open (structural damage quarantines exactly
+    like the eager path), but a payload whose *bytes* rot after open
+    raises :class:`~repro.exceptions.DatasetError` at first touch
+    instead, since there is no load phase left to quarantine into.
+
+    ``max_workers`` and ``cache_bytes`` configure the loaded database's
+    executor pool and query-result cache (see :class:`STS3Database`).
     """
-    with span("persist.load"):
-        db = _with_retries("load", lambda: _load_database(path))
+    with span("persist.load", mmap=mmap):
+        db = _with_retries("load", lambda: _load_database(path, mmap))
+    if max_workers is not None:
+        db.max_workers = max_workers
+    if cache_bytes:
+        db.result_cache = QueryResultCache(int(cache_bytes))
     get_registry().counter(
         "sts3_persist_total", "database archive writes and reads"
     ).inc(op="load")
     return db
 
 
-def _load_database(path: str | Path) -> STS3Database:
+def _load_database(path: str | Path, mmap: bool = False) -> STS3Database:
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"no database archive at {path}")
     faults.fault_point("persist.read")
+    if mmap:
+        with open(path, "rb") as fh:
+            magic = fh.read(len(DB_MAGIC))
+        if magic == DB_MAGIC:
+            return _load_v4_mapped(path)
+        return _load_legacy(path)  # pre-v4: nothing addressable to map
     data = path.read_bytes()
     if data[: len(DB_MAGIC)] == DB_MAGIC:
         return _load_v4(path, data)
@@ -400,7 +453,8 @@ def _load_database(path: str | Path) -> STS3Database:
 # -- format v4 ----------------------------------------------------------
 
 
-def _read_manifest(path: Path, data: bytes) -> dict:
+def _read_manifest(path: Path, data) -> dict:
+    """Parse the manifest out of ``data`` (bytes or a uint8 memmap)."""
     if len(data) < len(DB_MAGIC) + _TRAILER.size:
         raise DatasetError(f"{path}: v4 archive truncated before its trailer")
     offset, length, checksum, end_magic = _TRAILER.unpack_from(
@@ -408,7 +462,7 @@ def _read_manifest(path: Path, data: bytes) -> dict:
     )
     if end_magic != _END_MAGIC:
         raise DatasetError(f"{path}: v4 archive trailer is damaged")
-    blob = data[offset : offset + length]
+    blob = bytes(data[offset : offset + length])
     if len(blob) < length or crc32(blob) != checksum:
         raise DatasetError(f"{path}: v4 manifest fails its checksum")
     try:
@@ -536,8 +590,251 @@ def _attach_bitset(segment, vocab, matrix, path) -> None:
     segment._bitset_decided = True
     get_registry().gauge(
         "sts3_bitset_bytes_resident",
-        "packed bitset bytes resident, by segment",
-    ).set(segment._bitset.nbytes, segment=str(segment.segment_id))
+        "packed bitset bytes, by segment and residency",
+    ).set(
+        segment._bitset.nbytes,
+        segment=str(segment.segment_id),
+        state="resident",
+    )
+
+
+# -- format v4, mapped (zero-copy) ---------------------------------------
+
+
+class _BufferIO(io.RawIOBase):
+    """A seekable read-only file over a memoryview (no copies).
+
+    ``zipfile`` needs a file object to walk the npz directory; wrapping
+    the mapped blob here lets it read central-directory records without
+    materializing the payload.
+    """
+
+    def __init__(self, view: memoryview):
+        self._view = view
+        self._pos = 0
+
+    def readable(self) -> bool:
+        return True
+
+    def seekable(self) -> bool:
+        return True
+
+    def seek(self, pos: int, whence: int = io.SEEK_SET) -> int:
+        if whence == io.SEEK_SET:
+            self._pos = pos
+        elif whence == io.SEEK_CUR:
+            self._pos += pos
+        else:
+            self._pos = len(self._view) + pos
+        return self._pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def readinto(self, b) -> int:
+        n = min(len(b), len(self._view) - self._pos)
+        if n <= 0:
+            return 0
+        b[:n] = self._view[self._pos : self._pos + n]
+        self._pos += n
+        return n
+
+
+def _npy_view(buf: memoryview) -> np.ndarray:
+    """A zero-copy ndarray over the raw bytes of one ``.npy`` member."""
+    if bytes(buf[:6]) != b"\x93NUMPY":
+        raise DatasetError("mapped npz member is not an npy array")
+    major = buf[6]
+    if major == 1:
+        (hlen,) = struct.unpack_from("<H", buf, 8)
+        header_start = 10
+    else:
+        (hlen,) = struct.unpack_from("<I", buf, 8)
+        header_start = 12
+    data_start = header_start + hlen
+    header = ast.literal_eval(
+        bytes(buf[header_start:data_start]).decode("latin1")
+    )
+    if header.get("fortran_order"):
+        raise DatasetError("mapped loader does not support fortran-order arrays")
+    dtype = np.dtype(header["descr"])
+    shape = header["shape"]
+    count = int(np.prod(shape)) if shape else 1
+    return np.frombuffer(buf, dtype=dtype, count=count, offset=data_start).reshape(
+        shape
+    )
+
+
+def _npz_views(blob) -> dict[str, np.ndarray]:
+    """Arrays of an (uncompressed) npz blob as views over its buffer.
+
+    STORED members — what :func:`_npz_bytes` writes for v4 — become
+    :func:`np.frombuffer` views at ``header_offset + 30 + name_len +
+    extra_len`` (the zip local-header layout).  DEFLATED members (old
+    archives saved compressed) fall back to an inflated copy, which
+    still keeps the load lazy per segment.
+    """
+    view = memoryview(blob)
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(io.BufferedReader(_BufferIO(view))) as zf:
+        for info in zf.infolist():
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[:-4]
+            if info.compress_type == zipfile.ZIP_STORED:
+                nlen, xlen = struct.unpack_from(
+                    "<HH", view, info.header_offset + 26
+                )
+                start = info.header_offset + 30 + nlen + xlen
+                arrays[name] = _npy_view(view[start : start + info.file_size])
+            else:
+                arrays[name] = np.load(io.BytesIO(zf.read(info)))
+    return arrays
+
+
+def _mapped_payload_problem(data, entry: dict) -> str | None:
+    """Structural verification of one payload *without* reading its bytes.
+
+    Bounds and the CRC footer (8 bytes) are checked against the
+    manifest; the expensive whole-blob CRC is deferred to first touch
+    (:class:`_MappedPayload`).  Damage detectable here quarantines at
+    open, exactly like the eager loader.
+    """
+    payload = entry["payload"]
+    offset, length = int(payload["offset"]), int(payload["length"])
+    end = offset + length
+    if end + _FOOTER.size > len(data):
+        return "payload extends past end of archive"
+    (footer,) = _FOOTER.unpack_from(data, end)
+    if footer != int(payload["crc32"]):
+        return "checksum mismatch"
+    return None
+
+
+class _MappedPayload:
+    """Zero-arg loader over one mapped v4 payload (:meth:`Segment.lazy`).
+
+    Holds only the archive path and payload coordinates — the memmap is
+    opened lazily and never pickled, so a database with mapped segments
+    travels to ``query_batch`` worker processes intact (each worker
+    re-maps its own view on first touch).
+    """
+
+    def __init__(self, path, offset, length, crc, n_dims, size, has_bitset, name):
+        self.path = str(path)
+        self.offset = int(offset)
+        self.length = int(length)
+        self.crc = int(crc)
+        self.n_dims = int(n_dims)
+        self.size = int(size)
+        self.has_bitset = bool(has_bitset)
+        self.name = name
+        self._mmap = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_mmap"] = None
+        return state
+
+    def __call__(self) -> dict:
+        if self._mmap is None:
+            self._mmap = np.memmap(self.path, dtype=np.uint8, mode="r")
+        blob = self._mmap[self.offset : self.offset + self.length]
+        # First-touch verification: the one full read the mapped path
+        # cannot avoid, paid exactly once per touched segment.
+        if crc32(blob) != self.crc:
+            raise DatasetError(
+                f"{self.path}: payload {self.name} fails its checksum "
+                "on first touch"
+            )
+        arrays = _npz_views(blob)
+        series = _unpack(
+            arrays["series"], np.asarray(arrays["lengths"]), self.n_dims,
+            copy=False,
+        )
+        if len(series) != self.size:
+            raise DatasetError(
+                f"{self.path}: payload {self.name} holds {len(series)} "
+                f"series, manifest says {self.size}"
+            )
+        payload: dict = {"series": series}
+        if self.has_bitset:
+            payload["bitset"] = {
+                "vocab": arrays["bitset_vocab"],
+                "matrix": arrays["bitset_matrix"],
+            }
+        return payload
+
+
+def _load_v4_mapped(path: Path) -> STS3Database:
+    """Zero-copy cold start: manifest now, payload bytes on first touch."""
+    data = np.memmap(path, dtype=np.uint8, mode="r")
+    manifest = _read_manifest(path, data)
+    n_dims = int(manifest["n_dims"])
+    epsilon = manifest["epsilon"]
+    if manifest["epsilon_is_tuple"]:
+        epsilon = tuple(epsilon)
+
+    shell = STS3Database._assembly_shell(
+        sigma=manifest["sigma"],
+        epsilon=epsilon,
+        normalize=manifest["normalize"],
+        value_padding=manifest["value_padding"],
+        default_scale=manifest["default_scale"],
+        default_max_scale=manifest["default_max_scale"],
+    )
+    quarantined: list[QuarantineRecord] = []
+    for position, entry in enumerate(manifest["segments"]):
+        name = f"segment-{position}"
+        problem = _mapped_payload_problem(data, entry)
+        if problem is not None:
+            quarantined.append(
+                QuarantineRecord(name, int(entry["size"]), problem)
+            )
+            continue
+        payload = entry["payload"]
+        loader = _MappedPayload(
+            path, payload["offset"], payload["length"], payload["crc32"],
+            n_dims, entry["size"], bool(entry.get("bitset")), name,
+        )
+        segment = shell.catalog.adopt_lazy(
+            _segment_grid(entry), int(entry["size"]), loader,
+            payload_bytes=int(payload["length"]),
+        )
+        segment.payload_crc32 = int(payload["crc32"])
+    if not shell.catalog.segments:
+        raise DatasetError(
+            f"{path}: every segment payload failed verification "
+            f"({'; '.join(f'{q.name}: {q.reason}' for q in quarantined)})"
+        )
+    shell._finish_assembly(manifest["buffer_capacity"])
+    shell.rebuild_count = manifest["rebuild_count"]
+    shell.wal_seq = int(manifest.get("wal_seq", 0))
+    for record in quarantined:
+        shell.catalog.quarantine(record)
+
+    # The buffer is small and mutable (adds re-transform it), so it
+    # loads eagerly even on the mapped path.
+    buffer_entry = manifest["buffer_payload"]
+    blob, problem = _payload_blob(data, buffer_entry)
+    buffered: list[np.ndarray] = []
+    if blob is None:
+        shell.catalog.quarantine(
+            QuarantineRecord("buffer", int(buffer_entry["size"]), problem)
+        )
+    else:
+        try:
+            with np.load(io.BytesIO(bytes(blob))) as payload:
+                buffered = _unpack(payload["series"], payload["lengths"], n_dims)
+        except Exception:
+            shell.catalog.quarantine(
+                QuarantineRecord(
+                    "buffer", int(buffer_entry["size"]), "unreadable payload"
+                )
+            )
+    for series_item in buffered:
+        shell.buffer.add(series_item)
+    return shell
 
 
 # -- formats v1-v3 ------------------------------------------------------
@@ -663,6 +960,9 @@ def recover_database(
     path: str | Path,
     wal_dir: str | Path | None = None,
     fsync_batch: int | None = None,
+    mmap: bool = False,
+    max_workers: int | None = None,
+    cache_bytes: int = 0,
 ) -> STS3Database:
     """Crash recovery: last checkpoint archive + write-ahead-log replay.
 
@@ -671,12 +971,16 @@ def recover_database(
     a torn tail is truncated first), and re-attaches a live WAL so
     the recovered database keeps journaling.  ``wal_dir`` defaults to
     :func:`default_wal_dir`; a missing WAL directory simply means
-    nothing to replay.
+    nothing to replay.  ``mmap``/``max_workers``/``cache_bytes`` are
+    forwarded to :func:`load_database` (replaying an insert against a
+    mapped segment materializes just that segment).
     """
     path = Path(path)
     wal_dir = default_wal_dir(path) if wal_dir is None else Path(wal_dir)
     with span("recover", archive=str(path)):
-        db = load_database(path)
+        db = load_database(
+            path, mmap=mmap, max_workers=max_workers, cache_bytes=cache_bytes
+        )
         records, report = replay_wal(wal_dir, truncate=True)
         applied = apply_wal_records(db, records, from_seq=db.wal_seq)
         wal = WriteAheadLog(

@@ -26,6 +26,7 @@ below :data:`SMALL_SEGMENT` series.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, replace
 
@@ -34,6 +35,7 @@ import numpy as np
 from ..obs import get_registry, span
 from .batch import QueryWorkspace
 from .catalog import SegmentCatalog
+from .executor import get_pool, resolve_workers
 from .heap import KnnHeap
 from .jaccard import jaccard
 from .result import QueryResult, SearchStats
@@ -42,6 +44,7 @@ from .setrep import transform_query
 
 __all__ = [
     "DEADLINE_SOFT_FRACTION",
+    "MIN_BATCH_SHARD",
     "QueryPlanner",
     "SegmentPlan",
     "SMALL_SEGMENT",
@@ -61,6 +64,11 @@ DEADLINE_SOFT_FRACTION = 0.5
 #: already the cheap rung; tiny segments stay naive — the exhaustive
 #: scan over a handful of series is cheaper than any filter).
 _EXACTISH = ("naive", "index", "pruning", "minhash")
+
+#: parallel ``execute_batch`` never cuts a segment's query batch into
+#: shards smaller than this — below it, per-shard fixed costs (plan,
+#: transform dispatch, kernel setup) eat the concurrency win.
+MIN_BATCH_SHARD = 16
 
 
 @dataclass(frozen=True)
@@ -89,10 +97,15 @@ class QueryPlanner:
         catalog: SegmentCatalog,
         default_scale: int = 6,
         default_max_scale: int = 4,
+        max_workers: int | None = None,
     ):
         self.catalog = catalog
         self.default_scale = int(default_scale)
         self.default_max_scale = int(default_max_scale)
+        #: thread-parallelism knob (DESIGN.md §13): ``None`` keeps the
+        #: serial paths byte-identical to previous releases, ``0`` uses
+        #: one worker per CPU, ``n`` uses n.  Settable live.
+        self.max_workers = max_workers
         self._calibrated: tuple[int, str] | None = None
         #: plans of the most recent execute/execute_batch call, with
         #: their executed kernels recorded (diagnostic).
@@ -100,6 +113,20 @@ class QueryPlanner:
         #: monotonic-seconds clock for deadline accounting — injectable
         #: so degradation tests advance time deterministically.
         self.clock = time.monotonic
+        # Per-pool-thread QueryWorkspace registry (workspaces are not
+        # thread-safe; each executor thread reuses its own).
+        self._worker_local = threading.local()
+
+    # -- pickling (process-based query_batch workers) --------------------
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_worker_local"]  # holds thread-affine scratch only
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._worker_local = threading.local()
 
     @property
     def calibrated_method(self) -> str | None:
@@ -207,25 +234,35 @@ class QueryPlanner:
         start = self.clock() if deadline_ms is not None else 0.0
         results: list[QueryResult] = []
         executed_plans: list[SegmentPlan] = []
-        for position, (segment, plan) in enumerate(zip(segments, plans)):
-            if deadline_ms is not None:
-                elapsed_ms = (self.clock() - start) * 1000.0
-                if elapsed_ms >= deadline_ms and results:
-                    reasons.add("deadline")
-                    skipped.append(f"segment-{segment.segment_id}")
-                    continue
-                if (
-                    elapsed_ms >= deadline_ms * DEADLINE_SOFT_FRACTION
-                    and plan.method in _EXACTISH
-                    and len(segment) >= SMALL_SEGMENT
-                ):
-                    reasons.add("deadline")
-                    plan = replace(plan, method="approximate")
-                    plans[position] = plan
-            results.append(
-                self._run_segment(segment, plan.method, prepared, k, scale, max_scale)
+        workers = resolve_workers(self.max_workers)
+        if workers > 1 and len(segments) > 1:
+            self._execute_parallel(
+                segments, plans, prepared, k, scale, max_scale,
+                deadline_ms, start, workers,
+                results, executed_plans, reasons, skipped,
             )
-            executed_plans.append(plan)
+        else:
+            for position, (segment, plan) in enumerate(zip(segments, plans)):
+                if deadline_ms is not None:
+                    elapsed_ms = (self.clock() - start) * 1000.0
+                    if elapsed_ms >= deadline_ms and results:
+                        reasons.add("deadline")
+                        skipped.append(f"segment-{segment.segment_id}")
+                        continue
+                    if (
+                        elapsed_ms >= deadline_ms * DEADLINE_SOFT_FRACTION
+                        and plan.method in _EXACTISH
+                        and len(segment) >= SMALL_SEGMENT
+                    ):
+                        reasons.add("deadline")
+                        plan = replace(plan, method="approximate")
+                        plans[position] = plan
+                results.append(
+                    self._run_segment(
+                        segment, plan.method, prepared, k, scale, max_scale
+                    )
+                )
+                executed_plans.append(plan)
         if not reasons and len(results) == 1 and not (
             buffer is not None and len(buffer)
         ):
@@ -234,6 +271,63 @@ class QueryPlanner:
         if reasons:
             self._mark_degraded(merged, skipped, reasons)
         return merged
+
+    def _execute_parallel(
+        self,
+        segments: list[Segment],
+        plans: list[SegmentPlan],
+        prepared: np.ndarray,
+        k: int,
+        scale: int,
+        max_scale: int,
+        deadline_ms: float | None,
+        start: float,
+        workers: int,
+        results: list[QueryResult],
+        executed_plans: list[SegmentPlan],
+        reasons: set[str],
+        skipped: list[str],
+    ) -> None:
+        """Run independent segment plans on the shared thread pool.
+
+        The deadline ladder keeps its sequential semantics: each task
+        checks the budget *when it starts*, so a blown hard deadline
+        cancels plans that have not yet begun (segment 0 is exempt —
+        the answer is never empty, exactly as in the serial loop).
+        Outcomes are folded back in plan order, so the downstream
+        KnnHeap merge sees the same sequence as a serial run and the
+        answer is bit-identical.
+        """
+
+        def run_one(position: int):
+            segment, plan = segments[position], plans[position]
+            deadline_hit = False
+            if deadline_ms is not None:
+                elapsed_ms = (self.clock() - start) * 1000.0
+                if elapsed_ms >= deadline_ms and position > 0:
+                    return position, None, plan, True
+                if (
+                    elapsed_ms >= deadline_ms * DEADLINE_SOFT_FRACTION
+                    and plan.method in _EXACTISH
+                    and len(segment) >= SMALL_SEGMENT
+                ):
+                    deadline_hit = True
+                    plan = replace(plan, method="approximate")
+            result = self._run_segment(
+                segment, plan.method, prepared, k, scale, max_scale
+            )
+            return position, result, plan, deadline_hit
+
+        outcomes = get_pool(workers).map_ordered(run_one, range(len(segments)))
+        for position, result, plan, deadline_hit in outcomes:
+            if deadline_hit:
+                reasons.add("deadline")
+                plans[position] = plan
+            if result is None:
+                skipped.append(f"segment-{segments[position].segment_id}")
+                continue
+            results.append(result)
+            executed_plans.append(plan)
 
     def _mark_degraded(
         self, result: QueryResult, skipped: list[str], reasons: set[str]
@@ -270,26 +364,36 @@ class QueryPlanner:
         with span("plan", method=method, segments=len(segments),
                   queries=len(prepared_queries)):
             plans = self.plan(method)
-        per_segment: list[list[QueryResult]] = []
-        for position, (segment, plan) in enumerate(zip(segments, plans)):
-            if plan.method == "index":
-                with span("transform", queries=len(prepared_queries),
-                          segment=segment.segment_id):
-                    query_sets = [
-                        transform_query(p, segment.grid) for p in prepared_queries
-                    ]
-                engine = segment.batch_engine(workspace)
-                per_segment.append(engine.query_batch(query_sets, k=k))
-                # The engine picks one kernel per batch; record it on
-                # the plan for diagnostics (``sts3 inspect``, tests).
-                kernel = engine.last_kernels[-1] if engine.last_kernels else None
-                plans[position] = replace(plan, kernel=kernel)
-            else:
-                per_segment.append([
-                    self._run_segment(segment, plan.method, p, k, scale, max_scale)
-                    for p in prepared_queries
-                ])
-                plans[position] = replace(plan, kernel="scalar")
+        workers = resolve_workers(self.max_workers)
+        if workers > 1 and len(prepared_queries) > 1:
+            per_segment = self._batch_segments_parallel(
+                segments, plans, prepared_queries, k, scale, max_scale,
+                workspace, workers,
+            )
+        else:
+            per_segment = []
+            for position, (segment, plan) in enumerate(zip(segments, plans)):
+                if plan.method == "index":
+                    with span("transform", queries=len(prepared_queries),
+                              segment=segment.segment_id):
+                        query_sets = [
+                            transform_query(p, segment.grid)
+                            for p in prepared_queries
+                        ]
+                    engine = segment.batch_engine(workspace)
+                    per_segment.append(engine.query_batch(query_sets, k=k))
+                    # The engine picks one kernel per batch; record it on
+                    # the plan for diagnostics (``sts3 inspect``, tests).
+                    kernel = engine.last_kernels[-1] if engine.last_kernels else None
+                    plans[position] = replace(plan, kernel=kernel)
+                else:
+                    per_segment.append([
+                        self._run_segment(
+                            segment, plan.method, p, k, scale, max_scale
+                        )
+                        for p in prepared_queries
+                    ])
+                    plans[position] = replace(plan, kernel="scalar")
         self.last_plans = plans
         quarantined = [q.name for q in self.catalog.quarantined]
         if not quarantined and len(segments) == 1 and not (
@@ -303,6 +407,79 @@ class QueryPlanner:
         for result in merged if quarantined else ():
             self._mark_degraded(result, quarantined, {"quarantine"})
         return merged
+
+    def _shard_workspace(self) -> QueryWorkspace:
+        """This executor thread's private (reused) workspace."""
+        workspace = getattr(self._worker_local, "workspace", None)
+        if workspace is None:
+            workspace = self._worker_local.workspace = QueryWorkspace()
+        return workspace
+
+    def _batch_segments_parallel(
+        self,
+        segments: list[Segment],
+        plans: list[SegmentPlan],
+        prepared_queries: list[np.ndarray],
+        k: int,
+        scale: int,
+        max_scale: int,
+        workspace: QueryWorkspace | None,
+        workers: int,
+    ) -> list[list[QueryResult]]:
+        """Tile the batch across the thread pool, one flat task list.
+
+        Index-planned segments split their queries into contiguous
+        shards of at least :data:`MIN_BATCH_SHARD` (each shard runs
+        through a workspace-bound engine clone over this thread's
+        private workspace); scalar-planned segments are one task each.
+        Shard results are reassembled in query order, so the output is
+        bit-identical to the serial loop — every kernel produces the
+        same similarities bit for bit, whatever the batch is cut into.
+        """
+        n_queries = len(prepared_queries)
+        tasks: list[tuple[int, int, int, int]] = []
+        for position, (segment, plan) in enumerate(zip(segments, plans)):
+            if plan.method == "index":
+                # Build (and cache) the segment engine before fan-out so
+                # worker threads never race the segment's lazy caches.
+                segment.batch_engine(workspace)
+                n_shards = max(1, min(workers, n_queries // MIN_BATCH_SHARD))
+                for shard in range(n_shards):
+                    lo = n_queries * shard // n_shards
+                    hi = n_queries * (shard + 1) // n_shards
+                    tasks.append((position, shard, lo, hi))
+            else:
+                tasks.append((position, 0, 0, n_queries))
+
+        def run_task(task: tuple[int, int, int, int]):
+            position, shard, lo, hi = task
+            segment, plan = segments[position], plans[position]
+            if plan.method == "index":
+                engine = segment.batch_engine(workspace).with_workspace(
+                    self._shard_workspace()
+                )
+                with span("transform", queries=hi - lo,
+                          segment=segment.segment_id):
+                    query_sets = [
+                        transform_query(p, segment.grid)
+                        for p in prepared_queries[lo:hi]
+                    ]
+                shard_results = engine.query_batch(query_sets, k=k)
+                kernel = engine.last_kernels[-1] if engine.last_kernels else None
+                return position, shard, shard_results, kernel
+            shard_results = [
+                self._run_segment(segment, plan.method, p, k, scale, max_scale)
+                for p in prepared_queries[lo:hi]
+            ]
+            return position, shard, shard_results, "scalar"
+
+        outcomes = get_pool(workers).map_ordered(run_task, tasks)
+        per_segment: list[list[QueryResult]] = [[] for _ in segments]
+        for position, shard, shard_results, kernel in outcomes:
+            per_segment[position].extend(shard_results)
+            if shard == 0:  # first shard's kernel is the diagnostic
+                plans[position] = replace(plans[position], kernel=kernel)
+        return per_segment
 
     def _run_segment(
         self,

@@ -20,10 +20,12 @@ cost observable and is asserted in the tests.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..exceptions import ParameterError
-from ..obs import get_registry
+from ..obs import get_registry, span
 from .approximate import ApproximateSearcher
 from .batch import BatchQueryEngine, QueryWorkspace
 from .bitset import BitsetStore
@@ -90,9 +92,17 @@ class Segment:
                 f"segment got {len(series)} series but {len(sets)} set reps"
             )
         self.segment_id = int(segment_id)
-        self.series = list(series)
         self.grid = grid
-        self.sets = list(sets)
+        self._series: list[np.ndarray] | None = list(series)
+        self._sets: list[np.ndarray] | None = list(sets)
+        self._size = len(self._series)
+        #: zero-arg payload loader for mmap-backed segments (see
+        #: :meth:`lazy`); None once materialized or never lazy.
+        self._loader = None
+        self._payload_bytes = 0
+        self._init_caches()
+
+    def _init_caches(self) -> None:
         self._naive: NaiveSearcher | None = None
         self._indexed: IndexedSearcher | None = None
         self._pruning: dict[int, PruningSearcher] = {}
@@ -104,6 +114,22 @@ class Segment:
         #: CRC32 of the archive payload this segment was restored from
         #: (format v4 loads only); None for segments built in memory.
         self.payload_crc32: int | None = None
+        # Guards lazy materialization and searcher construction when
+        # the planner fans segment plans out across threads.  Reentrant
+        # because building a searcher touches sets/bitset under the
+        # same lock.
+        self._lock = threading.RLock()
+
+    # -- pickling (process-based query_batch workers) --------------------
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]  # locks don't travel; workers get a fresh one
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     @classmethod
     def build(
@@ -127,6 +153,99 @@ class Segment:
         count_transforms(len(series), context)
         return cls(segment_id, series, grid, sets)
 
+    @classmethod
+    def lazy(
+        cls,
+        segment_id: int,
+        grid: Grid,
+        size: int,
+        loader,
+        payload_bytes: int = 0,
+    ) -> "Segment":
+        """A segment whose payload stays on disk until first touch.
+
+        ``loader`` is a zero-arg callable returning ``{"series": [...],
+        "bitset": {"vocab", "matrix"} | absent}`` — persistence passes a
+        checksum-verifying view over the mapped v4 archive.  Until the
+        first query (or any series/sets access) materializes it, the
+        segment costs only its grid and manifest row: ``len`` and
+        :meth:`memory_stats` never trigger the load.
+        """
+        if size < 1:
+            raise ParameterError("a segment must own at least one series")
+        self = cls.__new__(cls)
+        self.segment_id = int(segment_id)
+        self.grid = grid
+        self._series = None
+        self._sets = None
+        self._size = int(size)
+        self._loader = loader
+        self._payload_bytes = int(payload_bytes)
+        self._init_caches()
+        return self
+
+    @property
+    def is_lazy(self) -> bool:
+        """True while the payload has not been materialized yet."""
+        return self._series is None
+
+    @property
+    def series(self) -> list[np.ndarray]:
+        """The segment's series (materializes a lazy payload)."""
+        if self._series is None:
+            self._materialize()
+        return self._series
+
+    @property
+    def sets(self) -> list[np.ndarray]:
+        """The segment's set representations (materializes if lazy)."""
+        if self._sets is None:
+            self._materialize()
+        return self._sets
+
+    @sets.setter
+    def sets(self, value: list[np.ndarray]) -> None:
+        self._sets = list(value)
+
+    def _materialize(self) -> None:
+        """First touch of a lazy payload: load, verify, transform.
+
+        Runs under the segment lock so concurrent segment plans load a
+        payload exactly once.  The loader verifies the payload checksum
+        on this first touch and raises
+        :class:`~repro.exceptions.DatasetError` on a mismatch — by the
+        time a mapped archive is queried there is no catalog-load phase
+        left to quarantine into.
+        """
+        with self._lock:
+            if self._series is not None:
+                return
+            with span("segment.materialize", segment=self.segment_id,
+                      series=self._size):
+                payload = self._loader()
+                series = payload["series"]
+                self._sets = [transform(s, self.grid) for s in series]
+                count_transforms(len(series), "load")
+                bitset = payload.get("bitset")
+                if bitset is not None and not self._bitset_decided:
+                    lengths = np.asarray(
+                        [s.size for s in self._sets], dtype=np.int64
+                    )
+                    self._bitset = BitsetStore.from_parts(
+                        bitset["vocab"], bitset["matrix"], lengths
+                    )
+                    get_registry().gauge(
+                        "sts3_bitset_bytes_resident",
+                        "packed bitset bytes, by segment and residency",
+                    ).set(
+                        self._bitset.nbytes,
+                        segment=str(self.segment_id),
+                        state="mapped",
+                    )
+                    self._bitset_decided = True
+                self._loader = None
+                self._series = list(series)  # last: publishes the load
+
     def extend(self, series_item: np.ndarray) -> "Segment":
         """Replacement segment with one more (in-bound) series appended.
 
@@ -144,11 +263,11 @@ class Segment:
         )
 
     def __len__(self) -> int:
-        return len(self.series)
+        return self._size  # known from the manifest; never materializes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Segment(id={self.segment_id}, series={len(self.series)}, "
+            f"Segment(id={self.segment_id}, series={self._size}, "
             f"cells={self.grid.n_cells})"
         )
 
@@ -164,51 +283,69 @@ class Segment:
         ``_BITSET_BYTE_RATIO`` times the sorted arrays it mirrors.
         """
         if not self._bitset_decided:
-            self._bitset_decided = True
-            sorted_bytes = sum(s.nbytes for s in self.sets)
-            vocab = np.unique(
-                np.concatenate(self.sets)
-                if sorted_bytes
-                else np.empty(0, dtype=np.int64)
-            )
-            n_words = (vocab.size + 63) // 64
-            packed_bytes = len(self.sets) * n_words * 8
-            if packed_bytes <= max(_BITSET_BYTE_RATIO * sorted_bytes, 4096):
-                self._bitset = BitsetStore(self.sets)
-                get_registry().gauge(
-                    "sts3_bitset_bytes_resident",
-                    "packed bitset bytes resident, by segment",
-                ).set(self._bitset.nbytes, segment=str(self.segment_id))
+            with self._lock:
+                if not self._bitset_decided:
+                    sorted_bytes = sum(s.nbytes for s in self.sets)
+                    vocab = np.unique(
+                        np.concatenate(self.sets)
+                        if sorted_bytes
+                        else np.empty(0, dtype=np.int64)
+                    )
+                    n_words = (vocab.size + 63) // 64
+                    packed_bytes = len(self.sets) * n_words * 8
+                    if packed_bytes <= max(
+                        _BITSET_BYTE_RATIO * sorted_bytes, 4096
+                    ):
+                        self._bitset = BitsetStore(self.sets)
+                        get_registry().gauge(
+                            "sts3_bitset_bytes_resident",
+                            "packed bitset bytes, by segment and residency",
+                        ).set(
+                            self._bitset.nbytes,
+                            segment=str(self.segment_id),
+                            state="resident",
+                        )
+                    self._bitset_decided = True
         return self._bitset
 
     def naive_searcher(self) -> NaiveSearcher:
         """The segment's cached linear-scan searcher."""
         if self._naive is None:
-            self._naive = NaiveSearcher(self.sets, bitset=self.bitset_store())
+            with self._lock:
+                if self._naive is None:
+                    self._naive = NaiveSearcher(
+                        self.sets, bitset=self.bitset_store()
+                    )
         return self._naive
 
     def indexed_searcher(self) -> IndexedSearcher:
         """The segment's cached inverted-index searcher."""
         if self._indexed is None:
-            self._indexed = IndexedSearcher(self.sets)
+            with self._lock:
+                if self._indexed is None:
+                    self._indexed = IndexedSearcher(self.sets)
         return self._indexed
 
     def pruning_searcher(self, scale: int) -> PruningSearcher:
         """The segment's cached zone-pruning searcher for ``scale``."""
         scale = int(scale)
         if scale not in self._pruning:
-            self._pruning[scale] = PruningSearcher(
-                self.sets, self.grid, scale, bitset=self.bitset_store()
-            )
+            with self._lock:
+                if scale not in self._pruning:
+                    self._pruning[scale] = PruningSearcher(
+                        self.sets, self.grid, scale, bitset=self.bitset_store()
+                    )
         return self._pruning[scale]
 
     def approximate_searcher(self, max_scale: int) -> ApproximateSearcher:
         """The segment's cached multi-scale approximate searcher."""
         max_scale = int(max_scale)
         if max_scale not in self._approximate:
-            self._approximate[max_scale] = ApproximateSearcher(
-                self.series, self.sets, self.grid.bound, max_scale
-            )
+            with self._lock:
+                if max_scale not in self._approximate:
+                    self._approximate[max_scale] = ApproximateSearcher(
+                        self.series, self.sets, self.grid.bound, max_scale
+                    )
         return self._approximate[max_scale]
 
     def minhash_searcher(
@@ -217,9 +354,11 @@ class Segment:
         """The segment's cached MinHash/LSH searcher."""
         key = (int(num_perm), int(bands))
         if key not in self._minhash:
-            self._minhash[key] = MinHashSearcher(
-                self.sets, num_perm=key[0], bands=key[1]
-            )
+            with self._lock:
+                if key not in self._minhash:
+                    self._minhash[key] = MinHashSearcher(
+                        self.sets, num_perm=key[0], bands=key[1]
+                    )
         return self._minhash[key]
 
     def batch_engine(self, workspace: QueryWorkspace | None = None) -> BatchQueryEngine:
@@ -230,11 +369,13 @@ class Segment:
         only if the auto-selection (or another searcher) wants it.
         """
         if self._batch_engine is None:
-            self._batch_engine = BatchQueryEngine(
-                self.indexed_searcher(),
-                workspace=workspace or QueryWorkspace(),
-                bitset_store=self.bitset_store,
-            )
+            with self._lock:
+                if self._batch_engine is None:
+                    self._batch_engine = BatchQueryEngine(
+                        self.indexed_searcher(),
+                        workspace=workspace or QueryWorkspace(),
+                        bitset_store=self.bitset_store,
+                    )
         return self._batch_engine
 
     # -- diagnostics ----------------------------------------------------
@@ -274,6 +415,9 @@ class Segment:
 
         Only representations that have actually been built are
         non-zero; lazily-gated structures report 0 until first use.
+        A still-mapped (never touched) segment reports zero resident
+        bytes and its archive payload size under
+        ``mapped_payload_bytes`` — this accessor never materializes.
         """
         coarse = sum(
             level.nbytes
@@ -281,12 +425,23 @@ class Segment:
             for level in searcher.levels.values()
         )
         return {
-            "series_bytes": sum(s.nbytes for s in self.series),
-            "sorted_sets_bytes": sum(s.nbytes for s in self.sets),
+            "series_bytes": (
+                sum(s.nbytes for s in self._series)
+                if self._series is not None
+                else 0
+            ),
+            "sorted_sets_bytes": (
+                sum(s.nbytes for s in self._sets)
+                if self._sets is not None
+                else 0
+            ),
             "packed_bitset_bytes": (
                 self._bitset.nbytes if self._bitset is not None else 0
             ),
             "coarse_levels_bytes": coarse,
+            "mapped_payload_bytes": (
+                self._payload_bytes if self._series is None else 0
+            ),
         }
 
     def verify_integrity(self, offset: int = 0) -> list[str]:

@@ -48,8 +48,12 @@ class DurabilityMachine(RuleBasedStateMachine):
         self.path = self.tmp / "db.sts3"
         base = [_series(seed + i) for i in range(4)]
         # normalize=False so out-of-bound inserts are actually possible
+        # cache_bytes on: every oracle query doubles as a cache-staleness
+        # probe — if invalidation misses a structural change, the cached
+        # answer diverges from the model and a rule fails.
         self.db = STS3Database(
-            base, sigma=2, epsilon=0.5, normalize=False, buffer_capacity=3
+            base, sigma=2, epsilon=0.5, normalize=False, buffer_capacity=3,
+            cache_bytes=1 << 20,
         )
         # fsync_batch=1: every applied insert is acknowledged durable
         self.db.attach_wal(WriteAheadLog(default_wal_dir(self.path), fsync_batch=1))
@@ -69,15 +73,20 @@ class DurabilityMachine(RuleBasedStateMachine):
         series = np.clip(
             series, self.db.grid.bound.x_min[0], self.db.grid.bound.x_max[0]
         )
+        generation = self.db.catalog.generation
         self.db.insert(series)
         self.model.append(series)
+        # every insert — direct or buffered — must invalidate the cache
+        assert self.db.catalog.generation > generation
 
     @rule(offset=st.integers(0, 1000))
     def insert_out_of_bound(self, offset):
         self.next_spike += 10.0  # always breaks even an expanded bound
         series = _series(self.seed + 20_000 + offset, spike=self.next_spike)
+        generation = self.db.catalog.generation
         self.db.insert(series)
         self.model.append(series)
+        assert self.db.catalog.generation > generation
 
     @rule()
     def flush(self):
@@ -102,7 +111,8 @@ class DurabilityMachine(RuleBasedStateMachine):
         if abandoned.wal is not None and abandoned.wal._file is not None:
             abandoned.wal._file.close()
             abandoned.wal._file = None
-        self.db = recover_database(self.path, fsync_batch=1)
+        self.db = recover_database(self.path, fsync_batch=1,
+                                   cache_bytes=1 << 20)
 
     # -- invariants -----------------------------------------------------
 
@@ -118,6 +128,11 @@ class DurabilityMachine(RuleBasedStateMachine):
     def wal_attached_and_monotonic(self):
         assert self.db.wal is not None
         assert self.db.wal.last_seq >= self.db.wal_seq
+
+    @invariant()
+    def cache_attached_and_recovered_cold(self):
+        assert self.db.result_cache is not None
+        assert self.db.result_cache.capacity_bytes == 1 << 20
 
     # -- oracle queries -------------------------------------------------
 
@@ -140,6 +155,10 @@ class DurabilityMachine(RuleBasedStateMachine):
         got = [(n.similarity, n.index) for n in result.neighbors]
         assert [round(s, 12) for s, _ in got] == [round(s, 12) for s, _ in expected]
         assert [i for _, i in got] == [i for _, i in expected]
+        # The query again: the second run may be served from the result
+        # cache and must be bit-identical to the fresh computation above.
+        again = self.db.query(query, k=k, method="index")
+        assert [(n.similarity, n.index) for n in again.neighbors] == got
 
     @rule(offset=st.integers(0, 1000))
     def query_self_found(self, offset):

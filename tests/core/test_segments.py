@@ -202,8 +202,15 @@ class TestCatalogLifecycle:
         db.insert(np.clip(rng.normal(size=32), -1, 1))  # direct extend
         assert db.catalog.generation > g0
         g1 = db.catalog.generation
-        db.insert(_spiked(rng, 32, 50.0))  # buffered: no structural change
-        assert db.catalog.generation == g1
+        # Buffered: no structural change, but the generation still
+        # advances (catalog.touch) so result-cache entries keyed on it
+        # stop serving answers that predate the buffered series.  The
+        # segment layout itself is untouched.
+        offsets_before = db.catalog.offsets()
+        db.insert(_spiked(rng, 32, 50.0))
+        assert db.catalog.generation > g1
+        assert db.catalog.offsets() == offsets_before
+        g1 = db.catalog.generation
         db.insert(_spiked(rng, 32, 60.0))  # fills the buffer: seal
         assert db.catalog.generation > g1
         g2 = db.catalog.generation

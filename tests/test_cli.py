@@ -179,3 +179,50 @@ class TestCommands:
     def test_inspect_missing_file(self, tmp_path, capsys):
         assert main(["inspect", str(tmp_path / "nope.npz")]) == 2
         assert "cannot load" in capsys.readouterr().err
+
+    def test_inspect_mmap(self, tmp_path, capsys):
+        from repro import STS3Database
+        from repro.core import save_database
+
+        rng = np.random.default_rng(5)
+        db = STS3Database(
+            [rng.normal(size=32) for _ in range(12)],
+            sigma=2, epsilon=0.5, normalize=False,
+        )
+        path = tmp_path / "db.sts3"
+        save_database(db, path)
+        assert main(["inspect", str(path), "--mmap"]) == 0
+        out = capsys.readouterr().out
+        assert "12 series in 1 segment(s)" in out
+
+
+class TestBench:
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.levers == "parallel,mmap,cache,combined"
+        assert args.repeats == 3
+
+    def test_bench_runs_and_prints_table(self, capsys):
+        assert main(["bench", "--levers", "cache", "--series", "150",
+                     "--queries", "4", "--length", "24", "--repeats", "1",
+                     "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "lever" in out
+        assert "speedup" in out
+        assert "cache" in out
+        assert "True" in out  # identical_neighbor_lists column
+
+    def test_bench_json_output(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "--levers", "cache", "--series", "150",
+                     "--queries", "4", "--length", "24", "--repeats", "1",
+                     "--k", "2", "--json", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert {record["phase"] for record in report} == {"cache"}
+        assert all(record["identical_neighbor_lists"] for record in report)
+
+    def test_bench_rejects_unknown_lever(self, capsys):
+        assert main(["bench", "--levers", "warp"]) == 2
+        assert "unknown lever" in capsys.readouterr().err
