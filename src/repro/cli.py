@@ -30,6 +30,10 @@ Subcommands:
   execution, zero-copy mapped loads, the query-result cache, and the
   combined serving workload) on a synthetic workload and print a
   per-lever speedup table (``--levers`` picks phases; DESIGN.md §13).
+- ``sts3 serve`` — run the asyncio query server (binary protocol +
+  HTTP adapter) over a saved archive, a UCR-format file, or a
+  synthetic ECG database; request coalescing, deadlines, admission
+  control, graceful drain (see docs/serving.md and DESIGN.md §14).
 
 The CLI exists so a downstream user can try the system without writing
 code; anything deeper should use the library API (see README).
@@ -179,6 +183,47 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", type=str, default=None, metavar="PATH",
                        help="also write the phase records as JSON "
                             "('-' for stdout)")
+
+    serve = sub.add_parser(
+        "serve", help="run the asyncio query server (docs/serving.md)"
+    )
+    serve.add_argument("file", nargs="?", default=None,
+                       help="data to serve: a save_database archive or a "
+                            "UCR-format text file (omit for synthetic ECG)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=21335,
+                       help="binary-protocol port (0 = ephemeral)")
+    serve.add_argument("--http-port", type=int, default=21336,
+                       help="HTTP adapter port (0 = ephemeral, -1 = disable)")
+    serve.add_argument("--coalesce-ms", type=float, default=2.0,
+                       help="micro-batching window for concurrent single "
+                            "queries (0 disables coalescing)")
+    serve.add_argument("--max-coalesce", type=int, default=64,
+                       help="flush a window early at this many queries")
+    serve.add_argument("--max-pending", type=int, default=256,
+                       help="shed load (BUSY) past this many in-flight "
+                            "requests")
+    serve.add_argument("--rate", type=float, default=None, metavar="PER_S",
+                       help="per-client sustained request rate; over it "
+                            "requests fail RATE_LIMITED (default: unlimited)")
+    serve.add_argument("--burst", type=int, default=20,
+                       help="per-client burst allowance above --rate")
+    serve.add_argument("--max-workers", type=int, default=None,
+                       help="intra-query segment parallelism of the engine "
+                            "(unset = serial, 0 = cpu count; DESIGN.md §13)")
+    serve.add_argument("--cache-bytes", type=int, default=0,
+                       help="query-result cache budget of the engine "
+                            "(0 disables; DESIGN.md §13)")
+    serve.add_argument("--sigma", type=float, default=3,
+                       help="time-axis cell width (file/synthetic builds)")
+    serve.add_argument("--epsilon", type=float, default=0.5,
+                       help="value-axis cell height (file/synthetic builds)")
+    serve.add_argument("--series", type=int, default=2000,
+                       help="synthetic database size (no-file mode)")
+    serve.add_argument("--length", type=int, default=128,
+                       help="synthetic series length (no-file mode)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="synthetic stream seed (no-file mode)")
     return parser
 
 
@@ -602,6 +647,82 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_build_db(args: argparse.Namespace):
+    """Build the database ``sts3 serve`` fronts, from any source."""
+    from .core import STS3Database
+
+    if args.file is None:
+        from .data import ecg_stream, make_workload
+
+        stream = ecg_stream((args.series + 1) * args.length, seed=args.seed)
+        workload = make_workload(stream, args.series, 1, args.length)
+        return STS3Database(
+            workload.database, sigma=args.sigma, epsilon=args.epsilon,
+            max_workers=args.max_workers, cache_bytes=args.cache_bytes,
+        ), f"synthetic ECG ({args.series} x {args.length})"
+    from .core import load_database
+    from .exceptions import DatasetError
+
+    try:
+        return (
+            load_database(
+                args.file,
+                max_workers=args.max_workers, cache_bytes=args.cache_bytes,
+            ),
+            f"archive {args.file}",
+        )
+    except (DatasetError, ValueError):
+        pass  # not a save_database archive; try UCR text
+    from .data.loader import load_ucr_file
+
+    dataset = load_ucr_file(args.file)
+    return STS3Database(
+        list(dataset.series), sigma=args.sigma, epsilon=args.epsilon,
+        max_workers=args.max_workers, cache_bytes=args.cache_bytes,
+    ), f"UCR file {args.file}"
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .exceptions import DatasetError
+    from .serve import ServiceConfig, serve as serve_forever
+
+    try:
+        db, source = _serve_build_db(args)
+    except (DatasetError, OSError, ValueError) as exc:
+        print(f"error: cannot serve {args.file}: {exc}", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        coalesce_window_ms=args.coalesce_ms,
+        max_coalesce=args.max_coalesce,
+        max_pending=args.max_pending,
+        rate_limit=args.rate,
+        rate_burst=args.burst,
+    )
+
+    def ready(server) -> None:
+        print(f"serving {source}: {len(db)} series")
+        print(f"binary protocol on {args.host}:{server.port}")
+        if server.http_port is not None:
+            print(
+                f"http adapter on {args.host}:{server.http_port} "
+                "(/healthz, /metrics, /v1/query, /v1/batch, /v1/insert, "
+                "/v1/verify)"
+            )
+        print("Ctrl-C drains in-flight requests and exits")
+
+    http_port = None if args.http_port < 0 else args.http_port
+    try:
+        asyncio.run(serve_forever(
+            db, config, host=args.host, port=args.port, http_port=http_port,
+            ready=ready,
+        ))
+    except KeyboardInterrupt:
+        pass  # signal handler already drained
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -623,6 +744,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_join(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_query(args)
 
 

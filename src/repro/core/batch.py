@@ -265,6 +265,16 @@ class BatchQueryEngine:
         self.last_kernels = []
         if not query_sets:
             return []
+        # Batch-width distribution: count = engine invocations, sum =
+        # queries.  The serving layer's request coalescer reads this as
+        # its effectiveness signal — how many concurrent single queries
+        # each micro-batching window actually amortized into one pass
+        # (docs/serving.md); size-bucketed, not latency-bucketed.
+        get_registry().histogram(
+            "sts3_batch_engine_queries",
+            "queries handed to the batch engine per invocation",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+        ).observe(len(query_sets))
 
         # The batch-wide postings location is filtering work (it finds
         # which series each query touches), so it shares the "filter"

@@ -465,6 +465,7 @@ class STS3Database:
         scale: int | None = None,
         max_scale: int | None = None,
         deadline_ms: float | None = None,
+        deadline_start: float | None = None,
     ) -> QueryResult:
         """k-NN query under the Jaccard similarity of set representations.
 
@@ -478,6 +479,10 @@ class STS3Database:
         to approximate, past the budget they are skipped — the result
         then reports ``complete=False`` with a ``degraded_reason``
         instead of blowing the latency budget or raising.
+        ``deadline_start`` (a ``planner.clock`` reading) backdates the
+        budget to a request's arrival time so queue wait counts too —
+        the serving layer's hook (docs/serving.md); ignored without
+        ``deadline_ms``.
         """
         if method not in _METHODS:
             raise ParameterError(f"unknown method {method!r}; one of {_METHODS}")
@@ -505,6 +510,7 @@ class STS3Database:
                 result = self.planner.execute(
                     prepared, k, method, scale=scale, max_scale=max_scale,
                     buffer=self.buffer, deadline_ms=deadline_ms,
+                    deadline_start=deadline_start,
                 )
         get_registry().counter(
             "sts3_queries_total", "k-NN queries answered, by search variant"
@@ -568,13 +574,15 @@ class STS3Database:
         workers: int | None = None,
         start_method: str | None = None,
         deadline_ms: float | None = None,
+        deadline_start: float | None = None,
     ) -> list[QueryResult]:
         """Answer many queries, optionally across worker processes.
 
         ``deadline_ms`` is a *per-query* budget (see :meth:`query`); it
         routes the batch through the scalar loop, since the vectorized
         kernel commits to a whole segment at once and cannot downgrade
-        mid-pass.
+        mid-pass.  ``deadline_start`` backdates every budget to one
+        shared arrival stamp (the serving layer's batch hook).
 
         The paper's conclusion names "adopting a parallelized
         mechanism" as future work.  Two mechanisms compose here:
@@ -613,7 +621,7 @@ class STS3Database:
             return self._query_batch(
                 queries, k=k, method=method, scale=scale,
                 max_scale=max_scale, workers=workers, start_method=start_method,
-                deadline_ms=deadline_ms,
+                deadline_ms=deadline_ms, deadline_start=deadline_start,
             )
 
     def _query_batch(
@@ -626,6 +634,7 @@ class STS3Database:
         workers: int | None,
         start_method: str | None = None,
         deadline_ms: float | None = None,
+        deadline_start: float | None = None,
     ) -> list[QueryResult]:
         # Build the base segment's searcher before fanning out, so
         # workers inherit (or receive) ready structures instead of each
@@ -644,6 +653,7 @@ class STS3Database:
             return self._batch_chunk(
                 list(queries), k=k, method=method, scale=scale,
                 max_scale=max_scale, deadline_ms=deadline_ms,
+                deadline_start=deadline_start,
             )
         import multiprocessing as mp
 
@@ -659,7 +669,7 @@ class STS3Database:
         chunks = [list(range(i, len(queries), workers)) for i in range(workers)]
         params = dict(
             k=k, method=method, scale=scale, max_scale=max_scale,
-            deadline_ms=deadline_ms,
+            deadline_ms=deadline_ms, deadline_start=deadline_start,
         )
         # Under fork, workers inherit the active tracer copy-on-write:
         # spans they record die with the worker process, while the
@@ -686,6 +696,7 @@ class STS3Database:
         scale: int | None = None,
         max_scale: int | None = None,
         deadline_ms: float | None = None,
+        deadline_start: float | None = None,
     ) -> list[QueryResult]:
         """Answer a chunk of queries in-process (``method`` resolved).
 
@@ -698,7 +709,7 @@ class STS3Database:
             return [
                 self.query(
                     q, k=k, method=method, scale=scale, max_scale=max_scale,
-                    deadline_ms=deadline_ms,
+                    deadline_ms=deadline_ms, deadline_start=deadline_start,
                 )
                 for q in queries
             ]

@@ -208,6 +208,7 @@ class QueryPlanner:
         max_scale: int | None = None,
         buffer=None,
         deadline_ms: float | None = None,
+        deadline_start: float | None = None,
     ) -> QueryResult:
         """Answer one prepared (validated/normalized) query.
 
@@ -220,6 +221,13 @@ class QueryPlanner:
         Degraded answers carry ``complete=False`` plus the reason — the
         Lernaean-Hydra serving stance: a timely approximate answer over
         a late exact one or an exception.
+
+        ``deadline_start`` anchors the budget at an *earlier*
+        :attr:`clock` reading: the serving layer stamps each request at
+        arrival and passes the stamp through, so time spent queued
+        behind other requests counts against the budget exactly like
+        time spent searching (docs/serving.md).  ``None`` (the default)
+        starts the budget now, preserving the direct-call semantics.
         """
         scale = self.default_scale if scale is None else int(scale)
         max_scale = self.default_max_scale if max_scale is None else int(max_scale)
@@ -231,7 +239,12 @@ class QueryPlanner:
         skipped: list[str] = [q.name for q in self.catalog.quarantined]
         if skipped:
             reasons.add("quarantine")
-        start = self.clock() if deadline_ms is not None else 0.0
+        if deadline_ms is None:
+            start = 0.0
+        elif deadline_start is None:
+            start = self.clock()
+        else:
+            start = float(deadline_start)
         results: list[QueryResult] = []
         executed_plans: list[SegmentPlan] = []
         workers = resolve_workers(self.max_workers)

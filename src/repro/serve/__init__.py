@@ -1,0 +1,62 @@
+"""Asyncio query service for STS3 (docs/serving.md, DESIGN.md §14).
+
+The serving layer turns one :class:`~repro.core.database.STS3Database`
+into a network service without touching the engine's answer semantics:
+
+- :mod:`repro.serve.protocol` — length-prefixed binary framing with
+  raw float64 series blobs, plus error codes and result serialization,
+- :mod:`repro.serve.service` — the transport-agnostic core: request
+  coalescing into batch-kernel tiles, admission control (bounded
+  in-flight, per-client token buckets), deadline anchoring at arrival,
+  graceful drain,
+- :mod:`repro.serve.server` — the asyncio TCP server and HTTP+JSON
+  adapter, an embeddable :class:`ServerThread`, and the ``sts3 serve``
+  entry coroutine,
+- :mod:`repro.serve.client` — the blocking client library.
+
+The contract that makes all of it safe: every served answer is
+bit-identical to the same call made directly on the database.
+Coalescing rides on the engine's scalar/batch parity guarantee, so the
+server is free to regroup concurrent work for throughput.
+"""
+
+from .client import ServeClient
+from .protocol import (
+    DEFAULT_PORT,
+    ERROR_CODES,
+    HTTP_STATUS,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServeError,
+    pack_message,
+    read_message,
+    result_from_wire,
+    result_to_wire,
+    unpack_payload,
+    write_message,
+)
+from .server import STS3Server, ServerThread, serve
+from .service import QueryService, ServiceConfig
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ERROR_CODES",
+    "HTTP_STATUS",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueryService",
+    "STS3Server",
+    "ServeClient",
+    "ServeError",
+    "ServerThread",
+    "ServiceConfig",
+    "pack_message",
+    "read_message",
+    "result_from_wire",
+    "result_to_wire",
+    "serve",
+    "unpack_payload",
+    "write_message",
+]

@@ -1,0 +1,186 @@
+"""Synchronous client for the binary query protocol.
+
+A thin blocking wrapper over one TCP connection: each call packs a
+frame (:func:`~repro.serve.protocol.pack_message`), sends it, and
+blocks for the matching response.  Query series travel as raw float64
+blobs, so the server searches exactly the bytes the caller holds, and
+responses come back as real :class:`~repro.core.result.QueryResult`
+objects — code written against ``STS3Database.query`` ports to the
+client by changing one receiver.
+
+Server-side refusals (``BUSY``, ``RATE_LIMITED``, ``DRAINING``, ...)
+re-raise locally as :class:`~repro.serve.protocol.ServeError` with the
+wire code intact, so callers handle overload the same way embedded
+callers do.
+
+Thread safety: one :class:`ServeClient` is one connection with one
+in-flight request; give each thread its own client (connections are
+cheap, and separate connections is exactly what lets the server
+coalesce their queries).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Sequence
+
+import numpy as np
+
+from ..core.result import QueryResult
+from .protocol import (
+    DEFAULT_PORT,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServeError,
+    _LEN,
+    pack_message,
+    result_from_wire,
+    unpack_payload,
+)
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Blocking binary-protocol client (context manager).
+
+    ``client_id`` names this caller for the server's per-client rate
+    limiting; it defaults to the connection's local address, which
+    keeps distinct processes distinct without configuration.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float | None = 30.0,
+        client_id: str | None = None,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if client_id is None:
+            local = self._sock.getsockname()
+            client_id = f"{local[0]}:{local[1]}"
+        self.client_id = client_id
+        self._next_id = 0
+
+    # -- plumbing --------------------------------------------------------
+
+    def _recv_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ProtocolError(
+                    f"server closed the connection mid message "
+                    f"({n - remaining}/{n} bytes)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _call(self, header: dict, arrays: Sequence[np.ndarray] = ()) -> dict:
+        self._next_id += 1
+        header = {
+            "v": PROTOCOL_VERSION,
+            "id": self._next_id,
+            "client": self.client_id,
+            **header,
+        }
+        self._sock.sendall(pack_message(header, arrays))
+        (length,) = _LEN.unpack(self._recv_exactly(_LEN.size))
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"response frame of {length} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte limit"
+            )
+        reply, _ = unpack_payload(self._recv_exactly(length))
+        if reply.get("status") != "ok":
+            raise ServeError(
+                reply.get("code", "INTERNAL"),
+                reply.get("message", "request failed"),
+            )
+        return reply
+
+    # -- operations ------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Round-trip liveness check; returns server status fields."""
+        return self._call({"op": "ping"})
+
+    def query(
+        self,
+        series: np.ndarray,
+        k: int = 1,
+        method: str = "auto",
+        scale: int | None = None,
+        max_scale: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> QueryResult:
+        """One k-NN query; mirrors ``STS3Database.query``."""
+        reply = self._call(
+            {
+                "op": "query",
+                "k": k,
+                "method": method,
+                "scale": scale,
+                "max_scale": max_scale,
+                "deadline_ms": deadline_ms,
+            },
+            [np.asarray(series, dtype=np.float64)],
+        )
+        return result_from_wire(reply["result"])
+
+    def query_batch(
+        self,
+        queries: Sequence[np.ndarray],
+        k: int = 1,
+        method: str = "auto",
+        scale: int | None = None,
+        max_scale: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> list[QueryResult]:
+        """A pre-assembled batch; mirrors ``STS3Database.query_batch``."""
+        reply = self._call(
+            {
+                "op": "batch",
+                "k": k,
+                "method": method,
+                "scale": scale,
+                "max_scale": max_scale,
+                "deadline_ms": deadline_ms,
+            },
+            [np.asarray(q, dtype=np.float64) for q in queries],
+        )
+        return [result_from_wire(r) for r in reply["results"]]
+
+    def insert(self, series: np.ndarray) -> dict:
+        """Insert one series; returns ``n_series``/``buffered`` status."""
+        reply = self._call(
+            {"op": "insert"}, [np.asarray(series, dtype=np.float64)]
+        )
+        return {
+            "n_series": reply["n_series"],
+            "buffered": reply["buffered"],
+            "path": reply["path"],
+            "sealed_segment": reply["sealed_segment"],
+        }
+
+    def verify(self) -> list[str]:
+        """Server-side ``verify_integrity``; empty list means healthy."""
+        return list(self._call({"op": "verify"})["problems"])
+
+    def metrics(self) -> str:
+        """The server's Prometheus exposition text."""
+        return self._call({"op": "metrics"})["text"]
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

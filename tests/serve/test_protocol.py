@@ -1,0 +1,165 @@
+"""Wire-format tests: framing, fidelity, and hostile inputs."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.result import Neighbor, QueryResult, SearchStats
+from repro.serve import (
+    ERROR_CODES,
+    HTTP_STATUS,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    ServeError,
+    pack_message,
+    result_from_wire,
+    result_to_wire,
+    unpack_payload,
+)
+
+
+def _payload(frame: bytes) -> bytes:
+    """Strip the outer length prefix of a packed frame."""
+    (length,) = struct.unpack(">I", frame[:4])
+    assert length == len(frame) - 4
+    return frame[4:]
+
+
+class TestFraming:
+    def test_round_trip_header_and_arrays(self):
+        arrays = [
+            np.arange(12, dtype=np.float64).reshape(3, 4),
+            np.array([1.5, -2.25], dtype=np.float64),
+        ]
+        frame = pack_message({"op": "query", "k": 3}, arrays)
+        header, decoded = unpack_payload(_payload(frame))
+        assert header["op"] == "query" and header["k"] == 3
+        assert len(decoded) == 2
+        for original, received in zip(arrays, decoded):
+            assert received.dtype == original.dtype
+            assert received.shape == original.shape
+            np.testing.assert_array_equal(received, original)
+
+    def test_blobs_are_bit_exact(self):
+        # Adversarial float values: subnormals, negative zero, huge.
+        series = np.array([5e-324, -0.0, 1e308, 1 / 3, np.pi])
+        frame = pack_message({"op": "query"}, [series])
+        _, (received,) = unpack_payload(_payload(frame))
+        assert received.tobytes() == series.tobytes()
+
+    def test_arrays_are_writable_copies(self):
+        frame = pack_message({}, [np.zeros(4)])
+        _, (received,) = unpack_payload(_payload(frame))
+        received[0] = 1.0  # must not raise: not a read-only buffer view
+
+    def test_non_contiguous_arrays_pack(self):
+        strided = np.arange(20, dtype=np.float64)[::2]
+        frame = pack_message({}, [strided])
+        _, (received,) = unpack_payload(_payload(frame))
+        np.testing.assert_array_equal(received, strided)
+
+    def test_empty_message(self):
+        header, arrays = unpack_payload(_payload(pack_message({"op": "ping"})))
+        assert header["op"] == "ping"
+        assert arrays == []
+
+    def test_oversized_message_refused(self):
+        with pytest.raises(ProtocolError, match="frame limit"):
+            pack_message(
+                {}, [np.zeros(MAX_FRAME_BYTES // 8 + 1, dtype=np.float64)]
+            )
+
+
+class TestHostilePayloads:
+    def test_truncated_header_length(self):
+        with pytest.raises(ProtocolError, match="missing header length"):
+            unpack_payload(b"\x00")
+
+    def test_header_claims_more_than_available(self):
+        with pytest.raises(ProtocolError, match="truncated payload"):
+            unpack_payload(struct.pack(">I", 100) + b"{}")
+
+    def test_header_not_json(self):
+        bad = b"not json"
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            unpack_payload(struct.pack(">I", len(bad)) + bad)
+
+    def test_header_not_object(self):
+        bad = b"[1,2]"
+        with pytest.raises(ProtocolError, match="JSON object"):
+            unpack_payload(struct.pack(">I", len(bad)) + bad)
+
+    def test_truncated_array_blob(self):
+        frame = pack_message({}, [np.zeros(8)])
+        with pytest.raises(ProtocolError, match="truncated payload"):
+            unpack_payload(_payload(frame)[:-8])
+
+    def test_trailing_garbage(self):
+        frame = pack_message({}, [np.zeros(8)])
+        with pytest.raises(ProtocolError, match="trailing bytes"):
+            unpack_payload(_payload(frame) + b"xx")
+
+    def test_bad_array_descriptor(self):
+        head = json.dumps({"arrays": [{"dtype": "nope", "shape": [1]}]})
+        raw = struct.pack(">I", len(head)) + head.encode()
+        with pytest.raises(ProtocolError, match="bad array descriptor"):
+            unpack_payload(raw)
+
+
+class TestResultSerialization:
+    def _result(self) -> QueryResult:
+        return QueryResult(
+            neighbors=[
+                Neighbor(similarity=0.8461538461538461, index=17),
+                Neighbor(similarity=1 / 3, index=2),
+            ],
+            stats=SearchStats(
+                candidates=40, exact_computations=9, pruned=31,
+                filter_rounds=3, final_candidates=9,
+            ),
+            complete=False,
+            skipped_segments=["segment-2"],
+            degraded_reason="deadline",
+        )
+
+    def test_round_trip_is_lossless(self):
+        original = self._result()
+        # Through actual JSON text, as the wire does it.
+        restored = result_from_wire(
+            json.loads(json.dumps(result_to_wire(original)))
+        )
+        assert restored.neighbors == original.neighbors
+        assert restored.stats == original.stats
+        assert restored.complete is original.complete
+        assert restored.skipped_segments == original.skipped_segments
+        assert restored.degraded_reason == original.degraded_reason
+
+    def test_similarities_survive_bit_exactly(self):
+        original = self._result()
+        restored = result_from_wire(
+            json.loads(json.dumps(result_to_wire(original)))
+        )
+        for a, b in zip(original.neighbors, restored.neighbors):
+            assert a.similarity.hex() == b.similarity.hex()
+
+    def test_malformed_result_payload(self):
+        with pytest.raises(ProtocolError, match="malformed result"):
+            result_from_wire({"neighbors": []})
+
+
+class TestErrorModel:
+    def test_every_code_has_an_http_status(self):
+        assert set(HTTP_STATUS) == set(ERROR_CODES)
+
+    def test_serve_error_keeps_its_code(self):
+        err = ServeError("BUSY", "queue full")
+        assert err.code == "BUSY"
+        assert "queue full" in str(err)
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown serve error code"):
+            ServeError("TEAPOT", "nope")

@@ -1,0 +1,338 @@
+"""End-to-end server tests: real TCP sockets, both transports.
+
+A :class:`ServerThread` runs the asyncio server in-process; clients
+are real blocking sockets (binary protocol) and ``http.client`` (the
+HTTP adapter), so these tests cover framing, dispatch, and the service
+behind them together.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import get_registry
+from repro.serve import (
+    PROTOCOL_VERSION,
+    ServeClient,
+    ServeError,
+    ServerThread,
+    ServiceConfig,
+)
+
+
+@pytest.fixture
+def server(db):
+    with ServerThread(db, ServiceConfig(coalesce_window_ms=2.0)) as handle:
+        yield handle
+
+
+def http_request(server, method, path, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", server.http_port, timeout=10)
+    body = json.dumps(payload) if payload is not None else None
+    conn.request(method, path, body, {"Content-Type": "application/json"})
+    response = conn.getresponse()
+    raw = response.read()
+    conn.close()
+    return response, raw
+
+
+class TestBinaryProtocol:
+    def test_ping(self, server):
+        with ServeClient("127.0.0.1", server.port) as client:
+            reply = client.ping()
+        assert reply["pong"] is True
+        assert reply["v"] == PROTOCOL_VERSION
+        assert reply["n_series"] > 0
+
+    def test_query_parity_with_direct_call(self, db, server, queries):
+        direct = [db.query(q, k=5, method="index") for q in queries[:4]]
+        with ServeClient("127.0.0.1", server.port) as client:
+            served = [client.query(q, k=5, method="index") for q in queries[:4]]
+        for s, d in zip(served, direct):
+            assert s.neighbors == d.neighbors
+            assert s.stats == d.stats
+            assert s.complete == d.complete
+
+    def test_concurrent_clients_coalesce_and_agree(self, db, server, queries):
+        # The acceptance scenario in miniature: N threads, one query
+        # each, answers must match direct calls bit-for-bit.
+        direct = [db.query(q, k=5, method="index") for q in queries]
+        served = [None] * len(queries)
+        errors = []
+
+        def worker(i):
+            try:
+                with ServeClient("127.0.0.1", server.port) as client:
+                    served[i] = client.query(queries[i], k=5, method="index")
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(queries))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        for s, d in zip(served, direct):
+            assert s.neighbors == d.neighbors
+            assert s.stats == d.stats
+        # Every query went through a window; how they grouped depends
+        # on thread timing, but none may be lost or duplicated.
+        snapshot = get_registry().histogram(
+            "sts3_server_window_queries"
+        ).series_snapshot()
+        assert snapshot["sum"] == len(queries)
+
+    def test_batch_op(self, db, server, queries):
+        direct = db.query_batch(list(queries[:5]), k=3, method="index")
+        with ServeClient("127.0.0.1", server.port) as client:
+            served = client.query_batch(queries[:5], k=3, method="index")
+        assert len(served) == 5
+        for s, d in zip(served, direct):
+            assert s.neighbors == d.neighbors
+
+    def test_insert_then_query_sees_it(self, server, queries):
+        with ServeClient("127.0.0.1", server.port) as client:
+            before = client.ping()["n_series"]
+            report = client.insert(queries[0])
+            assert report["n_series"] == before + 1
+            assert report["path"] in ("direct", "buffered")
+            # The inserted series is its own best match.
+            result = client.query(queries[0], k=1, method="index")
+            assert result.neighbors[0].similarity == 1.0
+
+    def test_verify_op(self, server):
+        with ServeClient("127.0.0.1", server.port) as client:
+            assert client.verify() == []
+
+    def test_metrics_op(self, server, queries):
+        with ServeClient("127.0.0.1", server.port) as client:
+            client.query(queries[0], k=3)
+            text = client.metrics()
+        assert "sts3_server_requests_total" in text
+        assert 'op="query"' in text
+
+    def test_deadline_field_travels(self, db, server, queries):
+        # A generous deadline completes; the field must round-trip
+        # without perturbing the answer.
+        direct = db.query(queries[0], k=5, method="index")
+        with ServeClient("127.0.0.1", server.port) as client:
+            served = client.query(
+                queries[0], k=5, method="index", deadline_ms=60_000
+            )
+        assert served.neighbors == direct.neighbors
+
+    def test_unknown_op_is_bad_request(self, server):
+        with ServeClient("127.0.0.1", server.port) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client._call({"op": "frobnicate"})
+        assert excinfo.value.code == "BAD_REQUEST"
+
+    def test_wrong_protocol_version_refused(self, server):
+        with ServeClient("127.0.0.1", server.port) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client._call({"op": "ping", "v": 99})
+        assert excinfo.value.code == "BAD_REQUEST"
+        assert "version" in str(excinfo.value)
+
+    def test_query_without_blob_is_bad_request(self, server):
+        with ServeClient("127.0.0.1", server.port) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client._call({"op": "query", "k": 3})
+        assert excinfo.value.code == "BAD_REQUEST"
+
+    def test_garbage_frame_gets_error_then_close(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as raw:
+            # A framed payload that is not valid JSON.
+            junk = b"\x00\x00\x00\x04junk"
+            raw.sendall(struct.pack(">I", len(junk)) + junk)
+            prefix = raw.recv(4)
+            (length,) = struct.unpack(">I", prefix)
+            payload = b""
+            while len(payload) < length:
+                chunk = raw.recv(length - len(payload))
+                if not chunk:
+                    break
+                payload += chunk
+            (head_len,) = struct.unpack(">I", payload[:4])
+            reply = json.loads(payload[4:4 + head_len])
+            assert reply["status"] == "error"
+            assert reply["code"] == "BAD_REQUEST"
+            # Server hangs up after a framing error.
+            assert raw.recv(1) == b""
+
+
+class TestHttpAdapter:
+    def test_healthz(self, server):
+        response, raw = http_request(server, "GET", "/healthz")
+        assert response.status == 200
+        payload = json.loads(raw)
+        assert payload["status"] == "ok"
+        assert payload["n_series"] > 0
+
+    def test_metrics_exposition(self, server, queries):
+        with ServeClient("127.0.0.1", server.port) as client:
+            client.query(queries[0], k=3)
+        response, raw = http_request(server, "GET", "/metrics")
+        assert response.status == 200
+        assert response.getheader("Content-Type", "").startswith("text/plain")
+        assert b"sts3_server_requests_total" in raw
+
+    def test_query_endpoint_parity(self, db, server, queries):
+        direct = db.query(queries[0], k=3, method="index")
+        response, raw = http_request(
+            server, "POST", "/v1/query",
+            {"series": [float(x) for x in queries[0]], "k": 3,
+             "method": "index"},
+        )
+        assert response.status == 200
+        payload = json.loads(raw)
+        served = payload["result"]["neighbors"]
+        assert [i for i, _ in served] == [n.index for n in direct.neighbors]
+        # JSON floats are repr round-trips: similarity is bit-exact.
+        for (_, sim), neighbor in zip(served, direct.neighbors):
+            assert sim == neighbor.similarity
+
+    def test_batch_endpoint(self, db, server, queries):
+        direct = db.query_batch(list(queries[:3]), k=2, method="index")
+        response, raw = http_request(
+            server, "POST", "/v1/batch",
+            {"queries": [[float(x) for x in q] for q in queries[:3]], "k": 2,
+             "method": "index"},
+        )
+        assert response.status == 200
+        results = json.loads(raw)["results"]
+        assert len(results) == 3
+        for wire, d in zip(results, direct):
+            assert [i for i, _ in wire["neighbors"]] == [
+                n.index for n in d.neighbors
+            ]
+
+    def test_insert_endpoint(self, server, queries):
+        response, raw = http_request(
+            server, "POST", "/v1/insert",
+            {"series": [float(x) for x in queries[1]]},
+        )
+        assert response.status == 200
+        payload = json.loads(raw)
+        assert payload["status"] == "ok"
+        assert payload["path"] in ("direct", "buffered")
+
+    def test_verify_endpoint(self, server):
+        response, raw = http_request(server, "POST", "/v1/verify", {})
+        assert response.status == 200
+        assert json.loads(raw)["problems"] == []
+
+    def test_bad_body_is_400(self, server):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", server.http_port, timeout=10
+        )
+        conn.request(
+            "POST", "/v1/query", "not json",
+            {"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        conn.close()
+        assert response.status == 400
+        assert payload["code"] == "BAD_REQUEST"
+
+    def test_missing_series_is_400(self, server):
+        response, raw = http_request(server, "POST", "/v1/query", {"k": 3})
+        assert response.status == 400
+
+    def test_unknown_route_is_404(self, server):
+        response, raw = http_request(server, "GET", "/nope")
+        assert response.status == 404
+
+    def test_rate_limit_maps_to_429(self, db):
+        config = ServiceConfig(
+            coalesce_window_ms=0.0, rate_limit=1.0, rate_burst=1
+        )
+        with ServerThread(db, config) as handle:
+            handle.service.clock = lambda: 0.0  # bucket never refills
+            body = {"series": [0.0, 1.0, 2.0, 1.0] * 8, "k": 1,
+                    "client": "alice"}
+            first, _ = http_request(handle.server, "POST", "/v1/query", body)
+            assert first.status == 200
+            second, raw = http_request(handle.server, "POST", "/v1/query", body)
+            assert second.status == 429
+            assert json.loads(raw)["code"] == "RATE_LIMITED"
+            handle.service._draining = True  # skip the drain wait on exit
+
+
+class TestLifecycle:
+    def test_drain_on_stop_counts_connections_down(self, db, queries):
+        with ServerThread(db, ServiceConfig()) as handle:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                client.query(queries[0], k=3)
+                gauge = get_registry().gauge("sts3_server_connections")
+                assert gauge.value() == 1
+        assert get_registry().gauge("sts3_server_connections").value() == 0
+
+    def test_server_after_drain_refuses(self, db, queries):
+        handle = ServerThread(db, ServiceConfig()).start()
+        try:
+            handle.submit(handle.service.drain()).result(timeout=30)
+            with ServeClient("127.0.0.1", handle.port) as client:
+                with pytest.raises(ServeError) as excinfo:
+                    client.query(queries[0], k=3)
+            assert excinfo.value.code == "DRAINING"
+            response, raw = http_request(handle.server, "GET", "/healthz")
+            assert response.status == 503
+            assert json.loads(raw)["status"] == "draining"
+        finally:
+            handle.stop()
+
+
+class TestServeCommand:
+    def test_cli_serve_end_to_end(self, tmp_path):
+        # The real `sts3 serve` process: synthetic db, ephemeral ports,
+        # one query over the wire, SIGINT drains and exits 0.
+        import re
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        import numpy as np
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--http-port", "0", "--series", "60", "--length", "32"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 30
+            lines = []
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                lines.append(line)
+                match = re.search(r"binary protocol on .*:(\d+)", line)
+                if match:
+                    port = int(match.group(1))
+                    break
+            assert port is not None, "".join(lines)
+            with ServeClient("127.0.0.1", port) as client:
+                assert client.ping()["n_series"] == 60
+                result = client.query(
+                    np.sin(np.linspace(0, 6, 32)), k=3, method="index"
+                )
+                assert len(result.neighbors) == 3
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)

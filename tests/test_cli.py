@@ -226,3 +226,68 @@ class TestBench:
     def test_bench_rejects_unknown_lever(self, capsys):
         assert main(["bench", "--levers", "warp"]) == 2
         assert "unknown lever" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.file is None
+        assert args.port == 21335
+        assert args.http_port == 21336
+        assert args.coalesce_ms == 2.0
+        assert args.max_pending == 256
+        assert args.rate is None
+        assert args.max_workers is None
+        assert args.cache_bytes == 0
+
+    def test_serve_accepts_every_knob(self):
+        args = build_parser().parse_args([
+            "serve", "data.sts3", "--host", "0.0.0.0", "--port", "0",
+            "--http-port", "-1", "--coalesce-ms", "5", "--max-coalesce",
+            "16", "--max-pending", "8", "--rate", "100", "--burst", "10",
+            "--max-workers", "2", "--cache-bytes", "1048576",
+        ])
+        assert args.file == "data.sts3"
+        assert args.http_port == -1
+        assert args.rate == 100.0
+        assert args.max_workers == 2
+
+    def test_serve_build_db_synthetic(self):
+        from repro.cli import _serve_build_db
+
+        args = build_parser().parse_args([
+            "serve", "--series", "40", "--length", "32",
+        ])
+        db, source = _serve_build_db(args)
+        assert len(db) == 40
+        assert "synthetic" in source
+
+    def test_serve_build_db_ucr(self, ucr_file):
+        from repro.cli import _serve_build_db
+
+        args = build_parser().parse_args(["serve", str(ucr_file)])
+        db, source = _serve_build_db(args)
+        assert len(db) == 12
+        assert "UCR" in source
+
+    def test_serve_build_db_archive(self, tmp_path):
+        from repro.cli import _serve_build_db
+        from repro.core import STS3Database, save_database
+
+        rng = np.random.default_rng(3)
+        db = STS3Database(
+            [rng.normal(size=32) for _ in range(10)], sigma=2, epsilon=0.5
+        )
+        path = tmp_path / "db.sts3"
+        save_database(db, path)
+        args = build_parser().parse_args([
+            "serve", str(path), "--cache-bytes", "65536",
+        ])
+        loaded, source = _serve_build_db(args)
+        assert len(loaded) == 10
+        assert "archive" in source
+        assert loaded.result_cache is not None
+
+    def test_serve_missing_file_errors(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "absent")]) == 2
+        assert "cannot serve" in capsys.readouterr().err

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Keep the documentation from rotting (run by the CI ``docs`` job).
 
-Three checks over ``README.md`` and every ``docs/*.md`` file, all
+Four checks over ``README.md`` and every ``docs/*.md`` file, all
 stdlib-only so the job needs no dependencies:
 
 1. **Python examples parse** — every ```` ```python ```` fenced block
@@ -14,6 +14,10 @@ stdlib-only so the job needs no dependencies:
 3. **Links resolve** — relative markdown links (``[x](../README.md)``,
    ``[y](file.md#anchor)``) must point at existing files, and anchors
    at existing headings in the target file.
+4. **No orphaned pages** — every ``docs/*.md`` file must be reachable
+   by following markdown links from the roots (``README.md`` and
+   ``docs/api.md``).  A page nothing links to is documentation nobody
+   will find; link it from a root (or from a page a root links to).
 
 Exit status is the number of problems found (0 = clean).
 """
@@ -127,6 +131,35 @@ def check_links(path: Path, text: str) -> list[str]:
     return problems
 
 
+#: reachability roots for the orphan check: the front door and the API
+#: reference, the two places a reader actually starts from.
+ORPHAN_ROOTS = ("README.md", "docs/api.md")
+
+
+def check_orphans() -> list[str]:
+    """Flag ``docs/*.md`` pages unreachable from the roots via links."""
+    reachable: set[Path] = set()
+    queue = [REPO / root for root in ORPHAN_ROOTS]
+    while queue:
+        path = queue.pop()
+        if path in reachable or not path.exists():
+            continue
+        reachable.add(path)
+        for target in _LINK.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            file_part = target.partition("#")[0]
+            if not file_part.endswith(".md"):
+                continue
+            queue.append((path.parent / file_part).resolve())
+    return [
+        f"{path.relative_to(REPO)}: orphaned page — not linked from "
+        f"{' or '.join(ORPHAN_ROOTS)} (directly or transitively)"
+        for path in doc_files()
+        if path.exists() and path not in reachable
+    ]
+
+
 def main() -> int:
     problems: list[str] = []
     checked = 0
@@ -140,6 +173,7 @@ def main() -> int:
             problems += check_doctests(path, text)
         problems += check_links(path, text)
         checked += 1
+    problems += check_orphans()
     for problem in problems:
         print(problem, file=sys.stderr)
     blocks = sum(
