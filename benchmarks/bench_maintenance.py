@@ -1,0 +1,361 @@
+"""Benchmark: background maintenance vs stop-the-world compaction.
+
+Drives an identical sustained insert stream (out-of-bound spikes force
+a steady trickle of segment seals) into two databases:
+
+- **stop-the-world** — after every insert, tier merges run inline to
+  the policy fixpoint, so the insert call pays for every merge;
+- **background** — a :class:`~repro.core.maintenance.MaintenanceEngine`
+  thread merges concurrently; the insert call only ever waits for the
+  atomic snapshot swap.
+
+Per-insert latency is recorded for both (p50/p99), the live-segment
+count is sampled after every background insert and gated against a
+ceiling, and at every ``--sample-every`` checkpoint both databases are
+quiesced to the tier fixpoint and probed with the same query set —
+layouts and k-NN answers must be bit-identical (the merge policy is
+confluent: interleaving must not change where the catalog converges).
+
+Results land in ``BENCH_maintenance.json`` and a summary is appended to
+the append-only ``BENCH_trajectory.json`` history.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_maintenance.py
+
+or as a CI gate on a small workload::
+
+    PYTHONPATH=src python benchmarks/bench_maintenance.py \
+        --series 400 --inserts 240 --min-p99-speedup 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import STS3Database, __version__
+from repro.core import MaintenanceConfig, MaintenanceEngine, plan_merge
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_maintenance.json"
+DEFAULT_TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_trajectory.json"
+
+TRAJECTORY_SCHEMA = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--series", type=int, default=1000,
+                        help="base database size")
+    parser.add_argument("--inserts", type=int, default=600,
+                        help="sustained insert stream length")
+    parser.add_argument("--length", type=int, default=128)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--sigma", type=float, default=3)
+    parser.add_argument("--epsilon", type=float, default=0.58)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--buffer-capacity", type=int, default=8,
+                        help="seal cadence: smaller = more segments")
+    parser.add_argument("--max-segments", type=int, default=6,
+                        help="background merges trigger past this count")
+    parser.add_argument("--tier-base", type=int, default=32)
+    parser.add_argument("--fanout", type=int, default=2)
+    parser.add_argument("--interval", type=float, default=0.001,
+                        help="engine wake-up interval (seconds)")
+    parser.add_argument("--sample-every", type=int, default=100,
+                        help="inserts between quiesce-and-compare points")
+    parser.add_argument("--probes", type=int, default=5,
+                        help="probe queries per sample point")
+    parser.add_argument("--ceiling-slack", type=int, default=None,
+                        help="allowed live segments above max_segments "
+                             "mid-soak (default: fanout + 2)")
+    parser.add_argument("--min-p99-speedup", type=float, default=1.0,
+                        help="exit non-zero when stop-the-world p99 / "
+                             "background p99 falls below this "
+                             "(negative disables the gate)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="JSON result path ('-' to skip writing)")
+    parser.add_argument("--trajectory", type=Path, default=DEFAULT_TRAJECTORY,
+                        help="append-only run history path ('-' to skip)")
+    return parser
+
+
+def _insert_stream(args) -> list[np.ndarray]:
+    """Deterministic stream; every 4th insert breaks the bound (seals)."""
+    rng = np.random.default_rng(args.seed + 1)
+    stream = []
+    spike = 100.0
+    for i in range(args.inserts):
+        series = rng.normal(size=args.length)
+        if i % 4 == 3:
+            series[int(rng.integers(0, args.length))] = spike
+            spike += 10.0  # always breaks even the grown bound
+        stream.append(series)
+    return stream
+
+
+def _fresh_db(args) -> STS3Database:
+    rng = np.random.default_rng(args.seed)
+    base = [rng.normal(size=args.length) for _ in range(args.series)]
+    return STS3Database(
+        base, sigma=args.sigma, epsilon=args.epsilon,
+        normalize=False, buffer_capacity=args.buffer_capacity,
+    )
+
+
+def _probe_queries(args) -> list[np.ndarray]:
+    rng = np.random.default_rng(args.seed + 2)
+    return [rng.normal(size=args.length) for _ in range(args.probes)]
+
+
+def _answers(db, queries, k):
+    return [
+        [
+            (n.index, round(n.similarity, 12))
+            for n in db.query(q, k=k, method="index").neighbors
+        ]
+        for q in queries
+    ]
+
+
+def _merge_to_fixpoint(db, config) -> int:
+    merges = 0
+    while True:
+        window = plan_merge(db.catalog.segments, config)
+        if window is None:
+            return merges
+        db.catalog.merge_run(*window)
+        merges += 1
+
+
+def _percentile(samples, q) -> float:
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def run(args: argparse.Namespace) -> dict:
+    config = MaintenanceConfig(
+        max_segments=args.max_segments, tier_base=args.tier_base,
+        fanout=args.fanout, interval_s=args.interval,
+    )
+    slack = args.ceiling_slack
+    if slack is None:
+        slack = args.fanout + 2
+    ceiling = args.max_segments + slack
+    stream = _insert_stream(args)
+    queries = _probe_queries(args)
+    sample_points = list(range(args.sample_every, args.inserts + 1,
+                               args.sample_every))
+    if sample_points and sample_points[-1] != args.inserts:
+        sample_points.append(args.inserts)
+    print(
+        f"workload: {args.series} series, {args.inserts} inserts, "
+        f"seal every ~{4 * args.buffer_capacity} inserts, "
+        f"tier_base {args.tier_base}, fanout {args.fanout}, "
+        f"trigger > {args.max_segments} segments",
+        flush=True,
+    )
+
+    # -- stop-the-world: merges run inline inside the insert loop -------
+    serial = _fresh_db(args)
+    serial_latencies = []
+    serial_samples = {}
+    serial_merges = 0
+    reenable = gc.isenabled()
+    gc.disable()
+    try:
+        for i, series in enumerate(stream, start=1):
+            start = time.perf_counter()
+            serial.insert(series)
+            serial_merges += _merge_to_fixpoint(serial, config)
+            serial_latencies.append(time.perf_counter() - start)
+            if i in sample_points:
+                serial_samples[i] = (
+                    [len(s) for s in serial.catalog.segments],
+                    _answers(serial, queries, args.k),
+                )
+    finally:
+        if reenable:
+            gc.enable()
+
+    # -- background: the engine thread owns every merge -----------------
+    background = _fresh_db(args)
+    engine = MaintenanceEngine(background, config)
+    background_latencies = []
+    background_samples = {}
+    max_live = len(background.catalog.segments)
+    ceiling_ok = True
+    engine.start()
+    gc.disable()
+    try:
+        for i, series in enumerate(stream, start=1):
+            start = time.perf_counter()
+            background.insert(series)
+            background_latencies.append(time.perf_counter() - start)
+            live = len(background.catalog.segments)
+            max_live = max(max_live, live)
+            if live > ceiling:
+                ceiling_ok = False
+            if i in sample_points:
+                # quiesce: merges the stream raced ahead of finish now,
+                # bringing both databases to the same policy fixpoint
+                engine.run_until_idle()
+                background_samples[i] = (
+                    [len(s) for s in background.catalog.segments],
+                    _answers(background, queries, args.k),
+                )
+    finally:
+        if reenable:
+            gc.enable()
+        engine.stop()
+
+    identical = all(
+        serial_samples[i] == background_samples[i] for i in sample_points
+    )
+    serial_p99 = _percentile(serial_latencies, 99)
+    background_p99 = _percentile(background_latencies, 99)
+    speedup = serial_p99 / background_p99 if background_p99 > 0 else float("inf")
+
+    record = {
+        "benchmark": "maintenance",
+        "repro_version": __version__,
+        "numpy_version": np.__version__,
+        "python_version": platform.python_version(),
+        "workload": {
+            "n_series": args.series,
+            "n_inserts": args.inserts,
+            "length": args.length,
+            "sigma": args.sigma,
+            "epsilon": args.epsilon,
+            "k": args.k,
+            "seed": args.seed,
+            "buffer_capacity": args.buffer_capacity,
+        },
+        "policy": {
+            "max_segments": args.max_segments,
+            "tier_base": args.tier_base,
+            "fanout": args.fanout,
+            "interval_s": args.interval,
+        },
+        "stop_the_world": {
+            "p50_ms": round(_percentile(serial_latencies, 50) * 1e3, 4),
+            "p99_ms": round(serial_p99 * 1e3, 4),
+            "total_seconds": round(sum(serial_latencies), 6),
+            "merges": serial_merges,
+        },
+        "background": {
+            "p50_ms": round(_percentile(background_latencies, 50) * 1e3, 4),
+            "p99_ms": round(background_p99 * 1e3, 4),
+            "total_seconds": round(sum(background_latencies), 6),
+            "merges": engine.merges,
+            "max_live_segments": max_live,
+            "ceiling": ceiling,
+            "ceiling_ok": ceiling_ok,
+        },
+        "p99_speedup": round(speedup, 3),
+        "sample_points": sample_points,
+        "identical_at_every_sample": identical,
+    }
+    print(
+        f"stop-the-world: p50 {record['stop_the_world']['p50_ms']:8.3f} ms  "
+        f"p99 {record['stop_the_world']['p99_ms']:8.3f} ms  "
+        f"({serial_merges} inline merges)"
+    )
+    print(
+        f"background    : p50 {record['background']['p50_ms']:8.3f} ms  "
+        f"p99 {record['background']['p99_ms']:8.3f} ms  "
+        f"({engine.merges} engine merges)"
+    )
+    print(
+        f"p99 speedup {speedup:.2f}x   live segments <= {max_live} "
+        f"(ceiling {ceiling}, ok={ceiling_ok})   "
+        f"identical at samples={identical}"
+    )
+    serial.close()
+    background.close()
+    return record
+
+
+def append_trajectory(record: dict, path: Path) -> None:
+    """Append this run to the shared append-only trajectory history."""
+    history = {"schema": TRAJECTORY_SCHEMA, "runs": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                history["runs"] = loaded["runs"]
+        except (json.JSONDecodeError, OSError):
+            print(f"warning: {path} unreadable, starting a fresh trajectory")
+    entry = {
+        "schema": TRAJECTORY_SCHEMA,
+        "benchmark": "maintenance",
+        "phase": "maintenance",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "repro": __version__,
+        },
+        "workload": record["workload"],
+        "summary": {
+            "p99_speedup": record["p99_speedup"],
+            "stop_the_world_p99_ms": record["stop_the_world"]["p99_ms"],
+            "background_p99_ms": record["background"]["p99_ms"],
+            "max_live_segments": record["background"]["max_live_segments"],
+            "ceiling_ok": record["background"]["ceiling_ok"],
+            "identical_at_every_sample": record["identical_at_every_sample"],
+        },
+    }
+    history["runs"].append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended run {len(history['runs'])} to {path}")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    record = run(args)
+
+    if str(args.output) != "-":
+        args.output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if str(args.trajectory) != "-":
+        append_trajectory(record, args.trajectory)
+
+    if not record["identical_at_every_sample"]:
+        print(
+            "FAIL: background maintenance diverged from the serial "
+            "baseline at a sample point",
+            file=sys.stderr,
+        )
+        return 1
+    if not record["background"]["ceiling_ok"]:
+        print(
+            f"FAIL: live segments exceeded the ceiling "
+            f"({record['background']['max_live_segments']} > "
+            f"{record['background']['ceiling']})",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_p99_speedup >= 0
+        and record["p99_speedup"] < args.min_p99_speedup
+    ):
+        print(
+            f"FAIL: p99 speedup {record['p99_speedup']}x below the "
+            f"{args.min_p99_speedup}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

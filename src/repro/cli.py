@@ -224,7 +224,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthetic series length (no-file mode)")
     serve.add_argument("--seed", type=int, default=0,
                        help="synthetic stream seed (no-file mode)")
+    serve.add_argument("--maintain", action="store_true",
+                       help="run the background maintenance engine while "
+                            "serving (docs/maintenance.md)")
+    _add_maintenance_flags(serve)
+    serve.add_argument("--maint-interval", type=float, default=0.25,
+                       metavar="S",
+                       help="maintenance wake-up interval in seconds")
+
+    maintain = sub.add_parser(
+        "maintain",
+        help="offline maintenance: merge to the tier fixpoint, enforce "
+             "the memory budget, checkpoint (docs/maintenance.md)",
+    )
+    maintain.add_argument("file", help="archive written by save_database")
+    maintain.add_argument("--wal", type=str, default=None, metavar="DIR",
+                          help="WAL directory (default: <file>.wal)")
+    _add_maintenance_flags(maintain)
+    maintain.add_argument("--dry-run", action="store_true",
+                          help="report what would merge without writing")
     return parser
+
+
+def _add_maintenance_flags(parser: argparse.ArgumentParser) -> None:
+    """Tiering/budget/cadence knobs shared by ``serve`` and ``maintain``."""
+    parser.add_argument("--max-segments", type=int, default=8,
+                        help="background merges trigger past this many "
+                             "live segments")
+    parser.add_argument("--tier-base", type=int, default=64,
+                        help="segments below this many series are tier 0")
+    parser.add_argument("--fanout", type=int, default=4,
+                        help="segments merged per tier step")
+    parser.add_argument("--memory-budget", type=int, default=None,
+                        metavar="BYTES",
+                        help="evict cold segment payloads past this many "
+                             "resident bytes (default: unlimited)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="RECORDS",
+                        help="checkpoint the archive once this many WAL "
+                             "records accumulate past it (archive mode "
+                             "only; default: never)")
 
 
 def _cmd_info() -> int:
@@ -452,8 +491,12 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         f"{len(db.buffer)} buffered (capacity {db.buffer.capacity}), "
         f"generation {catalog.generation}, {db.rebuild_count} flush(es)"
     )
+    from .core.maintenance import MaintenanceConfig, tier_of
+
+    defaults = MaintenanceConfig()
     print(
-        f"{'id':>4} {'offset':>7} {'series':>7} {'cells':>9} "
+        f"{'id':>4} {'offset':>7} {'series':>7} {'tier':>4} {'state':>8} "
+        f"{'cells':>9} "
         f"{'sorted':>9} {'packed':>9} {'coarse':>9} {'checksum':>10}  "
         f"grid (rows x cols)"
     )
@@ -465,8 +508,10 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         memory = row["memory"]
         crc = row["payload_crc32"]
         checksum = f"{crc:08x}" if crc is not None else "-"
+        tier = tier_of(row["n_series"], defaults.tier_base, defaults.fanout)
         print(
             f"{row['segment_id']:>4} {row['offset']:>7} {row['n_series']:>7} "
+            f"{tier:>4} {row['state']:>8} "
             f"{row['n_cells']:>9} "
             f"{_fmt_bytes(memory['sorted_sets_bytes']):>9} "
             f"{_fmt_bytes(memory['packed_bitset_bytes']):>9} "
@@ -493,6 +538,17 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             )
         else:
             print(f"WAL: none at {wal['directory']}")
+    health = db.maintenance_status()
+    replay_lag = 0
+    if report is not None and report["wal"]["present"]:
+        replay_lag = report["wal"]["replay_lag"]
+    print(
+        f"maintenance: {health['live_segments']} live segment(s) "
+        f"(threshold {health['max_segments'] or '-'}), "
+        f"WAL replay lag {replay_lag}, "
+        f"{_fmt_bytes(health['resident_bytes'])} resident "
+        f"(budget {_fmt_bytes(health['memory_budget_bytes']) if health['memory_budget_bytes'] else '-'})"
+    )
     return 0
 
 
@@ -682,6 +738,62 @@ def _serve_build_db(args: argparse.Namespace):
     ), f"UCR file {args.file}"
 
 
+def _cmd_maintain(args: argparse.Namespace) -> int:
+    """Offline maintenance pass over an archive + WAL."""
+    from .core import (
+        MaintenanceConfig,
+        MaintenanceEngine,
+        plan_merge,
+        recover_database,
+        save_database,
+    )
+    from .exceptions import DatasetError
+
+    try:
+        db = recover_database(args.file, wal_dir=args.wal)
+    except (DatasetError, OSError) as exc:
+        print(f"error: cannot open {args.file}: {exc}", file=sys.stderr)
+        return 2
+    config = MaintenanceConfig(
+        max_segments=args.max_segments,
+        tier_base=args.tier_base,
+        fanout=args.fanout,
+        memory_budget_bytes=args.memory_budget,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.file,
+    )
+    before = [len(seg) for seg in db.catalog.segments]
+    if args.dry_run:
+        window = plan_merge(db.catalog.segments, config)
+        print(f"layout: {before}")
+        if window is None:
+            print("at fixpoint: nothing to merge")
+        else:
+            start, stop = window
+            print(
+                f"would merge segments [{start}:{stop}] "
+                f"({sum(before[start:stop])} series), then re-plan"
+            )
+        db.close()
+        return 0
+    engine = MaintenanceEngine(db, config)
+    engine.run_until_idle()
+    save_database(db, args.file)  # checkpoint: retires the replayed WAL
+    after = [len(seg) for seg in db.catalog.segments]
+    print(
+        f"merged {len(before)} -> {len(after)} segment(s) "
+        f"({engine.merges} merge(s)), layout {after}"
+    )
+    if engine.evictions:
+        print(
+            f"evicted {engine.evictions} segment payload(s), "
+            f"{_fmt_bytes(engine.evicted_bytes)} freed"
+        )
+    print(f"checkpointed -> {args.file}")
+    db.close()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -700,9 +812,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate_limit=args.rate,
         rate_burst=args.burst,
     )
+    if args.maintain:
+        from .core import MaintenanceConfig
+
+        db.enable_maintenance(MaintenanceConfig(
+            max_segments=args.max_segments,
+            tier_base=args.tier_base,
+            fanout=args.fanout,
+            memory_budget_bytes=args.memory_budget,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.file if source.startswith("archive") else None,
+            interval_s=args.maint_interval,
+        ), start=True)
 
     def ready(server) -> None:
         print(f"serving {source}: {len(db)} series")
+        if args.maintain:
+            print(
+                f"maintenance engine on: merge past {args.max_segments} "
+                f"segment(s), every {args.maint_interval}s"
+            )
         print(f"binary protocol on {args.host}:{server.port}")
         if server.http_port is not None:
             print(
@@ -746,6 +875,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "maintain":
+        return _cmd_maintain(args)
     return _cmd_query(args)
 
 

@@ -9,10 +9,11 @@ from .approximate import ApproximateSearcher
 from .batch import BatchQueryEngine, QueryWorkspace, batch_query
 from .bitset import BitsetStore, popcount_u64, popcount_u64_lut
 from .cache import CandidateCache, LRUBytesCache, QueryResultCache, fingerprint
-from .catalog import QuarantineRecord, SegmentCatalog
+from .catalog import CatalogSnapshot, QuarantineRecord, SegmentCatalog
 from .executor import ExecutorPool, get_pool, resolve_workers
 from .clustering import cluster_series, k_medoids
 from .database import STS3Database, UpdateBuffer
+from .maintenance import MaintenanceConfig, MaintenanceEngine, plan_merge, tier_of
 from .grid import Bound, Grid
 from .planner import QueryPlanner, SegmentPlan
 from .segment import Segment
@@ -59,6 +60,7 @@ __all__ = [
     "BitsetStore",
     "Bound",
     "CandidateCache",
+    "CatalogSnapshot",
     "CompressedSet",
     "DictInvertedIndex",
     "ExecutorPool",
@@ -68,6 +70,8 @@ __all__ = [
     "KnnHeap",
     "LRUBytesCache",
     "LSHIndex",
+    "MaintenanceConfig",
+    "MaintenanceEngine",
     "MinHashSearcher",
     "MinHasher",
     "NaiveSearcher",
@@ -106,6 +110,7 @@ __all__ = [
     "jaccard_distance",
     "jaccard_from_intersection",
     "load_database",
+    "plan_merge",
     "popcount_u64",
     "popcount_u64_lut",
     "recover_database",
@@ -116,6 +121,7 @@ __all__ = [
     "size_upper_bound",
     "verify_archive",
     "sts3_error_rate",
+    "tier_of",
     "top_k_indices",
     "transform",
     "transform_query",

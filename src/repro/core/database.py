@@ -25,12 +25,14 @@ deferred merge on demand.
 from __future__ import annotations
 
 import logging
+import threading
 from dataclasses import replace as _dc_replace
 
 import numpy as np
 
 from ..data.normalize import z_normalize
 from ..exceptions import EmptyDatabaseError, ParameterError
+from ..faults import fault_point
 from ..obs import get_registry, span
 from ..types import as_series
 from .approximate import ApproximateSearcher
@@ -162,6 +164,7 @@ class STS3Database:
         default_max_scale: int = 4,
         max_workers: int | None = None,
         cache_bytes: int = 0,
+        maintenance=None,
     ):
         if not series:
             raise EmptyDatabaseError("cannot build a database from no series")
@@ -204,6 +207,13 @@ class STS3Database:
         self.wal = None
         self.wal_seq = 0
         self._replaying = False
+        # Serializes every structural mutation (insert/flush/compact/
+        # merge/checkpoint) against the background maintenance engine;
+        # readers never take it — they pin catalog snapshots instead.
+        self._mutation_lock = threading.RLock()
+        self._maintenance = None
+        if maintenance is not None:
+            self.enable_maintenance(maintenance)
 
     @property
     def max_workers(self) -> int | None:
@@ -285,6 +295,23 @@ class STS3Database:
         self.wal = None
         self.wal_seq = 0
         self._replaying = False
+        self._mutation_lock = threading.RLock()
+        self._maintenance = None
+
+    # -- pickling (process-based query_batch workers) --------------------
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        # Locks and background threads are process-local; workers only
+        # ever answer queries, so they get a fresh lock and no engine.
+        state.pop("_mutation_lock", None)
+        state.pop("_maintenance", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mutation_lock = threading.RLock()
+        self._maintenance = None
 
     @classmethod
     def from_segments(
@@ -334,10 +361,84 @@ class STS3Database:
         self.wal = wal
 
     def close(self) -> None:
-        """Sync and release the attached WAL (safe to call twice)."""
+        """Stop maintenance, sync and release the WAL (safe to call twice)."""
+        self.stop_maintenance()
         if self.wal is not None:
             self.wal.close()
             self.wal = None
+
+    # -- background maintenance (DESIGN.md §15) ---------------------------
+
+    @property
+    def maintenance(self):
+        """The attached :class:`~repro.core.maintenance.MaintenanceEngine`, or None."""
+        return self._maintenance
+
+    def enable_maintenance(self, config=None, start: bool | None = None):
+        """Attach (and optionally start) a background maintenance engine.
+
+        ``config`` is a :class:`~repro.core.maintenance.MaintenanceConfig`
+        (default-constructed when None).  ``start=None`` honours
+        ``config.auto_start``; pass ``start=False`` to attach an engine
+        that only runs when :meth:`MaintenanceEngine.run_pending` /
+        ``run_until_idle`` are called explicitly (deterministic tests,
+        offline ``sts3 maintain``).  Replaces any previous engine.
+        """
+        from .maintenance import MaintenanceConfig, MaintenanceEngine
+
+        if config is None:
+            config = MaintenanceConfig()
+        self.stop_maintenance()
+        self._maintenance = MaintenanceEngine(self, config)
+        if config.auto_start if start is None else start:
+            self._maintenance.start()
+        return self._maintenance
+
+    def stop_maintenance(self) -> None:
+        """Stop and detach the maintenance engine (no-op without one)."""
+        if self._maintenance is not None:
+            self._maintenance.stop()
+            self._maintenance = None
+
+    def maintenance_status(self) -> dict:
+        """Maintenance health for ``/healthz`` and ``sts3 inspect``.
+
+        Always answerable — without an engine the trigger/budget fields
+        are None but the observed values (live segments, WAL lag, bytes
+        resident) still report, so operators can see a database falling
+        behind before deciding to attach maintenance.
+        """
+        snapshot = self.catalog.current()
+        status = {
+            "live_segments": len(snapshot.segments),
+            "max_segments": None,
+            "wal_lag": (
+                self.wal.records_since_checkpoint if self.wal is not None else 0
+            ),
+            "checkpoint_every": None,
+            "resident_bytes": sum(
+                seg.resident_bytes() for seg in snapshot.segments
+            ),
+            "memory_budget_bytes": None,
+            "pinned_snapshots": self.catalog.pinned_snapshots(),
+            "engine": None,
+        }
+        if self._maintenance is not None:
+            status.update(self._maintenance.status())
+        return status
+
+    def checkpoint(self, path, **kwargs) -> None:
+        """Persist to ``path`` atomically (archives + retires WAL files).
+
+        A mutation-locked wrapper over
+        :func:`repro.core.persistence.save_database`, so the archive
+        never captures a half-applied insert or merge; the maintenance
+        engine's checkpoint cadence and operators share this entry.
+        """
+        from .persistence import save_database
+
+        with self._mutation_lock:
+            save_database(self, path, **kwargs)
 
     def _wal_append(self, op: str, **fields) -> None:
         # During recovery the records being applied are already on
@@ -771,30 +872,31 @@ class STS3Database:
         :meth:`_prepare` again would break the bit-identical-recovery
         contract.
         """
-        if self.wal is not None and not self._replaying:
-            self.wal.append_series("insert", prepared)
-        newest = self.catalog.segments[-1]
-        if newest.grid.bound.covers(Bound.of_series(prepared)):
-            self.catalog.extend_last(prepared)
+        with self._mutation_lock:
+            if self.wal is not None and not self._replaying:
+                self.wal.append_series("insert", prepared)
+            newest = self.catalog.segments[-1]
+            if newest.grid.bound.covers(Bound.of_series(prepared)):
+                self.catalog.extend_last(prepared)
+                get_registry().counter(
+                    "sts3_inserts_total", "series inserted, by destination"
+                ).inc(path="direct")
+                return
+            self.buffer.add(prepared)
+            # Not a structural change, but cached answers computed before
+            # the buffer grew are stale — advance the generation so the
+            # result cache stops serving them (satellite 4's contract).
+            self.catalog.touch()
             get_registry().counter(
                 "sts3_inserts_total", "series inserted, by destination"
-            ).inc(path="direct")
-            return
-        self.buffer.add(prepared)
-        # Not a structural change, but cached answers computed before
-        # the buffer grew are stale — advance the generation so the
-        # result cache stops serving them (satellite 4's contract).
-        self.catalog.touch()
-        get_registry().counter(
-            "sts3_inserts_total", "series inserted, by destination"
-        ).inc(path="buffered")
-        logger.debug(
-            "out-of-bound insert buffered (%d/%d)",
-            len(self.buffer),
-            self.buffer.capacity,
-        )
-        if self.buffer.full:
-            self.flush()
+            ).inc(path="buffered")
+            logger.debug(
+                "out-of-bound insert buffered (%d/%d)",
+                len(self.buffer),
+                self.buffer.capacity,
+            )
+            if self.buffer.full:
+                self.flush()
 
     def verify_integrity(self) -> list[str]:
         """Self-check the database's internal consistency.
@@ -819,29 +921,30 @@ class STS3Database:
 
     def flush(self) -> None:
         """Seal the buffered series as a new segment (O(buffer) work)."""
-        if not len(self.buffer):
-            return
-        self._wal_append("flush")
-        series, grid, sets = self.buffer.seal_parts()
-        logger.info(
-            "sealing %d buffered series as segment %d (catalog generation %d)",
-            len(series),
-            self.catalog._next_id,
-            self.catalog.generation,
-        )
-        with span("flush", flushed=len(series)):
-            self.catalog.seal(series, grid, sets)
-            # The next buffer anchors at the sealed grid's bound, which
-            # covers every earlier segment by induction — preserving
-            # the invariant that sealing never shrinks a bound.
-            self.buffer = UpdateBuffer(
-                self.buffer.capacity, grid.bound, grid.col_width, grid.row_heights
+        with self._mutation_lock:
+            if not len(self.buffer):
+                return
+            self._wal_append("flush")
+            series, grid, sets = self.buffer.seal_parts()
+            logger.info(
+                "sealing %d buffered series as segment %d (catalog generation %d)",
+                len(series),
+                self.catalog._next_id,
+                self.catalog.generation,
             )
-        self.rebuild_count += 1
-        # Rotate at segment seal: generation boundaries then line up
-        # with segment boundaries, and a checkpoint retires whole files.
-        if self.wal is not None and not self._replaying:
-            self.wal.rotate()
+            with span("flush", flushed=len(series)):
+                self.catalog.seal(series, grid, sets)
+                # The next buffer anchors at the sealed grid's bound, which
+                # covers every earlier segment by induction — preserving
+                # the invariant that sealing never shrinks a bound.
+                self.buffer = UpdateBuffer(
+                    self.buffer.capacity, grid.bound, grid.col_width, grid.row_heights
+                )
+            self.rebuild_count += 1
+            # Rotate at segment seal: generation boundaries then line up
+            # with segment boundaries, and a checkpoint retires whole files.
+            if self.wal is not None and not self._replaying:
+                self.wal.rotate()
 
     def compact(self, min_size: int | None = None) -> int:
         """Merge segments (Section 5.3.2's deferred full "refresh").
@@ -858,16 +961,77 @@ class STS3Database:
             # Validate before journaling — a record that cannot replay
             # would poison every future recovery.
             raise ParameterError(f"min_size must be >= 1, got {min_size}")
-        self._wal_append("compact", min_size=min_size)
-        merged_away = self.catalog.compact(min_size=min_size)
-        if merged_away:
-            covering = self.catalog.covering_bound()
-            if not self.buffer.bound.covers(covering):
-                pending = self.buffer.drain()
-                last = self.catalog.segments[-1].grid
-                self.buffer = UpdateBuffer(
-                    self.buffer.capacity, covering, last.col_width, last.row_heights
-                )
-                for series_item in pending:
-                    self.buffer.add(series_item)
+        with self._mutation_lock:
+            self._wal_append("compact", min_size=min_size)
+            merged_away = self.catalog.compact(min_size=min_size)
+            if merged_away:
+                self._reanchor_buffer()
         return merged_away
+
+    def merge_run(self, start: int, stop: int):
+        """Merge catalog segments ``[start, stop)`` synchronously.
+
+        The journaled building block behind background maintenance:
+        WAL replay (op ``"merge"``), offline ``sts3 maintain``, and the
+        benchmarks' stop-the-world baseline all apply merges through
+        here, so a replayed/offline merge sequence reproduces the
+        background engine's layout (and therefore its answers) exactly.
+        Returns the merged :class:`~repro.core.segment.Segment`.
+        """
+        with self._mutation_lock:
+            if not self._replaying:
+                fault_point("maintenance.merge.journal")
+            self._wal_append("merge", start=int(start), stop=int(stop))
+            if not self._replaying:
+                fault_point("maintenance.merge.publish")
+            merged = self.catalog.merge_run(int(start), int(stop))
+            self._reanchor_buffer()
+            if not self._replaying:
+                fault_point("maintenance.merge.done")
+        return merged
+
+    def publish_merge(self, run, merged) -> bool:
+        """Publish a merge the maintenance engine built off-lock.
+
+        ``run`` is the consecutive segment tuple the engine planned
+        against (from a pinned snapshot); ``merged`` the pre-built
+        replacement.  If the layout moved underneath (a concurrent
+        compact or a seal replaced one of the run's objects) nothing is
+        published and False is returned — the engine replans.  The WAL
+        record is positional and journaled before the swap, exactly as
+        :meth:`merge_run` would have written it, so recovery replays
+        background merges deterministically.
+        """
+        with self._mutation_lock:
+            start = self.catalog.locate_run(run)
+            if start is None:
+                return False
+            if not self._replaying:
+                fault_point("maintenance.merge.journal")
+            self._wal_append("merge", start=start, stop=start + len(run))
+            if not self._replaying:
+                fault_point("maintenance.merge.publish")
+            self.catalog.splice_run(start, run, merged)
+            self._reanchor_buffer()
+            if not self._replaying:
+                fault_point("maintenance.merge.done")
+            return True
+
+    def _reanchor_buffer(self) -> None:
+        """Re-anchor the buffer if merging shrank the covering bound.
+
+        Merged segments get fresh *tight* bounds, so the union can only
+        shrink or stay — a buffer anchored at the old covering bound
+        still covers the new one and this is normally a no-op; the
+        re-anchor path survives for full compactions that rebuilt the
+        base segment's padding.  Caller holds the mutation lock.
+        """
+        covering = self.catalog.covering_bound()
+        if not self.buffer.bound.covers(covering):
+            pending = self.buffer.drain()
+            last = self.catalog.segments[-1].grid
+            self.buffer = UpdateBuffer(
+                self.buffer.capacity, covering, last.col_width, last.row_heights
+            )
+            for series_item in pending:
+                self.buffer.add(series_item)

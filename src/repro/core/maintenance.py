@@ -1,0 +1,403 @@
+"""Background maintenance: LSM-style merges, memory budget, checkpoints.
+
+The segmented engine (DESIGN.md §10) only stays fast if segments get
+merged, but ``compact()`` is on-demand and stop-the-world.  This module
+pays that cost off the hot path (DESIGN.md §15): a
+:class:`MaintenanceEngine` thread watches the live-segment count and
+WAL lag and, when triggered,
+
+- runs **size-tiered merges** incrementally — one
+  :func:`plan_merge` window at a time, built off-lock against a pinned
+  :class:`~repro.core.catalog.CatalogSnapshot` and published via
+  :meth:`STS3Database.publish_merge`'s atomic snapshot swap, so readers
+  never block and answers stay bit-identical to the serial
+  stop-the-world application of the same policy;
+- enforces a **byte budget** over resident payloads/bitsets
+  (``sts3_bitset_bytes_resident``), evicting the coldest segments
+  first — evicted mmap-backed segments lazily re-fault from the
+  archive;
+- drives **checkpoint cadence**: once the WAL runs
+  ``checkpoint_every`` records past the archive, the database is
+  re-archived and redundant WAL generations retired.
+
+The merge policy is a pure function of segment sizes and is
+*confluent* with seals: sealing only appends on the right and never
+creates a merge window left of an existing one, so applying
+"merge the leftmost window, repeat" in the background interleaved with
+inserts reaches the same normal form as applying it synchronously
+after every insert.  That is what lets the benchmarks (and the
+stateful tests) assert bit-identical answers against a serial
+baseline at every quiesced sample point.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..exceptions import ParameterError
+from ..faults import SimulatedCrash, fault_point
+from ..obs import get_registry, span
+
+__all__ = [
+    "MaintenanceConfig",
+    "MaintenanceEngine",
+    "plan_merge",
+    "tier_of",
+]
+
+
+@dataclass(frozen=True)
+class MaintenanceConfig:
+    """Tuning knobs for :class:`MaintenanceEngine` (docs/maintenance.md).
+
+    ``max_segments`` is the live-segment trigger: the engine starts
+    merging when the catalog exceeds it and merges to the tiering
+    policy's fixpoint.  ``tier_base``/``fanout`` shape the size tiers
+    (tier 0 holds segments smaller than ``tier_base`` series; each
+    higher tier is ``fanout`` times larger) — exactly ``fanout``
+    consecutive same-tier segments merge at a time.
+    ``memory_budget_bytes`` caps resident payload/bitset bytes (None
+    disables eviction).  ``checkpoint_every`` is the WAL lag, in
+    records past the archive, that triggers a checkpoint to
+    ``checkpoint_path`` (both must be set).  ``interval_s`` is the
+    background poll period; ``auto_start`` starts the thread as soon
+    as the engine is attached.
+    """
+
+    max_segments: int = 8
+    tier_base: int = 64
+    fanout: int = 4
+    memory_budget_bytes: int | None = None
+    checkpoint_every: int | None = None
+    checkpoint_path: str | None = None
+    interval_s: float = 0.05
+    auto_start: bool = False
+
+    def __post_init__(self):
+        if self.max_segments < 1:
+            raise ParameterError(
+                f"max_segments must be >= 1, got {self.max_segments}"
+            )
+        if self.fanout < 2:
+            raise ParameterError(f"fanout must be >= 2, got {self.fanout}")
+        if self.tier_base < 1:
+            raise ParameterError(f"tier_base must be >= 1, got {self.tier_base}")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ParameterError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes < 0:
+            raise ParameterError(
+                f"memory_budget_bytes must be >= 0, got "
+                f"{self.memory_budget_bytes}"
+            )
+        if self.interval_s <= 0:
+            raise ParameterError(
+                f"interval_s must be > 0, got {self.interval_s}"
+            )
+
+
+def tier_of(size: int, tier_base: int, fanout: int) -> int:
+    """Size tier of a segment: 0 below ``tier_base``, +1 per ``fanout``×."""
+    if size < tier_base:
+        return 0
+    tier, ceiling = 1, tier_base * fanout
+    while size >= ceiling:
+        tier += 1
+        ceiling *= fanout
+    return tier
+
+
+def plan_merge(segments, config: MaintenanceConfig) -> tuple[int, int] | None:
+    """The next merge window: leftmost ``fanout`` same-tier neighbours.
+
+    A pure, deterministic function of the segment sizes — the
+    confluence of background vs. stop-the-world maintenance rests on
+    (a) this purity and (b) always taking the *leftmost* window, which
+    a right-appending seal can never preempt.  Returns ``(start,
+    stop)`` positions or None at the policy fixpoint.
+    """
+    fanout = config.fanout
+    tiers = [tier_of(len(seg), config.tier_base, fanout) for seg in segments]
+    for start in range(len(tiers) - fanout + 1):
+        first = tiers[start]
+        if all(t == first for t in tiers[start + 1:start + fanout]):
+            return start, start + fanout
+    return None
+
+
+class MaintenanceEngine:
+    """Background maintenance thread for one :class:`STS3Database`.
+
+    All real work happens in three idempotent steps — merge to the
+    policy fixpoint, evict down to the memory budget, checkpoint if the
+    WAL lag crossed the cadence — callable synchronously
+    (:meth:`run_pending` / :meth:`run_until_idle`, used by tests, the
+    benchmarks' serial baseline, and offline ``sts3 maintain``) or
+    driven by the engine thread (:meth:`start`).  :meth:`pause` gates
+    new work and waits out the in-flight step; readers are never
+    blocked either way (they pin catalog snapshots).
+    """
+
+    def __init__(self, db, config: MaintenanceConfig | None = None):
+        self.db = db
+        self.config = config or MaintenanceConfig()
+        self._thread: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._paused = False
+        # Serializes maintenance steps against pause() and synchronous
+        # run_pending() calls; never held while sleeping.
+        self._op_lock = threading.RLock()
+        self.merges = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
+        self.checkpoints = 0
+        self.last_error: BaseException | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="sts3-maintenance", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the background thread and wait for it (idempotent)."""
+        self._stop_event.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+        self._thread = None
+
+    def pause(self) -> None:
+        """Stop starting new maintenance work; waits out the in-flight step.
+
+        The serving layer calls this at drain: queries already pin
+        snapshots, but a paused engine guarantees the segment layout —
+        and therefore latency — is steady while in-flight requests
+        finish.  Metrics gauge ``sts3_maintenance_paused`` flips to 1.
+        """
+        self._paused = True
+        with self._op_lock:
+            pass  # barrier: any running step has completed
+        get_registry().gauge(
+            "sts3_maintenance_paused", "1 while the maintenance engine is paused"
+        ).set(1)
+
+    def resume(self) -> None:
+        """Allow maintenance work again after :meth:`pause`."""
+        self._paused = False
+        get_registry().gauge(
+            "sts3_maintenance_paused", "1 while the maintenance engine is paused"
+        ).set(0)
+
+    @property
+    def running(self) -> bool:
+        """True while the background thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    # -- the work --------------------------------------------------------
+
+    def _loop(self) -> None:
+        registry = get_registry()
+        while not self._stop_event.wait(self.config.interval_s):
+            if self._paused:
+                continue
+            try:
+                did = self.run_pending(triggered_only=True)
+                outcome = "ok" if any(did.values()) else "noop"
+            except SimulatedCrash as crash:
+                # A simulated crash kills the whole process in the fault
+                # harness; in-process it kills the engine thread, and
+                # recovery tests take over from the journal.
+                self.last_error = crash
+                registry.counter(
+                    "sts3_maintenance_runs_total",
+                    "maintenance passes, by outcome",
+                ).inc(outcome="crash")
+                return
+            except Exception as exc:  # keep maintaining on transient errors
+                self.last_error = exc
+                outcome = "error"
+            registry.counter(
+                "sts3_maintenance_runs_total", "maintenance passes, by outcome"
+            ).inc(outcome=outcome)
+
+    def run_pending(self, triggered_only: bool = False) -> dict:
+        """One synchronous maintenance pass; returns what it did.
+
+        With ``triggered_only`` (the background loop) merging only
+        starts once the live-segment count exceeds ``max_segments``;
+        without it (tests, ``sts3 maintain``) merges always run to the
+        policy fixpoint, which is the quiesce step the bit-identical
+        comparisons rely on.  Eviction and checkpointing are
+        self-triggering either way.
+        """
+        did = {"merges": 0, "evicted_bytes": 0, "checkpointed": False}
+        with self._op_lock:
+            if triggered_only:
+                backlog = len(self.db.catalog.segments) > self.config.max_segments
+            else:
+                backlog = True
+            while backlog and not self._paused and not self._stop_event.is_set():
+                if not self._merge_once():
+                    break
+                did["merges"] += 1
+            did["evicted_bytes"] = self._evict_if_needed()
+            did["checkpointed"] = self._checkpoint_if_due()
+            self._update_gauges()
+        return did
+
+    def run_until_idle(self) -> dict:
+        """Merge to the policy fixpoint + evict + checkpoint, now."""
+        return self.run_pending(triggered_only=False)
+
+    def _merge_once(self) -> bool:
+        """Plan, build (off-lock), and publish one merge window.
+
+        Returns False at the policy fixpoint.  A True return does not
+        guarantee a publish: if a concurrent mutation moved the run,
+        the pre-built segment is dropped and the caller replans — the
+        retry loop converges because every successful mutation either
+        shrinks the catalog or appends on the right of the window.
+        """
+        catalog = self.db.catalog
+        snapshot = catalog.pin()
+        try:
+            window = plan_merge(snapshot.segments, self.config)
+            if window is None:
+                return False
+            start, stop = window
+            run = snapshot.segments[start:stop]
+            with span(
+                "maintenance.merge",
+                segments=len(run),
+                series=sum(len(seg) for seg in run),
+            ):
+                fault_point("maintenance.merge.build")
+                merged = catalog.build_merged(run)
+                published = self.db.publish_merge(run, merged)
+            if published:
+                self.merges += 1
+                get_registry().counter(
+                    "sts3_maintenance_merges_total",
+                    "background tier merges published",
+                ).inc()
+            return True
+        finally:
+            catalog.release(snapshot)
+
+    def _evict_if_needed(self) -> int:
+        """Release the coldest segments until under the byte budget."""
+        budget = self.config.memory_budget_bytes
+        if not budget:
+            return 0
+        catalog = self.db.catalog
+        snapshot = catalog.pin()
+        try:
+            resident = sum(seg.resident_bytes() for seg in snapshot.segments)
+            if resident <= budget:
+                return 0
+            freed_total, evicted = 0, 0
+            with span("maintenance.evict", resident=resident, budget=budget):
+                fault_point("maintenance.evict")
+                victims = sorted(
+                    (seg for seg in snapshot.segments if seg.evictable),
+                    key=lambda seg: seg.last_used,
+                )
+                for segment in victims:
+                    freed = segment.release_payload()
+                    if freed:
+                        freed_total += freed
+                        evicted += 1
+                    if resident - freed_total <= budget:
+                        break
+            if freed_total:
+                self.evictions += evicted
+                self.evicted_bytes += freed_total
+                registry = get_registry()
+                registry.counter(
+                    "sts3_maintenance_evictions_total",
+                    "segments whose resident payload was released",
+                ).inc(evicted)
+                registry.counter(
+                    "sts3_maintenance_evicted_bytes_total",
+                    "resident bytes released by the memory budget",
+                ).inc(freed_total)
+            return freed_total
+        finally:
+            catalog.release(snapshot)
+
+    def _checkpoint_if_due(self) -> bool:
+        """Checkpoint once WAL lag crosses the configured cadence."""
+        config = self.config
+        wal = self.db.wal
+        if wal is None:
+            return False
+        lag = wal.records_since_checkpoint
+        if (
+            config.checkpoint_every is None
+            or config.checkpoint_path is None
+            or lag < config.checkpoint_every
+        ):
+            return False
+        with span("maintenance.checkpoint", wal_lag=lag):
+            fault_point("maintenance.checkpoint")
+            self.db.checkpoint(config.checkpoint_path)
+        self.checkpoints += 1
+        get_registry().counter(
+            "sts3_maintenance_checkpoints_total",
+            "checkpoints driven by WAL-lag cadence",
+        ).inc()
+        return True
+
+    def _update_gauges(self) -> None:
+        registry = get_registry()
+        db = self.db
+        registry.gauge(
+            "sts3_maintenance_wal_lag",
+            "WAL records journaled past the last checkpoint archive",
+        ).set(db.wal.records_since_checkpoint if db.wal is not None else 0)
+        registry.gauge(
+            "sts3_maintenance_merge_backlog",
+            "live segments beyond the configured max_segments trigger",
+        ).set(max(0, len(db.catalog.segments) - self.config.max_segments))
+        registry.gauge(
+            "sts3_resident_bytes",
+            "payload/bitset bytes currently resident across segments",
+        ).set(sum(seg.resident_bytes() for seg in db.catalog.segments))
+
+    # -- health ----------------------------------------------------------
+
+    def status(self) -> dict:
+        """Engine-side fields of ``STS3Database.maintenance_status``."""
+        config = self.config
+        if self._paused:
+            state = "paused"
+        elif self.running:
+            state = "running"
+        else:
+            state = "idle"
+        return {
+            "max_segments": config.max_segments,
+            "tier_base": config.tier_base,
+            "fanout": config.fanout,
+            "memory_budget_bytes": config.memory_budget_bytes,
+            "checkpoint_every": config.checkpoint_every,
+            "engine": state,
+            "merges": self.merges,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
+            "checkpoints": self.checkpoints,
+            "last_error": repr(self.last_error) if self.last_error else None,
+        }

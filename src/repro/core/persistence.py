@@ -948,6 +948,12 @@ def apply_wal_records(db: STS3Database, records: list[dict], from_seq: int) -> i
                 db.flush()
             elif op == "compact":
                 db.compact(record.get("min_size"))
+            elif op == "merge":
+                # Background maintenance merges journal their positional
+                # run; re-merging the same positions over the replayed
+                # layout rebuilds the identical segment (Segment.build
+                # is a pure function of the run's series).
+                db.merge_run(record["start"], record["stop"])
             else:
                 raise DatasetError(f"unknown WAL operation {op!r} during replay")
             applied += 1

@@ -168,10 +168,19 @@ class QueryPlanner:
             return "index"
         return "approximate"
 
-    def plan(self, method: str) -> list[SegmentPlan]:
-        """Per-segment plans for a resolved (non-``auto``) method."""
+    def plan(self, method: str, snapshot=None) -> list[SegmentPlan]:
+        """Per-segment plans for a resolved (non-``auto``) method.
+
+        ``snapshot`` (a pinned :class:`~repro.core.catalog.CatalogSnapshot`)
+        freezes the layout being planned; without one the current
+        snapshot is read — fine for a single call, but executors that
+        plan and run must pass the same snapshot to both.
+        """
+        segments = (
+            self.catalog.segments if snapshot is None else snapshot.segments
+        )
         plans, offset = [], 0
-        for position, segment in enumerate(self.catalog.segments):
+        for position, segment in enumerate(segments):
             plans.append(
                 SegmentPlan(
                     segment_id=segment.segment_id,
@@ -231,59 +240,69 @@ class QueryPlanner:
         """
         scale = self.default_scale if scale is None else int(scale)
         max_scale = self.default_max_scale if max_scale is None else int(max_scale)
-        segments = self.catalog.segments
-        with span("plan", method=method, segments=len(segments)):
-            plans = [replace(p, kernel="scalar") for p in self.plan(method)]
-            self.last_plans = plans
-        reasons: set[str] = set()
-        skipped: list[str] = [q.name for q in self.catalog.quarantined]
-        if skipped:
-            reasons.add("quarantine")
-        if deadline_ms is None:
-            start = 0.0
-        elif deadline_start is None:
-            start = self.clock()
-        else:
-            start = float(deadline_start)
-        results: list[QueryResult] = []
-        executed_plans: list[SegmentPlan] = []
-        workers = resolve_workers(self.max_workers)
-        if workers > 1 and len(segments) > 1:
-            self._execute_parallel(
-                segments, plans, prepared, k, scale, max_scale,
-                deadline_ms, start, workers,
-                results, executed_plans, reasons, skipped,
-            )
-        else:
-            for position, (segment, plan) in enumerate(zip(segments, plans)):
-                if deadline_ms is not None:
-                    elapsed_ms = (self.clock() - start) * 1000.0
-                    if elapsed_ms >= deadline_ms and results:
-                        reasons.add("deadline")
-                        skipped.append(f"segment-{segment.segment_id}")
-                        continue
-                    if (
-                        elapsed_ms >= deadline_ms * DEADLINE_SOFT_FRACTION
-                        and plan.method in _EXACTISH
-                        and len(segment) >= SMALL_SEGMENT
-                    ):
-                        reasons.add("deadline")
-                        plan = replace(plan, method="approximate")
-                        plans[position] = plan
-                results.append(
-                    self._run_segment(
-                        segment, plan.method, prepared, k, scale, max_scale
-                    )
+        # Pin the catalog for the whole request: a background merge can
+        # swap the segment set mid-query without this read ever seeing
+        # a half-updated layout (the old snapshot's segments stay alive
+        # until the pin releases).
+        with self.catalog.pinned() as snapshot:
+            segments = snapshot.segments
+            with span("plan", method=method, segments=len(segments)):
+                plans = [
+                    replace(p, kernel="scalar")
+                    for p in self.plan(method, snapshot)
+                ]
+                self.last_plans = plans
+            reasons: set[str] = set()
+            skipped: list[str] = [q.name for q in snapshot.quarantined]
+            if skipped:
+                reasons.add("quarantine")
+            if deadline_ms is None:
+                start = 0.0
+            elif deadline_start is None:
+                start = self.clock()
+            else:
+                start = float(deadline_start)
+            results: list[QueryResult] = []
+            executed_plans: list[SegmentPlan] = []
+            workers = resolve_workers(self.max_workers)
+            if workers > 1 and len(segments) > 1:
+                self._execute_parallel(
+                    segments, plans, prepared, k, scale, max_scale,
+                    deadline_ms, start, workers,
+                    results, executed_plans, reasons, skipped,
                 )
-                executed_plans.append(plan)
-        if not reasons and len(results) == 1 and not (
-            buffer is not None and len(buffer)
-        ):
-            return results[0]
-        merged = self._merge(results, executed_plans, prepared, k, buffer)
-        if reasons:
-            self._mark_degraded(merged, skipped, reasons)
-        return merged
+            else:
+                for position, (segment, plan) in enumerate(zip(segments, plans)):
+                    if deadline_ms is not None:
+                        elapsed_ms = (self.clock() - start) * 1000.0
+                        if elapsed_ms >= deadline_ms and results:
+                            reasons.add("deadline")
+                            skipped.append(f"segment-{segment.segment_id}")
+                            continue
+                        if (
+                            elapsed_ms >= deadline_ms * DEADLINE_SOFT_FRACTION
+                            and plan.method in _EXACTISH
+                            and len(segment) >= SMALL_SEGMENT
+                        ):
+                            reasons.add("deadline")
+                            plan = replace(plan, method="approximate")
+                            plans[position] = plan
+                    results.append(
+                        self._run_segment(
+                            segment, plan.method, prepared, k, scale, max_scale
+                        )
+                    )
+                    executed_plans.append(plan)
+            if not reasons and len(results) == 1 and not (
+                buffer is not None and len(buffer)
+            ):
+                return results[0]
+            merged = self._merge(
+                results, executed_plans, prepared, k, buffer, snapshot
+            )
+            if reasons:
+                self._mark_degraded(merged, skipped, reasons)
+            return merged
 
     def _execute_parallel(
         self,
@@ -373,53 +392,58 @@ class QueryPlanner:
         """
         scale = self.default_scale if scale is None else int(scale)
         max_scale = self.default_max_scale if max_scale is None else int(max_scale)
-        segments = self.catalog.segments
-        with span("plan", method=method, segments=len(segments),
-                  queries=len(prepared_queries)):
-            plans = self.plan(method)
-        workers = resolve_workers(self.max_workers)
-        if workers > 1 and len(prepared_queries) > 1:
-            per_segment = self._batch_segments_parallel(
-                segments, plans, prepared_queries, k, scale, max_scale,
-                workspace, workers,
-            )
-        else:
-            per_segment = []
-            for position, (segment, plan) in enumerate(zip(segments, plans)):
-                if plan.method == "index":
-                    with span("transform", queries=len(prepared_queries),
-                              segment=segment.segment_id):
-                        query_sets = [
-                            transform_query(p, segment.grid)
+        with self.catalog.pinned() as snapshot:
+            segments = snapshot.segments
+            with span("plan", method=method, segments=len(segments),
+                      queries=len(prepared_queries)):
+                plans = self.plan(method, snapshot)
+            workers = resolve_workers(self.max_workers)
+            if workers > 1 and len(prepared_queries) > 1:
+                per_segment = self._batch_segments_parallel(
+                    segments, plans, prepared_queries, k, scale, max_scale,
+                    workspace, workers,
+                )
+            else:
+                per_segment = []
+                for position, (segment, plan) in enumerate(zip(segments, plans)):
+                    if plan.method == "index":
+                        with span("transform", queries=len(prepared_queries),
+                                  segment=segment.segment_id):
+                            query_sets = [
+                                transform_query(p, segment.grid)
+                                for p in prepared_queries
+                            ]
+                        segment.mark_used()
+                        engine = segment.batch_engine(workspace)
+                        per_segment.append(engine.query_batch(query_sets, k=k))
+                        # The engine picks one kernel per batch; record it on
+                        # the plan for diagnostics (``sts3 inspect``, tests).
+                        kernel = engine.last_kernels[-1] if engine.last_kernels else None
+                        plans[position] = replace(plan, kernel=kernel)
+                    else:
+                        per_segment.append([
+                            self._run_segment(
+                                segment, plan.method, p, k, scale, max_scale
+                            )
                             for p in prepared_queries
-                        ]
-                    engine = segment.batch_engine(workspace)
-                    per_segment.append(engine.query_batch(query_sets, k=k))
-                    # The engine picks one kernel per batch; record it on
-                    # the plan for diagnostics (``sts3 inspect``, tests).
-                    kernel = engine.last_kernels[-1] if engine.last_kernels else None
-                    plans[position] = replace(plan, kernel=kernel)
-                else:
-                    per_segment.append([
-                        self._run_segment(
-                            segment, plan.method, p, k, scale, max_scale
-                        )
-                        for p in prepared_queries
-                    ])
-                    plans[position] = replace(plan, kernel="scalar")
-        self.last_plans = plans
-        quarantined = [q.name for q in self.catalog.quarantined]
-        if not quarantined and len(segments) == 1 and not (
-            buffer is not None and len(buffer)
-        ):
-            return per_segment[0]
-        merged = [
-            self._merge([res[qi] for res in per_segment], plans, prepared, k, buffer)
-            for qi, prepared in enumerate(prepared_queries)
-        ]
-        for result in merged if quarantined else ():
-            self._mark_degraded(result, quarantined, {"quarantine"})
-        return merged
+                        ])
+                        plans[position] = replace(plan, kernel="scalar")
+            self.last_plans = plans
+            quarantined = [q.name for q in snapshot.quarantined]
+            if not quarantined and len(segments) == 1 and not (
+                buffer is not None and len(buffer)
+            ):
+                return per_segment[0]
+            merged = [
+                self._merge(
+                    [res[qi] for res in per_segment], plans, prepared, k,
+                    buffer, snapshot,
+                )
+                for qi, prepared in enumerate(prepared_queries)
+            ]
+            for result in merged if quarantined else ():
+                self._mark_degraded(result, quarantined, {"quarantine"})
+            return merged
 
     def _shard_workspace(self) -> QueryWorkspace:
         """This executor thread's private (reused) workspace."""
@@ -455,6 +479,7 @@ class QueryPlanner:
             if plan.method == "index":
                 # Build (and cache) the segment engine before fan-out so
                 # worker threads never race the segment's lazy caches.
+                segment.mark_used()
                 segment.batch_engine(workspace)
                 n_shards = max(1, min(workers, n_queries // MIN_BATCH_SHARD))
                 for shard in range(n_shards):
@@ -504,6 +529,7 @@ class QueryPlanner:
         max_scale: int,
     ) -> QueryResult:
         """One segment's answer (segment-local neighbour indices)."""
+        segment.mark_used()
         with span("transform", segment=segment.segment_id):
             query_set = transform_query(prepared, segment.grid)
         if method == "naive":
@@ -525,6 +551,7 @@ class QueryPlanner:
         prepared: np.ndarray,
         k: int,
         buffer,
+        snapshot=None,
     ) -> QueryResult:
         """Deterministic global top-k over per-segment answers + buffer.
 
@@ -533,9 +560,14 @@ class QueryPlanner:
         matter how the catalog is segmented.  Statistics are summed
         counter-wise; buffered series count as exhaustively-scanned
         candidates, exactly like the seed's ``_merge_buffer``.
+        ``snapshot`` supplies the series count consistent with the
+        results being merged (falls back to the current catalog).
         """
         n_buffered = len(buffer) if buffer is not None else 0
-        k = min(k, self.catalog.n_series + n_buffered)
+        n_series = (
+            self.catalog.n_series if snapshot is None else snapshot.n_series
+        )
+        k = min(k, n_series + n_buffered)
         with span("merge", segments=len(results), buffered=n_buffered):
             heap = KnnHeap(k)
             candidates = exact = pruned = rounds = 0
@@ -549,7 +581,7 @@ class QueryPlanner:
                     heap.consider(neighbor.similarity, neighbor.index + plan.offset)
             if n_buffered:
                 buffer_query = transform_query(prepared, buffer.grid)
-                base = self.catalog.n_series
+                base = n_series
                 for offset, cell_set in enumerate(buffer.sets):
                     heap.consider(jaccard(cell_set, buffer_query), base + offset)
                 candidates += n_buffered

@@ -20,6 +20,7 @@ cost observable and is asserted in the tests.
 
 from __future__ import annotations
 
+import itertools
 import threading
 
 import numpy as np
@@ -44,6 +45,11 @@ __all__ = ["Segment", "count_transforms", "grid_for_bound"]
 #: over columns each row barely touches) the matrix would dwarf the
 #: sets it mirrors; those segments keep the merge path.
 _BITSET_BYTE_RATIO = 4
+
+#: Process-wide monotonic use stamps (``Segment.mark_used``); ordering
+#: is all the hot/cold eviction policy needs, so a shared counter —
+#: atomic enough under CPython — beats per-segment clocks.
+_use_counter = itertools.count(1)
 
 
 def count_transforms(amount: int, context: str) -> None:
@@ -97,7 +103,8 @@ class Segment:
         self._sets: list[np.ndarray] | None = list(sets)
         self._size = len(self._series)
         #: zero-arg payload loader for mmap-backed segments (see
-        #: :meth:`lazy`); None once materialized or never lazy.
+        #: :meth:`lazy`); retained across materialization so
+        #: :meth:`release_payload` can drop the payload and re-fault.
         self._loader = None
         self._payload_bytes = 0
         self._init_caches()
@@ -111,6 +118,9 @@ class Segment:
         self._minhash: dict[tuple[int, int], MinHashSearcher] = {}
         self._bitset: BitsetStore | None = None
         self._bitset_decided = False
+        #: monotonic use stamp (maintenance LRU ordering); 0 = never
+        #: queried.  Stamped by the planner on every segment execution.
+        self.last_used = 0
         #: CRC32 of the archive payload this segment was restored from
         #: (format v4 loads only); None for segments built in memory.
         self.payload_crc32: int | None = None
@@ -186,22 +196,26 @@ class Segment:
 
     @property
     def is_lazy(self) -> bool:
-        """True while the payload has not been materialized yet."""
+        """True while the payload is not materialized (never, or evicted)."""
         return self._series is None
 
     @property
     def series(self) -> list[np.ndarray]:
         """The segment's series (materializes a lazy payload)."""
-        if self._series is None:
+        current = self._series
+        while current is None:  # re-check: eviction can race the fault
             self._materialize()
-        return self._series
+            current = self._series
+        return current
 
     @property
     def sets(self) -> list[np.ndarray]:
         """The segment's set representations (materializes if lazy)."""
-        if self._sets is None:
+        current = self._sets
+        while current is None:
             self._materialize()
-        return self._sets
+            current = self._sets
+        return current
 
     @sets.setter
     def sets(self, value: list[np.ndarray]) -> None:
@@ -243,7 +257,6 @@ class Segment:
                         state="mapped",
                     )
                     self._bitset_decided = True
-                self._loader = None
                 self._series = list(series)  # last: publishes the load
 
     def extend(self, series_item: np.ndarray) -> "Segment":
@@ -310,56 +323,66 @@ class Segment:
 
     def naive_searcher(self) -> NaiveSearcher:
         """The segment's cached linear-scan searcher."""
-        if self._naive is None:
+        searcher = self._naive
+        if searcher is None:
             with self._lock:
-                if self._naive is None:
-                    self._naive = NaiveSearcher(
+                searcher = self._naive
+                if searcher is None:
+                    searcher = self._naive = NaiveSearcher(
                         self.sets, bitset=self.bitset_store()
                     )
-        return self._naive
+        return searcher
 
     def indexed_searcher(self) -> IndexedSearcher:
         """The segment's cached inverted-index searcher."""
-        if self._indexed is None:
+        searcher = self._indexed
+        if searcher is None:
             with self._lock:
-                if self._indexed is None:
-                    self._indexed = IndexedSearcher(self.sets)
-        return self._indexed
+                searcher = self._indexed
+                if searcher is None:
+                    searcher = self._indexed = IndexedSearcher(self.sets)
+        return searcher
 
     def pruning_searcher(self, scale: int) -> PruningSearcher:
         """The segment's cached zone-pruning searcher for ``scale``."""
         scale = int(scale)
-        if scale not in self._pruning:
+        searcher = self._pruning.get(scale)
+        if searcher is None:
             with self._lock:
-                if scale not in self._pruning:
-                    self._pruning[scale] = PruningSearcher(
+                searcher = self._pruning.get(scale)
+                if searcher is None:
+                    searcher = self._pruning[scale] = PruningSearcher(
                         self.sets, self.grid, scale, bitset=self.bitset_store()
                     )
-        return self._pruning[scale]
+        return searcher
 
     def approximate_searcher(self, max_scale: int) -> ApproximateSearcher:
         """The segment's cached multi-scale approximate searcher."""
         max_scale = int(max_scale)
-        if max_scale not in self._approximate:
+        searcher = self._approximate.get(max_scale)
+        if searcher is None:
             with self._lock:
-                if max_scale not in self._approximate:
-                    self._approximate[max_scale] = ApproximateSearcher(
+                searcher = self._approximate.get(max_scale)
+                if searcher is None:
+                    searcher = self._approximate[max_scale] = ApproximateSearcher(
                         self.series, self.sets, self.grid.bound, max_scale
                     )
-        return self._approximate[max_scale]
+        return searcher
 
     def minhash_searcher(
         self, num_perm: int = 128, bands: int = 32
     ) -> MinHashSearcher:
         """The segment's cached MinHash/LSH searcher."""
         key = (int(num_perm), int(bands))
-        if key not in self._minhash:
+        searcher = self._minhash.get(key)
+        if searcher is None:
             with self._lock:
-                if key not in self._minhash:
-                    self._minhash[key] = MinHashSearcher(
+                searcher = self._minhash.get(key)
+                if searcher is None:
+                    searcher = self._minhash[key] = MinHashSearcher(
                         self.sets, num_perm=key[0], bands=key[1]
                     )
-        return self._minhash[key]
+        return searcher
 
     def batch_engine(self, workspace: QueryWorkspace | None = None) -> BatchQueryEngine:
         """The segment's cached vectorized batch kernel.
@@ -368,15 +391,87 @@ class Segment:
         segment and its batch kernel share one packed matrix — built
         only if the auto-selection (or another searcher) wants it.
         """
-        if self._batch_engine is None:
+        engine = self._batch_engine
+        if engine is None:
             with self._lock:
-                if self._batch_engine is None:
-                    self._batch_engine = BatchQueryEngine(
+                engine = self._batch_engine
+                if engine is None:
+                    engine = self._batch_engine = BatchQueryEngine(
                         self.indexed_searcher(),
                         workspace=workspace or QueryWorkspace(),
                         bitset_store=self.bitset_store,
                     )
-        return self._batch_engine
+        return engine
+
+    # -- maintenance hooks (DESIGN.md §15) ------------------------------
+
+    def mark_used(self) -> None:
+        """Stamp the segment as just-queried (hot/cold eviction order)."""
+        self.last_used = next(_use_counter)
+
+    @property
+    def resident_state(self) -> str:
+        """``"mapped"`` while the payload lives on disk, else ``"resident"``."""
+        return "mapped" if self._series is None else "resident"
+
+    @property
+    def evictable(self) -> bool:
+        """True when :meth:`release_payload` could free payload bytes.
+
+        Mapped segments (retained loader) can drop everything and
+        re-fault; in-memory segments can only shed derived structures
+        (bitset, searchers), so they count as evictable only once any
+        of those have been built.
+        """
+        if self._loader is not None and self._series is not None:
+            return True
+        return self._bitset is not None or bool(self._approximate)
+
+    def resident_bytes(self) -> int:
+        """Bytes :meth:`release_payload` accounts against the budget."""
+        mem = self.memory_stats()
+        return (
+            mem["series_bytes"]
+            + mem["sorted_sets_bytes"]
+            + mem["packed_bitset_bytes"]
+            + mem["coarse_levels_bytes"]
+        )
+
+    def release_payload(self) -> int:
+        """Drop resident state; returns bytes freed (0 when nothing to drop).
+
+        Loader-backed (mapped) segments revert fully to the lazy state —
+        series, sets, searchers, and bitset all go; the next touch
+        re-faults the payload from the archive and rebuilds derived
+        structures bit-identically (``Segment.build``-style determinism:
+        the grid is retained, transforms are pure).  In-memory segments
+        have no way back to disk, so only derived caches (bitset,
+        searchers, coarse levels) are dropped.  In-flight queries that
+        already grabbed ``series``/``sets``/searcher references keep
+        them alive — eviction never invalidates data under a reader,
+        it only unhooks the segment's own references.
+        """
+        with self._lock:
+            mem = self.memory_stats()
+            freed = mem["packed_bitset_bytes"] + mem["coarse_levels_bytes"]
+            if self._loader is not None and self._series is not None:
+                freed += mem["series_bytes"] + mem["sorted_sets_bytes"]
+                self._series = None
+                self._sets = None
+            self._naive = None
+            self._indexed = None
+            self._pruning = {}
+            self._approximate = {}
+            self._batch_engine = None
+            self._minhash = {}
+            self._bitset = None
+            self._bitset_decided = False
+            if freed:
+                get_registry().gauge(
+                    "sts3_bitset_bytes_resident",
+                    "packed bitset bytes, by segment and residency",
+                ).discard_labels(segment=str(self.segment_id))
+        return freed
 
     # -- diagnostics ----------------------------------------------------
 
@@ -387,10 +482,13 @@ class Segment:
 
     def stats(self) -> dict:
         """Per-segment statistics for catalogs, the CLI, and dashboards."""
+        state = self.resident_state  # captured before series materializes
         lengths = [len(s) for s in self.series]
         return {
             "segment_id": self.segment_id,
             "payload_crc32": self.payload_crc32,
+            "state": state,
+            "last_used": self.last_used,
             "n_series": len(self.series),
             "n_cells": self.grid.n_cells,
             "n_columns": self.grid.n_columns,

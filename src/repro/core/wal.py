@@ -146,6 +146,39 @@ def _generation_files(directory: Path) -> list[Path]:
     return sorted(directory.glob("[0-9]" * 8 + ".wal"))
 
 
+def _first_frame_seq(path: Path) -> int | None:
+    """Seq of the first frame in a generation file (None when empty/bad).
+
+    Reads one frame, not the whole file: used at open to restore the
+    checkpoint watermark — everything *before* the oldest surviving
+    record is, by construction, covered by the archive.
+    """
+    try:
+        with open(path, "rb") as fh:
+            if fh.read(len(MAGIC)) != MAGIC:
+                return None
+            header = fh.read(_FRAME_HEADER.size)
+            if len(header) < _FRAME_HEADER.size:
+                return None
+            length, checksum = _FRAME_HEADER.unpack(header)
+            payload = fh.read(length)
+    except OSError:  # pragma: no cover - unreadable file
+        return None
+    if len(payload) < length or crc32(payload) != checksum:
+        return None
+    if payload[:1] == b"\x00":
+        sep = payload.find(b"\x00", 1)
+        if sep < 0:
+            return None
+        payload = payload[1:sep]
+    try:
+        record = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    seq = record.get("seq")
+    return seq if isinstance(seq, int) else None
+
+
 def _fsync_directory(directory: Path) -> None:
     """Make a directory entry durable (best-effort off POSIX)."""
     try:
@@ -179,6 +212,17 @@ class WriteAheadLog:
         #: seq of the last record known to be on stable storage; a
         #: write is *acknowledged* once its seq is <= synced_seq.
         self.synced_seq = int(start_seq)
+        #: seq covered by the last archive checkpoint.  Restored from
+        #: the oldest surviving generation (records before it were
+        #: retired by a past :meth:`checkpoint`); the difference
+        #: ``last_seq - checkpoint_seq`` is the replay debt a crash
+        #: would incur, and drives the maintenance checkpoint cadence.
+        self.checkpoint_seq = int(start_seq)
+        survivors = _generation_files(self.directory)
+        if survivors:
+            first = _first_frame_seq(survivors[0])
+            if first is not None:
+                self.checkpoint_seq = first - 1
         self._pending = 0
         self._file = None
         # metric handles resolved once: registry lookups are measurable
@@ -368,10 +412,16 @@ class WriteAheadLog:
                 path.unlink()
                 removed += 1
         _fsync_directory(self.directory)
+        self.checkpoint_seq = self.last_seq
         get_registry().counter(
             "sts3_wal_checkpoints_total", "WAL checkpoints (retired generations)"
         ).inc()
         return removed
+
+    @property
+    def records_since_checkpoint(self) -> int:
+        """Records journaled past the last archive (crash replay debt)."""
+        return self.last_seq - self.checkpoint_seq
 
 
 # -- replay -------------------------------------------------------------

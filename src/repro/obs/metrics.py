@@ -89,6 +89,39 @@ class _Metric:
     def _sorted_items(self) -> list[tuple[_LabelKey, object]]:
         return sorted(self._values.items())
 
+    def remove(self, **labels) -> bool:
+        """Drop the series with *exactly* these labels; True if it existed.
+
+        Metric definitions are forever (a name means one thing), but
+        labelled *series* are not: a gauge labelled per segment keeps
+        exporting the last value long after the segment is merged away
+        unless someone removes the series.  Removal is independent of
+        ``registry.enabled`` — a disabled registry must still be able
+        to shed stale series.
+        """
+        with self._registry._lock:
+            return self._values.pop(_label_key(labels), None) is not None
+
+    def discard_labels(self, **match) -> int:
+        """Drop every series whose labels include ``match``; returns count.
+
+        Subset semantics: ``discard_labels(segment="3")`` removes both
+        ``{segment="3",state="resident"}`` and
+        ``{segment="3",state="mapped"}``.  With no keywords this is a
+        no-op (refusing to silently clear the whole metric).
+        """
+        if not match:
+            return 0
+        wanted = dict(_label_key(match))
+        with self._registry._lock:
+            doomed = [
+                key for key in self._values
+                if all(dict(key).get(k) == v for k, v in wanted.items())
+            ]
+            for key in doomed:
+                del self._values[key]
+        return len(doomed)
+
 
 class Counter(_Metric):
     """Monotonically increasing count (resets only with the registry)."""

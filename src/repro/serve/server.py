@@ -326,6 +326,28 @@ class STS3Server:
                 "n_series": len(service.db),
                 "pending": service.pending,
             }
+            status = getattr(service.db, "maintenance_status", None)
+            if status is not None:
+                m = status()
+                over_segments = (
+                    m["max_segments"] is not None
+                    and m["live_segments"] > m["max_segments"]
+                )
+                over_budget = (
+                    m["memory_budget_bytes"] is not None
+                    and m["resident_bytes"] > m["memory_budget_bytes"]
+                )
+                payload["maintenance"] = {
+                    "engine": m["engine"],
+                    "wal_lag": m["wal_lag"],
+                    "live_segments": m["live_segments"],
+                    "max_segments": m["max_segments"],
+                    "segments_over_threshold": over_segments,
+                    "resident_bytes": m["resident_bytes"],
+                    "memory_budget_bytes": m["memory_budget_bytes"],
+                    "over_memory_budget": over_budget,
+                    "pinned_snapshots": m["pinned_snapshots"],
+                }
             code = 503 if service.draining else 200
             return code, json.dumps(payload).encode(), "application/json"
         if http_method == "GET" and path == "/metrics":

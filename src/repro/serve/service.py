@@ -420,9 +420,14 @@ class QueryService:
 
         Returns True when everything in flight completed inside the
         grace period (config ``drain_grace_s`` unless overridden).
-        Idempotent; the service stays drained afterwards.
+        Idempotent; the service stays drained afterwards.  A background
+        maintenance engine attached to the database is paused first, so
+        shutdown never races a merge publishing mid-drain.
         """
         self._draining = True
+        engine = getattr(self.db, "maintenance", None)
+        if engine is not None:
+            engine.pause()
         with span("server.drain", pending=self._pending):
             for window in list(self._windows.values()):
                 self._flush_window(window)

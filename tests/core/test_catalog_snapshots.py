@@ -1,0 +1,227 @@
+"""Snapshot-isolated catalog: pins, reclamation, label hygiene, caches.
+
+The read path pins an immutable :class:`CatalogSnapshot` per request,
+so background merges swap the segment set atomically without blocking
+readers (DESIGN.md §15).  These tests cover the refcount lifecycle
+(pin → retire → drain → reclaim), the retirement side effects (hooks,
+stale ``sts3_bitset_bytes_resident`` labels), and the generation-bump
+contract the query caches rely on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import STS3Database
+from repro.core.jaccard import jaccard
+from repro.core.setrep import transform_query
+from repro.obs import MetricsRegistry, set_registry
+
+
+def _make_db(n=12, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    kwargs.setdefault("buffer_capacity", 3)
+    return STS3Database(
+        [rng.normal(size=24) for _ in range(n)],
+        sigma=2, epsilon=0.5, normalize=False, **kwargs,
+    )
+
+
+def _seal_extra(db, n, seed=99):
+    """Insert ``n`` out-of-bound series so flush seals new segments."""
+    rng = np.random.default_rng(seed)
+    for i in range(n):
+        series = rng.normal(size=24)
+        series[i % 24] = 50.0 + 10.0 * i  # breaks any expanded bound
+        db.insert(series)
+    db.flush()
+    assert len(db.catalog.segments) >= 2
+
+
+class TestSnapshotLifecycle:
+    def test_pin_sees_frozen_segment_set(self):
+        db = _make_db()
+        snap = db.catalog.pin()
+        before = snap.segments
+        _seal_extra(db, 4)
+        db.compact()
+        assert snap.segments == before  # pinned view never moves
+        assert db.catalog.current() is not snap
+        db.catalog.release(snap)
+
+    def test_release_drains_and_reclaims(self):
+        db = _make_db()
+        _seal_extra(db, 4)
+        snap = db.catalog.pin()
+        db.compact()  # retires the pinned snapshot
+        assert db.catalog.pinned_snapshots() == 1
+        db.catalog.release(snap)
+        assert db.catalog.pinned_snapshots() == 0
+
+    def test_double_pin_needs_both_releases(self):
+        db = _make_db()
+        _seal_extra(db, 4)
+        a = db.catalog.pin()
+        b = db.catalog.pin()
+        assert a is b
+        db.compact()
+        db.catalog.release(a)
+        assert db.catalog.pinned_snapshots() == 1
+        db.catalog.release(b)
+        assert db.catalog.pinned_snapshots() == 0
+
+    def test_pinned_contextmanager(self):
+        db = _make_db()
+        _seal_extra(db, 4)
+        with db.catalog.pinned() as snap:
+            assert snap is db.catalog.current()
+            db.compact()
+            assert db.catalog.pinned_snapshots() == 1
+        assert db.catalog.pinned_snapshots() == 0
+
+    def test_generation_monotonic_over_lifecycle(self):
+        db = _make_db()
+        seen = [db.catalog.generation]
+        _seal_extra(db, 4)
+        seen.append(db.catalog.generation)
+        db.compact()
+        seen.append(db.catalog.generation)
+        assert seen == sorted(set(seen))
+
+    def test_snapshot_offsets_and_n_series(self):
+        db = _make_db()
+        _seal_extra(db, 3)
+        snap = db.catalog.current()
+        assert list(snap.offsets()) == db.catalog.offsets()
+        assert snap.n_series == db.catalog.n_series
+
+    def test_writer_never_blocks_on_reader_pin(self):
+        """A merge publishes while a reader still holds the old view."""
+        db = _make_db()
+        _seal_extra(db, 4)
+        snap = db.catalog.pin()
+        done = threading.Event()
+
+        def writer():
+            db.compact()
+            done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        thread.join(timeout=10)
+        assert done.is_set(), "compact() blocked behind a reader pin"
+        # the reader's world is intact: layout-aware answers still work
+        query = np.random.default_rng(7).normal(size=24)
+        for seg in snap.segments:
+            q = transform_query(query, seg.grid)
+            assert all(0.0 <= jaccard(s, q) <= 1.0 for s in seg.sets)
+        db.catalog.release(snap)
+        assert db.catalog.pinned_snapshots() == 0
+
+
+class TestRetirement:
+    def test_hook_fires_for_merged_away_ids(self):
+        db = _make_db()
+        _seal_extra(db, 4)
+        old_ids = {seg.segment_id for seg in db.catalog.segments}
+        retired = []
+        db.catalog.add_retirement_hook(lambda seg: retired.append(seg.segment_id))
+        db.compact()
+        assert set(retired) == old_ids
+
+    def test_hook_deferred_until_pins_drain(self):
+        db = _make_db()
+        _seal_extra(db, 4)
+        retired = []
+        db.catalog.add_retirement_hook(lambda seg: retired.append(seg.segment_id))
+        snap = db.catalog.pin()
+        db.compact()
+        assert retired == []  # reader still holds the old segments
+        db.catalog.release(snap)
+        assert len(retired) == len(snap.segments)
+
+    def test_extend_last_does_not_retire(self):
+        """extend_last reuses the segment ID — no false retirement."""
+        db = _make_db(n=6)
+        db.flush()
+        retired = []
+        db.catalog.add_retirement_hook(lambda seg: retired.append(seg.segment_id))
+        rng = np.random.default_rng(3)
+        for _ in range(3):
+            db.insert(0.1 * rng.normal(size=24))  # in-bound: extends last
+        db.flush()
+        assert retired == []
+
+    def test_stale_bitset_labels_dropped_on_retirement(self):
+        previous = set_registry(MetricsRegistry())
+        try:
+            db = _make_db()
+            _seal_extra(db, 4)
+            from repro.obs import get_registry
+
+            gauge = get_registry().gauge(
+                "sts3_bitset_bytes_resident", "resident bytes"
+            )
+            old_ids = [seg.segment_id for seg in db.catalog.segments]
+            for sid in old_ids:
+                gauge.set(1024, segment=str(sid))
+            db.compact()
+            for sid in old_ids:
+                assert gauge.value(segment=str(sid)) == 0.0
+            text = get_registry().to_prometheus()
+            for sid in old_ids:
+                assert f'segment="{sid}"' not in text
+        finally:
+            set_registry(previous)
+
+
+class TestGenerationCacheContract:
+    """compact() and background merges must invalidate cached answers."""
+
+    @pytest.mark.parametrize("how", ["compact", "merge"])
+    def test_structural_change_bumps_generation(self, how):
+        db = _make_db(cache_bytes=1 << 20)
+        _seal_extra(db, 4)
+        generation = db.catalog.generation
+        if how == "compact":
+            db.compact()
+        else:
+            from repro.core import MaintenanceConfig, MaintenanceEngine
+
+            engine = MaintenanceEngine(
+                db, MaintenanceConfig(max_segments=1, tier_base=10_000, fanout=2)
+            )
+            assert engine.run_until_idle()["merges"] >= 1
+        assert db.catalog.generation > generation
+
+    @pytest.mark.parametrize("how", ["compact", "merge"])
+    def test_cached_result_not_served_across_merge(self, how):
+        db = _make_db(cache_bytes=1 << 20)
+        _seal_extra(db, 4)
+        query = np.random.default_rng(11).normal(size=24)
+        db.query(query, k=3, method="index")  # prime the cache
+        if how == "compact":
+            db.compact()
+        else:
+            from repro.core import MaintenanceConfig, MaintenanceEngine
+
+            MaintenanceEngine(
+                db, MaintenanceConfig(max_segments=1, tier_base=10_000, fanout=2)
+            ).run_until_idle()
+        result = db.query(query, k=3, method="index")
+        # post-merge answers must match a fresh layout-aware computation,
+        # not the pre-merge cached entry
+        sims = []
+        for segment in db.catalog.segments:
+            q = transform_query(query, segment.grid)
+            sims += [jaccard(s, q) for s in segment.sets]
+        buffer_q = transform_query(query, db.buffer.grid)
+        sims += [jaccard(s, buffer_q) for s in db.buffer.sets]
+        expected = sorted(
+            ((sim, i) for i, sim in enumerate(sims)), key=lambda t: (-t[0], t[1])
+        )[:3]
+        got = [(round(n.similarity, 12), n.index) for n in result.neighbors]
+        assert got == [(round(s, 12), i) for s, i in expected]

@@ -1,0 +1,221 @@
+"""Hypothesis stateful test of background maintenance against an oracle.
+
+The rule machine drives a WAL-attached database through interleaved
+inserts, flushes, background tier merges, evictions, and hard crashes —
+including crashes injected *inside* the merge protocol (after the WAL
+journal, before the catalog swap, after the swap) — checking after
+every step that nothing acknowledged is lost and k-NN answers stay
+bit-identical to a layout-aware reference computed fresh from the live
+segments (each segment's own grid, DESIGN.md §15).
+
+This hunts for the interleavings example-based tests can't reach:
+merge-then-insert-then-crash replay determinism (segment IDs must be
+reallocated identically), eviction racing materialization, snapshot
+pins held across merges, and WAL sequence accounting when merges and
+inserts share the log.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro import STS3Database, faults
+from repro.core import (
+    MaintenanceConfig,
+    MaintenanceEngine,
+    WriteAheadLog,
+    default_wal_dir,
+    plan_merge,
+    recover_database,
+    save_database,
+)
+from repro.core.jaccard import jaccard
+
+LENGTH = 24
+
+CONFIG = MaintenanceConfig(max_segments=2, tier_base=4, fanout=2)
+EVICT_CONFIG = MaintenanceConfig(memory_budget_bytes=1, fanout=64)
+
+MERGE_POINTS = [
+    "maintenance.merge.journal",
+    "maintenance.merge.publish",
+    "maintenance.merge.done",
+]
+
+
+def _series(rng_seed: int, spike: float = 0.0) -> np.ndarray:
+    rng = np.random.default_rng(rng_seed)
+    out = rng.normal(size=LENGTH)
+    if spike:
+        out[int(rng.integers(0, LENGTH))] = spike
+    return out
+
+
+class MaintenanceMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 2**20))
+    def build(self, seed):
+        self.seed = seed
+        self.next_spike = 50.0
+        self.tmp = Path(tempfile.mkdtemp(prefix="sts3-maintenance-"))
+        self.path = self.tmp / "db.sts3"
+        base = [_series(seed + i) for i in range(4)]
+        self.db = STS3Database(
+            base, sigma=2, epsilon=0.5, normalize=False, buffer_capacity=3,
+            cache_bytes=1 << 20,
+        )
+        self.db.attach_wal(
+            WriteAheadLog(default_wal_dir(self.path), fsync_batch=1)
+        )
+        save_database(self.db, self.path)
+        self.model = list(self.db.series)
+
+    def teardown(self):
+        if getattr(self, "db", None) is not None:
+            self.db.close()
+        shutil.rmtree(self.tmp, ignore_errors=True)
+
+    # -- mutations ------------------------------------------------------
+
+    @rule(offset=st.integers(0, 1000))
+    def insert_in_bound(self, offset):
+        series = 0.5 * _series(self.seed + 10_000 + offset)
+        series = np.clip(
+            series, self.db.grid.bound.x_min[0], self.db.grid.bound.x_max[0]
+        )
+        self.db.insert(series)
+        self.model.append(series)
+
+    @rule(offset=st.integers(0, 1000))
+    def insert_out_of_bound(self, offset):
+        self.next_spike += 10.0  # always breaks even an expanded bound
+        series = _series(self.seed + 20_000 + offset, spike=self.next_spike)
+        self.db.insert(series)
+        self.model.append(series)
+
+    @rule()
+    def flush(self):
+        self.db.flush()
+
+    # -- maintenance ----------------------------------------------------
+
+    @rule()
+    def background_merge(self):
+        """Run the engine to the tier fixpoint; answers must survive."""
+        engine = MaintenanceEngine(self.db, CONFIG)
+        engine.run_until_idle()
+        assert plan_merge(self.db.catalog.segments, CONFIG) is None
+
+    @rule()
+    def merge_under_reader_pin(self):
+        """A pinned snapshot keeps its segment set across a merge."""
+        snapshot = self.db.catalog.pin()
+        layout = [len(seg) for seg in snapshot.segments]
+        try:
+            MaintenanceEngine(self.db, CONFIG).run_until_idle()
+            assert [len(seg) for seg in snapshot.segments] == layout
+        finally:
+            self.db.catalog.release(snapshot)
+        assert self.db.catalog.pinned_snapshots() == 0
+
+    @rule()
+    def evict(self):
+        """Release every releasable payload; answers must survive."""
+        MaintenanceEngine(self.db, EVICT_CONFIG).run_pending()
+
+    # -- crashes --------------------------------------------------------
+
+    @rule()
+    def crash_and_recover(self):
+        """Abandon the live process image; rebuild from archive + WAL."""
+        self._crash()
+
+    @rule(point=st.sampled_from(MERGE_POINTS))
+    def crash_during_merge(self, point):
+        """Die inside the merge protocol; recovery must be exact.
+
+        Crashing after the journal means replay finishes the merge;
+        crashing before it means the merge never happened.  Either way
+        no series may be lost and nothing may quarantine.
+        """
+        window = plan_merge(self.db.catalog.segments, CONFIG)
+        if window is None:
+            return  # at fixpoint: nothing to interrupt
+        plan = faults.FaultPlan([faults.Fault(point, "crash")])
+        try:
+            with faults.inject(plan):
+                self.db.merge_run(*window)
+        except faults.SimulatedCrash:
+            pass
+        self._crash()
+
+    def _crash(self):
+        abandoned = self.db
+        self.db = None
+        # no close(), no final sync — the "process" just died.  Only the
+        # file handle is dropped so the machine doesn't leak fds.
+        if abandoned.wal is not None and abandoned.wal._file is not None:
+            abandoned.wal._file.close()
+            abandoned.wal._file = None
+        self.db = recover_database(self.path, fsync_batch=1,
+                                   cache_bytes=1 << 20)
+
+    @rule()
+    def checkpoint(self):
+        """A successful save retires the WAL; recovery must still work."""
+        save_database(self.db, self.path)
+        assert self.db.wal.records_since_checkpoint == 0
+
+    # -- invariants -----------------------------------------------------
+
+    @invariant()
+    def nothing_acknowledged_is_lost(self):
+        assert len(self.db) == len(self.model)
+        assert not self.db.catalog.quarantined
+
+    @invariant()
+    def internals_consistent(self):
+        assert self.db.verify_integrity() == []
+
+    @invariant()
+    def no_leaked_snapshot_pins(self):
+        assert self.db.catalog.pinned_snapshots() == 0
+
+    # -- oracle queries -------------------------------------------------
+
+    @rule(offset=st.integers(0, 1000), k=st.integers(1, 4))
+    def query_matches_model(self, offset, k):
+        """Exact answers match a fresh layout-aware reference."""
+        from repro.core.setrep import transform_query
+
+        query = _series(self.seed + 30_000 + offset)
+        result = self.db.query(query, k=k, method="index")
+        sims = []
+        for segment in self.db.catalog.segments:
+            segment_q = transform_query(query, segment.grid)
+            sims += [jaccard(s, segment_q) for s in segment.sets]
+        buffer_q = transform_query(query, self.db.buffer.grid)
+        sims += [jaccard(s, buffer_q) for s in self.db.buffer.sets]
+        expected = sorted(
+            ((sim, i) for i, sim in enumerate(sims)), key=lambda t: (-t[0], t[1])
+        )[: min(k, len(sims))]
+        got = [(n.similarity, n.index) for n in result.neighbors]
+        assert [round(s, 12) for s, _ in got] == [round(s, 12) for s, _ in expected]
+        assert [i for _, i in got] == [i for _, i in expected]
+
+    @rule(offset=st.integers(0, 1000))
+    def query_self_found(self, offset):
+        """Every series ever acknowledged is still its own best match."""
+        index = offset % len(self.model)
+        result = self.db.query(self.model[index], k=1, method="naive")
+        assert result.best.similarity == 1.0
+
+
+TestMaintenanceStateful = MaintenanceMachine.TestCase
+TestMaintenanceStateful.settings = settings(
+    max_examples=20, stateful_step_count=10, deadline=None
+)

@@ -70,6 +70,56 @@ class TestHistogram:
             MetricsRegistry().histogram("lat", buckets=())
 
 
+class TestLabelRemoval:
+    """Per-series removal: segment retirement must drop stale labels."""
+
+    def test_remove_one_series(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(10, segment="1")
+        g.set(20, segment="2")
+        assert g.remove(segment="1") is True
+        assert g.value(segment="1") == 0.0
+        assert g.value(segment="2") == 20.0
+
+    def test_remove_missing_returns_false(self):
+        g = MetricsRegistry().gauge("g")
+        assert g.remove(segment="404") is False
+
+    def test_discard_labels_matches_subset(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(1, segment="3", state="resident")
+        g.set(2, segment="3", state="mapped")
+        g.set(3, segment="4", state="resident")
+        assert g.discard_labels(segment="3") == 2
+        assert g.value(segment="3", state="resident") == 0.0
+        assert g.value(segment="4", state="resident") == 3.0
+
+    def test_discard_labels_empty_match_is_noop(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(1, segment="1")
+        assert g.discard_labels() == 0
+        assert g.value(segment="1") == 1.0
+
+    def test_removal_works_when_disabled(self):
+        # a disabled registry still holds series recorded earlier; the
+        # retirement path must be able to clear them regardless
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(5, segment="1")
+        reg.enabled = False
+        assert g.remove(segment="1") is True
+
+    def test_removed_series_absent_from_export(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("sts3_bitset_bytes_resident", "resident bytes")
+        g.set(100, segment="0")
+        g.set(200, segment="1")
+        g.discard_labels(segment="0")
+        text = reg.to_prometheus()
+        assert 'segment="0"' not in text
+        assert 'segment="1"' in text
+
+
 class TestRegistry:
     def test_get_or_create_is_idempotent(self):
         reg = MetricsRegistry()

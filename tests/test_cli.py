@@ -165,16 +165,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "14 series in 2 segment(s)" in out
         assert "grid (rows x cols)" in out
-        # one row per segment, offsets 0 and 12 (trailing WAL status line
-        # excluded)
+        # one row per segment, offsets 0 and 12 (trailing WAL and
+        # maintenance status lines excluded)
         body = out[out.index("grid (rows x cols)"):].splitlines()[1:]
         rows = [
             line.split() for line in body
-            if line.strip() and not line.startswith(("WAL", "QUARANTINED"))
+            if line.strip()
+            and not line.startswith(("WAL", "QUARANTINED", "maintenance"))
         ]
         assert [r[1] for r in rows] == ["0", "12"]
         assert [r[2] for r in rows] == ["12", "2"]
         assert "WAL: none" in out
+        assert "maintenance: 2 live segment(s)" in out
 
     def test_inspect_missing_file(self, tmp_path, capsys):
         assert main(["inspect", str(tmp_path / "nope.npz")]) == 2
