@@ -13,6 +13,7 @@ from .levers import (
     run_parallel_phase,
 )
 from .runner import repro_scale, run_traced, scaled
+from .shard import run_shard_phase
 from .tables import render_table
 from .timer import Timer, time_callable
 
@@ -25,6 +26,7 @@ __all__ = [
     "run_lever_phases",
     "run_mmap_phase",
     "run_parallel_phase",
+    "run_shard_phase",
     "run_traced",
     "scaled",
     "time_callable",

@@ -30,7 +30,7 @@ from pathlib import Path
 import numpy as np
 
 from ..core import STS3Database, load_database, save_database
-from ..core.executor import resolve_workers
+from ..core.executor import available_cpu_count, resolve_workers
 
 __all__ = [
     "build_segmented_database",
@@ -138,6 +138,7 @@ def run_parallel_phase(
         "segments": len(db.catalog.segments),
         "workers": resolved,
         "cpu_count": os.cpu_count(),
+        "available_cores": available_cpu_count(),
         "serial_seconds": round(serial, 6),
         "parallel_seconds": round(parallel, 6),
         "parallel_speedup": round(serial / parallel, 3),
@@ -312,6 +313,7 @@ def run_combined_phase(
         "requests": total,
         "epochs": epochs,
         "workers": resolved,
+        "available_cores": available_cpu_count(),
         "cache_bytes": cache_bytes,
         "baseline_seconds": round(baseline, 6),
         "levered_seconds": round(levered, 6),

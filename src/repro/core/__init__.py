@@ -10,7 +10,7 @@ from .batch import BatchQueryEngine, QueryWorkspace, batch_query
 from .bitset import BitsetStore, popcount_u64, popcount_u64_lut
 from .cache import CandidateCache, LRUBytesCache, QueryResultCache, fingerprint
 from .catalog import CatalogSnapshot, QuarantineRecord, SegmentCatalog
-from .executor import ExecutorPool, get_pool, resolve_workers
+from .executor import ExecutorPool, available_cpu_count, get_pool, resolve_workers
 from .clustering import cluster_series, k_medoids
 from .database import STS3Database, UpdateBuffer
 from .maintenance import MaintenanceConfig, MaintenanceEngine, plan_merge, tier_of
@@ -40,6 +40,8 @@ from .persistence import (
 from .wal import ReplayReport, WriteAheadLog, replay_wal, scan_wal
 from .pruning import PruningSearcher, zone_histogram
 from .result import Neighbor, QueryResult, SearchStats, aggregate_stats
+from .rpc import RpcError, RpcTimeout, WorkerDied
+from .shard import HashRing, ShardError, ShardedDatabase, shard_manifest_path
 from .selection import top_k_indices
 from .setrep import CompressedSet, transform, transform_query
 from .tuning import (
@@ -65,6 +67,7 @@ __all__ = [
     "DictInvertedIndex",
     "ExecutorPool",
     "Grid",
+    "HashRing",
     "IndexedSearcher",
     "JoinPair",
     "KnnHeap",
@@ -83,16 +86,21 @@ __all__ = [
     "QueryResultCache",
     "QueryWorkspace",
     "ReplayReport",
+    "RpcError",
+    "RpcTimeout",
     "STS3Database",
     "ScaleTuningResult",
     "SearchStats",
     "Segment",
     "SegmentCatalog",
     "SegmentPlan",
+    "ShardError",
+    "ShardedDatabase",
     "SubsequenceMatch",
     "SubsequenceSearcher",
     "TuningResult",
     "UpdateBuffer",
+    "WorkerDied",
     "WriteAheadLog",
     "aggregate_stats",
     "batch_query",
@@ -101,6 +109,7 @@ __all__ = [
     "default_sigma_grid",
     "default_wal_dir",
     "estimate_jaccard",
+    "available_cpu_count",
     "fingerprint",
     "get_pool",
     "k_medoids",
@@ -118,6 +127,7 @@ __all__ = [
     "resolve_workers",
     "save_database",
     "scan_wal",
+    "shard_manifest_path",
     "size_upper_bound",
     "verify_archive",
     "sts3_error_rate",

@@ -657,6 +657,7 @@ class STS3Database:
             complete=result.complete,
             skipped_segments=list(result.skipped_segments),
             degraded_reason=result.degraded_reason,
+            skipped_shards=list(result.skipped_shards),
         )
 
     def _cache_store(self, key: tuple, result: QueryResult) -> None:

@@ -18,8 +18,11 @@ answers combine.
 
 ``resolve_workers`` is the single knob-decoding point: ``None`` → 1
 (serial — the default, so single-threaded callers and deterministic
-tests see byte-identical behaviour), ``0`` → one worker per CPU, any
-other value is used as-is.
+tests see byte-identical behaviour), ``0`` → one worker per *available*
+CPU (cgroup/affinity aware via :func:`available_cpu_count`), any other
+value is used as-is.  ``STS3_MAX_WORKERS`` caps whatever the knob
+resolves to, so operators can bound fan-out without touching call
+sites.
 """
 
 from __future__ import annotations
@@ -28,7 +31,38 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
-__all__ = ["ExecutorPool", "get_pool", "resolve_workers"]
+__all__ = ["ExecutorPool", "available_cpu_count", "get_pool", "resolve_workers"]
+
+MAX_WORKERS_ENV = "STS3_MAX_WORKERS"
+
+
+def available_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine, not the container: under a
+    CPU-limited cgroup or a pinned affinity mask it oversubscribes.
+    ``sched_getaffinity`` reflects the real allowance where the
+    platform supports it.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _env_worker_cap() -> int | None:
+    raw = os.environ.get(MAX_WORKERS_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        cap = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{MAX_WORKERS_ENV} must be a positive integer, got {raw!r}"
+        ) from exc
+    if cap < 1:
+        raise ValueError(f"{MAX_WORKERS_ENV} must be >= 1, got {cap}")
+    return cap
 
 
 def resolve_workers(max_workers: int | None) -> int:
@@ -36,11 +70,14 @@ def resolve_workers(max_workers: int | None) -> int:
     if max_workers is None:
         return 1
     workers = int(max_workers)
-    if workers == 0:
-        return os.cpu_count() or 1
     if workers < 0:
         raise ValueError(f"max_workers must be >= 0 or None, got {max_workers}")
-    return workers
+    if workers == 0:
+        workers = available_cpu_count()
+    cap = _env_worker_cap()
+    if cap is not None:
+        workers = min(workers, cap)
+    return max(workers, 1)
 
 
 class ExecutorPool:
@@ -79,6 +116,17 @@ class ExecutorPool:
         futures = [executor.submit(fn, item) for item in items]
         return [future.result() for future in futures]
 
+    def _reset_after_fork(self) -> None:
+        """Drop executor state inherited across ``fork``.
+
+        The child inherits the pool *object* but not the pool's threads
+        (only the forking thread survives), so a carried-over executor
+        would accept work that nothing ever runs.  Locks are replaced
+        too: the parent may have been holding them mid-operation.
+        """
+        self._executor = None
+        self._lock = threading.Lock()
+
     def shutdown(self) -> None:
         """Join the worker threads (tests; production pools live on)."""
         with self._lock:
@@ -99,3 +147,14 @@ def get_pool(max_workers: int) -> ExecutorPool:
         if pool is None:
             pool = _pools[max_workers] = ExecutorPool(max_workers)
         return pool
+
+
+def _reset_pools_after_fork() -> None:
+    global _pools_lock
+    _pools_lock = threading.Lock()
+    for pool in _pools.values():
+        pool._reset_after_fork()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - posix in CI
+    os.register_at_fork(after_in_child=_reset_pools_after_fork)

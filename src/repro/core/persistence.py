@@ -261,6 +261,7 @@ def save_database(
     pack_bitsets: bool = False,
     format_version: int | None = None,
     checkpoint_wal: bool = True,
+    extras: dict | None = None,
 ) -> None:
     """Write ``db`` to ``path`` atomically (temp file + ``os.replace``).
 
@@ -275,6 +276,11 @@ def save_database(
     is a *checkpoint*: the archive records the WAL position it covers
     and (with ``checkpoint_wal=True``) retires the now-redundant log
     generations.
+
+    ``extras`` is an opaque JSON-serializable dict stored in the
+    manifest and surfaced as ``db.archive_extras`` on load — the hook
+    the sharded engine uses to checkpoint its global-id tables inside
+    each shard archive (docs/sharding.md).
     """
     version = FORMAT_VERSION if format_version is None else int(format_version)
     if version not in (3, 4):
@@ -294,9 +300,9 @@ def save_database(
         version=version,
     ):
         if version == 3:
-            _save_v3(db, path, pack_bitsets)
+            _save_v3(db, path, pack_bitsets, extras)
         else:
-            _save_v4(db, path, pack_bitsets)
+            _save_v4(db, path, pack_bitsets, extras)
     db.wal_seq = _header_params(db)["wal_seq"]
     if wal is not None and checkpoint_wal:
         wal.checkpoint()
@@ -305,11 +311,15 @@ def save_database(
     ).inc(op="save")
 
 
-def _save_v3(db: STS3Database, path: Path, pack_bitsets: bool) -> None:
+def _save_v3(
+    db: STS3Database, path: Path, pack_bitsets: bool, extras: dict | None = None
+) -> None:
     """Legacy one-``.npz`` archive (format v3), written atomically."""
     if not str(path).endswith(".npz"):
         path = path.with_name(path.name + ".npz")  # np.savez compatibility
     header = {"format_version": 3, **_header_params(db)}
+    if extras:
+        header["extras"] = extras
     header["segments"] = [_segment_entry(seg) for seg in db.catalog.segments]
     bitset_arrays: dict[str, np.ndarray] = {}
     if pack_bitsets:
@@ -338,7 +348,9 @@ def _save_v3(db: STS3Database, path: Path, pack_bitsets: bool) -> None:
     )
 
 
-def _save_v4(db: STS3Database, path: Path, pack_bitsets: bool) -> None:
+def _save_v4(
+    db: STS3Database, path: Path, pack_bitsets: bool, extras: dict | None = None
+) -> None:
     """Checksummed container: per-segment payloads + manifest + trailer."""
     segment_entries = []
     blobs: list[bytes] = []
@@ -376,6 +388,8 @@ def _save_v4(db: STS3Database, path: Path, pack_bitsets: bool) -> None:
         "segments": segment_entries,
         "buffer_payload": buffer_entry,
     }
+    if extras:
+        manifest["extras"] = extras
     manifest_bytes = json.dumps(manifest).encode()
 
     def write(fh) -> None:
@@ -579,6 +593,7 @@ def _load_v4(path: Path, data: bytes) -> STS3Database:
             )
     for series_item in buffered:
         db.buffer.add(series_item)
+    db.archive_extras = manifest.get("extras", {})
     return db
 
 
@@ -834,6 +849,7 @@ def _load_v4_mapped(path: Path) -> STS3Database:
             )
     for series_item in buffered:
         shell.buffer.add(series_item)
+    shell.archive_extras = manifest.get("extras", {})
     return shell
 
 
@@ -921,19 +937,32 @@ def _load_legacy(path: Path) -> STS3Database:
         _attach_bitset(db.catalog.segments[position], vocab, matrix, path)
     for series_item in buffered:
         db.buffer.add(series_item)
+    db.archive_extras = header.get("extras", {})
     return db
 
 
 # -- recovery -----------------------------------------------------------
 
 
-def apply_wal_records(db: STS3Database, records: list[dict], from_seq: int) -> int:
+def apply_wal_records(
+    db: STS3Database, records: list[dict], from_seq: int, observer=None
+) -> int:
     """Re-apply WAL records with ``seq > from_seq`` to ``db``.
 
     Replay is deterministic and side-effect-free on the log itself:
     the database's WAL logging is suppressed while records are applied
     (they are already on disk), so recovery never re-writes history.
     Returns the number of records applied.
+
+    ``"note"`` records are annotations other layers interleave with
+    mutations (the sharded engine journals each insert's global series
+    id this way, docs/sharding.md); they change nothing on replay.
+    ``observer(record, info)`` — when given — is called after each
+    record is applied, with ``info`` describing what the mutation did:
+    for inserts ``{"path": "direct"|"buffered", "sealed": bool}``, for
+    flushes ``{"sealed": bool}``, None otherwise.  That is what lets a
+    caller rebuild bookkeeping (e.g. id tables) that tracks the
+    database's structural transitions without re-deriving them.
     """
     applied = 0
     db._replaying = True
@@ -942,10 +971,24 @@ def apply_wal_records(db: STS3Database, records: list[dict], from_seq: int) -> i
             if record["seq"] <= from_seq:
                 continue
             op = record["op"]
-            if op == "insert":
+            info = None
+            if op == "note":
+                pass  # annotation only; nothing to re-apply
+            elif op == "insert":
+                buffered_before = len(db.buffer)
+                rebuilds_before = db.rebuild_count
                 db._insert_prepared(decode_series(record["series"]))
+                if len(db.buffer) == buffered_before + 1:
+                    info = {"path": "buffered", "sealed": False}
+                elif db.rebuild_count > rebuilds_before:
+                    # landed in the buffer, which filled and sealed
+                    info = {"path": "buffered", "sealed": True}
+                else:
+                    info = {"path": "direct", "sealed": False}
             elif op == "flush":
+                rebuilds_before = db.rebuild_count
                 db.flush()
+                info = {"sealed": db.rebuild_count > rebuilds_before}
             elif op == "compact":
                 db.compact(record.get("min_size"))
             elif op == "merge":
@@ -956,6 +999,8 @@ def apply_wal_records(db: STS3Database, records: list[dict], from_seq: int) -> i
                 db.merge_run(record["start"], record["stop"])
             else:
                 raise DatasetError(f"unknown WAL operation {op!r} during replay")
+            if observer is not None:
+                observer(record, info)
             applied += 1
     finally:
         db._replaying = False
@@ -969,6 +1014,7 @@ def recover_database(
     mmap: bool = False,
     max_workers: int | None = None,
     cache_bytes: int = 0,
+    observer=None,
 ) -> STS3Database:
     """Crash recovery: last checkpoint archive + write-ahead-log replay.
 
@@ -979,7 +1025,8 @@ def recover_database(
     :func:`default_wal_dir`; a missing WAL directory simply means
     nothing to replay.  ``mmap``/``max_workers``/``cache_bytes`` are
     forwarded to :func:`load_database` (replaying an insert against a
-    mapped segment materializes just that segment).
+    mapped segment materializes just that segment); ``observer`` to
+    :func:`apply_wal_records`.
     """
     path = Path(path)
     wal_dir = default_wal_dir(path) if wal_dir is None else Path(wal_dir)
@@ -988,7 +1035,9 @@ def recover_database(
             path, mmap=mmap, max_workers=max_workers, cache_bytes=cache_bytes
         )
         records, report = replay_wal(wal_dir, truncate=True)
-        applied = apply_wal_records(db, records, from_seq=db.wal_seq)
+        applied = apply_wal_records(
+            db, records, from_seq=db.wal_seq, observer=observer
+        )
         wal = WriteAheadLog(
             wal_dir,
             **({"fsync_batch": fsync_batch} if fsync_batch is not None else {}),

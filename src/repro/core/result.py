@@ -86,7 +86,11 @@ class QueryResult:
     what was not searched (quarantined payload names and/or
     deadline-skipped segments), and ``degraded_reason`` says why
     (``"deadline"``, ``"quarantine"``, or ``"deadline+quarantine"``).
-    Callers that require exact answers should check ``complete``.
+    The sharded engine (docs/sharding.md) adds one more degradation
+    source: ``skipped_shards`` names shards whose worker died mid-query
+    and whose partition is therefore missing from the answer
+    (``degraded_reason`` then contains ``"shard"``).  Callers that
+    require exact answers should check ``complete``.
     """
 
     neighbors: list[Neighbor]
@@ -94,6 +98,7 @@ class QueryResult:
     complete: bool = True
     skipped_segments: list[str] = field(default_factory=list)
     degraded_reason: str | None = None
+    skipped_shards: list[str] = field(default_factory=list)
 
     @property
     def best(self) -> Neighbor:

@@ -1,0 +1,108 @@
+"""Pipe RPC between the sharded engine and its worker processes.
+
+The sharded engine (:mod:`repro.core.shard`, docs/sharding.md) keeps
+one persistent worker process per shard and talks to each over a
+duplex :func:`multiprocessing.Pipe`.  Messages reuse the serving
+layer's frame format (:mod:`repro.serve.protocol`): a JSON header plus
+raw float64 array blobs.  That buys three things at once —
+
+- **no pickling**: queries travel as their exact bytes and results as
+  repr-round-trip JSON floats, so what a worker searches (and answers)
+  is bit-for-bit what the parent sent, the same contract the TCP
+  server already honours;
+- **one wire vocabulary**: a frame captured off a shard pipe reads
+  exactly like a frame off the network, so docs/serving.md's schema
+  knowledge transfers;
+- **cheap liveness**: ``Connection.poll(timeout)`` bounds every
+  receive, so a dead worker surfaces as :class:`WorkerDied` (the pipe
+  reports EOF the moment the process is gone) and a hung one as
+  :class:`RpcTimeout` — both detected without signals or sidecar
+  threads.
+
+The parent is the only writer on its end and each worker serves its
+pipe single-threaded, so requests on one pipe are naturally serialized
+and responses never interleave; scatter-gather parallelism comes from
+having N pipes, not from multiplexing one.
+"""
+
+from __future__ import annotations
+
+from multiprocessing.connection import Connection
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ReproError
+from ..serve.protocol import pack_message, unpack_payload
+
+__all__ = [
+    "RpcError",
+    "RpcTimeout",
+    "WorkerDied",
+    "send_frame",
+    "send_packed",
+    "recv_frame",
+]
+
+#: length prefix size of a packed frame; Connection.send_bytes frames
+#: messages itself, so the prefix is redundant on a pipe and stripped
+#: on receive (kept on send so both ends speak byte-identical frames).
+_PREFIX = 4
+
+
+class RpcError(ReproError):
+    """A shard RPC failed (transport-level, not an application error)."""
+
+
+class RpcTimeout(RpcError):
+    """The worker did not answer within the timeout (hung or wedged)."""
+
+
+class WorkerDied(RpcError):
+    """The worker's end of the pipe is gone (process exited or killed)."""
+
+
+def send_frame(
+    conn: Connection, header: dict, arrays: Sequence[np.ndarray] = ()
+) -> None:
+    """Send one protocol frame; raises :class:`WorkerDied` on a torn pipe."""
+    try:
+        conn.send_bytes(pack_message(header, arrays))
+    except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+        raise WorkerDied(f"shard pipe closed while sending: {exc}") from exc
+
+
+def send_packed(conn: Connection, payload: bytes) -> None:
+    """Send an already-packed frame (:func:`pack_message` output).
+
+    The scatter path packs its query frame **once** and fans the same
+    bytes out to every shard — at 4+ shards the repeated header
+    encoding and blob concatenation of per-shard :func:`send_frame`
+    calls is measurable parent-side critical path.
+    """
+    try:
+        conn.send_bytes(payload)
+    except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+        raise WorkerDied(f"shard pipe closed while sending: {exc}") from exc
+
+
+def recv_frame(
+    conn: Connection, timeout: float | None = None
+) -> tuple[dict, list[np.ndarray]]:
+    """Receive one frame as ``(header, arrays)``.
+
+    ``timeout`` bounds the wait in seconds (None blocks forever).
+    Raises :class:`RpcTimeout` when nothing arrives in time and
+    :class:`WorkerDied` on EOF — the distinction drives the engine's
+    restart-vs-degrade decision (a dead worker restarts immediately; a
+    hung one is abandoned for this query and restarted behind it).
+    """
+    try:
+        if not conn.poll(timeout):
+            raise RpcTimeout(
+                f"no response from shard worker within {timeout}s"
+            )
+        payload = conn.recv_bytes()
+    except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+        raise WorkerDied(f"shard pipe closed while receiving: {exc}") from exc
+    return unpack_payload(payload[_PREFIX:])

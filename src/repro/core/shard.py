@@ -1,0 +1,1117 @@
+"""Sharded multi-process execution engine (docs/sharding.md).
+
+:class:`ShardedDatabase` partitions a series collection across N
+persistent worker processes by consistent hashing on series id.  Each
+worker owns a shard-local :class:`~repro.core.database.STS3Database`
+opened with ``mmap=True`` (cold start is a manifest parse; payload
+bytes fault in on first touch and are page-cache shared with every
+other process mapping the same archive).  The parent holds no series
+at all — it routes, scatters, and merges.
+
+The design lifts the planner's per-segment contract one level, exactly
+as ROADMAP item 1 describes:
+
+- **Scatter**: every query goes to all shards (data is partitioned,
+  queries are not) over the pipe RPC of :mod:`repro.core.rpc`, which
+  reuses the serving layer's frame format — queries travel as raw
+  float64 blobs, results as repr-round-trip JSON.
+- **Gather**: per-shard top-k answers merge through the same
+  deterministic :class:`~repro.core.heap.KnnHeap` ``(similarity desc,
+  id asc)`` ordering the planner uses across segments, so on a static
+  corpus the sharded engine is **bit-identical** to the single-process
+  engine: all shards share one base grid (computed over the full
+  collection, exactly as ``Segment.build`` would), disjoint partitions
+  searched exactly and merged deterministically are the global top-k.
+- **Inserts** route by hash on their assigned global id and ride the
+  owning shard's own WAL; each insert is journaled alongside a
+  ``note`` record carrying its global id, which is how a restarted
+  worker rebuilds its local→global id table without the parent
+  persisting anything per-insert.
+- **Failure**: a dead worker surfaces as an RPC EOF/timeout; the query
+  *degrades* (``complete=False``, the missing partition named in
+  ``skipped_shards``, mirroring the deadline ladder's contract) while
+  the engine restarts the worker via
+  :func:`~repro.core.persistence.recover_database` — WAL replay means
+  no acknowledged write is lost.
+
+Archive layout — a directory, not a file::
+
+    <dir>/shard-manifest.json     # shard count, hash seed, params
+    <dir>/shard-00.sts3           # standard v4 archive (+ id extras)
+    <dir>/shard-00.sts3.wal/      # that shard's WAL generations
+    <dir>/shard-01.sts3
+    ...
+
+Every ``shard-NN.sts3`` is a plain v4 archive: ``sts3 verify`` /
+``sts3 inspect`` work on each shard file unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+from bisect import bisect_right
+from pathlib import Path
+
+import numpy as np
+
+from .. import faults
+from ..exceptions import ParameterError, ReproError
+from ..obs import get_registry, span
+from ..serve.protocol import result_to_wire
+from ..types import as_series
+from .grid import Bound
+from .heap import KnnHeap
+from .result import Neighbor, QueryResult, SearchStats
+from .rpc import RpcError, WorkerDied, recv_frame, send_frame, send_packed
+from ..serve.protocol import pack_message
+from .segment import grid_for_bound
+
+__all__ = [
+    "DEFAULT_HASH_SEED",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "ShardError",
+    "ShardedDatabase",
+    "shard_manifest_path",
+]
+
+_METHODS = ("naive", "index", "pruning", "approximate", "minhash", "auto")
+
+MANIFEST_NAME = "shard-manifest.json"
+MANIFEST_FORMAT = "sts3-sharded"
+MANIFEST_VERSION = 1
+
+#: seed of the hash ring when none is given ("SW" again, like the
+#: protocol port); recorded in the shard manifest so reopening a
+#: sharded archive always rebuilds the identical ring.
+DEFAULT_HASH_SEED = 0x5753
+
+#: virtual nodes per shard.  64 keeps the worst shard within a few
+#: percent of the mean on realistic collection sizes while the ring
+#: stays small enough to rebuild in microseconds.
+DEFAULT_VNODES = 64
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+class ShardError(ReproError):
+    """A sharded-engine operation failed (routing, worker, manifest)."""
+
+
+def shard_manifest_path(directory: str | Path) -> Path:
+    """The manifest file that marks ``directory`` as a sharded archive."""
+    return Path(directory) / MANIFEST_NAME
+
+
+def _splitmix64(x: int) -> int:
+    """The splitmix64 finalizer: integer in, well-mixed 64-bit out.
+
+    Pure integer arithmetic — no Python ``hash()`` (salted per process)
+    and no floats — so placement is identical across runs, platforms,
+    and interpreter versions.  The routing property test pins golden
+    values to keep it that way.
+    """
+    x = (x + _GOLDEN) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class HashRing:
+    """Seeded consistent-hash ring mapping series ids to shards.
+
+    Each shard contributes ``vnodes`` points; a series id hashes to a
+    position and is owned by the first ring point clockwise of it.
+    Consistent hashing (rather than ``id % n``) keeps placement stable
+    under future resharding: growing from N to N+1 shards moves only
+    the keys falling into the new shard's arcs.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        seed: int = DEFAULT_HASH_SEED,
+        vnodes: int = DEFAULT_VNODES,
+    ):
+        if n_shards < 1:
+            raise ParameterError(f"need >= 1 shard, got {n_shards}")
+        if vnodes < 1:
+            raise ParameterError(f"need >= 1 vnode per shard, got {vnodes}")
+        self.n_shards = int(n_shards)
+        self.seed = int(seed) & _MASK64
+        self.vnodes = int(vnodes)
+        self._key_salt = _splitmix64(self.seed ^ 0xC0FFEE)
+        points: list[tuple[int, int]] = []
+        for shard in range(self.n_shards):
+            stream = _splitmix64(self.seed ^ (shard + 1))
+            for vnode in range(self.vnodes):
+                points.append((_splitmix64(stream + vnode), shard))
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def owner(self, series_id: int) -> int:
+        """The shard owning ``series_id`` (deterministic, total)."""
+        key = _splitmix64((int(series_id) & _MASK64) ^ self._key_salt)
+        slot = bisect_right(self._positions, key) % len(self._owners)
+        return self._owners[slot]
+
+    def partition(self, series_ids) -> list[list[int]]:
+        """Split ``series_ids`` into per-shard id lists (order kept)."""
+        parts: list[list[int]] = [[] for _ in range(self.n_shards)]
+        for series_id in series_ids:
+            parts[self.owner(series_id)].append(series_id)
+        return parts
+
+
+# -- the shard-local id table -------------------------------------------
+
+
+class _ShardIdTable:
+    """Local index → global id mapping for one shard.
+
+    A shard database's global index order is "stored segments, then
+    update buffer" — and a *direct* insert lands before the buffered
+    tail, so one flat list in arrival order would drift.  Two lists
+    mirror the database's structural transitions exactly: direct
+    inserts append to ``stored``, buffered ones to ``buffered``, and a
+    seal moves the buffered block to the end of ``stored`` — the same
+    move the catalog makes with the series themselves.
+    """
+
+    __slots__ = ("stored", "buffered")
+
+    def __init__(self, stored=None, buffered=None):
+        self.stored: list[int] = [int(i) for i in (stored or [])]
+        self.buffered: list[int] = [int(i) for i in (buffered or [])]
+
+    def __len__(self) -> int:
+        return len(self.stored) + len(self.buffered)
+
+    def insert(self, series_id: int, path: str, sealed: bool) -> None:
+        if path == "direct":
+            self.stored.append(int(series_id))
+        else:
+            self.buffered.append(int(series_id))
+            if sealed:
+                self.seal()
+
+    def seal(self) -> None:
+        self.stored.extend(self.buffered)
+        self.buffered = []
+
+    def global_id(self, local_index: int) -> int:
+        if local_index < len(self.stored):
+            return self.stored[local_index]
+        return self.buffered[local_index - len(self.stored)]
+
+    def all_ids(self) -> list[int]:
+        return self.stored + self.buffered
+
+    def max_id(self) -> int:
+        ids = self.all_ids()
+        return max(ids) if ids else -1
+
+    def to_extras(self) -> dict:
+        return {"stored": list(self.stored), "buffered": list(self.buffered)}
+
+    @classmethod
+    def from_extras(cls, extras: dict) -> "_ShardIdTable":
+        return cls(extras.get("stored", []), extras.get("buffered", []))
+
+
+# -- the worker process --------------------------------------------------
+
+
+def _shard_worker_main(conn, options: dict) -> None:
+    """One shard's serving loop: recover the shard, answer the pipe.
+
+    Runs in a dedicated process.  Startup recovers the shard archive
+    (``mmap=True``: manifest parse now, payload bytes on first touch)
+    and replays its WAL tail, rebuilding the id table from the
+    checkpointed extras plus the journaled ``note`` records; then the
+    loop serves one request at a time until shutdown or EOF (parent
+    gone).  A :class:`~repro.faults.SimulatedCrash` at the
+    ``shard.worker.request`` fault point exits the process hard —
+    that is the deterministic stand-in for ``kill -9``.
+    """
+    shard_id = options["shard_id"]
+    # A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group; shutdown is the parent's call (a shutdown frame or pipe
+    # EOF), so workers must not die to the shared signal first.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        from .persistence import recover_database
+
+        replayed: list[tuple[dict, dict | None]] = []
+        db = recover_database(
+            options["archive"],
+            fsync_batch=options.get("fsync_batch"),
+            mmap=True,
+            observer=lambda record, info: replayed.append((record, info)),
+        )
+        table = _ShardIdTable.from_extras(
+            getattr(db, "archive_extras", {}).get("shard", {})
+        )
+        pending_id: int | None = None
+        for record, info in replayed:
+            op = record["op"]
+            if op == "note":
+                pending_id = int(record["id"])
+            elif op == "insert":
+                if pending_id is None:
+                    raise ShardError(
+                        f"shard {shard_id}: WAL insert at seq "
+                        f"{record['seq']} has no preceding id note"
+                    )
+                table.insert(pending_id, info["path"], info["sealed"])
+                pending_id = None
+            elif op == "flush" and info and info["sealed"]:
+                table.seal()
+            # compact/merge preserve stored order: nothing to track
+        if len(table) != len(db):
+            raise ShardError(
+                f"shard {shard_id}: id table covers {len(table)} series, "
+                f"database holds {len(db)}"
+            )
+    except BaseException as exc:  # noqa: BLE001 - report, then die
+        try:
+            send_frame(
+                conn,
+                {"op": "ready", "status": "error", "error": f"{exc}"},
+            )
+        except Exception:
+            pass
+        conn.close()
+        return
+
+    send_frame(conn, {"op": "ready", "status": "ok", **_worker_status(db, table)})
+
+    try:
+        while True:
+            try:
+                header, arrays = recv_frame(conn, None)
+            except WorkerDied:
+                break  # parent closed its end
+            try:
+                faults.fault_point("shard.worker.request")
+            except faults.SimulatedCrash:
+                os._exit(17)  # the injected kill -9
+            op = header.get("op")
+            try:
+                if op == "shutdown":
+                    send_frame(conn, {"op": "ack"})
+                    break
+                send_frame(conn, *_worker_handle(db, table, options, header, arrays))
+            except Exception as exc:  # noqa: BLE001 - answer, keep serving
+                send_frame(conn, {"op": "error", "error": f"{exc}"})
+    finally:
+        db.close()
+        conn.close()
+
+
+def _worker_status(db, table: _ShardIdTable) -> dict:
+    return {
+        "n_series": len(db),
+        "stored": len(table.stored),
+        "buffered": len(table.buffered),
+        "segments": len(db.catalog.segments),
+        "max_id": table.max_id(),
+        "wal_lag": (
+            db.wal.records_since_checkpoint if db.wal is not None else 0
+        ),
+    }
+
+
+def _worker_handle(db, table, options, header, arrays):
+    """Dispatch one request; returns ``(response_header, response_arrays)``."""
+    op = header.get("op")
+    if op == "ping":
+        return {"op": "pong", **_worker_status(db, table)}, ()
+    if op == "status":
+        return {"op": "status", **_worker_status(db, table)}, ()
+    if op == "verify":
+        return {"op": "verify", "problems": db.verify_integrity()}, ()
+    if op == "query":
+        results = db.query_batch(
+            list(arrays),
+            k=int(header["k"]),
+            method=header.get("method", "auto"),
+            scale=header.get("scale"),
+            max_scale=header.get("max_scale"),
+            deadline_ms=header.get("deadline_ms"),
+        )
+        wired = []
+        for result in results:
+            # Translate shard-local indices to global ids here, where
+            # the table lives; the parent merges on ids alone.
+            result.neighbors = [
+                Neighbor(similarity=n.similarity, index=table.global_id(n.index))
+                for n in result.neighbors
+            ]
+            wired.append(result_to_wire(result))
+        return {"op": "result", "results": wired}, ()
+    if op == "insert":
+        series_id = int(header["id"])
+        prepared = db._prepare(arrays[0])
+        # The id note precedes the insert record, so a replayed WAL
+        # prefix always pairs them (a torn tail can orphan a note,
+        # never an insert).
+        if db.wal is not None:
+            db.wal.append("note", id=series_id)
+        buffered_before = len(db.buffer)
+        rebuilds_before = db.rebuild_count
+        db._insert_prepared(prepared)
+        if len(db.buffer) == buffered_before + 1:
+            path, sealed = "buffered", False
+        elif db.rebuild_count > rebuilds_before:
+            path, sealed = "buffered", True
+        else:
+            path, sealed = "direct", False
+        table.insert(series_id, path, sealed)
+        return {
+            "op": "ack",
+            "id": series_id,
+            "path": path,
+            "sealed_segment": sealed,
+            **_worker_status(db, table),
+        }, ()
+    if op == "checkpoint":
+        db.checkpoint(
+            options["archive"], extras={"shard": table.to_extras()}
+        )
+        return {"op": "ack", **_worker_status(db, table)}, ()
+    raise ShardError(f"unknown shard RPC op {op!r}")
+
+
+# -- the parent-side engine ----------------------------------------------
+
+
+class _WorkerHandle:
+    """Parent-side view of one live worker: process + pipe + counters."""
+
+    __slots__ = ("shard_id", "process", "conn", "n_series")
+
+    def __init__(self, shard_id, process, conn, n_series):
+        self.shard_id = shard_id
+        self.process = process
+        self.conn = conn
+        self.n_series = n_series
+
+
+class _PlannerShim:
+    """Duck-typed stand-in for ``db.planner`` (the serving layer reads
+    ``db.planner.clock`` to anchor arrival-time deadlines)."""
+
+    def __init__(self):
+        self.clock = time.monotonic
+
+
+class ShardedDatabase:
+    """Scatter-gather k-NN over N shard worker processes.
+
+    Construct with :meth:`build` (fresh, from raw series),
+    :meth:`from_database` (re-partition an existing single-process
+    database), or :meth:`open` (an existing sharded archive
+    directory).  The instance is a context manager; :meth:`close`
+    shuts the workers down.
+
+    Thread-safe but serialized: one RPC conversation runs at a time
+    (the serving layer coalesces concurrent requests into batches
+    before they reach the engine, so the lock is not the bottleneck).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        manifest: dict,
+        rpc_timeout: float = 30.0,
+        fsync_batch: int = 1,
+        start: bool = True,
+    ):
+        self.directory = Path(directory)
+        self.manifest = manifest
+        self.n_shards = int(manifest["shards"])
+        self.ring = HashRing(
+            self.n_shards, int(manifest["hash_seed"]), int(manifest["vnodes"])
+        )
+        self.rpc_timeout = float(rpc_timeout)
+        #: default 1 — a sharded insert is acknowledged only once its
+        #: WAL records are fsynced, which is what makes the worker-kill
+        #: contract ("no acked write lost") unconditional.  Raise it to
+        #: trade the per-insert fsync for the single-process engine's
+        #: batched-cadence semantics.
+        self.fsync_batch = int(fsync_batch)
+        self.planner = _PlannerShim()
+        self.maintenance = None
+        self._workers: list[_WorkerHandle | None] = [None] * self.n_shards
+        self._next_id = 0
+        self._lock = threading.RLock()
+        self._closed = False
+        available = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in available else None)
+        if start:
+            failures = []
+            for shard_id in range(self.n_shards):
+                try:
+                    self._spawn_worker(shard_id)
+                except ShardError as exc:
+                    failures.append(str(exc))
+            if failures:
+                self.close()
+                raise ShardError(
+                    "sharded open failed: " + "; ".join(failures)
+                )
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        series,
+        n_shards: int,
+        directory: str | Path,
+        sigma: float,
+        epsilon,
+        normalize: bool = True,
+        value_padding: float = 0.0,
+        buffer_capacity: int = 32,
+        default_scale: int = 6,
+        default_max_scale: int = 4,
+        hash_seed: int = DEFAULT_HASH_SEED,
+        vnodes: int = DEFAULT_VNODES,
+        prepared: bool = False,
+        rpc_timeout: float = 30.0,
+        fsync_batch: int = 1,
+    ) -> "ShardedDatabase":
+        """Partition ``series`` into a sharded archive and open it.
+
+        All shards share one **base grid**, computed over the *whole*
+        collection exactly as a single-process build would
+        (``Bound.of_database`` + the σ/ε grid) — that shared reference
+        frame is the bit-identity contract: per-shard similarities are
+        computed under the same grid the unsharded engine uses, so the
+        gathered top-k matches it bit for bit on the static corpus.
+
+        ``prepared=True`` marks ``series`` as already normalized
+        (:meth:`from_database`'s path — z-normalization is not bitwise
+        idempotent, so it must never run twice).
+        """
+        from ..data.normalize import z_normalize
+        from .database import STS3Database
+        from .persistence import save_database
+
+        series = [as_series(s) for s in series]
+        if not series:
+            raise ParameterError("cannot shard an empty collection")
+        if normalize and not prepared:
+            series = [z_normalize(s) for s in series]
+        epsilon = (
+            tuple(float(e) for e in epsilon)
+            if isinstance(epsilon, (tuple, list))
+            else float(epsilon)
+        )
+        bound = Bound.of_database(series, value_padding=value_padding)
+        grid = grid_for_bound(bound, sigma, epsilon)
+        ring = HashRing(n_shards, hash_seed, vnodes)
+        parts = ring.partition(range(len(series)))
+        empty = [i for i, part in enumerate(parts) if not part]
+        if empty:
+            raise ParameterError(
+                f"shards {empty} would own no series ({len(series)} series "
+                f"across {n_shards} shards); use fewer shards or more series"
+            )
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for shard_id, ids in enumerate(parts):
+            shard_db = STS3Database.from_segments(
+                [([series[i] for i in ids], grid)],
+                sigma=sigma,
+                epsilon=epsilon,
+                normalize=normalize,
+                value_padding=value_padding,
+                buffer_capacity=buffer_capacity,
+                default_scale=default_scale,
+                default_max_scale=default_max_scale,
+            )
+            save_database(
+                shard_db,
+                directory / cls.shard_file(shard_id),
+                extras={"shard": {"stored": list(ids), "buffered": []}},
+            )
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "shards": int(n_shards),
+            "hash_seed": int(hash_seed),
+            "vnodes": int(vnodes),
+            "series_total": len(series),
+            "next_id": len(series),
+            "files": [cls.shard_file(i) for i in range(n_shards)],
+            "params": {
+                "sigma": float(sigma),
+                "epsilon": list(epsilon) if isinstance(epsilon, tuple) else epsilon,
+                "epsilon_is_tuple": isinstance(epsilon, tuple),
+                "normalize": bool(normalize),
+                "value_padding": float(value_padding),
+                "buffer_capacity": int(buffer_capacity),
+                "default_scale": int(default_scale),
+                "default_max_scale": int(default_max_scale),
+            },
+        }
+        cls._write_manifest(directory, manifest)
+        return cls(
+            directory, manifest, rpc_timeout=rpc_timeout, fsync_batch=fsync_batch
+        )
+
+    @classmethod
+    def from_database(
+        cls, db, n_shards: int, directory: str | Path, **options
+    ) -> "ShardedDatabase":
+        """Re-partition an existing single-process database.
+
+        Series come out already prepared (stored series are normalized
+        at insert time), so they partition as-is.  Note the shards are
+        built under a *fresh* shared base grid over the full collection
+        — for a single-segment source database that grid is identical
+        to the source's and answers are bit-identical; a multi-segment
+        source is re-gridded (the same thing ``compact()`` would do).
+        """
+        series = db.catalog.all_series() + list(db.buffer.series)
+        return cls.build(
+            series,
+            n_shards,
+            directory,
+            sigma=db.sigma,
+            epsilon=db.epsilon,
+            normalize=db.normalize,
+            value_padding=db.value_padding,
+            buffer_capacity=db.buffer.capacity,
+            default_scale=db.default_scale,
+            default_max_scale=db.default_max_scale,
+            prepared=True,
+            **options,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        rpc_timeout: float = 30.0,
+        fsync_batch: int = 1,
+    ) -> "ShardedDatabase":
+        """Open a sharded archive directory: spawn + recover every worker.
+
+        Each worker replays its own WAL tail, so opening after a crash
+        *is* recovery — there is no separate recover entry point.
+        """
+        manifest = cls.read_manifest(directory)
+        return cls(
+            directory, manifest, rpc_timeout=rpc_timeout, fsync_batch=fsync_batch
+        )
+
+    @staticmethod
+    def shard_file(shard_id: int) -> str:
+        return f"shard-{shard_id:02d}.sts3"
+
+    @staticmethod
+    def read_manifest(directory: str | Path) -> dict:
+        path = shard_manifest_path(directory)
+        if not path.exists():
+            raise ShardError(f"no shard manifest at {path}")
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ShardError(f"unreadable shard manifest at {path}: {exc}") from exc
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise ShardError(f"{path} is not a sharded STS3 archive manifest")
+        return manifest
+
+    @staticmethod
+    def _write_manifest(directory: Path, manifest: dict) -> None:
+        from .persistence import _atomic_write
+
+        data = json.dumps(manifest, indent=2).encode()
+        _atomic_write(
+            shard_manifest_path(directory),
+            lambda fh: fh.write(data),
+            "shard-manifest",
+        )
+
+    # -- worker lifecycle -----------------------------------------------
+
+    def _spawn_worker(self, shard_id: int) -> dict:
+        """Start (or restart) one worker; returns its ready status."""
+        archive = self.directory / self.manifest["files"][shard_id]
+        options = {
+            "shard_id": shard_id,
+            "archive": str(archive),
+            "fsync_batch": self.fsync_batch,
+        }
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, options),
+            name=f"sts3-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        try:
+            ready, _ = recv_frame(parent_conn, max(self.rpc_timeout, 30.0))
+        except RpcError as exc:
+            parent_conn.close()
+            process.join(timeout=5.0)
+            raise ShardError(f"shard {shard_id} failed to start: {exc}") from exc
+        if ready.get("status") != "ok":
+            parent_conn.close()
+            process.join(timeout=5.0)
+            raise ShardError(
+                f"shard {shard_id} failed to start: {ready.get('error')}"
+            )
+        self._workers[shard_id] = _WorkerHandle(
+            shard_id, process, parent_conn, int(ready["n_series"])
+        )
+        self._next_id = max(self._next_id, int(ready["max_id"]) + 1)
+        self._set_live_gauge()
+        return ready
+
+    def _set_live_gauge(self) -> None:
+        get_registry().gauge(
+            "sts3_shard_workers_live", "shard worker processes currently serving"
+        ).set(sum(1 for h in self._workers if h is not None))
+
+    def _reap_worker(self, shard_id: int) -> None:
+        handle = self._workers[shard_id]
+        if handle is None:
+            return
+        self._workers[shard_id] = None
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(timeout=5.0)
+        self._set_live_gauge()
+
+    def _restart_worker(self, shard_id: int) -> dict | None:
+        """Reap + respawn one worker; None when the restart itself fails."""
+        with span("shard.restart", shard=shard_id):
+            self._reap_worker(shard_id)
+            get_registry().counter(
+                "sts3_shard_restarts_total", "shard worker restarts, by shard"
+            ).inc(shard=str(shard_id))
+            try:
+                return self._spawn_worker(shard_id)
+            except ShardError:
+                return None
+
+    def _worker_failed(self, shard_id: int, error: str) -> dict | None:
+        get_registry().counter(
+            "sts3_shard_failures_total", "shard RPC failures, by shard and kind"
+        ).inc(shard=str(shard_id), kind=error)
+        return self._restart_worker(shard_id)
+
+    def _ensure_worker(self, shard_id: int) -> _WorkerHandle:
+        handle = self._workers[shard_id]
+        if handle is None:
+            self._restart_worker(shard_id)
+            handle = self._workers[shard_id]
+        if handle is None:
+            raise ShardError(f"shard {shard_id} is down and failed to restart")
+        return handle
+
+    def kill_worker(self, shard_id: int) -> None:
+        """SIGKILL one worker (fault drills; see docs/sharding.md).
+
+        The handle is left in place: the next RPC touching the shard
+        observes the EOF, degrades its answer, and restarts the worker
+        — exactly the path an unplanned death takes.
+        """
+        handle = self._workers[shard_id]
+        if handle is not None and handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=5.0)
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(h.n_series for h in self._workers if h is not None)
+
+    def query(
+        self,
+        series,
+        k: int = 1,
+        method: str = "auto",
+        scale: int | None = None,
+        max_scale: int | None = None,
+        deadline_ms: float | None = None,
+        deadline_start: float | None = None,
+    ) -> QueryResult:
+        """Scatter one k-NN query to every shard and gather the merge.
+
+        Same semantics as :meth:`STS3Database.query`, with
+        ``Neighbor.index`` carrying *global series ids* (for a built
+        collection, its position in the build order).  On a shard
+        failure the answer degrades instead of raising: the missing
+        partition is named in ``result.skipped_shards``.
+        """
+        return self.query_batch(
+            [series], k=k, method=method, scale=scale, max_scale=max_scale,
+            deadline_ms=deadline_ms, deadline_start=deadline_start,
+        )[0]
+
+    def query_batch(
+        self,
+        queries,
+        k: int = 1,
+        method: str = "auto",
+        scale: int | None = None,
+        max_scale: int | None = None,
+        deadline_ms: float | None = None,
+        deadline_start: float | None = None,
+    ) -> list[QueryResult]:
+        """Scatter a query batch to all shards; gather per-query merges.
+
+        The batch is the unit of shard parallelism: every worker runs
+        the whole batch over its partition (the vectorized index kernel
+        where applicable) while the others do the same, so N shards cut
+        wall-clock by ~N on CPU-bound batches — the lever
+        ``benchmarks/bench_shard.py`` gates.
+        """
+        if method not in _METHODS:
+            raise ParameterError(f"unknown method {method!r}; one of {_METHODS}")
+        if not queries:
+            return []
+        arrays = [
+            np.ascontiguousarray(as_series(q), dtype=np.float64) for q in queries
+        ]
+        remaining_ms = deadline_ms
+        if deadline_ms is not None and deadline_start is not None:
+            elapsed = (self.planner.clock() - deadline_start) * 1000.0
+            remaining_ms = max(deadline_ms - elapsed, 0.0)
+        header = {
+            "op": "query",
+            "k": int(k),
+            "method": method,
+            "scale": scale,
+            "max_scale": max_scale,
+            "deadline_ms": remaining_ms,
+        }
+        # Queries are not partitioned: every shard receives the whole
+        # batch, so the frame is packed once and the same bytes fan out.
+        packed = pack_message(header, arrays)
+        requests = get_registry().counter(
+            "sts3_shard_requests_total", "shard RPCs issued, by op and shard"
+        )
+        with self._lock:
+            self._require_open()
+            sent: list[int] = []
+            failed: list[int] = []
+            with span("shard.scatter", shards=self.n_shards, queries=len(arrays)):
+                for shard_id in range(self.n_shards):
+                    handle = self._workers[shard_id]
+                    if handle is None and self._restart_worker(shard_id) is None:
+                        failed.append(shard_id)
+                        continue
+                    handle = self._workers[shard_id]
+                    try:
+                        send_packed(handle.conn, packed)
+                        requests.inc(op="query", shard=str(shard_id))
+                        sent.append(shard_id)
+                    except WorkerDied:
+                        self._worker_failed(shard_id, "send-eof")
+                        failed.append(shard_id)
+            responses: list[tuple[int, dict]] = []
+            with span("shard.gather", shards=len(sent)):
+                for shard_id in sent:
+                    handle = self._workers[shard_id]
+                    try:
+                        reply, _ = recv_frame(handle.conn, self.rpc_timeout)
+                    except RpcError as exc:
+                        kind = (
+                            "timeout" if not isinstance(exc, WorkerDied) else "eof"
+                        )
+                        self._worker_failed(shard_id, kind)
+                        failed.append(shard_id)
+                        continue
+                    if reply.get("op") == "error":
+                        raise ShardError(
+                            f"shard {shard_id} query failed: {reply.get('error')}"
+                        )
+                    responses.append((shard_id, reply))
+            results = self._merge(len(arrays), k, responses, failed)
+        get_registry().counter(
+            "sts3_shard_queries_total", "queries answered by the sharded engine"
+        ).inc(len(arrays), method=method)
+        if failed:
+            get_registry().counter(
+                "sts3_shard_skipped_total",
+                "queries answered with at least one shard missing",
+            ).inc(len(arrays))
+        return results
+
+    def _merge(
+        self,
+        n_queries: int,
+        k: int,
+        responses: list[tuple[int, dict]],
+        failed: list[int],
+    ) -> list[QueryResult]:
+        """The deterministic gather: per-query KnnHeap over shard answers.
+
+        Workers return global ids, and :class:`KnnHeap`'s ``(similarity
+        desc, id asc)`` order is consideration-order independent, so
+        the merged top-k equals the single-process answer whenever
+        every shard reported (the bit-identity contract).
+
+        Merges straight off the wire dicts (``[id, similarity]`` pairs
+        and stats counters) rather than materializing a
+        :class:`QueryResult` per shard per query — the gather runs on
+        the parent's critical path, after the parallel part is over.
+        """
+        total = len(self)
+        k_eff = max(1, min(int(k), total)) if total else int(k)
+        ordered = sorted(responses)
+        skipped_shards = [f"shard-{shard_id}" for shard_id in sorted(set(failed))]
+        merged: list[QueryResult] = []
+        for qi in range(n_queries):
+            heap = KnnHeap(k_eff)
+            consider = heap.consider
+            counters = [0, 0, 0, 0, 0]
+            complete = not skipped_shards
+            reasons: set[str] = set(("shard",) if skipped_shards else ())
+            skipped_segments: list[str] = []
+            for shard_id, reply in ordered:
+                wire = reply["results"][qi]
+                for index, similarity in wire["neighbors"]:
+                    consider(similarity, index)
+                stats = wire["stats"]
+                counters[0] += stats["candidates"]
+                counters[1] += stats["exact_computations"]
+                counters[2] += stats["pruned"]
+                counters[3] += stats["filter_rounds"]
+                counters[4] += stats["final_candidates"]
+                if not wire["complete"]:
+                    complete = False
+                    if wire["degraded_reason"]:
+                        reasons.update(wire["degraded_reason"].split("+"))
+                skipped_segments.extend(
+                    f"shard-{shard_id}:{name}"
+                    for name in wire["skipped_segments"]
+                )
+            merged.append(
+                QueryResult(
+                    neighbors=heap.neighbors(),
+                    stats=SearchStats(*counters),
+                    complete=complete,
+                    skipped_segments=skipped_segments,
+                    degraded_reason="+".join(sorted(reasons)) or None,
+                    skipped_shards=list(skipped_shards),
+                )
+            )
+        return merged
+
+    # -- updates ----------------------------------------------------------
+
+    def insert(self, series) -> dict:
+        """Insert one series; routes to the shard owning its new id.
+
+        Returns a routing report ``{"id", "shard", "path",
+        "sealed_segment", "n_series", "buffered"}``.  The acknowledged
+        insert is durable in the owning shard's WAL (id note + series
+        record, fsynced at the shard's cadence — every record at the
+        default ``fsync_batch=1``), so a worker killed right after the
+        ack recovers the write on restart; an insert whose RPC *fails*
+        reconciles on restart instead: if the journaled write survived
+        it is committed, otherwise it never happened.
+        """
+        arr = np.ascontiguousarray(as_series(series), dtype=np.float64)
+        with self._lock:
+            self._require_open()
+            series_id = self._next_id
+            shard_id = self.ring.owner(series_id)
+            handle = self._ensure_worker(shard_id)
+            expected = handle.n_series
+            get_registry().counter(
+                "sts3_shard_requests_total", "shard RPCs issued, by op and shard"
+            ).inc(op="insert", shard=str(shard_id))
+            try:
+                send_frame(handle.conn, {"op": "insert", "id": series_id}, [arr])
+                reply, _ = recv_frame(handle.conn, self.rpc_timeout)
+            except RpcError as exc:
+                kind = "timeout" if not isinstance(exc, WorkerDied) else "eof"
+                ready = self._worker_failed(shard_id, kind)
+                # At-least-once reconciliation: the worker journals the
+                # insert before acking, so a death in the ack window can
+                # leave the write durable.  The restarted worker's WAL
+                # replay tells us which world we are in.
+                if ready is not None and int(ready["n_series"]) == expected + 1:
+                    self._next_id = series_id + 1
+                    return {
+                        "id": series_id,
+                        "shard": shard_id,
+                        "path": "recovered",
+                        "sealed_segment": False,
+                        "n_series": len(self),
+                        "buffered": int(ready["buffered"]),
+                    }
+                raise ShardError(
+                    f"insert failed on shard {shard_id}: {exc}"
+                ) from exc
+            if reply.get("op") == "error":
+                raise ShardError(
+                    f"insert failed on shard {shard_id}: {reply.get('error')}"
+                )
+            handle.n_series = int(reply["n_series"])
+            self._next_id = series_id + 1
+            return {
+                "id": series_id,
+                "shard": shard_id,
+                "path": reply["path"],
+                "sealed_segment": bool(reply["sealed_segment"]),
+                "n_series": len(self),
+                "buffered": int(reply["buffered"]),
+            }
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self) -> None:
+        """Checkpoint every shard archive and rewrite the manifest.
+
+        Each worker saves its own v4 archive (with the id table in the
+        manifest extras) and retires its WAL generations; the top-level
+        manifest then records the new totals.  Requires every shard up
+        — a checkpoint that silently skipped a shard would not be a
+        checkpoint.
+        """
+        with self._lock:
+            self._require_open()
+            for shard_id in range(self.n_shards):
+                handle = self._ensure_worker(shard_id)
+                send_frame(handle.conn, {"op": "checkpoint"})
+                reply, _ = recv_frame(handle.conn, max(self.rpc_timeout, 60.0))
+                if reply.get("op") != "ack":
+                    raise ShardError(
+                        f"checkpoint failed on shard {shard_id}: "
+                        f"{reply.get('error')}"
+                    )
+                handle.n_series = int(reply["n_series"])
+            self.manifest["series_total"] = len(self)
+            self.manifest["next_id"] = self._next_id
+            self._write_manifest(self.directory, self.manifest)
+
+    checkpoint = save
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> dict:
+        """Per-shard health: series counts, segments, WAL lag, liveness."""
+        with self._lock:
+            self._require_open()
+            shards = []
+            for shard_id in range(self.n_shards):
+                entry = {
+                    "shard": shard_id,
+                    "file": self.manifest["files"][shard_id],
+                    "alive": False,
+                }
+                handle = self._workers[shard_id]
+                if handle is not None:
+                    try:
+                        send_frame(handle.conn, {"op": "status"})
+                        reply, _ = recv_frame(handle.conn, self.rpc_timeout)
+                        entry.update(reply)
+                        entry["alive"] = True
+                        entry.pop("op", None)
+                    except RpcError:
+                        self._worker_failed(shard_id, "status")
+                shards.append(entry)
+            return {
+                "shards": self.n_shards,
+                "hash_seed": self.manifest["hash_seed"],
+                "vnodes": self.manifest["vnodes"],
+                "series_total": len(self),
+                "next_id": self._next_id,
+                "workers_live": sum(1 for h in self._workers if h is not None),
+                "per_shard": shards,
+            }
+
+    def maintenance_status(self) -> dict:
+        """Shard-level health in the shape ``/healthz`` renders.
+
+        Matches the single-process key set (``/healthz`` reads these
+        unconditionally); per-shard segment and WAL detail lives behind
+        :meth:`status`, which asks the workers.
+        """
+        with self._lock:
+            live = sum(1 for h in self._workers if h is not None)
+        return {
+            "engine": "sharded",
+            "wal_lag": None,
+            "live_segments": None,
+            "max_segments": None,
+            "resident_bytes": 0,
+            "memory_budget_bytes": None,
+            "pinned_snapshots": 0,
+            "shards": self.n_shards,
+            "workers_live": live,
+            "series_total": len(self),
+        }
+
+    def verify_integrity(self) -> list[str]:
+        """Every shard's self-check, problems prefixed with the shard."""
+        problems: list[str] = []
+        with self._lock:
+            self._require_open()
+            for shard_id in range(self.n_shards):
+                handle = self._workers[shard_id]
+                if handle is None:
+                    problems.append(f"shard-{shard_id}: worker down")
+                    continue
+                try:
+                    send_frame(handle.conn, {"op": "verify"})
+                    reply, _ = recv_frame(handle.conn, max(self.rpc_timeout, 60.0))
+                except RpcError as exc:
+                    problems.append(f"shard-{shard_id}: verify RPC failed ({exc})")
+                    continue
+                problems.extend(
+                    f"shard-{shard_id}: {p}" for p in reply.get("problems", ())
+                )
+        return problems
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ShardError("sharded database is closed")
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for shard_id in range(self.n_shards):
+                handle = self._workers[shard_id]
+                if handle is None:
+                    continue
+                try:
+                    send_frame(handle.conn, {"op": "shutdown"})
+                    recv_frame(handle.conn, 5.0)
+                except RpcError:
+                    pass
+                self._reap_worker(shard_id)
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -157,16 +157,24 @@ class ServeClient:
         return [result_from_wire(r) for r in reply["results"]]
 
     def insert(self, series: np.ndarray) -> dict:
-        """Insert one series; returns ``n_series``/``buffered`` status."""
+        """Insert one series; returns ``n_series``/``buffered`` status.
+
+        A sharded server (docs/sharding.md) additionally reports the
+        assigned global ``id`` and owning ``shard``.
+        """
         reply = self._call(
             {"op": "insert"}, [np.asarray(series, dtype=np.float64)]
         )
-        return {
+        report = {
             "n_series": reply["n_series"],
             "buffered": reply["buffered"],
             "path": reply["path"],
             "sealed_segment": reply["sealed_segment"],
         }
+        for key in ("id", "shard"):
+            if key in reply:
+                report[key] = reply[key]
+        return report
 
     def verify(self) -> list[str]:
         """Server-side ``verify_integrity``; empty list means healthy."""

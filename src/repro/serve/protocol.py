@@ -235,6 +235,7 @@ def result_to_wire(result: QueryResult) -> dict:
         "complete": result.complete,
         "skipped_segments": list(result.skipped_segments),
         "degraded_reason": result.degraded_reason,
+        "skipped_shards": list(result.skipped_shards),
     }
 
 
@@ -252,6 +253,8 @@ def result_from_wire(payload: dict) -> QueryResult:
             complete=bool(payload["complete"]),
             skipped_segments=list(payload["skipped_segments"]),
             degraded_reason=payload["degraded_reason"],
+            # pre-shard peers omit the key; absent means none skipped
+            skipped_shards=list(payload.get("skipped_shards", ())),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed result payload: {exc}") from exc

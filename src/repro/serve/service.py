@@ -307,12 +307,18 @@ class QueryService:
         ``"direct"`` (in-bound, extended the newest segment) or
         ``"buffered"`` (out-of-bound, via the lazy buffer), and
         ``sealed_segment`` flags an insert whose buffer fill sealed a
-        new segment.
+        new segment.  A sharded engine classifies its own inserts (the
+        shard worker observed the path) and its reply adds ``id`` and
+        ``shard``; the single-process path keeps the before/after
+        observation below.
         """
         self._admit("insert", client)
         started = self._begin("insert")
         status = "ok"
         try:
+            if not hasattr(self.db, "catalog"):
+                report = await self._run_engine(self.db.insert, series)
+                return report
             segments_before = len(self.db.catalog.segments)
             buffered_before = len(self.db.buffer)
             await self._run_engine(self.db.insert, series)

@@ -55,9 +55,12 @@ class TestResolveWorkers:
     def test_none_is_serial(self):
         assert resolve_workers(None) == 1
 
-    def test_zero_is_cpu_count(self):
-        import os
-        assert resolve_workers(0) == (os.cpu_count() or 1)
+    def test_zero_is_available_cpu_count(self, monkeypatch):
+        # 0 means "one per CPU the process may run on" — the affinity
+        # mask, not the machine (they differ under cgroup pinning).
+        from repro.core.executor import MAX_WORKERS_ENV, available_cpu_count
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        assert resolve_workers(0) == available_cpu_count()
 
     def test_explicit_passthrough(self):
         assert resolve_workers(3) == 3

@@ -36,6 +36,9 @@ SUBMODULES = [
     "repro.core.catalog",
     "repro.core.planner",
     "repro.core.tuning",
+    "repro.core.executor",
+    "repro.core.rpc",
+    "repro.core.shard",
     "repro.baselines",
     "repro.baselines.ed",
     "repro.baselines.dtw",
