@@ -64,9 +64,16 @@ def match_lists(
 
     out: list[np.ndarray] = []
     for i, value in enumerate(a.tolist()):
-        home = int((value - origin) // bin_width)
+        # Probe every bucket [value−ε, value+ε] can touch, padded by 2:
+        # both this quotient and the bucketing of b round at bucket
+        # boundaries, and each rounding can displace a point one bucket
+        # (e.g. origin 7e-250 puts value 0.0 in bucket −1 while 1.0−ε
+        # rounds up a bucket).  Extra candidates are harmless — the
+        # exact ε test below filters them.
+        lo = int((value - epsilon - origin) // bin_width) - 2
+        hi = int((value + epsilon - origin) // bin_width) + 2
         candidates: list[int] = []
-        for bucket in (home - 1, home, home + 1):
+        for bucket in range(lo, hi + 1):
             candidates.extend(buckets.get(bucket, ()))
         if not candidates:
             out.append(np.empty(0, dtype=np.int64))

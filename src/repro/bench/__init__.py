@@ -12,6 +12,7 @@ from .levers import (
     run_mmap_phase,
     run_parallel_phase,
 )
+from .replication import run_replication_phase
 from .runner import repro_scale, run_traced, scaled
 from .shard import run_shard_phase
 from .tables import render_table
@@ -26,6 +27,7 @@ __all__ = [
     "run_lever_phases",
     "run_mmap_phase",
     "run_parallel_phase",
+    "run_replication_phase",
     "run_shard_phase",
     "run_traced",
     "scaled",

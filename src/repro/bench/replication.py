@@ -1,0 +1,192 @@
+"""The replication lever: replica reads, lag convergence, failover.
+
+One phase, four verdicts (docs/replication.md):
+
+- **read throughput** — batch k-NN queries/second under
+  ``read_preference="nearest"`` (the batch striped across the primary
+  plus every caught-up follower) against the same batch served by the
+  primary alone.  Followers are whole processes over the same
+  partition, so replica reads scale the way shards do; the CI gate
+  asserts ≥1.5x with two followers on the 4-vCPU runner.
+- **bit-identity** — striped answers must equal primary-only answers
+  bit for bit (similarities compared by ``float.hex``): a caught-up
+  follower is the same database, so routing must never change an
+  answer.
+- **lag convergence** — after a write burst, every follower's
+  ``lag_records`` must be exactly 0 (shipping runs inline with the
+  ack, so the healthy steady state has no visible staleness window).
+- **failover** — an acked insert must survive SIGKILL of its primary:
+  the next query promotes the freshest follower and stays complete,
+  the fencing epoch moves, and the insert is found at similarity 1.0
+  under its acked id — the zero-acked-write-loss drill.
+
+Wired into ``benchmarks/bench_replication.py`` (the CI gate).  The
+record carries ``available_cores`` so a ~1.0x run on a starved machine
+reads as the hardware ceiling it is, not a regression.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..core.executor import available_cpu_count
+from ..core.shard import ShardedDatabase
+from .levers import _best_of
+
+__all__ = ["run_replication_phase"]
+
+
+def _hex_answers(results) -> list:
+    """Neighbor lists with similarities as exact hex — bitwise compare."""
+    return [
+        [(n.index, float(n.similarity).hex()) for n in r.neighbors]
+        for r in results
+    ]
+
+
+def run_replication_phase(
+    n_series: int = 4000,
+    n_queries: int = 64,
+    length: int = 128,
+    sigma: float = 3,
+    epsilon: float = 0.58,
+    k: int = 10,
+    seed: int = 42,
+    repeats: int = 3,
+    shards: int = 1,
+    replicas: int = 2,
+    writes: int = 16,
+    directory: str | Path | None = None,
+    check_faults: bool = True,
+) -> dict:
+    """Benchmark and verify the replicated engine; returns the phase record.
+
+    One shard with N followers isolates the replica-read lever from
+    the shard lever: every endpoint holds the *same* partition, so any
+    speedup is striping across followers, not partitioning.
+    ``check_faults=False`` skips the primary-kill drill.
+    """
+    rng = np.random.default_rng(seed)
+    base = [rng.normal(size=length) for _ in range(n_series)]
+    queries = [rng.normal(size=length) for _ in range(n_queries)]
+
+    tmp = None
+    if directory is None:
+        tmp = tempfile.TemporaryDirectory(prefix="sts3-replication-bench-")
+        directory = Path(tmp.name) / "shards"
+    try:
+        sharded = ShardedDatabase.build(
+            base, shards, directory,
+            sigma=sigma, epsilon=epsilon, normalize=False, replicas=replicas,
+        )
+        try:
+            # warm every endpoint, then time primary-only vs striped
+            sharded.query_batch(queries[:4], k=k, method="index")
+            sharded.query_batch(
+                queries[:4], k=k, method="index", read_preference="nearest"
+            )
+            primary_results = sharded.query_batch(queries, k=k, method="index")
+            primary_seconds = _best_of(
+                lambda: sharded.query_batch(queries, k=k, method="index"),
+                repeats,
+            )
+            striped_results = sharded.query_batch(
+                queries, k=k, method="index", read_preference="nearest"
+            )
+            striped_seconds = _best_of(
+                lambda: sharded.query_batch(
+                    queries, k=k, method="index", read_preference="nearest"
+                ),
+                repeats,
+            )
+            identical = _hex_answers(primary_results) == _hex_answers(
+                striped_results
+            )
+            complete = all(r.complete for r in striped_results)
+
+            # write burst: inline shipping must leave zero visible lag
+            for _ in range(writes):
+                sharded.insert(rng.normal(size=length))
+            lags = [
+                replica["lag_records"]
+                for entry in sharded.replica_status()
+                for replica in entry["replicas"]
+                if replica["alive"]
+            ]
+            record = {
+                "phase": "replication",
+                "n_series": n_series,
+                "n_queries": n_queries,
+                "k": k,
+                "shards": shards,
+                "replicas": replicas,
+                "available_cores": available_cpu_count(),
+                "primary_seconds": round(primary_seconds, 6),
+                "striped_seconds": round(striped_seconds, 6),
+                "replica_read_speedup": round(
+                    primary_seconds / striped_seconds, 3
+                ),
+                "primary_queries_per_second": round(
+                    n_queries / primary_seconds, 2
+                ),
+                "striped_queries_per_second": round(
+                    n_queries / striped_seconds, 2
+                ),
+                "identical_neighbor_lists": identical,
+                "all_complete": complete,
+                "writes": writes,
+                "followers_live": len(lags),
+                "max_lag_records": max(lags) if lags else None,
+                "lag_converged": bool(lags) and max(lags) == 0,
+            }
+            if check_faults:
+                record.update(_failover_drill(sharded, rng, length, k))
+            return record
+        finally:
+            sharded.close()
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def _failover_drill(sharded: ShardedDatabase, rng, length: int, k: int) -> dict:
+    """SIGKILL the primary after an acked insert; verify the contract.
+
+    Expected sequence: the post-kill query promotes the freshest
+    follower inline and is already complete (no degraded window — the
+    difference from the replica-free engine's restart drill); the
+    fencing epoch moves; the acked insert is found at exactly
+    similarity 1.0 under its acked id.
+    """
+    probe = rng.normal(size=length) * 8.0  # out-of-bound: exercises the buffer
+    report = sharded.insert(probe)
+    victim = report["shard"]
+    epoch_before = int(sharded.manifest["epochs"][victim])
+    sharded.kill_worker(victim)
+    started = time.perf_counter()
+    promoted = sharded.query(probe, k=k, method="index")
+    failover_seconds = time.perf_counter() - started
+    found = any(
+        n.index == report["id"] and n.similarity == 1.0
+        for n in promoted.neighbors
+    )
+    epoch_after = int(sharded.manifest["epochs"][victim])
+    return {
+        "fault_insert_id": report["id"],
+        "fault_killed_shard": victim,
+        "fault_promoted_complete": promoted.complete
+        and promoted.skipped_shards == [],
+        "fault_epoch_moved": epoch_after > epoch_before,
+        "fault_acked_write_found": found,
+        "fault_failover_seconds": round(failover_seconds, 6),
+        "fault_ok": (
+            promoted.complete
+            and promoted.skipped_shards == []
+            and epoch_after > epoch_before
+            and found
+        ),
+    }

@@ -236,6 +236,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "with N shard workers (docs/sharding.md); the "
                             "built database is re-partitioned into a "
                             "temporary sharded archive")
+    serve.add_argument("--replicas", type=int, default=0, metavar="R",
+                       help="WAL-shipping followers per shard "
+                            "(docs/replication.md); requires the sharded "
+                            "engine (--shards or a sharded archive)")
+    serve.add_argument("--read-preference", default="primary",
+                       choices=("primary", "replica", "nearest"),
+                       help="read endpoint policy when replicas are "
+                            "configured (docs/replication.md)")
+    serve.add_argument("--max-replica-lag", type=int, default=0,
+                       metavar="RECORDS",
+                       help="bounded staleness: followers more than this "
+                            "many records behind are not read endpoints")
     serve.add_argument("--maintain", action="store_true",
                        help="run the background maintenance engine while "
                             "serving (docs/maintenance.md)")
@@ -266,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
     shard_bench.add_argument("--json", type=str, default=None, metavar="PATH",
                              help="also write the phase record as JSON "
                                   "('-' for stdout)")
+
+    replica_status = sub.add_parser(
+        "replica-status",
+        help="offline replication status of a sharded archive "
+             "(docs/replication.md)",
+    )
+    replica_status.add_argument("dir", help="sharded archive directory")
 
     maintain = sub.add_parser(
         "maintain",
@@ -531,30 +550,58 @@ def _cmd_inspect_sharded(args: argparse.Namespace) -> int:
         f"shard(s), hash seed {manifest['hash_seed']:#x}, "
         f"{manifest['vnodes']} vnodes/shard, next id {manifest['next_id']}"
     )
+    replicas = int(manifest.get("replicas", 0))
+    epochs = manifest.get("epochs") or [0] * int(manifest["shards"])
+    wal_dirs = manifest.get("wal_dirs") or [None] * int(manifest["shards"])
+    if replicas:
+        print(f"replication: {replicas} follower(s) per shard")
     print(
         f"{'shard':>5} {'file':<16} {'series':>7} {'payloads':>9} "
-        f"{'wal lag':>8} {'status':>8}"
+        f"{'ckpt seq':>9} {'since ckpt':>11} {'epoch':>6} {'status':>8}"
     )
     problems = 0
     for shard_id, name in enumerate(manifest["files"]):
         path = Path(args.file) / name
+        wal_dir = (
+            Path(args.file) / wal_dirs[shard_id] if wal_dirs[shard_id] else None
+        )
         try:
-            report = verify_archive(path)
+            report = verify_archive(path, wal_dir=wal_dir)
         except (DatasetError, OSError) as exc:
             print(f"{shard_id:>5} {name:<16} MISSING: {exc}")
             problems += 1
             continue
         n_series = sum(p["n_series"] for p in report["payloads"])
         wal = report["wal"]
-        lag = wal["replay_lag"] if wal["present"] else 0
         status = "ok" if not report["problems"] else "PROBLEMS"
         problems += len(report["problems"])
         print(
             f"{shard_id:>5} {name:<16} {n_series:>7} "
-            f"{len(report['payloads']):>9} {lag:>8} {status:>8}"
+            f"{len(report['payloads']):>9} {wal['checkpoint_seq']:>9} "
+            f"{wal['records_since_checkpoint']:>11} "
+            f"{epochs[shard_id]:>6} {status:>8}"
         )
         for problem in report["problems"]:
             print(f"      PROBLEM: {problem}")
+    if replicas:
+        from .core.replication import replica_mirror_name
+        from .core.wal import read_applied_seq, scan_wal
+
+        print(f"{'shard':>5} {'mirror':<26} {'applied':>8} {'frames':>7}")
+        for shard_id in range(int(manifest["shards"])):
+            for replica_id in range(replicas):
+                mirror_name = replica_mirror_name(shard_id, replica_id)
+                mirror = Path(args.file) / mirror_name
+                if not mirror.exists():
+                    print(f"{shard_id:>5} {mirror_name:<26} {'-':>8} {'-':>7}")
+                    continue
+                applied = read_applied_seq(mirror)
+                _, wal_report = scan_wal(mirror)
+                print(
+                    f"{shard_id:>5} {mirror_name:<26} "
+                    f"{applied if applied is not None else '-':>8} "
+                    f"{wal_report.records:>7}"
+                )
     return 1 if problems else 0
 
 
@@ -618,7 +665,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         if wal["present"]:
             print(
                 f"WAL: {wal['records']} record(s) in {wal['directory']}, "
-                f"replay lag {wal['replay_lag']}"
+                f"checkpoint seq {wal['checkpoint_seq']}, "
+                f"{wal['records_since_checkpoint']} since checkpoint"
                 + ("" if wal["clean"] else "  [DAMAGED — run sts3 recover]")
             )
         else:
@@ -906,8 +954,13 @@ def _serve_build_sharded(args: argparse.Namespace):
     from .core import shard_manifest_path
     from .core.shard import ShardedDatabase
 
+    replication = dict(
+        replicas=args.replicas or None,
+        read_preference=args.read_preference,
+        max_replica_lag=args.max_replica_lag,
+    )
     if args.file is not None and shard_manifest_path(args.file).exists():
-        db = ShardedDatabase.open(args.file)
+        db = ShardedDatabase.open(args.file, **replication)
         return db, f"sharded archive {args.file}", db.close
     if args.shards < 2:
         raise ValueError(f"--shards must be >= 2, got {args.shards}")
@@ -915,7 +968,12 @@ def _serve_build_sharded(args: argparse.Namespace):
     tmp = tempfile.TemporaryDirectory(prefix="sts3-serve-shards-")
     try:
         db = ShardedDatabase.from_database(
-            base, args.shards, Path(tmp.name) / "shards"
+            base,
+            args.shards,
+            Path(tmp.name) / "shards",
+            replicas=args.replicas,
+            read_preference=args.read_preference,
+            max_replica_lag=args.max_replica_lag,
         )
     except BaseException:
         tmp.cleanup()
@@ -927,7 +985,65 @@ def _serve_build_sharded(args: argparse.Namespace):
         db.close()
         tmp.cleanup()
 
-    return db, f"{source}, {args.shards} shard workers", cleanup
+    workers = f"{source}, {args.shards} shard workers"
+    if args.replicas:
+        workers += f" + {args.replicas} replica(s)/shard"
+    return db, workers, cleanup
+
+
+def _cmd_replica_status(args: argparse.Namespace) -> int:
+    """Offline replication status: manifests, watermarks, mirror scans.
+
+    Pure file reads — safe on a directory another process is serving.
+    Lag here is *on-disk* lag (primary WAL frames minus the follower's
+    persisted watermark); a live engine reports the same figure through
+    :meth:`ShardedDatabase.replica_status` and the lag gauges.
+    """
+    from .core.replication import replica_mirror_name
+    from .core.shard import ShardedDatabase
+    from .core.wal import read_applied_seq, scan_wal
+
+    try:
+        manifest = ShardedDatabase.read_manifest(args.dir)
+    except Exception as exc:  # noqa: BLE001 - report and exit
+        print(f"error: cannot read shard manifest: {exc}", file=sys.stderr)
+        return 2
+    n_shards = int(manifest["shards"])
+    replicas = int(manifest.get("replicas", 0))
+    epochs = manifest.get("epochs") or [0] * n_shards
+    wal_dirs = manifest.get("wal_dirs") or [None] * n_shards
+    base = Path(args.dir)
+    print(f"sharded archive: {args.dir} ({replicas} follower(s)/shard)")
+    print(f"{'shard':>5} {'epoch':>6} {'live wal':<26} {'last seq':>9}")
+    primary_seq: list[int] = []
+    for shard_id in range(n_shards):
+        name = wal_dirs[shard_id] or manifest["files"][shard_id] + ".wal"
+        _, report = scan_wal(base / name)
+        primary_seq.append(report.last_seq)
+        print(
+            f"{shard_id:>5} {epochs[shard_id]:>6} {name:<26} "
+            f"{report.last_seq:>9}"
+        )
+    if not replicas:
+        print("no replicas configured")
+        return 0
+    print(f"{'shard':>5} {'replica':>7} {'applied':>8} {'lag':>6} {'frames':>7}")
+    for shard_id in range(n_shards):
+        for replica_id in range(replicas):
+            mirror = base / replica_mirror_name(shard_id, replica_id)
+            if not mirror.exists():
+                print(
+                    f"{shard_id:>5} {replica_id:>7} {'-':>8} {'-':>6} {'-':>7}"
+                )
+                continue
+            applied = read_applied_seq(mirror) or 0
+            _, mirror_report = scan_wal(mirror)
+            lag = max(0, primary_seq[shard_id] - applied)
+            print(
+                f"{shard_id:>5} {replica_id:>7} {applied:>8} {lag:>6} "
+                f"{mirror_report.records:>7}"
+            )
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -1098,6 +1214,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "shard-bench":
         return _cmd_shard_bench(args)
+    if args.command == "replica-status":
+        return _cmd_replica_status(args)
     if args.command == "maintain":
         return _cmd_maintain(args)
     return _cmd_query(args)

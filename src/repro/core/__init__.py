@@ -37,8 +37,20 @@ from .persistence import (
     save_database,
     verify_archive,
 )
-from .wal import ReplayReport, WriteAheadLog, replay_wal, scan_wal
+from .wal import (
+    FrameError,
+    ReplayReport,
+    WalGapError,
+    WalTail,
+    WriteAheadLog,
+    parse_frames,
+    read_applied_seq,
+    replay_wal,
+    scan_wal,
+    write_applied_seq,
+)
 from .pruning import PruningSearcher, zone_histogram
+from .replication import ReplicaSet, ReplicationError, replica_mirror_name
 from .result import Neighbor, QueryResult, SearchStats, aggregate_stats
 from .rpc import RpcError, RpcTimeout, WorkerDied
 from .shard import HashRing, ShardError, ShardedDatabase, shard_manifest_path
@@ -85,7 +97,10 @@ __all__ = [
     "QueryResult",
     "QueryResultCache",
     "QueryWorkspace",
+    "FrameError",
     "ReplayReport",
+    "ReplicaSet",
+    "ReplicationError",
     "RpcError",
     "RpcTimeout",
     "STS3Database",
@@ -100,6 +115,8 @@ __all__ = [
     "SubsequenceSearcher",
     "TuningResult",
     "UpdateBuffer",
+    "WalGapError",
+    "WalTail",
     "WorkerDied",
     "WriteAheadLog",
     "aggregate_stats",
@@ -119,11 +136,14 @@ __all__ = [
     "jaccard_distance",
     "jaccard_from_intersection",
     "load_database",
+    "parse_frames",
     "plan_merge",
     "popcount_u64",
     "popcount_u64_lut",
+    "read_applied_seq",
     "recover_database",
     "replay_wal",
+    "replica_mirror_name",
     "resolve_workers",
     "save_database",
     "scan_wal",
@@ -139,5 +159,6 @@ __all__ = [
     "tune_scale",
     "tune_sigma_epsilon",
     "tune_sigma_epsilon_unlabeled",
+    "write_applied_seq",
     "zone_histogram",
 ]

@@ -31,7 +31,7 @@ from dataclasses import replace as _dc_replace
 import numpy as np
 
 from ..data.normalize import z_normalize
-from ..exceptions import EmptyDatabaseError, ParameterError
+from ..exceptions import EmptyDatabaseError, FollowerWriteError, ParameterError
 from ..faults import fault_point
 from ..obs import get_registry, span
 from ..types import as_series
@@ -207,6 +207,7 @@ class STS3Database:
         self.wal = None
         self.wal_seq = 0
         self._replaying = False
+        self._follower = False
         # Serializes every structural mutation (insert/flush/compact/
         # merge/checkpoint) against the background maintenance engine;
         # readers never take it — they pin catalog snapshots instead.
@@ -295,6 +296,7 @@ class STS3Database:
         self.wal = None
         self.wal_seq = 0
         self._replaying = False
+        self._follower = False
         self._mutation_lock = threading.RLock()
         self._maintenance = None
 
@@ -310,6 +312,7 @@ class STS3Database:
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        self.__dict__.setdefault("_follower", False)
         self._mutation_lock = threading.RLock()
         self._maintenance = None
 
@@ -359,6 +362,35 @@ class STS3Database:
         Recovery is :func:`repro.core.persistence.recover_database`.
         """
         self.wal = wal
+
+    # -- replication follower mode (docs/replication.md) -------------------
+
+    @property
+    def follower(self) -> bool:
+        """True while this database is a replication follower."""
+        return self._follower
+
+    def set_follower(self, follower: bool = True) -> None:
+        """Enter (or, on promotion, leave) follower apply mode.
+
+        A follower's only legal mutations arrive as shipped WAL records
+        applied through
+        :func:`repro.core.persistence.apply_wal_records` — local
+        ``insert``/``flush``/``compact``/``merge_run``/``checkpoint``
+        calls raise :class:`~repro.exceptions.FollowerWriteError`, so a
+        misrouted write can never fork the follower's history from the
+        primary's.  Promotion flips the flag off and re-attaches a live
+        WAL (:meth:`attach_wal`), after which the database journals and
+        serves writes exactly like any primary.
+        """
+        self._follower = bool(follower)
+
+    def _require_writable(self, op: str) -> None:
+        if self._follower and not self._replaying:
+            raise FollowerWriteError(
+                f"{op} rejected: this database is a replication follower "
+                "(writes arrive only via shipped WAL records; promote first)"
+            )
 
     def close(self) -> None:
         """Stop maintenance, sync and release the WAL (safe to call twice)."""
@@ -438,6 +470,7 @@ class STS3Database:
         from .persistence import save_database
 
         with self._mutation_lock:
+            self._require_writable("checkpoint")
             save_database(self, path, **kwargs)
 
     def _wal_append(self, op: str, **fields) -> None:
@@ -874,6 +907,7 @@ class STS3Database:
         contract.
         """
         with self._mutation_lock:
+            self._require_writable("insert")
             if self.wal is not None and not self._replaying:
                 self.wal.append_series("insert", prepared)
             newest = self.catalog.segments[-1]
@@ -923,6 +957,7 @@ class STS3Database:
     def flush(self) -> None:
         """Seal the buffered series as a new segment (O(buffer) work)."""
         with self._mutation_lock:
+            self._require_writable("flush")
             if not len(self.buffer):
                 return
             self._wal_append("flush")
@@ -963,6 +998,7 @@ class STS3Database:
             # would poison every future recovery.
             raise ParameterError(f"min_size must be >= 1, got {min_size}")
         with self._mutation_lock:
+            self._require_writable("compact")
             self._wal_append("compact", min_size=min_size)
             merged_away = self.catalog.compact(min_size=min_size)
             if merged_away:
@@ -980,6 +1016,7 @@ class STS3Database:
         Returns the merged :class:`~repro.core.segment.Segment`.
         """
         with self._mutation_lock:
+            self._require_writable("merge")
             if not self._replaying:
                 fault_point("maintenance.merge.journal")
             self._wal_append("merge", start=int(start), stop=int(stop))
@@ -1004,6 +1041,7 @@ class STS3Database:
         background merges deterministically.
         """
         with self._mutation_lock:
+            self._require_writable("merge")
             start = self.catalog.locate_run(run)
             if start is None:
                 return False

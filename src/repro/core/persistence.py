@@ -1112,6 +1112,12 @@ def verify_archive(path: str | Path, wal_dir: str | Path | None = None) -> dict:
         "present": wal_report.files > 0,
         "records": wal_report.records,
         "replay_lag": replay_lag,
+        # checkpoint bookkeeping (sts3 inspect's sharded view renders
+        # these as columns): the archive's watermark, the log's highest
+        # frame, and how many journaled records a recovery would apply
+        "checkpoint_seq": int(report["wal_seq"]),
+        "last_seq": int(wal_report.last_seq),
+        "records_since_checkpoint": replay_lag,
         "clean": wal_report.clean,
         "problems": list(wal_report.problems),
     }

@@ -1,0 +1,682 @@
+"""WAL-shipping replication for the sharded engine (docs/replication.md).
+
+PR 9's sharded engine scales queries out but keeps exactly one copy of
+every shard: a worker death costs that shard's partition until it
+restarts and recovers *on the same archive*.  This module adds the
+availability half — a :class:`ReplicaSet` pairs each primary shard
+with N follower processes kept current by **WAL shipping**:
+
+- The supervisor (the parent process) holds one :class:`~repro.core.
+  wal.WalTail` per follower over the primary's on-disk WAL directory.
+  After every acknowledged write it polls the tail and ships the new
+  CRC32-framed records — the exact bytes the primary fsynced — over
+  the same pipe RPC the shards speak (``ship`` frames: a uint8 blob
+  plus ``first_seq``/``last_seq``/``count``).
+- A follower appends the shipped frames to its own **mirror** WAL
+  directory (fsynced *before* applying — the mirror is the follower's
+  durability), applies the records through
+  :func:`~repro.core.persistence.apply_wal_records` (the same code
+  path crash recovery uses, so follower state is bit-identical to a
+  recovered primary), advances its ``applied_seq`` watermark, and
+  persists the watermark in a sidecar
+  (:func:`~repro.core.wal.write_applied_seq`).
+- Reads may be served from caught-up followers under a bounded-
+  staleness guard (``read_preference`` on
+  :class:`~repro.core.shard.ShardedDatabase`); the scatter-gather
+  merge is unchanged because a caught-up follower answers exactly like
+  its primary.
+- On primary death the supervisor **promotes** the freshest follower:
+  the remaining intact frames on the dead primary's disk are shipped
+  (an acknowledged write is fsynced, hence intact, hence shipped — no
+  acked write is ever lost), the shard's fencing epoch is bumped in
+  the manifest, and a ``promote`` frame flips the follower into a
+  journaling primary (its mirror becomes the shard's live WAL).
+
+Fencing: every worker and follower echoes its ``epoch`` in every
+reply; the supervisor rejects replies carrying a stale epoch, so a
+zombie primary — one that was presumed dead, got replaced, but is
+still draining its pipe — can never have a late ack believed.
+
+Fault points (deterministic drills, :mod:`repro.faults`):
+``replication.ship`` fires supervisor-side before each ship (a crash
+kind simulates a network partition to that follower; slow delays on
+the virtual clock), ``replication.apply`` fires in the follower before
+applying (crash = follower death mid-apply), and
+``replication.promote`` fires before a promotion is attempted (crash =
+promotion aborted, the supervisor falls back to local restart).
+"""
+
+from __future__ import annotations
+
+import logging
+import signal
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .. import faults
+from ..exceptions import ReproError
+from ..obs import get_registry, span
+from ..serve.protocol import OP_PROMOTE, OP_SHIP, OP_SUBSCRIBE
+from .rpc import RpcError, WorkerDied, recv_frame, send_frame
+from .wal import TailBatch, WalGapError, WalTail, _generation_files, MAGIC
+
+__all__ = [
+    "ReplicaHandle",
+    "ReplicaSet",
+    "ReplicationError",
+    "replica_mirror_name",
+]
+
+logger = logging.getLogger(__name__)
+
+
+class ReplicationError(ReproError):
+    """A replication operation failed (shipping, apply, or promotion)."""
+
+
+def replica_mirror_name(shard_id: int, replica_id: int) -> str:
+    """Mirror WAL directory name for one follower of one shard."""
+    return f"shard-{shard_id:02d}.replica-{replica_id}.wal"
+
+
+# -- the follower process ------------------------------------------------
+
+
+class _MirrorWriter:
+    """Append-only writer for a follower's mirror WAL directory.
+
+    Shipped frames are already framed and checksummed; the mirror just
+    needs them on disk (magic-prefixed, generation-numbered) before the
+    apply is acknowledged.  Appends go to the newest generation file —
+    creating ``00000001.wal`` when the mirror is empty — so the mirror
+    replays and lints exactly like a primary WAL directory.
+    """
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        existing = _generation_files(self.directory)
+        path = existing[-1] if existing else self.directory / f"{1:08d}.wal"
+        fresh = not path.exists() or path.stat().st_size == 0
+        self._file = open(path, "ab")
+        if fresh:
+            self._file.write(MAGIC)
+            self._file.flush()
+            import os
+
+            os.fsync(self._file.fileno())
+
+    def append(self, blob: bytes) -> None:
+        import os
+
+        self._file.write(blob)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def _replica_worker_main(conn, options: dict) -> None:
+    """One follower's serving loop: bootstrap, apply ships, maybe promote.
+
+    Bootstrap loads the shard archive (``mmap=True``, page-cache shared
+    with the primary mapping the same file) and replays the *mirror*
+    WAL — so a restarted follower resumes from its own watermark
+    instead of re-shipping history.  A mirror that is wholly covered by
+    the archive (the follower lagged across a checkpoint and was
+    re-bootstrapped) is wiped: its frames are redundant, and keeping
+    them would leave a sequence gap in front of future ships.
+
+    The loop answers read ops (``query``/``status``/``ping``/
+    ``verify``) through the same dispatcher the primary worker uses;
+    write ops bounce off the database's follower mode until a
+    ``promote`` frame arrives, after which the loop *is* a primary
+    worker loop in every respect.
+    """
+    shard_id = options["shard_id"]
+    replica_id = options["replica_id"]
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    epoch = int(options.get("epoch", 0))
+    try:
+        from .persistence import apply_wal_records, load_database
+        from .shard import _ShardIdTable, _replay_id_table, _worker_status
+        from .wal import replay_wal, write_applied_seq
+
+        db = load_database(options["archive"], mmap=True)
+        table = _ShardIdTable.from_extras(
+            getattr(db, "archive_extras", {}).get("shard", {})
+        )
+        db.set_follower(True)
+        mirror = Path(options["mirror"])
+        mirror.mkdir(parents=True, exist_ok=True)
+        records, report = replay_wal(mirror, truncate=True)
+        if report.records and report.last_seq <= db.wal_seq:
+            # every mirrored frame is covered by the archive; a fresh
+            # mirror keeps future ships contiguous from the watermark
+            for path in _generation_files(mirror):
+                path.unlink()
+            records = []
+        replayed: list[tuple[dict, dict | None]] = []
+        apply_wal_records(
+            db,
+            records,
+            from_seq=db.wal_seq,
+            observer=lambda record, info: replayed.append((record, info)),
+        )
+        _replay_id_table(shard_id, table, replayed)
+        if len(table) != len(db):
+            raise ReplicationError(
+                f"shard {shard_id} replica {replica_id}: id table covers "
+                f"{len(table)} series, database holds {len(db)}"
+            )
+        applied = max(db.wal_seq, report.last_seq)
+        write_applied_seq(mirror, applied)
+        writer = _MirrorWriter(mirror)
+    except BaseException as exc:  # noqa: BLE001 - report, then die
+        try:
+            send_frame(conn, {"op": "ready", "status": "error", "error": f"{exc}"})
+        except Exception:
+            pass
+        conn.close()
+        return
+
+    send_frame(
+        conn,
+        {
+            "op": "ready",
+            "status": "ok",
+            "applied_seq": applied,
+            "epoch": epoch,
+            **_worker_status(db, table),
+        },
+    )
+
+    from .shard import _worker_handle
+
+    try:
+        while True:
+            try:
+                header, arrays = recv_frame(conn, None)
+            except WorkerDied:
+                break  # supervisor closed its end
+            op = header.get("op")
+            try:
+                if op == "shutdown":
+                    send_frame(conn, {"op": "ack", "epoch": epoch})
+                    break
+                if op == OP_SUBSCRIBE:
+                    reply: dict = {
+                        "op": "ack",
+                        "applied_seq": applied,
+                        **_worker_status(db, table),
+                    }
+                elif op == OP_SHIP:
+                    try:
+                        faults.fault_point("replication.apply")
+                    except faults.SimulatedCrash:
+                        import os
+
+                        os._exit(17)  # follower died mid-apply
+                    reply = _apply_ship(
+                        db, table, writer, mirror, header, arrays, applied
+                    )
+                    if reply.get("op") == "ack":
+                        applied = int(reply["applied_seq"])
+                elif op == OP_PROMOTE:
+                    try:
+                        faults.fault_point("replication.promote")
+                    except faults.SimulatedCrash:
+                        import os
+
+                        os._exit(17)  # died in the promotion window
+                    from .wal import WriteAheadLog
+
+                    writer.close()
+                    epoch = int(header["epoch"])
+                    db.set_follower(False)
+                    db.attach_wal(
+                        WriteAheadLog(
+                            mirror,
+                            fsync_batch=int(options.get("fsync_batch") or 1),
+                            start_seq=applied,
+                        )
+                    )
+                    reply = {
+                        "op": "ack",
+                        "applied_seq": applied,
+                        "promoted": True,
+                        **_worker_status(db, table),
+                    }
+                else:
+                    reply, reply_arrays = _worker_handle(
+                        db, table, options, header, arrays
+                    )
+                    reply["epoch"] = epoch
+                    send_frame(conn, reply, reply_arrays)
+                    continue
+                reply["epoch"] = epoch
+                send_frame(conn, reply)
+            except Exception as exc:  # noqa: BLE001 - answer, keep serving
+                send_frame(conn, {"op": "error", "error": f"{exc}", "epoch": epoch})
+    finally:
+        db.close()
+        conn.close()
+
+
+def _apply_ship(db, table, writer, mirror, header, arrays, applied) -> dict:
+    """Mirror + apply one shipped frame run; returns the reply header."""
+    from .persistence import apply_wal_records
+    from .shard import _replay_id_table, _worker_status
+    from .wal import parse_frames, write_applied_seq
+
+    first = int(header["first_seq"])
+    if first != applied + 1:
+        return {
+            "op": "error",
+            "error": (
+                f"ship gap: follower applied through {applied}, "
+                f"shipment starts at {first}"
+            ),
+            "applied_seq": applied,
+        }
+    blob = arrays[0].tobytes() if arrays else b""
+    records = parse_frames(blob, expect_seq=first)
+    if not records:
+        return {"op": "ack", "applied_seq": applied, **_worker_status(db, table)}
+    # durability first: the mirror append is fsynced before the apply,
+    # so an acked shipment survives this follower's own death
+    writer.append(blob)
+    replayed: list[tuple[dict, dict | None]] = []
+    with span("replication.apply", records=len(records)):
+        apply_wal_records(
+            db,
+            records,
+            from_seq=applied,
+            observer=lambda record, info: replayed.append((record, info)),
+        )
+    _replay_id_table(None, table, replayed)
+    applied = records[-1]["seq"]
+    write_applied_seq(mirror, applied)
+    return {"op": "ack", "applied_seq": applied, **_worker_status(db, table)}
+
+
+# -- the supervisor side -------------------------------------------------
+
+
+class ReplicaHandle:
+    """Supervisor-side view of one live follower."""
+
+    __slots__ = (
+        "shard_id",
+        "replica_id",
+        "process",
+        "conn",
+        "applied_seq",
+        "n_series",
+        "tail",
+        "mirror",
+        "partitioned",
+        "caught_up_at",
+    )
+
+    def __init__(self, shard_id, replica_id, process, conn, applied_seq, n_series, tail, mirror):
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.process = process
+        self.conn = conn
+        self.applied_seq = int(applied_seq)
+        self.n_series = int(n_series)
+        self.tail = tail
+        self.mirror = mirror
+        #: test/drill hook — a partitioned follower receives no ships
+        #: (and its lag grows) until the partition heals.
+        self.partitioned = False
+        self.caught_up_at = time.monotonic()
+
+
+class ReplicaSet:
+    """All followers of one :class:`~repro.core.shard.ShardedDatabase`.
+
+    Owned by the engine and called under its lock; never touches the
+    primary worker handles.  ``handles[shard_id][replica_id]`` is a
+    :class:`ReplicaHandle` or None (dead / failed to spawn / promoted
+    away).
+    """
+
+    def __init__(self, engine, n_replicas: int):
+        self.engine = engine
+        self.n_replicas = int(n_replicas)
+        self.handles: list[list[ReplicaHandle | None]] = [
+            [None] * self.n_replicas for _ in range(engine.n_shards)
+        ]
+        registry = get_registry()
+        self._g_lag_records = registry.gauge(
+            "sts3_replication_lag_records",
+            "records the follower is behind its primary",
+        )
+        self._g_lag_seconds = registry.gauge(
+            "sts3_replication_lag_seconds",
+            "seconds since the follower was last caught up",
+        )
+        self._c_shipped = registry.counter(
+            "sts3_replication_shipped_records_total",
+            "WAL records shipped to followers",
+        )
+        self._c_ship_failures = registry.counter(
+            "sts3_replication_ship_failures_total",
+            "failed ship attempts, by shard, replica, and kind",
+        )
+        self._g_live = registry.gauge(
+            "sts3_replica_workers_live", "follower processes currently serving"
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start_all(self) -> None:
+        for shard_id in range(self.engine.n_shards):
+            for replica_id in range(self.n_replicas):
+                self.spawn(shard_id, replica_id)
+
+    def mirror_dir(self, shard_id: int, replica_id: int) -> Path:
+        return self.engine.directory / replica_mirror_name(shard_id, replica_id)
+
+    def spawn(self, shard_id: int, replica_id: int) -> ReplicaHandle | None:
+        """Start (or re-bootstrap) one follower; None when it fails."""
+        engine = self.engine
+        archive = engine.directory / engine.manifest["files"][shard_id]
+        mirror = self.mirror_dir(shard_id, replica_id)
+        options = {
+            "shard_id": shard_id,
+            "replica_id": replica_id,
+            "archive": str(archive),
+            "mirror": str(mirror),
+            "epoch": int(engine.manifest["epochs"][shard_id]),
+            "fsync_batch": engine.fsync_batch,
+        }
+        parent_conn, child_conn = engine._ctx.Pipe(duplex=True)
+        process = engine._ctx.Process(
+            target=_replica_worker_main,
+            args=(child_conn, options),
+            name=f"sts3-shard-{shard_id}-replica-{replica_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        try:
+            ready, _ = recv_frame(parent_conn, max(engine.rpc_timeout, 30.0))
+        except RpcError as exc:
+            parent_conn.close()
+            process.join(timeout=5.0)
+            logger.warning(
+                "shard %d replica %d failed to start: %s", shard_id, replica_id, exc
+            )
+            return None
+        if ready.get("status") != "ok":
+            parent_conn.close()
+            process.join(timeout=5.0)
+            logger.warning(
+                "shard %d replica %d failed to start: %s",
+                shard_id,
+                replica_id,
+                ready.get("error"),
+            )
+            return None
+        applied = int(ready["applied_seq"])
+        handle = ReplicaHandle(
+            shard_id,
+            replica_id,
+            process,
+            parent_conn,
+            applied,
+            int(ready["n_series"]),
+            WalTail(self.engine.shard_wal_dir(shard_id), from_seq=applied),
+            mirror,
+        )
+        self.handles[shard_id][replica_id] = handle
+        self._set_live_gauge()
+        return handle
+
+    def reap(self, shard_id: int, replica_id: int) -> None:
+        handle = self.handles[shard_id][replica_id]
+        if handle is None:
+            return
+        self.handles[shard_id][replica_id] = None
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(timeout=5.0)
+        self._discard_handle_labels(shard_id, replica_id)
+        self._set_live_gauge()
+
+    def detach(self, shard_id: int, replica_id: int) -> None:
+        """Forget a follower without killing it (it was promoted)."""
+        self.handles[shard_id][replica_id] = None
+        self._discard_handle_labels(shard_id, replica_id)
+        self._set_live_gauge()
+
+    def close(self) -> None:
+        for shard_id in range(self.engine.n_shards):
+            for replica_id in range(self.n_replicas):
+                handle = self.handles[shard_id][replica_id]
+                if handle is None:
+                    continue
+                try:
+                    send_frame(handle.conn, {"op": "shutdown"})
+                    recv_frame(handle.conn, 5.0)
+                except RpcError:
+                    pass
+                self.reap(shard_id, replica_id)
+
+    def _discard_handle_labels(self, shard_id: int, replica_id: int) -> None:
+        # membership changed: retire this follower's *gauge* series so
+        # dashboards stop showing a ghost watermark (the PR 8
+        # discard_labels hygiene, extended to replica labels).  Counters
+        # (shipped/failures) keep their labels — they are history, and
+        # wiping them would erase the very failures that explain a reap.
+        get_registry().discard_labels(
+            name_prefix="sts3_replication_lag_",
+            shard=str(shard_id),
+            replica=str(replica_id),
+        )
+
+    def _set_live_gauge(self) -> None:
+        self._g_live.set(
+            sum(1 for row in self.handles for h in row if h is not None)
+        )
+
+    # -- shipping --------------------------------------------------------
+
+    def live(self, shard_id: int) -> list[ReplicaHandle]:
+        return [h for h in self.handles[shard_id] if h is not None]
+
+    def ship(self, shard_id: int) -> None:
+        """Ship new primary WAL frames to every reachable follower."""
+        for handle in self.live(shard_id):
+            if handle.partitioned:
+                self._observe_lag(handle)
+                continue
+            try:
+                faults.fault_point("replication.ship")
+            except faults.SimulatedCrash:
+                # an injected partition: this follower misses the round
+                self._c_ship_failures.inc(
+                    shard=str(shard_id), replica=str(handle.replica_id),
+                    kind="partition",
+                )
+                self._observe_lag(handle)
+                continue
+            self.ship_one(handle)
+
+    def ship_all(self) -> None:
+        for shard_id in range(self.engine.n_shards):
+            self.ship(shard_id)
+
+    def _rebootstrap(self, handle: ReplicaHandle, kind: str) -> bool:
+        """Replace a follower that cannot be caught up by shipping."""
+        self._c_ship_failures.inc(
+            shard=str(handle.shard_id), replica=str(handle.replica_id),
+            kind=kind,
+        )
+        replica_id = handle.replica_id
+        self.reap(handle.shard_id, replica_id)
+        return self.spawn(handle.shard_id, replica_id) is not None
+
+    def ship_one(self, handle: ReplicaHandle) -> bool:
+        """Poll this follower's tail and ship the batch; False on failure."""
+        try:
+            batch = handle.tail.poll()
+        except WalGapError:
+            # the primary checkpointed past this follower's watermark;
+            # catch-up by shipping is impossible — re-bootstrap from
+            # the (necessarily newer) archive
+            return self._rebootstrap(handle, "gap")
+        if batch.count == 0:
+            if handle.applied_seq < int(
+                self.engine._primary_ckpt[handle.shard_id]
+            ):
+                # nothing to tail *and* the follower sits behind the
+                # primary's checkpoint: the frames it needs were retired
+                # and the empty log will never surface them — the gap an
+                # idle WalTail cannot see
+                return self._rebootstrap(handle, "gap")
+            self._observe_lag(handle)
+            return True
+        with span(
+            "replication.ship",
+            shard=handle.shard_id,
+            replica=handle.replica_id,
+            records=batch.count,
+        ):
+            try:
+                send_frame(
+                    handle.conn,
+                    {
+                        "op": OP_SHIP,
+                        "first_seq": batch.first_seq,
+                        "last_seq": batch.last_seq,
+                        "count": batch.count,
+                    },
+                    [np.frombuffer(batch.blob, dtype=np.uint8)],
+                )
+                reply, _ = recv_frame(handle.conn, self.engine.rpc_timeout)
+            except RpcError:
+                self._rebootstrap(handle, "rpc")
+                return False
+        if reply.get("op") != "ack":
+            # e.g. a gap the tail missed; re-bootstrap cleanly
+            self._rebootstrap(handle, "apply")
+            return False
+        handle.applied_seq = int(reply["applied_seq"])
+        handle.n_series = int(reply["n_series"])
+        self._c_shipped.inc(
+            batch.count,
+            shard=str(handle.shard_id),
+            replica=str(handle.replica_id),
+        )
+        self._observe_lag(handle)
+        return True
+
+    # -- staleness -------------------------------------------------------
+
+    def lag_records(self, handle: ReplicaHandle) -> int:
+        primary = int(self.engine._primary_seq[handle.shard_id])
+        return max(0, primary - handle.applied_seq)
+
+    def _observe_lag(self, handle: ReplicaHandle) -> None:
+        lag = self.lag_records(handle)
+        now = time.monotonic()
+        if lag == 0:
+            handle.caught_up_at = now
+        labels = {
+            "shard": str(handle.shard_id),
+            "replica": str(handle.replica_id),
+        }
+        self._g_lag_records.set(lag, **labels)
+        self._g_lag_seconds.set(
+            0.0 if lag == 0 else now - handle.caught_up_at, **labels
+        )
+
+    def endpoints(self, shard_id: int, max_lag_records: int) -> list[ReplicaHandle]:
+        """Followers fresh enough to serve reads (bounded staleness)."""
+        return [
+            h
+            for h in self.live(shard_id)
+            if not h.partitioned and self.lag_records(h) <= max_lag_records
+        ]
+
+    def freshest(self, shard_id: int) -> ReplicaHandle | None:
+        """The promotion candidate: highest watermark wins, id breaks ties."""
+        best: ReplicaHandle | None = None
+        for handle in self.live(shard_id):
+            if best is None or handle.applied_seq > best.applied_seq:
+                best = handle
+        return best
+
+    def set_partitioned(self, shard_id: int, replica_id: int, flag: bool) -> None:
+        """Drill hook: cut (or heal) the link to one follower."""
+        handle = self.handles[shard_id][replica_id]
+        if handle is not None:
+            handle.partitioned = bool(flag)
+
+    # -- promotion -------------------------------------------------------
+
+    def promote(self, shard_id: int, handle: ReplicaHandle, epoch: int) -> dict | None:
+        """Catch this follower up from disk, then flip it into a primary.
+
+        Called with the fencing epoch already bumped and persisted.
+        The final catch-up reads the dead primary's WAL directly — an
+        acknowledged write was fsynced before its ack, so its frame is
+        intact on disk and this ship delivers it (the zero-acked-loss
+        argument).  Returns the promote ack (new primary status) or
+        None when promotion failed; the follower is reaped on failure.
+        """
+        try:
+            if not self.ship_one(handle):
+                return None
+            if self.handles[shard_id][handle.replica_id] is not handle:
+                return None  # ship_one re-bootstrapped it; not current
+            send_frame(handle.conn, {"op": OP_PROMOTE, "epoch": int(epoch)})
+            reply, _ = recv_frame(handle.conn, self.engine.rpc_timeout)
+        except (RpcError, WalGapError):
+            self.reap(shard_id, handle.replica_id)
+            return None
+        if reply.get("op") != "ack" or not reply.get("promoted"):
+            self.reap(shard_id, handle.replica_id)
+            return None
+        return reply
+
+    # -- introspection ---------------------------------------------------
+
+    def status(self, shard_id: int) -> list[dict]:
+        entries = []
+        for replica_id in range(self.n_replicas):
+            handle = self.handles[shard_id][replica_id]
+            entry = {
+                "replica": replica_id,
+                "alive": handle is not None,
+                "mirror": replica_mirror_name(shard_id, replica_id),
+            }
+            if handle is not None:
+                lag = self.lag_records(handle)
+                entry.update(
+                    applied_seq=handle.applied_seq,
+                    primary_seq=int(self.engine._primary_seq[shard_id]),
+                    lag_records=lag,
+                    lag_seconds=(
+                        0.0
+                        if lag == 0
+                        else time.monotonic() - handle.caught_up_at
+                    ),
+                    partitioned=handle.partitioned,
+                    n_series=handle.n_series,
+                )
+            entries.append(entry)
+        return entries

@@ -23,6 +23,13 @@ The parent is the only writer on its end and each worker serves its
 pipe single-threaded, so requests on one pipe are naturally serialized
 and responses never interleave; scatter-gather parallelism comes from
 having N pipes, not from multiplexing one.
+
+Replication followers (:mod:`repro.core.replication`,
+docs/replication.md) speak the same frames over the same pipes: a
+``ship`` carries a contiguous run of raw WAL frames as a uint8 blob,
+``subscribe`` probes a follower's apply watermark, and ``promote``
+flips it into a primary — see ``OP_SHIP``/``OP_SUBSCRIBE``/
+``OP_PROMOTE`` in :mod:`repro.serve.protocol`.
 """
 
 from __future__ import annotations

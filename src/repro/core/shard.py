@@ -84,7 +84,13 @@ _METHODS = ("naive", "index", "pruning", "approximate", "minhash", "auto")
 
 MANIFEST_NAME = "shard-manifest.json"
 MANIFEST_FORMAT = "sts3-sharded"
-MANIFEST_VERSION = 1
+#: v2 adds replication state: ``replicas`` (followers per shard),
+#: ``epochs`` (per-shard fencing epoch, bumped *before* a promotion is
+#: attempted), and ``wal_dirs`` (per-shard live WAL directory name —
+#: None means the default ``<file>.wal``; after a failover it names the
+#: promoted follower's mirror).  v1 manifests open fine: the fields
+#: default on read.
+MANIFEST_VERSION = 2
 
 #: seed of the hash ring when none is given ("SW" again, like the
 #: protocol port); recorded in the shard manifest so reopening a
@@ -229,6 +235,33 @@ class _ShardIdTable:
 # -- the worker process --------------------------------------------------
 
 
+def _replay_id_table(shard_id, table: _ShardIdTable, replayed) -> None:
+    """Re-apply observed WAL records to the id table.
+
+    ``replayed`` is the ``(record, info)`` stream an
+    :func:`~repro.core.persistence.apply_wal_records` observer
+    collected.  Shared by worker recovery and replication followers —
+    both rebuild the same local→global mapping from the same journal.
+    """
+    where = f"shard {shard_id}" if shard_id is not None else "follower"
+    pending_id: int | None = None
+    for record, info in replayed:
+        op = record["op"]
+        if op == "note":
+            pending_id = int(record["id"])
+        elif op == "insert":
+            if pending_id is None:
+                raise ShardError(
+                    f"{where}: WAL insert at seq "
+                    f"{record['seq']} has no preceding id note"
+                )
+            table.insert(pending_id, info["path"], info["sealed"])
+            pending_id = None
+        elif op == "flush" and info and info["sealed"]:
+            table.seal()
+        # compact/merge preserve stored order: nothing to track
+
+
 def _shard_worker_main(conn, options: dict) -> None:
     """One shard's serving loop: recover the shard, answer the pipe.
 
@@ -246,12 +279,14 @@ def _shard_worker_main(conn, options: dict) -> None:
     # group; shutdown is the parent's call (a shutdown frame or pipe
     # EOF), so workers must not die to the shared signal first.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    epoch = int(options.get("epoch", 0))
     try:
         from .persistence import recover_database
 
         replayed: list[tuple[dict, dict | None]] = []
         db = recover_database(
             options["archive"],
+            wal_dir=options.get("wal_dir"),
             fsync_batch=options.get("fsync_batch"),
             mmap=True,
             observer=lambda record, info: replayed.append((record, info)),
@@ -259,22 +294,7 @@ def _shard_worker_main(conn, options: dict) -> None:
         table = _ShardIdTable.from_extras(
             getattr(db, "archive_extras", {}).get("shard", {})
         )
-        pending_id: int | None = None
-        for record, info in replayed:
-            op = record["op"]
-            if op == "note":
-                pending_id = int(record["id"])
-            elif op == "insert":
-                if pending_id is None:
-                    raise ShardError(
-                        f"shard {shard_id}: WAL insert at seq "
-                        f"{record['seq']} has no preceding id note"
-                    )
-                table.insert(pending_id, info["path"], info["sealed"])
-                pending_id = None
-            elif op == "flush" and info and info["sealed"]:
-                table.seal()
-            # compact/merge preserve stored order: nothing to track
+        _replay_id_table(shard_id, table, replayed)
         if len(table) != len(db):
             raise ShardError(
                 f"shard {shard_id}: id table covers {len(table)} series, "
@@ -291,7 +311,10 @@ def _shard_worker_main(conn, options: dict) -> None:
         conn.close()
         return
 
-    send_frame(conn, {"op": "ready", "status": "ok", **_worker_status(db, table)})
+    send_frame(
+        conn,
+        {"op": "ready", "status": "ok", "epoch": epoch, **_worker_status(db, table)},
+    )
 
     try:
         while True:
@@ -306,11 +329,17 @@ def _shard_worker_main(conn, options: dict) -> None:
             op = header.get("op")
             try:
                 if op == "shutdown":
-                    send_frame(conn, {"op": "ack"})
+                    send_frame(conn, {"op": "ack", "epoch": epoch})
                     break
-                send_frame(conn, *_worker_handle(db, table, options, header, arrays))
+                reply, reply_arrays = _worker_handle(
+                    db, table, options, header, arrays
+                )
+                # every reply carries the worker's fencing epoch; the
+                # parent rejects stale ones (zombie-primary protection)
+                reply.setdefault("epoch", epoch)
+                send_frame(conn, reply, reply_arrays)
             except Exception as exc:  # noqa: BLE001 - answer, keep serving
-                send_frame(conn, {"op": "error", "error": f"{exc}"})
+                send_frame(conn, {"op": "error", "error": f"{exc}", "epoch": epoch})
     finally:
         db.close()
         conn.close()
@@ -325,6 +354,10 @@ def _worker_status(db, table: _ShardIdTable) -> dict:
         "max_id": table.max_id(),
         "wal_lag": (
             db.wal.records_since_checkpoint if db.wal is not None else 0
+        ),
+        "wal_seq": db.wal.last_seq if db.wal is not None else db.wal_seq,
+        "checkpoint_seq": (
+            db.wal.checkpoint_seq if db.wal is not None else db.wal_seq
         ),
     }
 
@@ -434,14 +467,35 @@ class ShardedDatabase:
         rpc_timeout: float = 30.0,
         fsync_batch: int = 1,
         start: bool = True,
+        replicas: int | None = None,
+        read_preference: str = "primary",
+        max_replica_lag: int = 0,
     ):
         self.directory = Path(directory)
         self.manifest = manifest
         self.n_shards = int(manifest["shards"])
+        # v1 manifests predate replication: default its fields in one
+        # place so every constructor path sees a v2-shaped manifest.
+        manifest.setdefault("replicas", 0)
+        manifest.setdefault("epochs", [0] * self.n_shards)
+        manifest.setdefault("wal_dirs", [None] * self.n_shards)
         self.ring = HashRing(
             self.n_shards, int(manifest["hash_seed"]), int(manifest["vnodes"])
         )
         self.rpc_timeout = float(rpc_timeout)
+        if read_preference not in ("primary", "replica", "nearest"):
+            raise ParameterError(
+                f"unknown read preference {read_preference!r}; "
+                "one of ('primary', 'replica', 'nearest')"
+            )
+        #: default endpoint policy for reads (docs/replication.md):
+        #: ``primary`` never touches followers; ``replica`` stripes the
+        #: batch across caught-up followers (primary only as fallback);
+        #: ``nearest`` stripes across primary and followers alike.
+        self.read_preference = read_preference
+        #: bounded staleness: a follower more than this many records
+        #: behind its primary is not an eligible read endpoint.
+        self.max_replica_lag = int(max_replica_lag)
         #: default 1 — a sharded insert is acknowledged only once its
         #: WAL records are fsynced, which is what makes the worker-kill
         #: contract ("no acked write lost") unconditional.  Raise it to
@@ -451,11 +505,23 @@ class ShardedDatabase:
         self.planner = _PlannerShim()
         self.maintenance = None
         self._workers: list[_WorkerHandle | None] = [None] * self.n_shards
+        #: highest WAL seq each primary has acknowledged — the yardstick
+        #: follower lag is measured against.
+        self._primary_seq: list[int] = [0] * self.n_shards
+        #: each primary's checkpoint watermark.  A follower applied
+        #: below it can never catch up by shipping (the generations it
+        #: needs were retired) — the gap is invisible to an idle WAL
+        #: tail, so shipping consults this to force the re-bootstrap.
+        self._primary_ckpt: list[int] = [0] * self.n_shards
         self._next_id = 0
         self._lock = threading.RLock()
         self._closed = False
         available = mp.get_all_start_methods()
         self._ctx = mp.get_context("fork" if "fork" in available else None)
+        n_replicas = (
+            int(manifest["replicas"]) if replicas is None else int(replicas)
+        )
+        self._replicas = None
         if start:
             failures = []
             for shard_id in range(self.n_shards):
@@ -468,6 +534,11 @@ class ShardedDatabase:
                 raise ShardError(
                     "sharded open failed: " + "; ".join(failures)
                 )
+            if n_replicas > 0:
+                from .replication import ReplicaSet
+
+                self._replicas = ReplicaSet(self, n_replicas)
+                self._replicas.start_all()
 
     # -- construction ---------------------------------------------------
 
@@ -489,6 +560,9 @@ class ShardedDatabase:
         prepared: bool = False,
         rpc_timeout: float = 30.0,
         fsync_batch: int = 1,
+        replicas: int = 0,
+        read_preference: str = "primary",
+        max_replica_lag: int = 0,
     ) -> "ShardedDatabase":
         """Partition ``series`` into a sharded archive and open it.
 
@@ -554,6 +628,9 @@ class ShardedDatabase:
             "series_total": len(series),
             "next_id": len(series),
             "files": [cls.shard_file(i) for i in range(n_shards)],
+            "replicas": int(replicas),
+            "epochs": [0] * int(n_shards),
+            "wal_dirs": [None] * int(n_shards),
             "params": {
                 "sigma": float(sigma),
                 "epsilon": list(epsilon) if isinstance(epsilon, tuple) else epsilon,
@@ -567,7 +644,12 @@ class ShardedDatabase:
         }
         cls._write_manifest(directory, manifest)
         return cls(
-            directory, manifest, rpc_timeout=rpc_timeout, fsync_batch=fsync_batch
+            directory,
+            manifest,
+            rpc_timeout=rpc_timeout,
+            fsync_batch=fsync_batch,
+            read_preference=read_preference,
+            max_replica_lag=max_replica_lag,
         )
 
     @classmethod
@@ -605,15 +687,26 @@ class ShardedDatabase:
         directory: str | Path,
         rpc_timeout: float = 30.0,
         fsync_batch: int = 1,
+        replicas: int | None = None,
+        read_preference: str = "primary",
+        max_replica_lag: int = 0,
     ) -> "ShardedDatabase":
         """Open a sharded archive directory: spawn + recover every worker.
 
         Each worker replays its own WAL tail, so opening after a crash
         *is* recovery — there is no separate recover entry point.
+        ``replicas`` overrides the manifest's follower count for this
+        open (None keeps the manifest's).
         """
         manifest = cls.read_manifest(directory)
         return cls(
-            directory, manifest, rpc_timeout=rpc_timeout, fsync_batch=fsync_batch
+            directory,
+            manifest,
+            rpc_timeout=rpc_timeout,
+            fsync_batch=fsync_batch,
+            replicas=replicas,
+            read_preference=read_preference,
+            max_replica_lag=max_replica_lag,
         )
 
     @staticmethod
@@ -644,6 +737,18 @@ class ShardedDatabase:
             "shard-manifest",
         )
 
+    def shard_wal_dir(self, shard_id: int) -> Path:
+        """This shard's *live* WAL directory (the one its primary writes).
+
+        The default is the archive-derived ``shard-NN.sts3.wal``; after
+        a failover the manifest points it at the promoted follower's
+        mirror instead — the mirror *is* the shard's history now.
+        """
+        name = self.manifest["wal_dirs"][shard_id]
+        if name:
+            return self.directory / name
+        return self.directory / (self.manifest["files"][shard_id] + ".wal")
+
     # -- worker lifecycle -----------------------------------------------
 
     def _spawn_worker(self, shard_id: int) -> dict:
@@ -652,7 +757,9 @@ class ShardedDatabase:
         options = {
             "shard_id": shard_id,
             "archive": str(archive),
+            "wal_dir": str(self.shard_wal_dir(shard_id)),
             "fsync_batch": self.fsync_batch,
+            "epoch": int(self.manifest["epochs"][shard_id]),
         }
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
@@ -679,8 +786,28 @@ class ShardedDatabase:
             shard_id, process, parent_conn, int(ready["n_series"])
         )
         self._next_id = max(self._next_id, int(ready["max_id"]) + 1)
+        self._primary_seq[shard_id] = int(ready.get("wal_seq", 0))
+        self._primary_ckpt[shard_id] = int(ready.get("checkpoint_seq", 0))
         self._set_live_gauge()
         return ready
+
+    def _epoch_ok(self, shard_id: int, reply: dict) -> bool:
+        """Fencing check on a primary's reply; False means zombie.
+
+        A worker that was presumed dead and replaced answers with the
+        epoch it was spawned under; the manifest's epoch moved past it
+        when its successor was promoted, so its late acks must not be
+        believed (the write is only durable if the *current* primary
+        has it).
+        """
+        seen = reply.get("epoch")
+        if seen is None or int(seen) == int(self.manifest["epochs"][shard_id]):
+            return True
+        get_registry().counter(
+            "sts3_fenced_replies_total",
+            "primary replies rejected for a stale fencing epoch",
+        ).inc(shard=str(shard_id))
+        return False
 
     def _set_live_gauge(self) -> None:
         get_registry().gauge(
@@ -717,7 +844,100 @@ class ShardedDatabase:
         get_registry().counter(
             "sts3_shard_failures_total", "shard RPC failures, by shard and kind"
         ).inc(shard=str(shard_id), kind=error)
+        if self._replicas is not None:
+            # With followers standing by, a dead primary is a failover,
+            # not an outage: promote the freshest caught-up follower
+            # and keep answering complete.  Restart-from-archive is the
+            # fallback when no follower can be promoted.
+            ready = self._failover(shard_id)
+            if ready is not None:
+                return ready
         return self._restart_worker(shard_id)
+
+    def _failover(self, shard_id: int) -> dict | None:
+        """Promote the freshest follower to primary; None when impossible.
+
+        Order matters for safety: the dead primary is reaped first, the
+        fencing epoch is bumped *and persisted* second (from here on no
+        reply from the old epoch is believed anywhere), and only then
+        is the follower caught up from the dead primary's on-disk WAL
+        and promoted.  An acked write was fsynced before its ack, so
+        the catch-up ship reads it — zero acked-write loss.
+        """
+        if self._replicas is None:
+            return None
+        with span("replication.promote", shard=shard_id):
+            try:
+                faults.fault_point("replication.promote")
+            except faults.SimulatedCrash:
+                return None  # promotion aborted; caller falls back
+            self._reap_worker(shard_id)
+            candidate = self._replicas.freshest(shard_id)
+            if candidate is None:
+                return None
+            epoch = int(self.manifest["epochs"][shard_id]) + 1
+            self.manifest["epochs"][shard_id] = epoch
+            self._write_manifest(self.directory, self.manifest)
+            reply = self._replicas.promote(shard_id, candidate, epoch)
+            if reply is None:
+                return None
+            self._replicas.detach(shard_id, candidate.replica_id)
+            self._workers[shard_id] = _WorkerHandle(
+                shard_id, candidate.process, candidate.conn, int(reply["n_series"])
+            )
+            self.manifest["wal_dirs"][shard_id] = candidate.mirror.name
+            self._write_manifest(self.directory, self.manifest)
+            self._next_id = max(self._next_id, int(reply["max_id"]) + 1)
+            self._primary_seq[shard_id] = int(
+                reply.get("wal_seq", reply["applied_seq"])
+            )
+            self._primary_ckpt[shard_id] = int(
+                reply.get("checkpoint_seq", self._primary_ckpt[shard_id])
+            )
+            get_registry().counter(
+                "sts3_failovers_total", "follower promotions to primary, by shard"
+            ).inc(shard=str(shard_id))
+            # surviving followers now tail the new primary's WAL (the
+            # mirror); their watermarks carry over — shipped frames are
+            # identical bytes regardless of which primary wrote them
+            from .wal import WalTail
+
+            new_dir = self.shard_wal_dir(shard_id)
+            for handle in self._replicas.live(shard_id):
+                handle.tail = WalTail(new_dir, from_seq=handle.applied_seq)
+            self._set_live_gauge()
+            return reply
+
+    def promote(self, shard_id: int) -> dict:
+        """Manually promote a follower of ``shard_id`` (runbook op).
+
+        Drains replication (ships every journaled record), shuts the
+        current primary down cleanly, and runs the same failover path
+        an unplanned death takes — so drills and real failovers
+        exercise identical code.  Raises :class:`ShardError` when no
+        follower can be promoted (the old primary is then restarted).
+        """
+        with self._lock:
+            self._require_open()
+            if self._replicas is None:
+                raise ShardError("no replicas configured; nothing to promote")
+            handle = self._workers[shard_id]
+            if handle is not None:
+                self._replicas.ship(shard_id)
+                try:
+                    send_frame(handle.conn, {"op": "shutdown"})
+                    recv_frame(handle.conn, 5.0)
+                except RpcError:
+                    pass
+                self._reap_worker(shard_id)
+            ready = self._failover(shard_id)
+            if ready is None:
+                restarted = self._restart_worker(shard_id)
+                raise ShardError(
+                    f"shard {shard_id}: no follower could be promoted"
+                    + ("" if restarted else " and the primary failed to restart")
+                )
+            return ready
 
     def _ensure_worker(self, shard_id: int) -> _WorkerHandle:
         handle = self._workers[shard_id]
@@ -754,6 +974,7 @@ class ShardedDatabase:
         max_scale: int | None = None,
         deadline_ms: float | None = None,
         deadline_start: float | None = None,
+        read_preference: str | None = None,
     ) -> QueryResult:
         """Scatter one k-NN query to every shard and gather the merge.
 
@@ -761,11 +982,14 @@ class ShardedDatabase:
         ``Neighbor.index`` carrying *global series ids* (for a built
         collection, its position in the build order).  On a shard
         failure the answer degrades instead of raising: the missing
-        partition is named in ``result.skipped_shards``.
+        partition is named in ``result.skipped_shards`` (with replicas
+        configured, failover is attempted first and the query retried
+        against the promoted follower).
         """
         return self.query_batch(
             [series], k=k, method=method, scale=scale, max_scale=max_scale,
             deadline_ms=deadline_ms, deadline_start=deadline_start,
+            read_preference=read_preference,
         )[0]
 
     def query_batch(
@@ -777,6 +1001,7 @@ class ShardedDatabase:
         max_scale: int | None = None,
         deadline_ms: float | None = None,
         deadline_start: float | None = None,
+        read_preference: str | None = None,
     ) -> list[QueryResult]:
         """Scatter a query batch to all shards; gather per-query merges.
 
@@ -785,11 +1010,28 @@ class ShardedDatabase:
         where applicable) while the others do the same, so N shards cut
         wall-clock by ~N on CPU-bound batches — the lever
         ``benchmarks/bench_shard.py`` gates.
+
+        ``read_preference`` (default: the engine's) widens the endpoint
+        set per shard: under ``replica``/``nearest`` the batch is
+        *striped* across that shard's caught-up endpoints (query ``i``
+        to endpoint ``i % E``), so followers add read throughput the
+        way shards do — more processes each searching the same
+        partition for a disjoint slice of the batch.  A caught-up
+        follower answers bit-identically to its primary (same archive,
+        same applied WAL, same grid), so striping preserves the merge
+        contract; any endpoint failure falls the whole shard back to
+        its primary.
         """
         if method not in _METHODS:
             raise ParameterError(f"unknown method {method!r}; one of {_METHODS}")
         if not queries:
             return []
+        pref = self.read_preference if read_preference is None else read_preference
+        if pref not in ("primary", "replica", "nearest"):
+            raise ParameterError(
+                f"unknown read preference {pref!r}; "
+                "one of ('primary', 'replica', 'nearest')"
+            )
         arrays = [
             np.ascontiguousarray(as_series(q), dtype=np.float64) for q in queries
         ]
@@ -813,23 +1055,44 @@ class ShardedDatabase:
         )
         with self._lock:
             self._require_open()
+            if pref != "primary" and self._replicas is not None:
+                responses, failed = self._striped_scatter(
+                    arrays, header, pref, requests
+                )
+                results = self._merge(len(arrays), k, responses, failed)
+                get_registry().counter(
+                    "sts3_shard_queries_total",
+                    "queries answered by the sharded engine",
+                ).inc(len(arrays), method=method)
+                if failed:
+                    get_registry().counter(
+                        "sts3_shard_skipped_total",
+                        "queries answered with at least one shard missing",
+                    ).inc(len(arrays))
+                return results
             sent: list[int] = []
             failed: list[int] = []
+            responses: list[tuple[int, dict]] = []
             with span("shard.scatter", shards=self.n_shards, queries=len(arrays)):
                 for shard_id in range(self.n_shards):
                     handle = self._workers[shard_id]
                     if handle is None and self._restart_worker(shard_id) is None:
-                        failed.append(shard_id)
-                        continue
+                        if self._failover(shard_id) is None:
+                            failed.append(shard_id)
+                            continue
                     handle = self._workers[shard_id]
                     try:
                         send_packed(handle.conn, packed)
                         requests.inc(op="query", shard=str(shard_id))
                         sent.append(shard_id)
                     except WorkerDied:
-                        self._worker_failed(shard_id, "send-eof")
-                        failed.append(shard_id)
-            responses: list[tuple[int, dict]] = []
+                        reply = self._recover_and_retry(
+                            shard_id, "send-eof", packed, requests
+                        )
+                        if reply is not None:
+                            responses.append((shard_id, reply))
+                        else:
+                            failed.append(shard_id)
             with span("shard.gather", shards=len(sent)):
                 for shard_id in sent:
                     handle = self._workers[shard_id]
@@ -839,7 +1102,13 @@ class ShardedDatabase:
                         kind = (
                             "timeout" if not isinstance(exc, WorkerDied) else "eof"
                         )
-                        self._worker_failed(shard_id, kind)
+                        reply = self._recover_and_retry(
+                            shard_id, kind, packed, requests
+                        )
+                        if reply is None:
+                            failed.append(shard_id)
+                            continue
+                    if not self._epoch_ok(shard_id, reply):
                         failed.append(shard_id)
                         continue
                     if reply.get("op") == "error":
@@ -857,6 +1126,161 @@ class ShardedDatabase:
                 "queries answered with at least one shard missing",
             ).inc(len(arrays))
         return results
+
+    def _recover_and_retry(self, shard_id, kind, packed, requests) -> dict | None:
+        """Handle a mid-query worker failure; retry only after failover.
+
+        Without replicas the contract is unchanged from the original
+        sharded engine — the query degrades while the worker restarts
+        in the background.  With replicas, by the time
+        :meth:`_worker_failed` returns the freshest follower has been
+        promoted, so the same query bytes are re-sent once and the
+        answer stays complete.
+        """
+        ready = self._worker_failed(shard_id, kind)
+        if ready is None or self._replicas is None:
+            return None
+        handle = self._workers[shard_id]
+        if handle is None:
+            return None
+        try:
+            send_packed(handle.conn, packed)
+            requests.inc(op="query", shard=str(shard_id))
+            reply, _ = recv_frame(handle.conn, self.rpc_timeout)
+        except RpcError:
+            return None
+        if reply.get("op") != "result" or not self._epoch_ok(shard_id, reply):
+            return None
+        return reply
+
+    def _striped_scatter(self, arrays, header, pref, requests):
+        """Fan one batch across each shard's eligible read endpoints.
+
+        Query ``i`` of a shard's sub-batch goes to endpoint ``i % E``
+        (``replica``: the caught-up followers, primary only as
+        fallback; ``nearest``: primary and followers alike), and every
+        send completes before any receive, so endpoints overlap both
+        within and across shards.  Replies are re-knit into original
+        query order; any endpoint failure falls the whole shard back
+        to one full-batch primary query.  Returns the ``(responses,
+        failed)`` shape :meth:`_merge` consumes.
+        """
+        plan: list[tuple[int, list[dict]]] = []
+        failed: list[int] = []
+        responses: list[tuple[int, dict]] = []
+        for shard_id in range(self.n_shards):
+            primary = self._workers[shard_id]
+            if primary is None:
+                self._restart_worker(shard_id)
+                primary = self._workers[shard_id]
+            eligible = self._replicas.endpoints(shard_id, self.max_replica_lag)
+            if pref == "replica" and eligible:
+                endpoints: list = list(eligible)
+            else:  # nearest, or replica with no caught-up follower
+                endpoints = ([primary] if primary is not None else []) + list(
+                    eligible
+                )
+            if not endpoints:
+                if self._failover(shard_id) is None:
+                    failed.append(shard_id)
+                    continue
+                endpoints = [self._workers[shard_id]]
+            n_endpoints = len(endpoints)
+            entries = []
+            for j, endpoint in enumerate(endpoints):
+                indices = list(range(j, len(arrays), n_endpoints))
+                if not indices:
+                    continue
+                entries.append(
+                    {
+                        "endpoint": endpoint,
+                        "indices": indices,
+                        "packed": pack_message(
+                            header, [arrays[i] for i in indices]
+                        ),
+                        "sent": False,
+                    }
+                )
+            plan.append((shard_id, entries))
+        with span(
+            "shard.scatter",
+            shards=len(plan),
+            queries=len(arrays),
+            striped=True,
+        ):
+            for shard_id, entries in plan:
+                for entry in entries:
+                    try:
+                        send_packed(entry["endpoint"].conn, entry["packed"])
+                        entry["sent"] = True
+                        requests.inc(op="query", shard=str(shard_id))
+                    except RpcError:
+                        pass
+        with span("shard.gather", shards=len(plan), striped=True):
+            for shard_id, entries in plan:
+                slots: list = [None] * sum(len(e["indices"]) for e in entries)
+                healthy = True
+                for entry in entries:
+                    endpoint = entry["endpoint"]
+                    if not entry["sent"]:
+                        healthy = False
+                        self._endpoint_failed(shard_id, endpoint)
+                        continue
+                    try:
+                        reply, _ = recv_frame(endpoint.conn, self.rpc_timeout)
+                    except RpcError:
+                        healthy = False
+                        self._endpoint_failed(shard_id, endpoint)
+                        continue
+                    if reply.get("op") != "result":
+                        healthy = False
+                        continue
+                    if isinstance(endpoint, _WorkerHandle) and not self._epoch_ok(
+                        shard_id, reply
+                    ):
+                        healthy = False
+                        continue
+                    for slot, wire in zip(entry["indices"], reply["results"]):
+                        slots[slot] = wire
+                if healthy and all(s is not None for s in slots):
+                    responses.append((shard_id, {"results": slots}))
+                    continue
+                reply = self._full_primary_query(shard_id, header, arrays, requests)
+                if reply is None:
+                    failed.append(shard_id)
+                else:
+                    responses.append((shard_id, reply))
+        return responses, failed
+
+    def _endpoint_failed(self, shard_id, endpoint) -> None:
+        """A read endpoint broke mid-query: recover it for next time."""
+        if isinstance(endpoint, _WorkerHandle):
+            self._worker_failed(shard_id, "eof")
+        else:
+            self._replicas.reap(shard_id, endpoint.replica_id)
+            self._replicas.spawn(shard_id, endpoint.replica_id)
+
+    def _full_primary_query(self, shard_id, header, arrays, requests) -> dict | None:
+        """Fallback: the primary answers the whole batch for one shard."""
+        handle = self._workers[shard_id]
+        if handle is None:
+            if (
+                self._restart_worker(shard_id) is None
+                and self._failover(shard_id) is None
+            ):
+                return None
+            handle = self._workers[shard_id]
+        packed = pack_message(header, arrays)
+        try:
+            send_packed(handle.conn, packed)
+            requests.inc(op="query", shard=str(shard_id))
+            reply, _ = recv_frame(handle.conn, self.rpc_timeout)
+        except RpcError as exc:
+            kind = "timeout" if not isinstance(exc, WorkerDied) else "eof"
+            return self._recover_and_retry(shard_id, kind, packed, requests)
+        if reply.get("op") != "result" or not self._epoch_ok(shard_id, reply):
+            return None
+        return reply
 
     def _merge(
         self,
@@ -955,6 +1379,9 @@ class ShardedDatabase:
                 # replay tells us which world we are in.
                 if ready is not None and int(ready["n_series"]) == expected + 1:
                     self._next_id = series_id + 1
+                    self._primary_seq[shard_id] = int(ready.get("wal_seq", 0))
+                    if self._replicas is not None:
+                        self._replicas.ship(shard_id)
                     return {
                         "id": series_id,
                         "shard": shard_id,
@@ -966,12 +1393,24 @@ class ShardedDatabase:
                 raise ShardError(
                     f"insert failed on shard {shard_id}: {exc}"
                 ) from exc
+            if not self._epoch_ok(shard_id, reply):
+                raise ShardError(
+                    f"insert ack on shard {shard_id} rejected: stale fencing "
+                    f"epoch (a newer primary was promoted; the write is not "
+                    f"acknowledged)"
+                )
             if reply.get("op") == "error":
                 raise ShardError(
                     f"insert failed on shard {shard_id}: {reply.get('error')}"
                 )
             handle.n_series = int(reply["n_series"])
             self._next_id = series_id + 1
+            self._primary_seq[shard_id] = int(reply.get("wal_seq", 0))
+            # the write is durable on the primary; stream it out while
+            # the engine lock is still held, so follower lag is bounded
+            # by one insert in the healthy steady state
+            if self._replicas is not None:
+                self._replicas.ship(shard_id)
             return {
                 "id": series_id,
                 "shard": shard_id,
@@ -994,6 +1433,11 @@ class ShardedDatabase:
         """
         with self._lock:
             self._require_open()
+            if self._replicas is not None:
+                # drain replication first: a checkpoint retires the WAL
+                # generations the followers are tailing, and a follower
+                # left behind one would need a full re-bootstrap
+                self._replicas.ship_all()
             for shard_id in range(self.n_shards):
                 handle = self._ensure_worker(shard_id)
                 send_frame(handle.conn, {"op": "checkpoint"})
@@ -1003,7 +1447,18 @@ class ShardedDatabase:
                         f"checkpoint failed on shard {shard_id}: "
                         f"{reply.get('error')}"
                     )
+                if not self._epoch_ok(shard_id, reply):
+                    raise ShardError(
+                        f"checkpoint ack on shard {shard_id} rejected: "
+                        f"stale fencing epoch"
+                    )
                 handle.n_series = int(reply["n_series"])
+                self._primary_seq[shard_id] = int(
+                    reply.get("wal_seq", self._primary_seq[shard_id])
+                )
+                self._primary_ckpt[shard_id] = int(
+                    reply.get("checkpoint_seq", self._primary_ckpt[shard_id])
+                )
             self.manifest["series_total"] = len(self)
             self.manifest["next_id"] = self._next_id
             self._write_manifest(self.directory, self.manifest)
@@ -1034,7 +1489,7 @@ class ShardedDatabase:
                     except RpcError:
                         self._worker_failed(shard_id, "status")
                 shards.append(entry)
-            return {
+            status = {
                 "shards": self.n_shards,
                 "hash_seed": self.manifest["hash_seed"],
                 "vnodes": self.manifest["vnodes"],
@@ -1043,6 +1498,44 @@ class ShardedDatabase:
                 "workers_live": sum(1 for h in self._workers if h is not None),
                 "per_shard": shards,
             }
+            if self._replicas is not None:
+                status["replicas"] = self._replicas.n_replicas
+                status["epochs"] = list(self.manifest["epochs"])
+                status["replication"] = self.replica_status()
+            return status
+
+    def replica_status(self) -> list[dict]:
+        """Per-shard replication detail: watermark, lag, liveness.
+
+        Empty when no replicas are configured.  The lag figures are the
+        same ones the ``sts3_replication_lag_records`` /
+        ``sts3_replication_lag_seconds`` gauges export.
+        """
+        with self._lock:
+            self._require_open()
+            if self._replicas is None:
+                return []
+            return [
+                {
+                    "shard": shard_id,
+                    "epoch": int(self.manifest["epochs"][shard_id]),
+                    "primary_seq": int(self._primary_seq[shard_id]),
+                    "wal_dir": self.shard_wal_dir(shard_id).name,
+                    "replicas": self._replicas.status(shard_id),
+                }
+                for shard_id in range(self.n_shards)
+            ]
+
+    def ship_replication(self) -> None:
+        """Drive one shipping round to every follower (test/ops hook).
+
+        Shipping normally happens inline after each insert; this lets
+        a drill or an operator push pending frames out without writing.
+        """
+        with self._lock:
+            self._require_open()
+            if self._replicas is not None:
+                self._replicas.ship_all()
 
     def maintenance_status(self) -> dict:
         """Shard-level health in the shape ``/healthz`` renders.
@@ -1053,8 +1546,22 @@ class ShardedDatabase:
         """
         with self._lock:
             live = sum(1 for h in self._workers if h is not None)
+            replicas_live = (
+                sum(
+                    1
+                    for row in self._replicas.handles
+                    for h in row
+                    if h is not None
+                )
+                if self._replicas is not None
+                else 0
+            )
         return {
             "engine": "sharded",
+            "replicas": (
+                self._replicas.n_replicas if self._replicas is not None else 0
+            ),
+            "replicas_live": replicas_live,
             "wal_lag": None,
             "live_segments": None,
             "max_segments": None,
@@ -1099,6 +1606,9 @@ class ShardedDatabase:
             if self._closed:
                 return
             self._closed = True
+            if self._replicas is not None:
+                self._replicas.close()
+                self._replicas = None
             for shard_id in range(self.n_shards):
                 handle = self._workers[shard_id]
                 if handle is None:

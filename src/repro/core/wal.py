@@ -61,17 +61,24 @@ from zlib import crc32
 import numpy as np
 
 from .. import faults
-from ..exceptions import ParameterError
+from ..exceptions import ParameterError, ReproError
 from ..obs import get_registry, get_tracer, span
 
 __all__ = [
     "MAGIC",
+    "FrameError",
     "ReplayReport",
+    "TailBatch",
+    "WalGapError",
+    "WalTail",
     "WriteAheadLog",
     "decode_series",
     "encode_series",
+    "parse_frames",
+    "read_applied_seq",
     "replay_wal",
     "scan_wal",
+    "write_applied_seq",
 ]
 
 #: first 8 bytes of every generation file.
@@ -574,3 +581,216 @@ def replay_wal(
             "sts3_wal_truncated_bytes_total", "torn WAL tail bytes discarded"
         ).inc(report.truncated_bytes)
     return records, report
+
+
+# -- tailing and shipping (docs/replication.md) ---------------------------
+
+
+class FrameError(ReproError):
+    """A shipped WAL frame run failed to parse (torn, corrupt, or gapped)."""
+
+
+class WalGapError(ReproError):
+    """The log no longer holds the next frame a tailer needs.
+
+    Raised when a checkpoint retired generations past a follower's
+    watermark: the frames between the watermark and the oldest
+    surviving record are gone, so catch-up by shipping is impossible
+    and the follower must re-bootstrap from the checkpoint archive.
+    """
+
+
+@dataclass(frozen=True)
+class TailBatch:
+    """One :meth:`WalTail.poll` result: a contiguous run of raw frames.
+
+    ``blob`` is the concatenated ``[len][crc][payload]`` frames exactly
+    as they sit on disk (no magic prefix) — appendable verbatim to a
+    follower's mirror log and decodable with :func:`parse_frames`.
+    ``count == 0`` means nothing new (``first_seq``/``last_seq`` are 0).
+    """
+
+    blob: bytes = b""
+    first_seq: int = 0
+    last_seq: int = 0
+    count: int = 0
+
+
+def _frame_head(payload: bytes) -> dict | None:
+    """The JSON part of one frame payload (None when undecodable)."""
+    if payload[:1] == b"\x00":
+        sep = payload.find(b"\x00", 1)
+        if sep < 0:
+            return None
+        payload = payload[1:sep]
+    try:
+        record = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+class WalTail:
+    """Incremental reader of a (possibly live) WAL directory.
+
+    The replication shipper (docs/replication.md) holds one tail per
+    follower and calls :meth:`poll` after each acknowledged write: the
+    tail returns every *intact* frame with ``seq > from_seq`` it has
+    not returned before, as raw bytes ready to ship.  Per-file byte
+    offsets make polling O(new bytes), not O(log): sealed generations
+    cost one ``stat`` each, and only the active generation's tail is
+    re-read.
+
+    Torn or in-flight frames at a file tail are left alone — the next
+    poll re-reads from the same offset, so a frame that was mid-write
+    (or whose writer died) is either picked up complete later or never,
+    exactly matching recovery's torn-tail truncation.  A frame that is
+    *gone* (its generation retired by a checkpoint the tail never
+    caught up to) raises :class:`WalGapError`; the follower behind this
+    tail must re-bootstrap from the archive.
+    """
+
+    def __init__(self, directory: str | Path, from_seq: int = 0):
+        self.directory = Path(directory)
+        #: seq of the next frame :meth:`poll` will return.
+        self.next_seq = int(from_seq) + 1
+        self._offsets: dict[str, int] = {}
+
+    def poll(self) -> TailBatch:
+        """All new intact frames since the last poll, in seq order."""
+        chunks: list[bytes] = []
+        first_seq = 0
+        count = 0
+        files = _generation_files(self.directory)
+        for path in files:
+            offset = self._offsets.get(path.name, len(MAGIC))
+            try:
+                data = path.read_bytes()
+            except OSError:
+                continue  # racing an unlink; surviving files cover it
+            if data[: len(MAGIC)] != MAGIC:
+                break  # freshly created, magic not yet flushed
+            while offset + _FRAME_HEADER.size <= len(data):
+                length, checksum = _FRAME_HEADER.unpack_from(data, offset)
+                end = offset + _FRAME_HEADER.size + length
+                if end > len(data):
+                    break  # torn or in-flight tail; retry next poll
+                payload = data[offset + _FRAME_HEADER.size : end]
+                if crc32(payload) != checksum:
+                    break  # stop at damage, like recovery would
+                record = _frame_head(payload)
+                seq = record.get("seq") if record else None
+                if not isinstance(seq, int):
+                    break
+                if seq >= self.next_seq:
+                    if count == 0:
+                        if seq != self.next_seq:
+                            raise WalGapError(
+                                f"{self.directory}: next frame is seq {seq}, "
+                                f"tail needs {self.next_seq} (generations "
+                                "retired past the watermark)"
+                            )
+                        first_seq = seq
+                    chunks.append(data[offset:end])
+                    count += 1
+                    self.next_seq = seq + 1
+                offset = end
+            self._offsets[path.name] = offset
+        live = {path.name for path in files}
+        for name in list(self._offsets):
+            if name not in live:
+                del self._offsets[name]
+        return TailBatch(b"".join(chunks), first_seq, self.next_seq - 1, count)
+
+
+def parse_frames(blob: bytes, expect_seq: int | None = None) -> list[dict]:
+    """Decode a shipped frame run back into WAL records.
+
+    The inverse of what :class:`WalTail` produces: ``blob`` is raw
+    ``[len][crc][payload]`` frames with no magic prefix.  Every frame
+    must be complete, CRC-clean, and — when ``expect_seq`` is given —
+    chain contiguously from it; a shipped blob is *not* a crash tail,
+    so any damage raises :class:`FrameError` instead of truncating.
+    Binary series frames come back with their raw bytes attached under
+    ``record["series"]["raw"]``, ready for :func:`decode_series`.
+    """
+    records: list[dict] = []
+    offset = 0
+    while offset < len(blob):
+        if offset + _FRAME_HEADER.size > len(blob):
+            raise FrameError(f"shipped frames torn at byte {offset}")
+        length, checksum = _FRAME_HEADER.unpack_from(blob, offset)
+        start = offset + _FRAME_HEADER.size
+        payload = blob[start : start + length]
+        if len(payload) < length:
+            raise FrameError(f"shipped frames torn at byte {offset}")
+        if crc32(payload) != checksum:
+            raise FrameError(f"shipped frame CRC mismatch at byte {offset}")
+        if payload[:1] == b"\x00":
+            sep = payload.find(b"\x00", 1)
+            try:
+                if sep < 0:
+                    raise ValueError("missing header separator")
+                record = json.loads(payload[1:sep].decode())
+                record["series"]["raw"] = payload[sep + 1 :]
+            except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+                raise FrameError(
+                    f"undecodable shipped record at byte {offset}"
+                ) from None
+        else:
+            try:
+                record = json.loads(payload.decode())
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise FrameError(
+                    f"undecodable shipped record at byte {offset}"
+                ) from None
+        seq = record.get("seq")
+        if not isinstance(seq, int):
+            raise FrameError(f"shipped record without seq at byte {offset}")
+        if expect_seq is not None and seq != expect_seq:
+            raise FrameError(
+                f"shipped sequence gap at byte {offset} "
+                f"(expected {expect_seq}, got {seq})"
+            )
+        records.append(record)
+        expect_seq = seq + 1
+        offset = start + length
+    return records
+
+
+#: sidecar filename inside a follower's mirror WAL directory; records
+#: the apply watermark so a restarted follower (and the offline
+#: ``sts3 replica-status``) knows where shipping resumes.
+APPLIED_SEQ_NAME = "applied.json"
+
+
+def read_applied_seq(directory: str | Path) -> int | None:
+    """The persisted apply watermark of a mirror directory, or None."""
+    path = Path(directory) / APPLIED_SEQ_NAME
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    seq = payload.get("applied_seq")
+    return int(seq) if isinstance(seq, int) else None
+
+
+def write_applied_seq(directory: str | Path, seq: int) -> None:
+    """Atomically persist the apply watermark (temp + rename + fsync).
+
+    Written *after* the shipped records are applied: a crash between
+    apply and watermark makes the follower re-request frames it
+    already holds in its mirror — harmless, since replay skips records
+    at or below the archive seq — whereas the opposite order could
+    claim records that were never applied.
+    """
+    directory = Path(directory)
+    path = directory / APPLIED_SEQ_NAME
+    tmp = directory / (APPLIED_SEQ_NAME + ".tmp")
+    data = json.dumps({"applied_seq": int(seq)}).encode()
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(directory)

@@ -37,3 +37,13 @@ class EmptyDatabaseError(ReproError, LookupError):
 
 class DatasetError(ReproError, ValueError):
     """A dataset file or generator specification is invalid."""
+
+
+class FollowerWriteError(ReproError, RuntimeError):
+    """A local write reached a database in follower apply mode.
+
+    A replication follower (docs/replication.md) mutates only through
+    shipped WAL records; direct ``insert``/``flush``/``compact`` calls
+    would fork its history from the primary's, so they are rejected
+    until the follower is promoted.
+    """

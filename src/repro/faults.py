@@ -44,6 +44,15 @@ The plan also exposes :meth:`FaultPlan.sleep` and
 :meth:`FaultPlan.time`, a virtual clock the persistence retry loop
 uses instead of ``time.sleep``/``time.monotonic`` while a plan is
 installed, so backoff tests run in microseconds.
+
+Beyond the durability layer, the multi-process engines mark their
+hazard windows the same way: ``shard.worker.request`` (a worker dies
+serving a request — the injected ``kill -9``), and the replication
+triad of docs/replication.md — ``replication.ship`` (supervisor-side,
+a crash kind stands in for a network partition to one follower),
+``replication.apply`` (a follower dies mid-apply), and
+``replication.promote`` (a promotion aborts mid-flight and the
+supervisor falls back to restart-from-archive).
 """
 
 from __future__ import annotations

@@ -273,6 +273,32 @@ class MetricsRegistry:
 
     # -- lifecycle -------------------------------------------------------
 
+    def discard_labels(self, name_prefix: str = "", **match) -> int:
+        """Registry-wide series hygiene: drop matching series everywhere.
+
+        Sweeps every metric whose name starts with ``name_prefix`` (""
+        = all) and applies :meth:`_Metric.discard_labels`'s subset
+        semantics; returns the total series dropped.  This is what
+        membership changes call — a shard failover or replica removal
+        retires the whole ``sts3_shard_*{shard=…}`` /
+        ``sts3_replication_*{replica=…}`` family in one sweep, instead
+        of each site hunting down its own gauges (the PR 8 per-metric
+        hygiene, lifted to the registry).  As with the per-metric form,
+        ``match`` is required: an empty match would silently clear
+        every series of every metric.
+        """
+        if not match:
+            return 0
+        with self._lock:
+            swept = [
+                metric
+                for name, metric in self._metrics.items()
+                if name.startswith(name_prefix)
+            ]
+        # The per-metric call takes the registry lock itself (it is a
+        # plain Lock, not reentrant), so sweep outside the snapshot.
+        return sum(metric.discard_labels(**match) for metric in swept)
+
     def reset(self) -> None:
         """Zero every metric (definitions and help text survive)."""
         with self._lock:

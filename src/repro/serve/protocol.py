@@ -41,6 +41,9 @@ from ..core.result import Neighbor, QueryResult, SearchStats
 __all__ = [
     "DEFAULT_PORT",
     "MAX_FRAME_BYTES",
+    "OP_PROMOTE",
+    "OP_SHIP",
+    "OP_SUBSCRIBE",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ServeError",
@@ -65,6 +68,18 @@ PROTOCOL_VERSION = 1
 #: refuse frames larger than this (64 MiB) — a corrupt or hostile
 #: length prefix must not translate into an unbounded allocation.
 MAX_FRAME_BYTES = 64 << 20
+
+#: replication stream ops (docs/replication.md), spoken over the same
+#: frame format on the shard pipes.  ``subscribe`` opens (or probes) a
+#: follower's stream and returns its apply watermark; ``ship`` carries
+#: a contiguous run of raw WAL frames as a uint8 blob plus
+#: ``first_seq``/``last_seq``/``count`` in the header; ``promote``
+#: carries the new fencing ``epoch`` and flips the follower into a
+#: journaling primary.  Every replication reply echoes the sender's
+#: current epoch, which is what makes zombie-primary fencing work.
+OP_SUBSCRIBE = "subscribe"
+OP_SHIP = "ship"
+OP_PROMOTE = "promote"
 
 _LEN = struct.Struct(">I")
 

@@ -123,6 +123,15 @@ class TestFTSEAgreesWithDP:
         """FTSE is an exact evaluation: equal to the full DP everywhere."""
         assert ftse_lcss_length(a, b, epsilon, d) == lcss_length(a, b, epsilon, d)
 
+    def test_boundary_rounding_regression(self):
+        """Hypothesis-found: a tiny positive origin floors the query
+        value 0.0 into bucket −1 while 1.0−origin rounds up a bucket —
+        a true ε-match two buckets from home, missed by a ±1 probe."""
+        a = np.array([0.0, 0.0])
+        b = np.array([7.13253951e-250, 1.0])
+        assert ftse_lcss_length(a, b, 1.0) == lcss_length(a, b, 1.0)
+        assert ftse_lcss_length(a, b, 1.0) == 2
+
     def test_distance_and_similarity_consistent(self):
         rng = np.random.default_rng(0)
         a, b = rng.normal(size=30), rng.normal(size=30)

@@ -22,9 +22,19 @@ Exit status is the number of problems found (0 = clean), matching
 known-bad logs in a temporary directory and checks the linter's own
 verdicts; CI runs exactly that, so the linter cannot silently rot.
 
+``--compare PRIMARY FOLLOWER`` switches to replication-equivalence
+mode (docs/replication.md): both WAL directories are collected frame
+by frame and every sequence number both sides hold — up to the
+follower's persisted ``applied.json`` watermark, or an explicit
+``--watermark N`` — must carry **byte-identical payloads**.  WAL
+shipping copies fsynced frames verbatim, so any divergence means a
+forked history; the window below the primary's first retained frame
+(checkpoints retire generations) is outside the comparison.
+
 Usage::
 
     python tools/check_wal.py path/to/db.sts3.wal [more ...]
+    python tools/check_wal.py --compare PRIMARY_WAL FOLLOWER_WAL [--watermark N]
     python tools/check_wal.py --self-test
 """
 
@@ -161,6 +171,96 @@ def check_wal(target: Path):
     return problems, notes
 
 
+# -- replication compare ------------------------------------------------
+
+
+def collect_frames(target: Path):
+    """``seq -> payload bytes`` for every intact frame under ``target``.
+
+    Stops each file at its first torn/corrupt/undecodable frame (the
+    shape recovery truncates at), so the map holds exactly the records
+    a replay would apply.
+    """
+    frames: dict[int, bytes] = {}
+    problems: list[str] = []
+    files = sorted(target.glob("*.wal")) if target.is_dir() else [target]
+    for path in files:
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            problems.append(f"{path}: unreadable ({exc})")
+            continue
+        if data[: len(MAGIC)] != MAGIC:
+            problems.append(f"{path}: bad or missing magic")
+            continue
+        offset = len(MAGIC)
+        while offset + _FRAME_HEADER.size <= len(data):
+            length, checksum = _FRAME_HEADER.unpack_from(data, offset)
+            start = offset + _FRAME_HEADER.size
+            payload = data[start : start + length]
+            if len(payload) < length or crc32(payload) != checksum:
+                break  # torn/corrupt tail: keep the intact prefix
+            header = payload
+            if payload[:1] == b"\x00":
+                sep = payload.find(b"\x00", 1)
+                header = payload[1:sep] if sep > 0 else b""
+            try:
+                seq = json.loads(header.decode())["seq"]
+                if not isinstance(seq, int):
+                    raise ValueError("seq is not an int")
+            except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+                break
+            frames[seq] = payload
+            offset = start + length
+    return frames, problems
+
+
+def compare_wals(primary: Path, follower: Path, watermark: int | None):
+    """Frame-payload equivalence up to the follower's watermark.
+
+    Returns ``(problems, compared, watermark)``.  The comparison range
+    is the intersection of both sides' retained frames capped at the
+    watermark — the primary may have checkpointed generations away
+    below the follower's first frame, and the follower holds nothing
+    above what was shipped to it.
+    """
+    problems: list[str] = []
+    primary_frames, primary_problems = collect_frames(primary)
+    follower_frames, follower_problems = collect_frames(follower)
+    problems += primary_problems + follower_problems
+    if watermark is None and follower.is_dir():
+        sidecar = follower / "applied.json"
+        if sidecar.exists():
+            try:
+                watermark = int(json.loads(sidecar.read_text())["applied_seq"])
+            except (OSError, ValueError, KeyError, TypeError):
+                problems.append(f"{sidecar}: unreadable applied watermark")
+    if watermark is None:
+        watermark = min(
+            max(primary_frames, default=0), max(follower_frames, default=0)
+        )
+    low = max(
+        min(primary_frames, default=watermark + 1),
+        min(follower_frames, default=watermark + 1),
+    )
+    compared = 0
+    for seq in range(low, watermark + 1):
+        ours = primary_frames.get(seq)
+        theirs = follower_frames.get(seq)
+        if ours is None:
+            problems.append(f"seq {seq}: missing from primary {primary}")
+        elif theirs is None:
+            problems.append(f"seq {seq}: missing from follower {follower}")
+        elif ours != theirs:
+            problems.append(
+                f"seq {seq}: payload bytes differ between {primary} "
+                f"and {follower}"
+            )
+        else:
+            compared += 1
+    return problems, compared, watermark
+
+
 # -- self-test ----------------------------------------------------------
 
 
@@ -227,6 +327,70 @@ def self_test() -> int:
     expect("undecodable record", {"00000001.wal": MAGIC + _frame(b"\xff\xfe")}, 1)
     expect("empty directory", {}, 1)
 
+    def expect_compare(
+        name: str,
+        primary: dict[str, bytes],
+        follower: dict[str, bytes],
+        n_problems: int,
+        n_compared: int,
+        watermark: int | None = None,
+    ):
+        nonlocal failures
+        with tempfile.TemporaryDirectory(prefix="sts3-check-wal-") as tmp:
+            sides = []
+            for role, content in (("primary", primary), ("follower", follower)):
+                wal = Path(tmp) / f"{role}.wal"
+                wal.mkdir()
+                for filename, blob in content.items():
+                    (wal / filename).write_bytes(blob)
+                sides.append(wal)
+            problems, compared, _ = compare_wals(sides[0], sides[1], watermark)
+            ok = len(problems) == n_problems and compared == n_compared
+            print(f"{'ok ' if ok else 'FAIL'} compare: {name}: "
+                  f"{len(problems)} problems, {compared} compared")
+            if not ok:
+                for line in problems:
+                    print(f"      {line}")
+                failures += 1
+
+    one, two, three = _json_record(1), _binary_record(2), _binary_record(3)
+    shipped = MAGIC + _frame(one) + _frame(two)
+    expect_compare(
+        "identical shipped prefix",
+        {"00000001.wal": shipped + _frame(three)},
+        {
+            "00000001.wal": shipped,
+            "applied.json": json.dumps({"applied_seq": 2}).encode(),
+        },
+        0,
+        2,
+    )
+    forked = MAGIC + _frame(one) + _frame(_binary_record(2, values=8))
+    expect_compare(
+        "forked history",
+        {"00000001.wal": shipped},
+        {"00000001.wal": forked},
+        1,
+        1,
+        watermark=2,
+    )
+    expect_compare(
+        "follower behind watermark",
+        {"00000001.wal": shipped},
+        {"00000001.wal": MAGIC + _frame(one)},
+        1,  # seq 2 missing from follower
+        1,
+        watermark=2,
+    )
+    expect_compare(
+        "primary checkpointed past follower start",
+        {"00000002.wal": MAGIC + _frame(two)},  # seq 1 retired
+        {"00000001.wal": shipped},
+        0,
+        1,  # only seq 2 intersects
+        watermark=2,
+    )
+
     print("self-test:", "FAIL" if failures else "ok")
     return failures
 
@@ -234,9 +398,34 @@ def self_test() -> int:
 def main(argv: list[str]) -> int:
     if argv and argv[0] == "--self-test":
         return self_test()
+    if argv and argv[0] == "--compare":
+        rest = argv[1:]
+        watermark = None
+        if "--watermark" in rest:
+            at = rest.index("--watermark")
+            try:
+                watermark = int(rest[at + 1])
+            except (IndexError, ValueError):
+                print("usage: check_wal.py --compare PRIMARY FOLLOWER "
+                      "[--watermark N]")
+                return 1
+            rest = rest[:at] + rest[at + 2:]
+        if len(rest) != 2:
+            print("usage: check_wal.py --compare PRIMARY FOLLOWER "
+                  "[--watermark N]")
+            return 1
+        problems, compared, watermark = compare_wals(
+            Path(rest[0]), Path(rest[1]), watermark
+        )
+        for line in problems:
+            print(f"problem: {line}")
+        print(f"check_wal --compare: {compared} frame(s) identical up to "
+              f"seq {watermark}, {len(problems)} problems")
+        return len(problems)
     if not argv:
         print(__doc__.strip().splitlines()[0])
-        print("usage: check_wal.py WAL_DIR_OR_FILE... | --self-test")
+        print("usage: check_wal.py WAL_DIR_OR_FILE... | "
+              "--compare PRIMARY FOLLOWER | --self-test")
         return 1
     problems: list[str] = []
     for arg in argv:
